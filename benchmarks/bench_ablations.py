@@ -1,0 +1,32 @@
+"""Benchmark E6 — ablations over the design knobs of Section III.
+
+Evaluates the warm pool, the backup server, the availability threshold k and
+the VM start time on a two-data-center deployment, and checks the directions
+a designer would expect: removing the backup server costs availability, warm
+spares add availability, stricter thresholds and slower VM starts cost
+availability.
+"""
+
+from repro.casestudy import AblationStudy, render_ablations
+
+
+def bench_ablation_suite(benchmark):
+    study = AblationStudy()
+    results = benchmark.pedantic(study.run_default_suite, rounds=1, iterations=1)
+    print()
+    print(render_ablations(results))
+    by_name = {result.name: result for result in results}
+    reference = by_name["reference"].availability.availability
+
+    assert by_name["no_backup_server"].availability.availability <= reference
+    assert by_name["warm_pool_1"].availability.availability >= reference
+    assert by_name["vm_start_30min"].availability.availability <= reference
+    assert by_name["threshold_k2"].availability.availability < reference
+    # The backup server is the single most valuable mechanism for disaster
+    # tolerance in this configuration.
+    losses = {
+        name: reference - result.availability.availability
+        for name, result in by_name.items()
+        if name != "reference"
+    }
+    assert max(losses, key=losses.get) == "no_backup_server"

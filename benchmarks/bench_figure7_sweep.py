@@ -1,0 +1,106 @@
+"""Benchmark E2 — Figure 7: availability increase of distributed configurations.
+
+Regenerates the Figure 7 sweep (α ∈ {0.35, 0.40, 0.45} × disaster mean time ∈
+{100, 200, 300} years) for a subset of city pairs and checks the qualitative
+claims of Section V: improvements are monotone in α and in the disaster mean
+time, the best configuration is the closest pair with the fastest network and
+the rarest disasters, and the disaster mean time matters most at short
+distances while the network speed matters most at long distances.
+
+The benchmark evaluates the nearest and the farthest pair (Brasília and
+Tokyo); ``scripts/run_full_casestudy.py`` produces all five pairs.
+"""
+
+import pytest
+
+from repro.casestudy import best_configuration, render_figure7, reproduce_figure7
+from repro.core.scenarios import CITY_PAIRS
+
+BENCH_PAIRS = (CITY_PAIRS[0], CITY_PAIRS[4])  # Rio-Brasilia and Rio-Tokyo
+
+
+def bench_figure7_two_pairs(benchmark, sweep_runner):
+    points = benchmark.pedantic(
+        reproduce_figure7,
+        kwargs={"runner": sweep_runner, "city_pairs": BENCH_PAIRS},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(points) == 2 * 9
+    print()
+    print(render_figure7(points))
+
+    by_pair = {}
+    for point in points:
+        by_pair.setdefault(point.city_pair, []).append(point)
+
+    for pair_points in by_pair.values():
+        baseline = [p for p in pair_points if p.is_baseline]
+        assert len(baseline) == 1
+        # Improvements are measured against the pair's own baseline and are
+        # therefore non-negative across the swept grid.
+        assert all(p.improvement_over_baseline >= -1e-9 for p in pair_points)
+        # Monotonicity in alpha at fixed disaster mean time.
+        for years in (100.0, 200.0, 300.0):
+            series = sorted(
+                (p for p in pair_points if p.disaster_mean_time_years == years),
+                key=lambda p: p.alpha,
+            )
+            availabilities = [p.availability for p in series]
+            assert availabilities == sorted(availabilities)
+        # Monotonicity in disaster mean time at fixed alpha.
+        for alpha in (0.35, 0.40, 0.45):
+            series = sorted(
+                (p for p in pair_points if p.alpha == alpha),
+                key=lambda p: p.disaster_mean_time_years,
+            )
+            availabilities = [p.availability for p in series]
+            assert availabilities == sorted(availabilities)
+
+    # The best configuration overall combines the nearest pair, the fastest
+    # network and the rarest disasters (the paper's headline conclusion).
+    best = best_configuration(points)
+    assert best.city_pair == "Rio de Janeiro - Brasilia"
+    assert best.alpha == pytest.approx(0.45)
+    assert best.disaster_mean_time_years == pytest.approx(300.0)
+
+    # Relative influence: at short distance the disaster mean time dominates,
+    # at long distance the network speed has comparatively more weight.
+    near = by_pair["Rio de Janeiro - Brasilia"]
+    far = by_pair["Rio de Janeiro - Tokyo"]
+
+    def effect(points_of_pair, *, vary_alpha):
+        baseline = next(p for p in points_of_pair if p.is_baseline)
+        if vary_alpha:
+            other = next(
+                p for p in points_of_pair if p.alpha == 0.45 and p.disaster_mean_time_years == 100.0
+            )
+        else:
+            other = next(
+                p for p in points_of_pair if p.alpha == 0.35 and p.disaster_mean_time_years == 300.0
+            )
+        return other.nines - baseline.nines
+
+    near_alpha_effect = effect(near, vary_alpha=True)
+    near_disaster_effect = effect(near, vary_alpha=False)
+    far_alpha_effect = effect(far, vary_alpha=True)
+    far_disaster_effect = effect(far, vary_alpha=False)
+    assert near_disaster_effect > near_alpha_effect
+    assert (far_alpha_effect / max(far_disaster_effect, 1e-9)) > (
+        near_alpha_effect / max(near_disaster_effect, 1e-9)
+    )
+
+
+def bench_single_scenario_re_rate_and_solve(benchmark, sweep_runner):
+    """Per-scenario cost once the shared state space exists (the quantity that
+    makes the 45-point sweep tractable)."""
+    from repro.core.scenarios import DistributedScenario
+    from repro.network import RIO_DE_JANEIRO, TOKYO
+
+    scenario = DistributedScenario(
+        RIO_DE_JANEIRO, TOKYO, alpha=0.40, disaster_mean_time_years=200.0
+    )
+    evaluation = benchmark.pedantic(
+        sweep_runner.evaluate, args=(scenario,), rounds=1, iterations=1
+    )
+    assert 0.99 < evaluation.availability.availability < 1.0

@@ -1,0 +1,40 @@
+"""Benchmark E4 — the hierarchical RBD lower level (Figure 5).
+
+Evaluates the OS_PM and NAS_NET reliability block diagrams with the Table VI
+parameters and checks the equivalent MTTF/MTTR values that feed the SPN
+level, plus the cost of the RBD evaluation itself (it is called for every
+model instantiation, so it must stay cheap).
+"""
+
+import pytest
+
+from repro.core import ComponentParameters, HierarchicalParameters
+from repro.metrics import availability_from_mttf_mttr
+from repro.rbd import evaluate, importance_analysis
+from repro.core.hierarchical import build_nas_net_rbd, build_os_pm_rbd
+
+
+def bench_hierarchical_parameters(benchmark):
+    hierarchy = benchmark(HierarchicalParameters.from_components, ComponentParameters())
+    # OS_PM: series of OS (4000 h, 1 h) and PM (1000 h, 12 h).
+    assert hierarchy.os_pm.mttf == pytest.approx(800.0)
+    assert availability_from_mttf_mttr(
+        hierarchy.os_pm.mttf, hierarchy.os_pm.mttr
+    ) == pytest.approx((4000.0 / 4001.0) * (1000.0 / 1012.0))
+    # NAS_NET: dominated by the switch; equivalent availability above 0.99998.
+    assert hierarchy.nas_net.availability > 0.99998
+
+
+def bench_os_pm_importance(benchmark):
+    rbd = build_os_pm_rbd(ComponentParameters())
+    results = benchmark(importance_analysis, rbd)
+    # The physical-machine hardware limits the availability of the pair.
+    assert results[0].component == "PM"
+
+
+def bench_nas_net_evaluation(benchmark):
+    rbd = build_nas_net_rbd(ComponentParameters())
+    result = benchmark(evaluate, rbd)
+    assert result.mttf == pytest.approx(
+        1.0 / (1 / 430000.0 + 1 / 14077473.0 + 1 / 20000000.0)
+    )

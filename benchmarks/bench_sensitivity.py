@@ -1,0 +1,52 @@
+"""Benchmark E3 — one-at-a-time sensitivity of the Table VI parameters.
+
+Runs the sensitivity sweep on the two-machine single-site model and checks
+the design insight the related work (Dantas et al. [13]) reports and the
+paper echoes: improving the physical machines dominates improving the network
+equipment, and more reliable machines alone cannot lift a single site past
+the disaster ceiling.
+"""
+
+import pytest
+
+from repro.casestudy import SensitivityAnalysis, render_sensitivity
+from repro.core import CloudSystemModel, single_datacenter_spec
+
+
+def two_machine_factory(parameters):
+    return CloudSystemModel(
+        spec=single_datacenter_spec(
+            machines=2,
+            vms_per_machine=parameters.vms_per_physical_machine,
+            required_running_vms=parameters.required_running_vms,
+        ),
+        parameters=parameters,
+    )
+
+
+def bench_sensitivity_sweep(benchmark):
+    analysis = SensitivityAnalysis(
+        model_factory=two_machine_factory,
+        factor=2.0,
+        components=[
+            "operating_system",
+            "physical_machine",
+            "switch",
+            "router",
+            "nas",
+            "virtual_machine",
+        ],
+    )
+    entries = benchmark.pedantic(analysis.run, rounds=1, iterations=1)
+    print()
+    print(render_sensitivity(entries))
+    by_component = {entry.component: entry for entry in entries}
+
+    # Improving any MTTF never hurts.
+    assert all(entry.availability_delta >= -1e-12 for entry in entries)
+    # Machines matter more than network gear for this architecture.
+    assert abs(by_component["physical_machine"].availability_delta) > abs(
+        by_component["router"].availability_delta
+    )
+    # Even doubling every machine MTTF cannot beat the disaster ceiling.
+    assert all(entry.perturbed_availability < 0.9902 for entry in entries)

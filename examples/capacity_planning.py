@@ -1,0 +1,52 @@
+"""Capacity planning: how much redundancy does an SLA actually need?
+
+Uses the ablation study plus the RBD importance analysis to walk through the
+design questions of Section III: does a warm pool pay off, what does the
+backup server buy, how strict can the availability threshold ``k`` be, and
+which physical component limits a single machine's availability.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from repro.casestudy import AblationStudy, render_ablations
+from repro.core import ComponentParameters, build_nas_net_rbd, build_os_pm_rbd
+from repro.metrics import number_of_nines
+from repro.rbd import evaluate, importance_analysis
+
+
+def main() -> None:
+    print("=== Lower level: what limits a single physical machine? ===")
+    components = ComponentParameters()
+    os_pm = build_os_pm_rbd(components)
+    nas_net = build_nas_net_rbd(components)
+    for block in (os_pm, nas_net):
+        result = evaluate(block)
+        print(
+            f"{block.name:8s}: A = {result.availability:.6f} "
+            f"({number_of_nines(result.availability):.2f} nines), "
+            f"equivalent MTTF = {result.mttf:.1f} h, MTTR = {result.mttr:.2f} h"
+        )
+    print("Birnbaum importance inside OS_PM (who to improve first):")
+    for entry in importance_analysis(os_pm):
+        print(f"  {entry.component:6s}: importance = {entry.birnbaum:.4f}")
+
+    print()
+    print("=== Upper level: deployment ablations (Rio de Janeiro - Brasilia) ===")
+    study = AblationStudy()
+    results = study.run_default_suite()
+    print(render_ablations(results))
+
+    reference = next(result for result in results if result.name == "reference")
+    print()
+    print("Deltas relative to the reference deployment (in nines):")
+    for result in results:
+        if result.name == "reference":
+            continue
+        delta = result.nines - reference.nines
+        print(f"  {result.name:20s}: {delta:+.2f} nines ({result.description})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""One-off experiment: compare steady-state solver strategies on the lumped
+full case-study model.  Not part of the library; used to pick the default
+solver for ~10^4-10^5-state cloud models."""
+
+import time
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sla
+
+from repro.core import DistributedScenario
+from repro.network import BRASILIA, RIO_DE_JANEIRO
+from repro.spn.ctmc_export import generator_matrix
+from repro.spn.reachability import generate_tangible_reachability_graph
+
+scenario = DistributedScenario(RIO_DE_JANEIRO, BRASILIA, alpha=0.35)
+model = scenario.build_model()
+t0 = time.time()
+graph = generate_tangible_reachability_graph(
+    model.build(), max_states=800_000, canonicalize=model.symmetry_canonicalizer()
+)
+print(f"gen: {graph.number_of_states} states, {graph.number_of_transitions} edges, "
+      f"{time.time() - t0:.1f}s", flush=True)
+
+Q = generator_matrix(graph).tocsc()
+n = Q.shape[0]
+expr = model.availability_expression()
+
+
+def report(pi, label, elapsed):
+    residual = np.abs(pi @ Q).max()
+    from repro.spn.analysis import SteadyStateSolution
+
+    sol = SteadyStateSolution(graph=graph, probabilities=pi)
+    a = sol.probability(expr)
+    print(f"{label}: {elapsed:.1f}s  residual={residual:.3e}  A={a:.7f}", flush=True)
+
+
+def modified_system():
+    A = Q.transpose().tolil()
+    A[n - 1, :] = np.ones(n)
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    return A.tocsc(), b
+
+
+# Strategy 1: ILU-preconditioned GMRES on the modified system.
+try:
+    t0 = time.time()
+    A, b = modified_system()
+    ilu = sla.spilu(A, drop_tol=1e-6, fill_factor=20)
+    M = sla.LinearOperator((n, n), ilu.solve)
+    x, info = sla.gmres(A, b, M=M, rtol=1e-12, atol=0.0, maxiter=500, restart=60)
+    pi = np.clip(x, 0, None); pi /= pi.sum()
+    report(pi, f"ILU+GMRES (info={info})", time.time() - t0)
+except Exception as exc:  # noqa: BLE001
+    print("ILU+GMRES failed:", repr(exc), flush=True)
+
+# Strategy 2: splu with MMD ordering.
+try:
+    t0 = time.time()
+    A, b = modified_system()
+    lu = sla.splu(A, permc_spec="MMD_AT_PLUS_A")
+    pi = lu.solve(b)
+    pi = np.clip(pi, 0, None); pi /= pi.sum()
+    report(pi, "splu MMD_AT_PLUS_A", time.time() - t0)
+except Exception as exc:  # noqa: BLE001
+    print("splu MMD failed:", repr(exc), flush=True)
+
+# Strategy 3: plain spsolve (COLAMD).
+try:
+    t0 = time.time()
+    A, b = modified_system()
+    pi = sla.spsolve(A, b)
+    pi = np.clip(pi, 0, None); pi /= pi.sum()
+    report(pi, "spsolve COLAMD", time.time() - t0)
+except Exception as exc:  # noqa: BLE001
+    print("spsolve failed:", repr(exc), flush=True)

@@ -1,0 +1,51 @@
+"""Case-study harness: Table VII, Figure 7, sensitivity and ablation experiments."""
+
+from repro.casestudy.ablations import AblationResult, AblationStudy
+from repro.casestudy.figure7 import (
+    Figure7Point,
+    best_configuration,
+    figure7_grid,
+    reproduce_figure7,
+)
+from repro.casestudy.report import (
+    render_ablations,
+    render_figure7,
+    render_sensitivity,
+    render_table7,
+)
+from repro.casestudy.runner import DistributedSweepRunner, SweepEvaluation
+from repro.casestudy.sensitivity import (
+    COMPONENT_NAMES,
+    SensitivityAnalysis,
+    SensitivityEntry,
+)
+from repro.casestudy.table7 import (
+    PAPER_TABLE_VII,
+    Table7Row,
+    distributed_rows,
+    reproduce_table7,
+    single_site_rows,
+)
+
+__all__ = [
+    "AblationResult",
+    "AblationStudy",
+    "Figure7Point",
+    "best_configuration",
+    "figure7_grid",
+    "reproduce_figure7",
+    "render_ablations",
+    "render_figure7",
+    "render_sensitivity",
+    "render_table7",
+    "DistributedSweepRunner",
+    "SweepEvaluation",
+    "COMPONENT_NAMES",
+    "SensitivityAnalysis",
+    "SensitivityEntry",
+    "PAPER_TABLE_VII",
+    "Table7Row",
+    "distributed_rows",
+    "reproduce_table7",
+    "single_site_rows",
+]

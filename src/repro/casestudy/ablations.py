@@ -1,0 +1,133 @@
+"""Ablation studies over the design knobs of Section III (experiment E6).
+
+The paper's system description exposes several design choices that the case
+study keeps fixed: the warm pool size, the availability threshold ``k``, the
+presence of the backup server and the VM start time.  The ablations here vary
+one knob at a time on a (configurable) two-data-center deployment so a
+designer can see how much each mechanism actually buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.cloud_model import CloudSystemModel
+from repro.core.datacenter import two_datacenter_spec
+from repro.core.parameters import CaseStudyParameters, DEFAULT_PARAMETERS
+from repro.metrics import AvailabilityResult, Duration
+from repro.network.geo import BRASILIA, RIO_DE_JANEIRO, SAO_PAULO, City
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Availability of one ablated configuration."""
+
+    name: str
+    description: str
+    availability: AvailabilityResult
+
+    @property
+    def nines(self) -> float:
+        return self.availability.nines
+
+
+@dataclass
+class AblationStudy:
+    """Builds and evaluates the ablated configurations.
+
+    The default deployment is deliberately smaller than the case study (one
+    hot PM per data center) so every ablation solves in seconds; pass
+    ``machines_per_datacenter=2`` to run the ablations on the full
+    configuration.
+    """
+
+    first_location: City = RIO_DE_JANEIRO
+    second_location: City = BRASILIA
+    backup_location: City = SAO_PAULO
+    alpha: float = 0.35
+    machines_per_datacenter: int = 1
+    required_running_vms: int = 1
+    parameters: CaseStudyParameters = field(default_factory=lambda: DEFAULT_PARAMETERS)
+
+    def _model(
+        self,
+        warm_machines: int = 0,
+        has_backup: bool = True,
+        required: Optional[int] = None,
+        parameters: Optional[CaseStudyParameters] = None,
+    ) -> CloudSystemModel:
+        parameters = parameters or self.parameters
+        spec = two_datacenter_spec(
+            first_location=self.first_location,
+            second_location=self.second_location,
+            backup_location=self.backup_location if has_backup else None,
+            machines_per_datacenter=self.machines_per_datacenter,
+            vms_per_machine=parameters.vms_per_physical_machine,
+            required_running_vms=required or self.required_running_vms,
+            warm_machines_per_datacenter=warm_machines,
+        )
+        if not has_backup:
+            spec = replace(spec, has_backup_server=False)
+        return CloudSystemModel(spec=spec, parameters=parameters, alpha=self.alpha)
+
+    def reference(self) -> AblationResult:
+        """The un-ablated reference configuration."""
+        return AblationResult(
+            name="reference",
+            description="backup server present, no warm pool, default threshold",
+            availability=self._model().availability(),
+        )
+
+    def without_backup_server(self) -> AblationResult:
+        """Remove the backup server (disasters can only be absorbed by direct migration)."""
+        return AblationResult(
+            name="no_backup_server",
+            description="backup server removed",
+            availability=self._model(has_backup=False).availability(),
+        )
+
+    def with_warm_pool(self, warm_machines: int = 1) -> AblationResult:
+        """Add warm (idle but powered) machines to every data center."""
+        return AblationResult(
+            name=f"warm_pool_{warm_machines}",
+            description=f"{warm_machines} warm machine(s) added per data center",
+            availability=self._model(warm_machines=warm_machines).availability(),
+        )
+
+    def with_threshold(self, required_running_vms: int) -> AblationResult:
+        """Change the availability threshold k."""
+        return AblationResult(
+            name=f"threshold_k{required_running_vms}",
+            description=f"system requires k={required_running_vms} running VMs",
+            availability=self._model(required=required_running_vms).availability(),
+        )
+
+    def with_vm_start_time(self, minutes: float) -> AblationResult:
+        """Change the VM start time (the paper uses five minutes)."""
+        parameters = replace(
+            self.parameters, vm_start_time=Duration.from_minutes(minutes)
+        )
+        return AblationResult(
+            name=f"vm_start_{minutes:g}min",
+            description=f"VM start time of {minutes:g} minutes",
+            availability=self._model(parameters=parameters).availability(),
+        )
+
+    def run_default_suite(self) -> list[AblationResult]:
+        """The standard set of ablations used by the benchmark and EXPERIMENTS.md."""
+        results = [
+            self.reference(),
+            self.without_backup_server(),
+            self.with_warm_pool(1),
+            self.with_vm_start_time(30.0),
+        ]
+        maximum_vms = (
+            self.machines_per_datacenter
+            * 2
+            * self.parameters.vms_per_physical_machine
+        )
+        stricter = self.required_running_vms + 1
+        if stricter <= maximum_vms:
+            results.append(self.with_threshold(stricter))
+        return results

@@ -1,0 +1,123 @@
+"""Reproduction of Figure 7 — availability increase of distributed configurations.
+
+Figure 7 of the paper plots, for each of the five city pairs, the *increase in
+number of nines* of every (α, disaster-mean-time) combination relative to that
+pair's baseline configuration (α = 0.35, disaster mean time = 100 years).
+``reproduce_figure7`` regenerates the full 45-point sweep (or any subset)
+using the shared-state-space runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.casestudy.runner import DistributedSweepRunner, SweepEvaluation
+from repro.core.parameters import ALPHA_VALUES, DISASTER_MEAN_TIME_YEARS
+from repro.core.scenarios import (
+    BASELINE_ALPHA,
+    BASELINE_DISASTER_YEARS,
+    CITY_PAIRS,
+    DistributedScenario,
+)
+
+
+@dataclass(frozen=True)
+class Figure7Point:
+    """One bar of Figure 7."""
+
+    city_pair: str
+    alpha: float
+    disaster_mean_time_years: float
+    availability: float
+    nines: float
+    improvement_over_baseline: float
+
+    @property
+    def is_baseline(self) -> bool:
+        return (
+            self.alpha == BASELINE_ALPHA
+            and self.disaster_mean_time_years == BASELINE_DISASTER_YEARS
+        )
+
+
+def figure7_grid(
+    city_pairs=CITY_PAIRS,
+    alphas: Sequence[float] = ALPHA_VALUES,
+    disaster_years: Sequence[float] = DISASTER_MEAN_TIME_YEARS,
+) -> list[DistributedScenario]:
+    """The scenario grid of Figure 7 (optionally restricted)."""
+    scenarios = []
+    for first, second in city_pairs:
+        for alpha in alphas:
+            for years in disaster_years:
+                scenarios.append(
+                    DistributedScenario(
+                        first=first,
+                        second=second,
+                        alpha=alpha,
+                        disaster_mean_time_years=years,
+                    )
+                )
+    return scenarios
+
+
+def reproduce_figure7(
+    runner: Optional[DistributedSweepRunner] = None,
+    city_pairs=CITY_PAIRS,
+    alphas: Sequence[float] = ALPHA_VALUES,
+    disaster_years: Sequence[float] = DISASTER_MEAN_TIME_YEARS,
+) -> list[Figure7Point]:
+    """Evaluate the Figure 7 sweep and report improvements over each baseline.
+
+    The baseline of a city pair (α = 0.35, 100-year disasters) is always
+    evaluated, even if excluded from ``alphas`` / ``disaster_years``, because
+    the figure reports improvements relative to it.
+    """
+    runner = runner or DistributedSweepRunner()
+    points: list[Figure7Point] = []
+    for first, second in city_pairs:
+        pair_label = f"{first.name} - {second.name}"
+        baseline_scenario = DistributedScenario(
+            first=first,
+            second=second,
+            alpha=BASELINE_ALPHA,
+            disaster_mean_time_years=BASELINE_DISASTER_YEARS,
+        )
+        baseline = runner.evaluate(baseline_scenario)
+        evaluations: dict[tuple[float, float], SweepEvaluation] = {
+            (BASELINE_ALPHA, BASELINE_DISASTER_YEARS): baseline
+        }
+        for alpha in alphas:
+            for years in disaster_years:
+                key = (alpha, years)
+                if key not in evaluations:
+                    evaluations[key] = runner.evaluate(
+                        DistributedScenario(
+                            first=first,
+                            second=second,
+                            alpha=alpha,
+                            disaster_mean_time_years=years,
+                        )
+                    )
+        for (alpha, years), evaluation in sorted(evaluations.items()):
+            points.append(
+                Figure7Point(
+                    city_pair=pair_label,
+                    alpha=alpha,
+                    disaster_mean_time_years=years,
+                    availability=evaluation.availability.availability,
+                    nines=evaluation.nines,
+                    improvement_over_baseline=evaluation.nines - baseline.nines,
+                )
+            )
+    return points
+
+
+def best_configuration(points: Iterable[Figure7Point]) -> Figure7Point:
+    """The configuration with the highest availability (the paper's headline:
+    Rio de Janeiro - Brasília with α = 0.45 and 300-year disasters)."""
+    points = list(points)
+    if not points:
+        raise ValueError("no Figure 7 points were provided")
+    return max(points, key=lambda point: point.availability)

@@ -1,0 +1,101 @@
+"""Plain-text rendering of case-study results.
+
+The harness prints the same rows / series the paper reports (Table VII and
+Figure 7) so the console output of the examples and benchmarks can be
+compared with the publication side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.casestudy.ablations import AblationResult
+from repro.casestudy.figure7 import Figure7Point
+from repro.casestudy.sensitivity import SensitivityEntry
+from repro.casestudy.table7 import Table7Row
+
+
+def _format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    def render_row(cells):
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [render_row(headers), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table7(rows: Iterable[Table7Row]) -> str:
+    """Render the reproduced Table VII next to the published values."""
+    body = []
+    for row in rows:
+        paper = "-" if row.paper_availability is None else f"{row.paper_availability:.7f}"
+        paper_nines = "-" if row.paper_nines is None else f"{row.paper_nines:.2f}"
+        body.append(
+            (
+                row.label,
+                f"{row.measured.availability:.7f}",
+                f"{row.measured.nines:.2f}",
+                paper,
+                paper_nines,
+            )
+        )
+    return _format_table(
+        ["Architecture", "Availability", "Nines", "Paper avail.", "Paper nines"], body
+    )
+
+
+def render_figure7(points: Iterable[Figure7Point]) -> str:
+    """Render the Figure 7 sweep as a table of nines improvements."""
+    body = [
+        (
+            point.city_pair,
+            f"{point.alpha:.2f}",
+            f"{point.disaster_mean_time_years:.0f}",
+            f"{point.availability:.7f}",
+            f"{point.nines:.2f}",
+            f"{point.improvement_over_baseline:+.2f}",
+        )
+        for point in points
+    ]
+    return _format_table(
+        ["City pair", "alpha", "Disaster MTTF (y)", "Availability", "Nines", "Δ nines"],
+        body,
+    )
+
+
+def render_sensitivity(entries: Iterable[SensitivityEntry]) -> str:
+    """Render a sensitivity sweep sorted by impact."""
+    body = [
+        (
+            entry.component,
+            entry.parameter,
+            f"x{entry.factor:g}",
+            f"{entry.baseline_availability:.7f}",
+            f"{entry.perturbed_availability:.7f}",
+            f"{entry.availability_delta:+.2e}",
+        )
+        for entry in entries
+    ]
+    return _format_table(
+        ["Component", "Parameter", "Factor", "Baseline", "Perturbed", "Δ availability"],
+        body,
+    )
+
+
+def render_ablations(results: Iterable[AblationResult]) -> str:
+    """Render an ablation suite."""
+    body = [
+        (
+            result.name,
+            result.description,
+            f"{result.availability.availability:.7f}",
+            f"{result.nines:.2f}",
+        )
+        for result in results
+    ]
+    return _format_table(["Ablation", "Description", "Availability", "Nines"], body)

@@ -1,0 +1,108 @@
+"""Reproduction of Table VII — availability of the baseline architectures.
+
+Table VII of the paper lists the steady-state availability (and number of
+nines) of three non-distributed architectures and of the five two-data-center
+baseline architectures (α = 0.35, disaster mean time = 100 years).  The
+functions here regenerate every row with our models; the published values are
+kept alongside so EXPERIMENTS.md and the benchmark can report paper-vs-
+measured deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.casestudy.runner import DistributedSweepRunner
+from repro.core.parameters import CaseStudyParameters, DEFAULT_PARAMETERS
+from repro.core.scenarios import (
+    baseline_distributed_scenarios,
+    single_datacenter_baselines,
+)
+from repro.metrics import AvailabilityResult
+
+#: The availability values published in Table VII, keyed by row label.
+PAPER_TABLE_VII: dict[str, float] = {
+    "Cloud system with one machine": 0.9842914,
+    "Cloud system with two machines in one data center": 0.9899101,
+    "Cloud system with four machines in one data center": 0.9900631,
+    "Baseline architecture: Rio de Janeiro - Brasilia": 0.9997317,
+    "Baseline architecture: Rio de Janeiro - Recife": 0.9995968,
+    "Baseline architecture: Rio de Janeiro - New York": 0.9987753,
+    "Baseline architecture: Rio de Janeiro - Calcutta": 0.9977486,
+    "Baseline architecture: Rio de Janeiro - Tokyo": 0.9972643,
+}
+
+
+@dataclass(frozen=True)
+class Table7Row:
+    """One row of the reproduced Table VII."""
+
+    label: str
+    measured: AvailabilityResult
+    paper_availability: Optional[float]
+
+    @property
+    def paper_nines(self) -> Optional[float]:
+        if self.paper_availability is None:
+            return None
+        from repro.metrics import number_of_nines
+
+        return number_of_nines(self.paper_availability)
+
+    @property
+    def nines_difference(self) -> Optional[float]:
+        """Measured minus published number of nines (None when not published)."""
+        if self.paper_nines is None:
+            return None
+        return self.measured.nines - self.paper_nines
+
+
+def single_site_rows(
+    parameters: CaseStudyParameters = DEFAULT_PARAMETERS,
+) -> list[Table7Row]:
+    """The three non-distributed rows of Table VII."""
+    rows = []
+    for scenario in single_datacenter_baselines():
+        model = scenario.build_model()
+        result = model.availability()
+        rows.append(
+            Table7Row(
+                label=scenario.label,
+                measured=AvailabilityResult(result.availability, label=scenario.label),
+                paper_availability=PAPER_TABLE_VII.get(scenario.label),
+            )
+        )
+    return rows
+
+
+def distributed_rows(
+    runner: Optional[DistributedSweepRunner] = None,
+) -> list[Table7Row]:
+    """The five distributed baseline rows of Table VII (α = 0.35, 100-year disasters)."""
+    runner = runner or DistributedSweepRunner()
+    rows = []
+    for scenario in baseline_distributed_scenarios():
+        label = f"Baseline architecture: {scenario.first.name} - {scenario.second.name}"
+        evaluation = runner.evaluate(scenario)
+        rows.append(
+            Table7Row(
+                label=label,
+                measured=AvailabilityResult(
+                    evaluation.availability.availability, label=label
+                ),
+                paper_availability=PAPER_TABLE_VII.get(label),
+            )
+        )
+    return rows
+
+
+def reproduce_table7(
+    runner: Optional[DistributedSweepRunner] = None,
+    include_distributed: bool = True,
+) -> list[Table7Row]:
+    """Every row of Table VII (optionally skipping the expensive distributed rows)."""
+    rows = single_site_rows()
+    if include_distributed:
+        rows.extend(distributed_rows(runner))
+    return rows

@@ -1,0 +1,141 @@
+"""Command-line interface for the case-study harness.
+
+``python -m repro <command>`` exposes the main experiments without writing
+any Python:
+
+* ``availability`` — availability of one two-data-center configuration,
+* ``table7``       — reproduce Table VII,
+* ``figure7``      — reproduce (a subset of) the Figure 7 sweep,
+* ``ablations``    — the Section III design-knob ablations,
+* ``sensitivity``  — one-at-a-time sensitivity of the Table VI parameters.
+
+Every command accepts ``--full`` to run the faithful two-PM-per-data-center
+configuration instead of the fast reduced one.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.casestudy import (
+    AblationStudy,
+    DistributedSweepRunner,
+    SensitivityAnalysis,
+    render_ablations,
+    render_figure7,
+    render_sensitivity,
+    render_table7,
+    reproduce_figure7,
+    reproduce_table7,
+)
+from repro.core import CaseStudyParameters, DistributedScenario
+from repro.core.scenarios import CITY_PAIRS
+from repro.network import city_named
+
+
+def _runner(full: bool) -> DistributedSweepRunner:
+    if full:
+        return DistributedSweepRunner()
+    return DistributedSweepRunner(
+        parameters=CaseStudyParameters(required_running_vms=1),
+        machines_per_datacenter=1,
+    )
+
+
+def _add_full_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the faithful case-study configuration (two PMs per data center)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dependability evaluation of disaster-tolerant cloud systems (DSN 2013 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    availability = commands.add_parser(
+        "availability", help="availability of one two-data-center configuration"
+    )
+    availability.add_argument("--first", default="Rio de Janeiro", help="first data-center city")
+    availability.add_argument("--second", default="Brasilia", help="second data-center city")
+    availability.add_argument("--alpha", type=float, default=0.35, help="network-speed coefficient")
+    availability.add_argument(
+        "--disaster-years", type=float, default=100.0, help="disaster mean time in years"
+    )
+    _add_full_flag(availability)
+
+    table7 = commands.add_parser("table7", help="reproduce Table VII")
+    _add_full_flag(table7)
+
+    figure7 = commands.add_parser("figure7", help="reproduce the Figure 7 sweep")
+    figure7.add_argument(
+        "--pairs", type=int, default=len(CITY_PAIRS), help="number of city pairs to evaluate"
+    )
+    _add_full_flag(figure7)
+
+    ablations = commands.add_parser("ablations", help="design-knob ablations")
+    _add_full_flag(ablations)
+
+    sensitivity = commands.add_parser(
+        "sensitivity", help="one-at-a-time sensitivity of the Table VI parameters"
+    )
+    sensitivity.add_argument(
+        "--factor", type=float, default=2.0, help="multiplicative MTTF perturbation factor"
+    )
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    arguments = build_parser().parse_args(argv)
+
+    if arguments.command == "availability":
+        runner = _runner(arguments.full)
+        scenario = DistributedScenario(
+            first=city_named(arguments.first),
+            second=city_named(arguments.second),
+            alpha=arguments.alpha,
+            disaster_mean_time_years=arguments.disaster_years,
+        )
+        evaluation = runner.evaluate(scenario)
+        result = evaluation.availability
+        print(f"configuration : {scenario.label}")
+        print(f"availability  : {result.availability:.7f}")
+        print(f"nines         : {result.nines:.2f}")
+        print(f"downtime      : {result.downtime_hours_per_year:.1f} hours/year")
+        print(f"state space   : {evaluation.number_of_states} tangible markings")
+        return 0
+
+    if arguments.command == "table7":
+        print(render_table7(reproduce_table7(_runner(arguments.full))))
+        return 0
+
+    if arguments.command == "figure7":
+        points = reproduce_figure7(
+            _runner(arguments.full), city_pairs=CITY_PAIRS[: max(1, arguments.pairs)]
+        )
+        print(render_figure7(points))
+        return 0
+
+    if arguments.command == "ablations":
+        study = AblationStudy(machines_per_datacenter=2 if arguments.full else 1)
+        print(render_ablations(study.run_default_suite()))
+        return 0
+
+    if arguments.command == "sensitivity":
+        analysis = SensitivityAnalysis(factor=arguments.factor)
+        print(render_sensitivity(analysis.run()))
+        return 0
+
+    raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,325 @@
+"""Assembly and evaluation of the full cloud-system SPN (Figure 6).
+
+``CloudSystemModel`` glues together every block of Section IV for an
+arbitrary :class:`~repro.core.datacenter.CloudSystemSpec`:
+
+* one ``DC_d`` (disaster) and one ``NAS_NET_d`` SIMPLE_COMPONENT per data
+  center, the latter parameterised by the NAS_NET RBD of the hierarchical
+  step;
+* one ``OSPM_i`` SIMPLE_COMPONENT per physical machine, parameterised by the
+  OS_PM RBD;
+* one VM_BEHAVIOR block per physical machine;
+* one ``BKP`` SIMPLE_COMPONENT plus one TRANSMISSION_COMPONENT per ordered
+  pair of data centers (two-data-center systems);
+
+and evaluates the paper's availability metric
+``P{Σ_i #VM_UP_i ≥ k}`` analytically (reachability graph + CTMC) or by
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.components import build_simple_component
+from repro.core.datacenter import CloudSystemSpec
+from repro.core.hierarchical import HierarchicalParameters
+from repro.core.parameters import CaseStudyParameters, DEFAULT_PARAMETERS
+from repro.core.transmission import TransmissionParameters, build_transmission_component
+from repro.core.vm_behavior import VmBehaviorParameters, build_vm_behavior, vm_up_place
+from repro.exceptions import ConfigurationError
+from repro.metrics import AvailabilityResult
+from repro.network.migration import MigrationPlanner, MigrationTimes
+from repro.network.throughput import ThroughputModel
+from repro.spn import (
+    ProbabilityMeasure,
+    SimulationResult,
+    StochasticPetriNet,
+    merge,
+    simulate,
+    solve_steady_state,
+)
+from repro.spn.analysis import SteadyStateSolution
+
+
+@dataclass
+class CloudSystemModel:
+    """The paper's hierarchical dependability model of one deployment.
+
+    Attributes:
+        spec: deployment description (data centers, pools, threshold k).
+        parameters: component / disaster / VM parameters (Table VI + Section V).
+        alpha: network-speed coefficient used to derive migration times; only
+            needed for distributed deployments.
+        migration_times: explicit MTT values; when ``None`` they are computed
+            from the data-center locations, the backup location and ``alpha``.
+        minimum_operational_pms: the paper's ``l`` threshold for leaving a
+            data center.
+    """
+
+    spec: CloudSystemSpec
+    parameters: CaseStudyParameters = field(default_factory=lambda: DEFAULT_PARAMETERS)
+    alpha: Optional[float] = None
+    migration_times: Optional[MigrationTimes] = None
+    minimum_operational_pms: int = 1
+    throughput_model: ThroughputModel = field(default_factory=ThroughputModel)
+
+    def __post_init__(self) -> None:
+        if len(self.spec.datacenters) > 2:
+            raise ConfigurationError(
+                "the transmission component is defined for at most two data centers; "
+                f"got {len(self.spec.datacenters)}"
+            )
+        if self.spec.is_distributed and self.migration_times is None:
+            self._require_locations()
+        self._hierarchical = HierarchicalParameters.from_components(
+            self.parameters.components
+        )
+        self._net: Optional[StochasticPetriNet] = None
+
+    # --- assembly ---------------------------------------------------------
+
+    @property
+    def hierarchical_parameters(self) -> HierarchicalParameters:
+        """Equivalent MTTF/MTTR of the RBD lower level (OS_PM and NAS_NET)."""
+        return self._hierarchical
+
+    def resolved_migration_times(self) -> Optional[MigrationTimes]:
+        """The MTT values actually used (computed from geography if needed)."""
+        if not self.spec.is_distributed:
+            return None
+        if self.migration_times is not None:
+            return self.migration_times
+        planner = MigrationPlanner(
+            vm_image_size=self.parameters.vm_image_size,
+            throughput_model=self.throughput_model,
+        )
+        first, second = self.spec.datacenters
+        if self.spec.has_backup_server:
+            return planner.migration_times(
+                first.location, second.location, self.spec.backup_location, self.alpha
+            )
+        # Without a backup server only the direct path exists; the backup
+        # fields are placeholders that never parameterise a transition.
+        direct = planner.transfer_time(first.location, second.location, self.alpha)
+        return MigrationTimes(
+            datacenter_to_datacenter=direct,
+            backup_to_first=direct,
+            backup_to_second=direct,
+        )
+
+    def build(self) -> StochasticPetriNet:
+        """Assemble (and cache) the full SPN of the deployment."""
+        if self._net is not None:
+            return self._net
+        blocks: list[StochasticPetriNet] = []
+        vm_parameters = VmBehaviorParameters(
+            vm_mttf=self.parameters.components.virtual_machine.mttf_hours,
+            vm_mttr=self.parameters.components.virtual_machine.mttr_hours,
+            vm_start_time=self.parameters.vm_start_time.hours,
+        )
+
+        for datacenter in self.spec.datacenters:
+            blocks.append(
+                build_simple_component(
+                    datacenter.name,
+                    mttf=self.parameters.disaster.mean_time_to_disaster.hours,
+                    mttr=self.parameters.disaster.recovery_time.hours,
+                )
+            )
+            blocks.append(
+                build_simple_component(
+                    datacenter.network_name,
+                    mttf=self._hierarchical.nas_net.mttf,
+                    mttr=self._hierarchical.nas_net.mttr,
+                )
+            )
+            for machine in self.spec.machines_of(datacenter.index):
+                blocks.append(
+                    build_simple_component(
+                        machine.name,
+                        mttf=self._hierarchical.os_pm.mttf,
+                        mttr=self._hierarchical.os_pm.mttr,
+                    )
+                )
+                blocks.append(build_vm_behavior(machine, datacenter, vm_parameters))
+
+        if self.spec.is_distributed:
+            if self.spec.has_backup_server:
+                blocks.append(
+                    build_simple_component(
+                        "BKP",
+                        mttf=self.parameters.components.backup_server.mttf_hours,
+                        mttr=self.parameters.components.backup_server.mttr_hours,
+                    )
+                )
+            times = self.resolved_migration_times()
+            first, second = self.spec.datacenters
+            blocks.append(
+                build_transmission_component(
+                    first,
+                    second,
+                    self.spec.machines_of(first.index),
+                    self.spec.machines_of(second.index),
+                    TransmissionParameters(
+                        datacenter_to_datacenter=times.datacenter_to_datacenter.hours,
+                        backup_to_first=times.backup_to_first.hours,
+                        backup_to_second=times.backup_to_second.hours,
+                    ),
+                    has_backup_server=self.spec.has_backup_server,
+                    minimum_operational_pms=self.minimum_operational_pms,
+                )
+            )
+
+        self._net = merge(self._model_name(), blocks)
+        return self._net
+
+    def _model_name(self) -> str:
+        locations = [
+            dc.location.name if dc.location is not None else f"DC{dc.index}"
+            for dc in self.spec.datacenters
+        ]
+        return "CLOUD_" + "_".join(name.replace(" ", "") for name in locations)
+
+    def _require_locations(self) -> None:
+        if self.alpha is None:
+            raise ConfigurationError(
+                "a distributed deployment needs either explicit migration_times or "
+                "an alpha value to derive them"
+            )
+        for datacenter in self.spec.datacenters:
+            if datacenter.location is None:
+                raise ConfigurationError(
+                    f"data center {datacenter.index} has no location; distributed "
+                    "deployments need locations (or explicit migration_times)"
+                )
+        if self.spec.has_backup_server and self.spec.backup_location is None:
+            raise ConfigurationError(
+                "the deployment includes a backup server but no backup location was given"
+            )
+
+    # --- metrics -------------------------------------------------------------
+
+    def availability_expression(self, required_running_vms: Optional[int] = None) -> str:
+        """The paper's availability predicate ``Σ #VM_UP_i ≥ k``."""
+        k = required_running_vms or self.spec.required_running_vms
+        total = " + ".join(
+            f"#{vm_up_place(machine.index)}" for machine in self.spec.physical_machines
+        )
+        return f"({total}) >= {k}"
+
+    def availability_measure(self, name: str = "availability") -> ProbabilityMeasure:
+        """Availability as a measure object (usable by analysis and simulation)."""
+        return ProbabilityMeasure(name, self.availability_expression())
+
+    def symmetry_canonicalizer(self):
+        """Marking canonicalizer exploiting the exchangeability of PMs in a DC.
+
+        Physical machines of the same data center are stochastically
+        identical (same OS_PM parameters, same VM capacity), so the model is
+        invariant under permuting a PM's places together with its VM places.
+        The returned function maps a marking to the representative of its
+        orbit (per-PM state vectors sorted within each data center), which
+        lets the reachability generator build the exactly lumped — and much
+        smaller — CTMC.  All metrics exposed by this class (availability,
+        expected running VMs) are symmetric under those permutations and
+        therefore unaffected by the lumping.
+        """
+        net = self.build()
+        place_index = {name: i for i, name in enumerate(net.place_names)}
+        groups: list[list[list[int]]] = []
+        for datacenter in self.spec.datacenters:
+            machines = self.spec.machines_of(datacenter.index)
+            if len(machines) < 2:
+                continue
+            profiles = []
+            for machine in machines:
+                i = machine.index
+                profiles.append(
+                    [
+                        place_index[f"OSPM_{i}_UP"],
+                        place_index[f"OSPM_{i}_DOWN"],
+                        place_index[f"VM_UP_{i}"],
+                        place_index[f"VM_DOWN_{i}"],
+                        place_index[f"VM_RDY_{i}"],
+                        place_index[f"VM_STRTD_{i}"],
+                    ]
+                )
+            groups.append(profiles)
+        if not groups:
+            return None
+
+        def canonicalize(marking: tuple[int, ...]) -> tuple[int, ...]:
+            values = list(marking)
+            for profiles in groups:
+                states = sorted(
+                    tuple(values[index] for index in profile) for profile in profiles
+                )
+                for profile, state in zip(profiles, states):
+                    for index, token in zip(profile, state):
+                        values[index] = token
+            return tuple(values)
+
+        return canonicalize
+
+    def solve(
+        self,
+        method: str = "auto",
+        max_states: int = 500_000,
+        symmetry_reduction: bool = False,
+    ) -> SteadyStateSolution:
+        """Generate the tangible state space and solve the underlying CTMC.
+
+        Args:
+            method: stationary solver (see :func:`repro.markov.solvers.steady_state`).
+            max_states: tangible state-space limit.
+            symmetry_reduction: exploit the exchangeability of the PMs within
+                each data center to solve the exactly lumped CTMC instead of
+                the full one (recommended for the two-data-center case-study
+                configuration, whose full state space has ~1.3 × 10⁵ states).
+        """
+        from repro.spn.reachability import generate_tangible_reachability_graph
+
+        canonicalize = self.symmetry_canonicalizer() if symmetry_reduction else None
+        graph = generate_tangible_reachability_graph(
+            self.build(), max_states=max_states, canonicalize=canonicalize
+        )
+        return solve_steady_state(graph, method=method)
+
+    def availability(
+        self,
+        method: str = "auto",
+        solution: Optional[SteadyStateSolution] = None,
+    ) -> AvailabilityResult:
+        """Steady-state availability ``P{Σ #VM_UP_i ≥ k}`` of the deployment."""
+        if solution is None:
+            solution = self.solve(method=method)
+        value = solution.probability(self.availability_expression())
+        return AvailabilityResult(min(1.0, max(0.0, value)), label=self._model_name())
+
+    def expected_running_vms(
+        self, solution: Optional[SteadyStateSolution] = None
+    ) -> float:
+        """Expected number of running VMs ``E{Σ #VM_UP_i}``."""
+        if solution is None:
+            solution = self.solve()
+        total = " + ".join(
+            f"#{vm_up_place(machine.index)}" for machine in self.spec.physical_machines
+        )
+        return solution.expected_tokens(f"({total})")
+
+    def simulate_availability(
+        self,
+        horizon: float = 1_000_000.0,
+        replications: int = 5,
+        seed: Optional[int] = None,
+    ) -> SimulationResult:
+        """Monte-Carlo estimate of the availability (cross-validation path)."""
+        return simulate(
+            self.build(),
+            [self.availability_measure()],
+            horizon=horizon,
+            replications=replications,
+            seed=seed,
+        )

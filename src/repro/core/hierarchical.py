@@ -1,0 +1,59 @@
+"""Hierarchical modeling step: RBD lower level → SPN simple components.
+
+Section IV-D / Figure 5 of the paper: the operating system and the physical
+machine hardware form a series RBD (``OS_PM``); the switch, router and NAS
+form a second series RBD (``NAS_NET``).  Their equivalent MTTF/MTTR values
+are then used as the delays of the corresponding SIMPLE_COMPONENT transitions
+in the SPN level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import ComponentParameters
+from repro.rbd import RbdResult, Series, evaluate, series
+
+
+def build_os_pm_rbd(components: ComponentParameters) -> Series:
+    """Series RBD of {operating system, physical machine hardware} (Figure 5a)."""
+    return series(
+        "OS_PM",
+        [
+            ("OS", components.operating_system.mttf_hours, components.operating_system.mttr_hours),
+            ("PM", components.physical_machine.mttf_hours, components.physical_machine.mttr_hours),
+        ],
+    )
+
+
+def build_nas_net_rbd(components: ComponentParameters) -> Series:
+    """Series RBD of {switch, router, NAS} — the data-center network."""
+    return series(
+        "NAS_NET",
+        [
+            ("Switch", components.switch.mttf_hours, components.switch.mttr_hours),
+            ("Router", components.router.mttf_hours, components.router.mttr_hours),
+            ("NAS", components.nas.mttf_hours, components.nas.mttr_hours),
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class HierarchicalParameters:
+    """Equivalent MTTF/MTTR of the two RBD submodels, ready for the SPN level.
+
+    Attributes:
+        os_pm: evaluation of the OS + physical-machine series RBD.
+        nas_net: evaluation of the switch + router + NAS series RBD.
+    """
+
+    os_pm: RbdResult
+    nas_net: RbdResult
+
+    @classmethod
+    def from_components(cls, components: ComponentParameters) -> "HierarchicalParameters":
+        """Evaluate both lower-level RBDs for a component parameter set."""
+        return cls(
+            os_pm=evaluate(build_os_pm_rbd(components)),
+            nas_net=evaluate(build_nas_net_rbd(components)),
+        )

@@ -1,0 +1,120 @@
+"""Dependability parameters of the case study.
+
+``ComponentParameters`` mirrors Table VI of the paper (MTTF/MTTR per
+component, in hours); ``CaseStudyParameters`` collects the remaining
+constants stated in Section V: VM image size (4 GB), VM start time
+(5 minutes), disaster mean times (100/200/300 years), data-center recovery
+time after a disaster (1 year), the availability threshold (at least two
+running VMs) and the α values (0.35, 0.40, 0.45).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.units import DataSize, Duration
+
+
+@dataclass(frozen=True)
+class FailureRepairPair:
+    """MTTF/MTTR pair of one component type (hours)."""
+
+    mttf_hours: float
+    mttr_hours: float
+
+    def __post_init__(self) -> None:
+        if self.mttf_hours <= 0.0:
+            raise ConfigurationError(f"MTTF must be positive, got {self.mttf_hours!r}")
+        if self.mttr_hours < 0.0:
+            raise ConfigurationError(f"MTTR must be non-negative, got {self.mttr_hours!r}")
+
+
+@dataclass(frozen=True)
+class ComponentParameters:
+    """Table VI — dependability parameters of the hardware/software components.
+
+    All times are in hours and default to the published values.
+    """
+
+    operating_system: FailureRepairPair = FailureRepairPair(4000.0, 1.0)
+    physical_machine: FailureRepairPair = FailureRepairPair(1000.0, 12.0)
+    switch: FailureRepairPair = FailureRepairPair(430_000.0, 4.0)
+    router: FailureRepairPair = FailureRepairPair(14_077_473.0, 4.0)
+    nas: FailureRepairPair = FailureRepairPair(20_000_000.0, 2.0)
+    virtual_machine: FailureRepairPair = FailureRepairPair(2880.0, 0.5)
+    backup_server: FailureRepairPair = FailureRepairPair(50_000.0, 0.5)
+
+    def with_override(self, component: str, pair: FailureRepairPair) -> "ComponentParameters":
+        """Copy with a single component's parameters replaced (sensitivity analysis)."""
+        if not hasattr(self, component):
+            raise ConfigurationError(
+                f"unknown component {component!r}; known components: "
+                f"{sorted(self.__dataclass_fields__)}"
+            )
+        return replace(self, **{component: pair})
+
+
+#: Disaster mean times (years) evaluated in the case study.
+DISASTER_MEAN_TIME_YEARS = (100.0, 200.0, 300.0)
+
+#: Network-speed coefficients evaluated in the case study.
+ALPHA_VALUES = (0.35, 0.40, 0.45)
+
+
+@dataclass(frozen=True)
+class DisasterParameters:
+    """Occurrence and recovery of catastrophic data-center failures."""
+
+    mean_time_to_disaster: Duration = field(
+        default_factory=lambda: Duration.from_years(100.0)
+    )
+    recovery_time: Duration = field(default_factory=lambda: Duration.from_years(1.0))
+
+    def __post_init__(self) -> None:
+        if self.mean_time_to_disaster.hours <= 0.0:
+            raise ConfigurationError("mean time to disaster must be positive")
+        if self.recovery_time.hours <= 0.0:
+            raise ConfigurationError("disaster recovery time must be positive")
+
+    @classmethod
+    def from_years(
+        cls, mean_time_years: float, recovery_years: float = 1.0
+    ) -> "DisasterParameters":
+        return cls(
+            mean_time_to_disaster=Duration.from_years(mean_time_years),
+            recovery_time=Duration.from_years(recovery_years),
+        )
+
+
+@dataclass(frozen=True)
+class CaseStudyParameters:
+    """Every constant of Section V gathered in one object."""
+
+    components: ComponentParameters = field(default_factory=ComponentParameters)
+    disaster: DisasterParameters = field(default_factory=DisasterParameters)
+    vm_image_size: DataSize = field(default_factory=lambda: DataSize.from_gigabytes(4.0))
+    vm_start_time: Duration = field(default_factory=lambda: Duration.from_minutes(5.0))
+    required_running_vms: int = 2
+    vms_per_physical_machine: int = 2
+
+    def __post_init__(self) -> None:
+        if self.required_running_vms < 1:
+            raise ConfigurationError("at least one running VM must be required")
+        if self.vms_per_physical_machine < 1:
+            raise ConfigurationError("each physical machine must host at least one VM")
+        if self.vm_start_time.hours <= 0.0:
+            raise ConfigurationError("the VM start time must be positive")
+
+    def with_disaster_mean_time(self, years: float) -> "CaseStudyParameters":
+        """Copy with a different disaster mean time (Figure 7 sweep)."""
+        return replace(
+            self,
+            disaster=DisasterParameters(
+                mean_time_to_disaster=Duration.from_years(years),
+                recovery_time=self.disaster.recovery_time,
+            ),
+        )
+
+
+DEFAULT_PARAMETERS = CaseStudyParameters()

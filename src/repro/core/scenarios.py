@@ -1,0 +1,153 @@
+"""Case-study scenarios: city pairs, baselines and distributed configurations.
+
+Section V of the paper evaluates
+
+* three non-distributed baselines (one, two and four machines in a single
+  data center), and
+* two-data-center deployments for five city pairs — Rio de Janeiro paired
+  with Brasília, Recife, New York, Calcutta and Tokyo — with the backup
+  server in São Paulo, swept over α ∈ {0.35, 0.40, 0.45} and disaster mean
+  time ∈ {100, 200, 300} years.
+
+This module turns those descriptions into ready-to-solve
+:class:`~repro.core.cloud_model.CloudSystemModel` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cloud_model import CloudSystemModel
+from repro.core.datacenter import single_datacenter_spec, two_datacenter_spec
+from repro.core.parameters import (
+    ALPHA_VALUES,
+    DISASTER_MEAN_TIME_YEARS,
+    CaseStudyParameters,
+    DEFAULT_PARAMETERS,
+)
+from repro.exceptions import ConfigurationError
+from repro.network.geo import (
+    BRASILIA,
+    CALCUTTA,
+    NEW_YORK,
+    RECIFE,
+    RIO_DE_JANEIRO,
+    SAO_PAULO,
+    TOKYO,
+    City,
+)
+
+#: The five city pairs of the case study (first data center is Rio de Janeiro).
+CITY_PAIRS: tuple[tuple[City, City], ...] = (
+    (RIO_DE_JANEIRO, BRASILIA),
+    (RIO_DE_JANEIRO, RECIFE),
+    (RIO_DE_JANEIRO, NEW_YORK),
+    (RIO_DE_JANEIRO, CALCUTTA),
+    (RIO_DE_JANEIRO, TOKYO),
+)
+
+#: Location of the backup server in the case study.
+BACKUP_LOCATION: City = SAO_PAULO
+
+#: Baseline α and disaster mean time (the reference bars of Figure 7).
+BASELINE_ALPHA = 0.35
+BASELINE_DISASTER_YEARS = 100.0
+
+
+@dataclass(frozen=True)
+class DistributedScenario:
+    """One two-data-center configuration of the case study.
+
+    Attributes:
+        first / second: data-center locations.
+        alpha: network-speed coefficient.
+        disaster_mean_time_years: mean time between disasters per data center.
+        backup: backup-server location.
+    """
+
+    first: City
+    second: City
+    alpha: float = BASELINE_ALPHA
+    disaster_mean_time_years: float = BASELINE_DISASTER_YEARS
+    backup: City = BACKUP_LOCATION
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier used in result tables."""
+        return (
+            f"{self.first.name} - {self.second.name} "
+            f"(alpha={self.alpha:.2f}, disaster={self.disaster_mean_time_years:.0f}y)"
+        )
+
+    def build_model(
+        self, parameters: Optional[CaseStudyParameters] = None
+    ) -> CloudSystemModel:
+        """Instantiate the CloudSystemModel for this scenario."""
+        base = parameters or DEFAULT_PARAMETERS
+        base = base.with_disaster_mean_time(self.disaster_mean_time_years)
+        spec = two_datacenter_spec(
+            first_location=self.first,
+            second_location=self.second,
+            backup_location=self.backup,
+            machines_per_datacenter=2,
+            vms_per_machine=base.vms_per_physical_machine,
+            required_running_vms=base.required_running_vms,
+        )
+        return CloudSystemModel(spec=spec, parameters=base, alpha=self.alpha)
+
+
+def baseline_distributed_scenarios() -> list[DistributedScenario]:
+    """The five baseline architectures of Table VII (α = 0.35, 100-year disasters)."""
+    return [DistributedScenario(first, second) for first, second in CITY_PAIRS]
+
+
+def figure7_scenarios() -> list[DistributedScenario]:
+    """The full Figure 7 sweep: 5 city pairs × 3 α values × 3 disaster mean times."""
+    scenarios = []
+    for first, second in CITY_PAIRS:
+        for alpha in ALPHA_VALUES:
+            for years in DISASTER_MEAN_TIME_YEARS:
+                scenarios.append(
+                    DistributedScenario(
+                        first=first,
+                        second=second,
+                        alpha=alpha,
+                        disaster_mean_time_years=years,
+                    )
+                )
+    return scenarios
+
+
+@dataclass(frozen=True)
+class SingleDataCenterScenario:
+    """A non-distributed baseline of Table VII."""
+
+    machines: int
+    label: str
+    include_disasters: bool = True
+    parameters: CaseStudyParameters = field(default_factory=lambda: DEFAULT_PARAMETERS)
+
+    def build_model(self) -> CloudSystemModel:
+        if self.machines < 1:
+            raise ConfigurationError("a baseline needs at least one machine")
+        spec = single_datacenter_spec(
+            machines=self.machines,
+            vms_per_machine=self.parameters.vms_per_physical_machine,
+            required_running_vms=self.parameters.required_running_vms,
+            location=RIO_DE_JANEIRO,
+        )
+        return CloudSystemModel(spec=spec, parameters=self.parameters)
+
+
+def single_datacenter_baselines() -> list[SingleDataCenterScenario]:
+    """The three single-site baselines of Table VII."""
+    return [
+        SingleDataCenterScenario(machines=1, label="Cloud system with one machine"),
+        SingleDataCenterScenario(
+            machines=2, label="Cloud system with two machines in one data center"
+        ),
+        SingleDataCenterScenario(
+            machines=4, label="Cloud system with four machines in one data center"
+        ),
+    ]

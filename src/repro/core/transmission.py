@@ -1,0 +1,190 @@
+"""SPN block: TRANSMISSION_COMPONENT (Figure 4 / Tables IV-V of the paper).
+
+The block models the migration of VM images between two data centers and the
+restoration of images by the backup server after a disaster.  Each of the
+four paths is an immediate "initiate" transition (``TRI_xy`` / ``TBI_xy``)
+that claims an image from the source pool into an in-transfer place, drained
+by an exponential "execute" transition (``TRE_xy`` / ``TBE_xy``) whose mean
+delay is the corresponding mean time to transmit (Table V):
+
+* ``TRE_12`` / ``TRE_21`` — data-center-to-data-center migration, ``MTT_DCS``;
+* ``TBE_12`` — backup server restores images into data center 2, ``MTT_BK2``;
+* ``TBE_21`` — backup server restores images into data center 1, ``MTT_BK1``.
+
+Guards follow Table IV: direct migration out of a data center is enabled when
+the data center no longer has *l* operational physical machines (the case
+study uses ``l = 1``, i.e. migrate only when no PM is operational) and the
+destination is healthy; the backup paths are enabled when the backup server
+is up, the source data center's network or the data center itself is down
+(disaster), and the destination is healthy.  The published table contains two
+obvious typos (``#DC_UP2=1`` in TRI_21 and a repeated ``#OSPM_UP1`` in
+TBI_21); we use the symmetric forms, as documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.datacenter import DataCenterSpec, PhysicalMachineSpec
+from repro.core.vm_behavior import failed_pool_place
+from repro.exceptions import ModelError
+from repro.spn import StochasticPetriNet
+
+
+@dataclass(frozen=True)
+class TransmissionParameters:
+    """Mean times to transmit one VM image (hours, Table V)."""
+
+    datacenter_to_datacenter: float
+    backup_to_first: float
+    backup_to_second: float
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("MTT_DCS", self.datacenter_to_datacenter),
+            ("MTT_BK1", self.backup_to_first),
+            ("MTT_BK2", self.backup_to_second),
+        ):
+            if value <= 0.0:
+                raise ModelError(f"{label} must be positive, got {value!r}")
+
+
+def transfer_place(source_dc: int, target_dc: int) -> str:
+    """In-transfer place of the direct migration path ``source -> target``."""
+    return f"TRF_{source_dc}{target_dc}"
+
+
+def backup_transfer_place(source_dc: int, target_dc: int) -> str:
+    """In-transfer place of the backup restoration path ``source -> target``."""
+    return f"TBF_{source_dc}{target_dc}"
+
+
+def _operational_pms_expression(machines: Sequence[PhysicalMachineSpec]) -> str:
+    return "(" + " + ".join(f"#OSPM_{pm.index}_UP" for pm in machines) + ")"
+
+
+def source_exhausted_guard(
+    machines: Sequence[PhysicalMachineSpec], minimum_operational_pms: int
+) -> str:
+    """The source data center has fewer than ``l`` operational PMs."""
+    return f"{_operational_pms_expression(machines)} < {minimum_operational_pms}"
+
+
+def destination_healthy_guard(
+    datacenter: DataCenterSpec, machines: Sequence[PhysicalMachineSpec]
+) -> str:
+    """The destination can actually receive and run migrated VMs (Table IV)."""
+    return (
+        f"NOT ({_operational_pms_expression(machines)} = 0 "
+        f"OR #NAS_NET_{datacenter.index}_UP = 0 OR #DC_{datacenter.index}_UP = 0)"
+    )
+
+
+def source_disaster_guard(datacenter: DataCenterSpec) -> str:
+    """The source data center's network or the data center itself is down."""
+    return f"(#NAS_NET_{datacenter.index}_UP = 0 OR #DC_{datacenter.index}_UP = 0)"
+
+
+def build_transmission_component(
+    first: DataCenterSpec,
+    second: DataCenterSpec,
+    first_machines: Sequence[PhysicalMachineSpec],
+    second_machines: Sequence[PhysicalMachineSpec],
+    parameters: TransmissionParameters,
+    has_backup_server: bool = True,
+    minimum_operational_pms: int = 1,
+) -> StochasticPetriNet:
+    """Build the TRANSMISSION_COMPONENT between two data centers.
+
+    Args:
+        first / second: the two data-center specifications.
+        first_machines / second_machines: the PMs of each data center (their
+            global indices appear in the guard expressions).
+        parameters: the three MTT values.
+        has_backup_server: include the two backup restoration paths (requires
+            a ``BKP`` SIMPLE_COMPONENT in the final composed model).
+        minimum_operational_pms: the paper's ``l`` — VMs leave a data center
+            when fewer than ``l`` of its PMs are operational.
+
+    The block references the ``OSPM_*_UP``, ``NAS_NET_*_UP``, ``DC_*_UP`` and
+    ``BKP_UP`` places of the SIMPLE_COMPONENT blocks and the ``FailedVMS_*``
+    pools of the VM_BEHAVIOR blocks; composition happens via
+    :func:`repro.spn.merge`.
+    """
+    if first.index == second.index:
+        raise ModelError("a transmission component connects two distinct data centers")
+    if minimum_operational_pms < 1:
+        raise ModelError(
+            f"the migration threshold l must be at least 1, got {minimum_operational_pms!r}"
+        )
+    net = StochasticPetriNet(f"TRANSMISSION_{first.index}{second.index}")
+
+    net.add_place(failed_pool_place(first.index))
+    net.add_place(failed_pool_place(second.index))
+
+    _add_direct_path(
+        net, first, second, first_machines, second_machines,
+        parameters.datacenter_to_datacenter, minimum_operational_pms,
+    )
+    _add_direct_path(
+        net, second, first, second_machines, first_machines,
+        parameters.datacenter_to_datacenter, minimum_operational_pms,
+    )
+    if has_backup_server:
+        _add_backup_path(
+            net, first, second, second_machines, parameters.backup_to_second
+        )
+        _add_backup_path(
+            net, second, first, first_machines, parameters.backup_to_first
+        )
+    return net
+
+
+def _add_direct_path(
+    net: StochasticPetriNet,
+    source: DataCenterSpec,
+    target: DataCenterSpec,
+    source_machines: Sequence[PhysicalMachineSpec],
+    target_machines: Sequence[PhysicalMachineSpec],
+    mean_transfer_time: float,
+    minimum_operational_pms: int,
+) -> None:
+    """Direct data-center-to-data-center migration (TRI_xy + TRE_xy)."""
+    suffix = f"{source.index}{target.index}"
+    in_transfer = transfer_place(source.index, target.index)
+    net.add_place(in_transfer)
+    guard = (
+        f"({source_exhausted_guard(source_machines, minimum_operational_pms)}) "
+        f"AND ({destination_healthy_guard(target, target_machines)}) "
+        f"AND (#DC_{source.index}_UP > 0) AND (#NAS_NET_{source.index}_UP > 0)"
+    )
+    net.add_immediate_transition(f"TRI_{suffix}", guard=guard)
+    net.add_input_arc(failed_pool_place(source.index), f"TRI_{suffix}")
+    net.add_output_arc(f"TRI_{suffix}", in_transfer)
+    net.add_timed_transition(f"TRE_{suffix}", delay=mean_transfer_time, semantics="ss")
+    net.add_input_arc(in_transfer, f"TRE_{suffix}")
+    net.add_output_arc(f"TRE_{suffix}", failed_pool_place(target.index))
+
+
+def _add_backup_path(
+    net: StochasticPetriNet,
+    source: DataCenterSpec,
+    target: DataCenterSpec,
+    target_machines: Sequence[PhysicalMachineSpec],
+    mean_transfer_time: float,
+) -> None:
+    """Backup-server restoration of ``source``'s images into ``target``."""
+    suffix = f"{source.index}{target.index}"
+    in_transfer = backup_transfer_place(source.index, target.index)
+    net.add_place(in_transfer)
+    guard = (
+        f"#BKP_UP = 1 AND ({source_disaster_guard(source)}) "
+        f"AND ({destination_healthy_guard(target, target_machines)})"
+    )
+    net.add_immediate_transition(f"TBI_{suffix}", guard=guard)
+    net.add_input_arc(failed_pool_place(source.index), f"TBI_{suffix}")
+    net.add_output_arc(f"TBI_{suffix}", in_transfer)
+    net.add_timed_transition(f"TBE_{suffix}", delay=mean_transfer_time, semantics="ss")
+    net.add_input_arc(in_transfer, f"TBE_{suffix}")
+    net.add_output_arc(f"TBE_{suffix}", failed_pool_place(target.index))

@@ -1,0 +1,41 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+All library errors derive from :class:`ReproError` so that callers can catch a
+single base class.  Subpackages raise the most specific subclass that applies;
+``ValueError``/``TypeError`` are still used for plain argument-validation
+mistakes that do not carry domain meaning.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """A model definition is structurally invalid (bad arc, unknown place...)."""
+
+
+class ExpressionError(ReproError):
+    """A guard or measure expression could not be parsed or evaluated."""
+
+
+class AnalysisError(ReproError):
+    """A numerical analysis failed (singular system, no convergence...)."""
+
+
+class StateSpaceError(AnalysisError):
+    """The reachability graph could not be generated.
+
+    Typical causes: unbounded nets, immediate-transition loops (time traps) or
+    exceeding the configured maximum number of states.
+    """
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation run could not be carried out."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario / case-study configuration is inconsistent."""

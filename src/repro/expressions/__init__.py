@@ -1,0 +1,39 @@
+"""Guard and measure expression language (lexer, parser, AST, compiler).
+
+The language follows the notation of the paper's guard tables, e.g.
+``(#OSPM_UP1=0) OR (#NAS_NET_UP1=0) OR (#DC_UP1=0)``.
+"""
+
+from repro.expressions.ast import (
+    ArithmeticOp,
+    BooleanLiteral,
+    BooleanOp,
+    Comparison,
+    Expression,
+    Identifier,
+    Negate,
+    Not,
+    NumberLiteral,
+    TokenCount,
+)
+from repro.expressions.compiler import CompiledExpression, compile_expression, evaluate
+from repro.expressions.lexer import tokenize
+from repro.expressions.parser import parse
+
+__all__ = [
+    "ArithmeticOp",
+    "BooleanLiteral",
+    "BooleanOp",
+    "Comparison",
+    "Expression",
+    "Identifier",
+    "Negate",
+    "Not",
+    "NumberLiteral",
+    "TokenCount",
+    "CompiledExpression",
+    "compile_expression",
+    "evaluate",
+    "tokenize",
+    "parse",
+]

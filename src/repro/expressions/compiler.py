@@ -1,0 +1,243 @@
+"""Evaluation and compilation of guard / measure expressions.
+
+Two evaluation strategies are provided:
+
+* :func:`evaluate` — interpret an AST against a ``{place: tokens}`` mapping.
+  Convenient for tests and one-off measure evaluation.
+* :func:`compile_expression` — compile an AST into a closure over an indexed
+  marking vector (a tuple/ndarray of token counts).  The SPN reachability
+  generator and simulator evaluate guards millions of times, so guards are
+  compiled once per net and executed as plain nested Python closures with the
+  place indices already resolved.
+
+Boolean results are returned as ``bool``; arithmetic results as ``float``
+(integers preserved as whole-valued floats).  Numbers used in a boolean
+context follow the usual "non-zero is true" convention, and booleans used in
+an arithmetic context count as 0/1, matching the semantics of TimeNET-style
+guard expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence, Union
+
+from repro.exceptions import ExpressionError
+from repro.expressions.ast import (
+    ArithmeticOp,
+    BooleanLiteral,
+    BooleanOp,
+    Comparison,
+    Expression,
+    Identifier,
+    Negate,
+    Not,
+    NumberLiteral,
+    TokenCount,
+)
+from repro.expressions.parser import parse
+
+Value = Union[bool, float]
+CompiledExpression = Callable[[Sequence[int]], Value]
+
+_EQUALITY_TOLERANCE = 1e-12
+
+
+def _as_number(value: Value) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    return float(value)
+
+
+def _as_bool(value: Value) -> bool:
+    if isinstance(value, bool):
+        return value
+    return value != 0.0
+
+
+def _compare(operator: str, left: float, right: float) -> bool:
+    if operator == "=":
+        return abs(left - right) <= _EQUALITY_TOLERANCE
+    if operator == "<>":
+        return abs(left - right) > _EQUALITY_TOLERANCE
+    if operator == "<":
+        return left < right
+    if operator == "<=":
+        return left <= right
+    if operator == ">":
+        return left > right
+    if operator == ">=":
+        return left >= right
+    raise ExpressionError(f"unknown comparison operator {operator!r}")
+
+
+def _arithmetic(operator: str, left: float, right: float) -> float:
+    if operator == "+":
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        if right == 0.0:
+            raise ExpressionError("division by zero while evaluating expression")
+        return left / right
+    raise ExpressionError(f"unknown arithmetic operator {operator!r}")
+
+
+def evaluate(
+    expression: Union[Expression, str],
+    marking: Mapping[str, int],
+    environment: Mapping[str, float] | None = None,
+) -> Value:
+    """Evaluate ``expression`` against a ``{place_name: token_count}`` mapping.
+
+    Args:
+        expression: an AST or source text (parsed on the fly).
+        marking: token counts; every place referenced by the expression must
+            be present.
+        environment: optional values for free identifiers.
+
+    Raises:
+        ExpressionError: on unknown places/identifiers or evaluation errors.
+    """
+    if isinstance(expression, str):
+        expression = parse(expression)
+    environment = environment or {}
+
+    if isinstance(expression, NumberLiteral):
+        return float(expression.value)
+    if isinstance(expression, BooleanLiteral):
+        return expression.value
+    if isinstance(expression, TokenCount):
+        if expression.place not in marking:
+            raise ExpressionError(f"unknown place {expression.place!r} in expression")
+        return float(marking[expression.place])
+    if isinstance(expression, Identifier):
+        if expression.name not in environment:
+            raise ExpressionError(f"unknown identifier {expression.name!r} in expression")
+        return float(environment[expression.name])
+    if isinstance(expression, Negate):
+        return -_as_number(evaluate(expression.operand, marking, environment))
+    if isinstance(expression, ArithmeticOp):
+        return _arithmetic(
+            expression.operator,
+            _as_number(evaluate(expression.left, marking, environment)),
+            _as_number(evaluate(expression.right, marking, environment)),
+        )
+    if isinstance(expression, Comparison):
+        return _compare(
+            expression.operator,
+            _as_number(evaluate(expression.left, marking, environment)),
+            _as_number(evaluate(expression.right, marking, environment)),
+        )
+    if isinstance(expression, BooleanOp):
+        left = _as_bool(evaluate(expression.left, marking, environment))
+        if expression.operator == "AND":
+            return left and _as_bool(evaluate(expression.right, marking, environment))
+        if expression.operator == "OR":
+            return left or _as_bool(evaluate(expression.right, marking, environment))
+        raise ExpressionError(f"unknown boolean operator {expression.operator!r}")
+    if isinstance(expression, Not):
+        return not _as_bool(evaluate(expression.operand, marking, environment))
+    raise ExpressionError(f"unsupported expression node {type(expression)!r}")
+
+
+def compile_expression(
+    expression: Union[Expression, str],
+    place_index: Mapping[str, int],
+    environment: Mapping[str, float] | None = None,
+) -> CompiledExpression:
+    """Compile ``expression`` into a closure over an indexed marking vector.
+
+    Args:
+        expression: an AST or source text (parsed on the fly).
+        place_index: mapping from place name to its position in the marking
+            vectors the closure will be called with.
+        environment: optional values for free identifiers, resolved at
+            compile time.
+
+    Returns:
+        A callable ``f(marking_vector) -> bool | float``.
+
+    Raises:
+        ExpressionError: if the expression references a place not present in
+            ``place_index`` or an identifier not present in ``environment``.
+    """
+    if isinstance(expression, str):
+        expression = parse(expression)
+    environment = environment or {}
+
+    if isinstance(expression, NumberLiteral):
+        constant = float(expression.value)
+        return lambda marking: constant
+    if isinstance(expression, BooleanLiteral):
+        literal = expression.value
+        return lambda marking: literal
+    if isinstance(expression, TokenCount):
+        if expression.place not in place_index:
+            raise ExpressionError(
+                f"expression references unknown place {expression.place!r}; "
+                f"known places: {sorted(place_index)}"
+            )
+        index = place_index[expression.place]
+        return lambda marking: float(marking[index])
+    if isinstance(expression, Identifier):
+        if expression.name not in environment:
+            raise ExpressionError(
+                f"expression references unknown identifier {expression.name!r}"
+            )
+        constant = float(environment[expression.name])
+        return lambda marking: constant
+    if isinstance(expression, Negate):
+        operand = compile_expression(expression.operand, place_index, environment)
+        return lambda marking: -_as_number(operand(marking))
+    if isinstance(expression, ArithmeticOp):
+        left = compile_expression(expression.left, place_index, environment)
+        right = compile_expression(expression.right, place_index, environment)
+        operator = expression.operator
+        if operator == "+":
+            return lambda marking: _as_number(left(marking)) + _as_number(right(marking))
+        if operator == "-":
+            return lambda marking: _as_number(left(marking)) - _as_number(right(marking))
+        if operator == "*":
+            return lambda marking: _as_number(left(marking)) * _as_number(right(marking))
+        if operator == "/":
+            return lambda marking: _arithmetic(
+                "/", _as_number(left(marking)), _as_number(right(marking))
+            )
+        raise ExpressionError(f"unknown arithmetic operator {operator!r}")
+    if isinstance(expression, Comparison):
+        left = compile_expression(expression.left, place_index, environment)
+        right = compile_expression(expression.right, place_index, environment)
+        operator = expression.operator
+        if operator == "=":
+            return (
+                lambda marking: abs(_as_number(left(marking)) - _as_number(right(marking)))
+                <= _EQUALITY_TOLERANCE
+            )
+        if operator == "<>":
+            return (
+                lambda marking: abs(_as_number(left(marking)) - _as_number(right(marking)))
+                > _EQUALITY_TOLERANCE
+            )
+        if operator == "<":
+            return lambda marking: _as_number(left(marking)) < _as_number(right(marking))
+        if operator == "<=":
+            return lambda marking: _as_number(left(marking)) <= _as_number(right(marking))
+        if operator == ">":
+            return lambda marking: _as_number(left(marking)) > _as_number(right(marking))
+        if operator == ">=":
+            return lambda marking: _as_number(left(marking)) >= _as_number(right(marking))
+        raise ExpressionError(f"unknown comparison operator {operator!r}")
+    if isinstance(expression, BooleanOp):
+        left = compile_expression(expression.left, place_index, environment)
+        right = compile_expression(expression.right, place_index, environment)
+        if expression.operator == "AND":
+            return lambda marking: _as_bool(left(marking)) and _as_bool(right(marking))
+        if expression.operator == "OR":
+            return lambda marking: _as_bool(left(marking)) or _as_bool(right(marking))
+        raise ExpressionError(f"unknown boolean operator {expression.operator!r}")
+    if isinstance(expression, Not):
+        operand = compile_expression(expression.operand, place_index, environment)
+        return lambda marking: not _as_bool(operand(marking))
+    raise ExpressionError(f"unsupported expression node {type(expression)!r}")

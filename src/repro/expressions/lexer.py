@@ -1,0 +1,127 @@
+"""Lexer for the guard / measure expression language."""
+
+from __future__ import annotations
+
+from repro.exceptions import ExpressionError
+from repro.expressions.tokens import KEYWORDS, Token, TokenType
+
+_SINGLE_CHAR_TOKENS = {
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+}
+
+
+def _is_identifier_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_identifier_char(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into a list of tokens terminated by an END token.
+
+    Raises:
+        ExpressionError: on any character that does not belong to the
+            language.
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char in _SINGLE_CHAR_TOKENS:
+            tokens.append(Token(_SINGLE_CHAR_TOKENS[char], char, position))
+            position += 1
+            continue
+        if char == "#":
+            start = position
+            position += 1
+            name_start = position
+            while position < length and _is_identifier_char(source[position]):
+                position += 1
+            name = source[name_start:position]
+            if not name:
+                raise ExpressionError(
+                    f"expected a place name after '#' at position {start} in {source!r}"
+                )
+            tokens.append(Token(TokenType.PLACE, source[start:position], start, name))
+            continue
+        if char.isdigit() or (char == "." and position + 1 < length and source[position + 1].isdigit()):
+            start = position
+            position = _scan_number(source, position)
+            text = source[start:position]
+            value = float(text) if any(c in text for c in ".eE") else int(text)
+            tokens.append(Token(TokenType.NUMBER, text, start, value))
+            continue
+        if _is_identifier_start(char):
+            start = position
+            while position < length and _is_identifier_char(source[position]):
+                position += 1
+            text = source[start:position]
+            keyword = KEYWORDS.get(text.upper())
+            if keyword is not None:
+                tokens.append(Token(keyword, text, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, text, start, text))
+            continue
+        if char in "<>=!":
+            start = position
+            token_type, position = _scan_comparison(source, position)
+            tokens.append(Token(token_type, source[start:position], start))
+            continue
+        raise ExpressionError(
+            f"unexpected character {char!r} at position {position} in {source!r}"
+        )
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _scan_number(source: str, position: int) -> int:
+    length = len(source)
+    while position < length and (source[position].isdigit() or source[position] == "."):
+        position += 1
+    if position < length and source[position] in "eE":
+        lookahead = position + 1
+        if lookahead < length and source[lookahead] in "+-":
+            lookahead += 1
+        if lookahead < length and source[lookahead].isdigit():
+            position = lookahead
+            while position < length and source[position].isdigit():
+                position += 1
+    return position
+
+
+def _scan_comparison(source: str, position: int) -> tuple:
+    char = source[position]
+    length = len(source)
+    nxt = source[position + 1] if position + 1 < length else ""
+    if char == "=":
+        return TokenType.EQ, position + (2 if nxt == "=" else 1)
+    if char == "!":
+        if nxt != "=":
+            raise ExpressionError(
+                f"unexpected character '!' at position {position} in {source!r}"
+            )
+        return TokenType.NEQ, position + 2
+    if char == "<":
+        if nxt == "=":
+            return TokenType.LE, position + 2
+        if nxt == ">":
+            return TokenType.NEQ, position + 2
+        return TokenType.LT, position + 1
+    if char == ">":
+        if nxt == "=":
+            return TokenType.GE, position + 2
+        return TokenType.GT, position + 1
+    raise ExpressionError(
+        f"unexpected character {char!r} at position {position} in {source!r}"
+    )

@@ -1,0 +1,72 @@
+"""Token definitions for the guard / measure expression language.
+
+The language mirrors the notation used in the paper's guard tables (Tables II
+and IV) and measure definitions, e.g.::
+
+    (#OSPM_UP1 = 0) OR (#NAS_NET_UP1 = 0) OR (#DC_UP1 = 0)
+    (#VM_UP1 + #VM_UP2 + #VM_UP3 + #VM_UP4) >= 2
+
+``#place`` denotes the number of tokens in ``place``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical categories recognised by the lexer."""
+
+    NUMBER = "NUMBER"
+    PLACE = "PLACE"  # '#' followed by an identifier
+    IDENTIFIER = "IDENTIFIER"  # bare name (named constants / parameters)
+    PLUS = "PLUS"
+    MINUS = "MINUS"
+    STAR = "STAR"
+    SLASH = "SLASH"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    EQ = "EQ"  # '=' or '=='
+    NEQ = "NEQ"  # '<>' or '!='
+    GT = "GT"
+    GE = "GE"
+    LT = "LT"
+    LE = "LE"
+    AND = "AND"
+    OR = "OR"
+    NOT = "NOT"
+    TRUE = "TRUE"
+    FALSE = "FALSE"
+    END = "END"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: lexical category.
+        text: the raw characters matched.
+        position: character offset of the token start in the source string,
+            used for error reporting.
+        value: numeric value for NUMBER tokens, place name for PLACE tokens,
+            identifier name for IDENTIFIER tokens, ``None`` otherwise.
+    """
+
+    type: TokenType
+    text: str
+    position: int
+    value: object = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type.value}({self.text!r}@{self.position})"
+
+
+KEYWORDS = {
+    "AND": TokenType.AND,
+    "OR": TokenType.OR,
+    "NOT": TokenType.NOT,
+    "TRUE": TokenType.TRUE,
+    "FALSE": TokenType.FALSE,
+}

@@ -1,0 +1,19 @@
+"""Markov-chain substrate: CTMC/DTMC models, solvers, transient analysis, rewards."""
+
+from repro.markov.ctmc import ContinuousTimeMarkovChain, two_state_availability_chain
+from repro.markov.dtmc import DiscreteTimeMarkovChain
+from repro.markov.rewards import RewardReport, RewardStructure
+from repro.markov.solvers import steady_state, validate_generator
+from repro.markov.transient import transient_distribution, transient_rewards
+
+__all__ = [
+    "ContinuousTimeMarkovChain",
+    "two_state_availability_chain",
+    "DiscreteTimeMarkovChain",
+    "RewardReport",
+    "RewardStructure",
+    "steady_state",
+    "validate_generator",
+    "transient_distribution",
+    "transient_rewards",
+]

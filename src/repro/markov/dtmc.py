@@ -1,0 +1,120 @@
+"""Discrete-time Markov chains.
+
+The SPN vanishing-marking elimination needs to resolve races between
+immediate transitions: from a vanishing marking the net jumps through a DTMC
+over vanishing markings until it reaches a tangible one.  The helpers here
+compute those absorption probabilities; the class is also usable on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from repro.exceptions import AnalysisError, ModelError
+
+
+class DiscreteTimeMarkovChain:
+    """A labelled DTMC backed by a sparse probability matrix."""
+
+    def __init__(self, states: Sequence[Hashable]):
+        states = list(states)
+        if not states:
+            raise ModelError("a DTMC needs at least one state")
+        if len(set(states)) != len(states):
+            raise ModelError("DTMC state labels must be unique")
+        self._states = states
+        self._index = {state: i for i, state in enumerate(states)}
+        self._probabilities: dict[tuple[int, int], float] = {}
+
+    @property
+    def states(self) -> list[Hashable]:
+        return list(self._states)
+
+    def index_of(self, state: Hashable) -> int:
+        try:
+            return self._index[state]
+        except KeyError:
+            raise ModelError(f"unknown DTMC state {state!r}") from None
+
+    def set_probability(self, source: Hashable, target: Hashable, probability: float) -> None:
+        """Set the one-step probability from ``source`` to ``target``."""
+        if probability < 0.0 or probability > 1.0 + 1e-12:
+            raise ModelError(f"probability must be in [0, 1], got {probability!r}")
+        if probability == 0.0:
+            return
+        self._probabilities[(self.index_of(source), self.index_of(target))] = float(
+            probability
+        )
+
+    def transition_matrix(self) -> sparse.csr_matrix:
+        """The one-step transition probability matrix."""
+        n = len(self._states)
+        if self._probabilities:
+            rows, cols, data = zip(
+                *((i, j, p) for (i, j), p in self._probabilities.items())
+            )
+        else:
+            rows, cols, data = (), (), ()
+        return sparse.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+
+    def validate(self, tolerance: float = 1e-9) -> None:
+        """Check that every row sums to one (absorbing states may sum to zero)."""
+        row_sums = np.asarray(self.transition_matrix().sum(axis=1)).ravel()
+        bad = [
+            self._states[i]
+            for i, total in enumerate(row_sums)
+            if abs(total - 1.0) > tolerance and abs(total) > tolerance
+        ]
+        if bad:
+            raise ModelError(f"DTMC rows do not sum to one for states: {bad!r}")
+
+    def steady_state(self) -> dict[Hashable, float]:
+        """Stationary distribution of an irreducible, aperiodic chain."""
+        matrix = self.transition_matrix().toarray()
+        n = matrix.shape[0]
+        system = np.vstack([matrix.T - np.eye(n), np.ones((1, n))])
+        rhs = np.zeros(n + 1)
+        rhs[-1] = 1.0
+        solution, residuals, rank, _ = np.linalg.lstsq(system, rhs, rcond=None)
+        if rank < n:
+            raise AnalysisError("DTMC stationary distribution is not unique")
+        solution = np.clip(solution, 0.0, None)
+        solution /= solution.sum()
+        return {state: float(solution[i]) for i, state in enumerate(self._states)}
+
+    def absorption_probabilities(
+        self, absorbing_states: Sequence[Hashable]
+    ) -> dict[Hashable, dict[Hashable, float]]:
+        """Probability of ending in each absorbing state from every transient state.
+
+        Returns a nested mapping ``{transient_state: {absorbing_state: p}}``.
+        """
+        absorbing = [self.index_of(state) for state in absorbing_states]
+        absorbing_set = set(absorbing)
+        transient = [i for i in range(len(self._states)) if i not in absorbing_set]
+        if not transient:
+            return {}
+        matrix = self.transition_matrix().tocsc()
+        q = matrix[transient, :][:, transient]
+        r = matrix[transient, :][:, absorbing]
+        identity = sparse.eye(len(transient), format="csc")
+        try:
+            fundamental_times_r = sparse_linalg.spsolve(identity - q, r.tocsc())
+        except Exception as error:  # pragma: no cover
+            raise AnalysisError(f"absorption-probability solve failed: {error}") from error
+        dense = np.atleast_2d(np.asarray(fundamental_times_r.todense() if sparse.issparse(fundamental_times_r) else fundamental_times_r))
+        if dense.shape != (len(transient), len(absorbing)):
+            dense = dense.reshape(len(transient), len(absorbing))
+        result: dict[Hashable, dict[Hashable, float]] = {}
+        for row, transient_index in enumerate(transient):
+            row_values = {
+                self._states[absorbing[col]]: float(dense[row, col])
+                for col in range(len(absorbing))
+                if dense[row, col] > 0.0
+            }
+            result[self._states[transient_index]] = row_values
+        return result

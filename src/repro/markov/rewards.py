@@ -1,0 +1,68 @@
+"""Markov reward structures.
+
+A reward structure attaches a real-valued rate reward to every state of a
+chain.  Availability is the special case of a 0/1 reward (1 on operational
+states); expected capacity (how many VMs are up on average) is a general
+rate reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping
+
+from repro.markov.ctmc import ContinuousTimeMarkovChain
+
+
+@dataclass
+class RewardStructure:
+    """Named reward assignment over the states of a CTMC.
+
+    Attributes:
+        name: identifier used in reports.
+        reward_of: callable mapping a state label to its rate reward.
+    """
+
+    name: str
+    reward_of: Callable[[Hashable], float]
+
+    @classmethod
+    def from_mapping(
+        cls, name: str, rewards: Mapping[Hashable, float], default: float = 0.0
+    ) -> "RewardStructure":
+        """Reward structure from an explicit ``{state: reward}`` mapping."""
+        return cls(name, lambda state: float(rewards.get(state, default)))
+
+    @classmethod
+    def indicator(
+        cls, name: str, predicate: Callable[[Hashable], bool]
+    ) -> "RewardStructure":
+        """0/1 reward structure from a predicate over states."""
+        return cls(name, lambda state: 1.0 if predicate(state) else 0.0)
+
+    def steady_state_value(self, chain: ContinuousTimeMarkovChain) -> float:
+        """Expected steady-state reward on ``chain``."""
+        return chain.expected_reward(self.reward_of)
+
+
+@dataclass
+class RewardReport:
+    """Evaluation of several reward structures over one chain."""
+
+    chain: ContinuousTimeMarkovChain
+    structures: list[RewardStructure] = field(default_factory=list)
+
+    def add(self, structure: RewardStructure) -> "RewardReport":
+        self.structures.append(structure)
+        return self
+
+    def evaluate(self) -> dict[str, float]:
+        """Evaluate every registered structure once, reusing the steady state."""
+        pi = self.chain.steady_state_vector()
+        states = self.chain.states
+        values: dict[str, float] = {}
+        for structure in self.structures:
+            values[structure.name] = float(
+                sum(pi[i] * structure.reward_of(state) for i, state in enumerate(states))
+            )
+        return values

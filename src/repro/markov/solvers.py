@@ -1,0 +1,279 @@
+"""Linear-algebra solvers for stationary distributions.
+
+Three solver families are provided:
+
+* ``direct``  — sparse LU factorisation of the constrained balance equations;
+  robust and exact up to round-off, the default for small / medium chains.
+* ``gth``     — the Grassmann–Taksar–Heyman elimination, which avoids
+  subtractive cancellation and is the most numerically stable choice for
+  stiff chains (the disaster models are extremely stiff: disaster rates are
+  ~1/876000 h⁻¹ while immediate repairs are minutes).  Dense, O(n³), so only
+  used for small chains.
+* ``power`` / ``gauss_seidel`` — iterative methods for large state spaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from repro.exceptions import AnalysisError
+
+_DEFAULT_TOLERANCE = 1e-12
+_DEFAULT_MAX_ITERATIONS = 200_000
+
+
+def _as_csr(generator) -> sparse.csr_matrix:
+    matrix = sparse.csr_matrix(generator, dtype=float)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise AnalysisError(f"generator matrix must be square, got shape {matrix.shape}")
+    return matrix
+
+
+def validate_generator(generator, tolerance: float = 1e-8) -> None:
+    """Check that ``generator`` is a proper CTMC generator matrix.
+
+    Off-diagonal entries must be non-negative and every row must sum to
+    (numerically) zero.
+
+    Raises:
+        AnalysisError: if either property is violated.
+    """
+    matrix = _as_csr(generator)
+    coo = matrix.tocoo()
+    off_diagonal_negative = np.any((coo.row != coo.col) & (coo.data < -tolerance))
+    if off_diagonal_negative:
+        raise AnalysisError("generator matrix has negative off-diagonal entries")
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    scale = np.maximum(np.abs(matrix.diagonal()), 1.0)
+    if np.any(np.abs(row_sums) > tolerance * scale):
+        worst = int(np.argmax(np.abs(row_sums) / scale))
+        raise AnalysisError(
+            f"generator matrix rows must sum to zero; row {worst} sums to {row_sums[worst]!r}"
+        )
+
+
+def steady_state(
+    generator,
+    method: str = "auto",
+    tolerance: float = _DEFAULT_TOLERANCE,
+    max_iterations: int = _DEFAULT_MAX_ITERATIONS,
+) -> np.ndarray:
+    """Stationary distribution ``π`` with ``π Q = 0`` and ``Σ π = 1``.
+
+    Args:
+        generator: CTMC generator matrix (dense or sparse), shape ``(n, n)``.
+        method: ``"auto"``, ``"direct"``, ``"gth"``, ``"power"`` or
+            ``"gauss_seidel"``.  ``"auto"`` picks GTH for very small chains,
+            the sparse direct solver up to a few tens of thousands of states
+            and Gauss–Seidel beyond that.
+        tolerance: convergence tolerance for the iterative methods.
+        max_iterations: iteration cap for the iterative methods.
+
+    Returns:
+        The stationary probability vector of length ``n``.
+
+    Raises:
+        AnalysisError: if the method is unknown, the matrix is not a valid
+            generator, or an iterative method fails to converge.
+    """
+    matrix = _as_csr(generator)
+    n = matrix.shape[0]
+    if n == 0:
+        raise AnalysisError("cannot compute the stationary distribution of an empty chain")
+    if n == 1:
+        return np.array([1.0])
+
+    if method == "auto":
+        if n <= 200:
+            method = "gth"
+        elif n <= 20_000:
+            method = "direct"
+        else:
+            # Large stiff chains: incomplete-LU preconditioned GMRES scales
+            # far better than a complete sparse factorisation here.
+            method = "gmres_ilu"
+
+    if method == "gth":
+        return _steady_state_gth(matrix.toarray())
+    if method == "direct":
+        return _steady_state_direct(matrix)
+    if method == "gmres_ilu":
+        return _steady_state_gmres_ilu(matrix, tolerance, max_iterations)
+    if method == "power":
+        return _steady_state_power(matrix, tolerance, max_iterations)
+    if method == "gauss_seidel":
+        return _steady_state_gauss_seidel(matrix, tolerance, max_iterations)
+    raise AnalysisError(f"unknown steady-state method {method!r}")
+
+
+def _normalise(vector: np.ndarray) -> np.ndarray:
+    vector = np.where(np.abs(vector) < 1e-300, 0.0, vector)
+    vector = np.clip(vector, 0.0, None)
+    total = vector.sum()
+    if total <= 0.0 or not np.isfinite(total):
+        raise AnalysisError("steady-state solver produced a non-normalisable vector")
+    return vector / total
+
+
+def constrained_balance_system(
+    matrix: sparse.spmatrix,
+) -> tuple[sparse.csc_matrix, np.ndarray]:
+    """Build the linear system ``A x = b`` whose solution is the stationary vector.
+
+    ``A`` is ``Q^T`` with the last balance equation replaced by the
+    normalisation constraint ``Σ x = 1``.  Shared by the direct and the
+    preconditioned-Krylov solvers (and by callers that want to reuse a
+    preconditioner across several related systems).
+    """
+    matrix = _as_csr(matrix)
+    n = matrix.shape[0]
+    transposed = matrix.transpose().tolil()
+    transposed[n - 1, :] = np.ones(n)
+    rhs = np.zeros(n)
+    rhs[n - 1] = 1.0
+    return transposed.tocsc(), rhs
+
+
+def _steady_state_gmres_ilu(
+    matrix: sparse.csr_matrix,
+    tolerance: float,
+    max_iterations: int,
+    drop_tolerance: float = 1e-6,
+    fill_factor: float = 20.0,
+) -> np.ndarray:
+    """Incomplete-LU preconditioned GMRES on the constrained balance equations."""
+    system, rhs = constrained_balance_system(matrix)
+    try:
+        preconditioner = sparse_linalg.spilu(
+            system, drop_tol=drop_tolerance, fill_factor=fill_factor
+        )
+    except Exception as error:  # pragma: no cover - scipy-specific failures
+        raise AnalysisError(f"ILU preconditioner construction failed: {error}") from error
+    operator = sparse_linalg.LinearOperator(system.shape, preconditioner.solve)
+    solution, info = sparse_linalg.gmres(
+        system,
+        rhs,
+        M=operator,
+        rtol=min(tolerance, 1e-10),
+        atol=0.0,
+        restart=60,
+        maxiter=min(max_iterations, 2000),
+    )
+    if info != 0:
+        raise AnalysisError(
+            f"preconditioned GMRES did not converge (scipy info code {info})"
+        )
+    if not np.all(np.isfinite(solution)):
+        raise AnalysisError("preconditioned GMRES produced non-finite values")
+    return _normalise(np.asarray(solution).ravel())
+
+
+def _steady_state_direct(matrix: sparse.csr_matrix) -> np.ndarray:
+    n = matrix.shape[0]
+    # Solve Q^T pi = 0 with the last balance equation replaced by sum(pi) = 1.
+    transposed = matrix.transpose().tolil()
+    transposed[n - 1, :] = np.ones(n)
+    rhs = np.zeros(n)
+    rhs[n - 1] = 1.0
+    try:
+        solution = sparse_linalg.spsolve(transposed.tocsc(), rhs)
+    except Exception as error:  # pragma: no cover - scipy-specific failures
+        raise AnalysisError(f"sparse direct steady-state solve failed: {error}") from error
+    if not np.all(np.isfinite(solution)):
+        raise AnalysisError("sparse direct steady-state solve produced non-finite values")
+    return _normalise(np.asarray(solution).ravel())
+
+
+def _steady_state_gth(q: np.ndarray) -> np.ndarray:
+    """Grassmann–Taksar–Heyman elimination on a dense generator copy."""
+    n = q.shape[0]
+    matrix = q.astype(float).copy()
+    # Forward elimination.
+    for k in range(n - 1, 0, -1):
+        scale = matrix[k, :k].sum()
+        if scale <= 0.0:
+            # State k is unreachable from below at this elimination stage;
+            # treat its contribution as zero mass.
+            matrix[k, :k] = 0.0
+            continue
+        matrix[:k, k] /= scale
+        for j in range(k):
+            if matrix[k, j] != 0.0:
+                matrix[:k, j] += matrix[:k, k] * matrix[k, j]
+    # Back substitution.
+    pi = np.zeros(n)
+    pi[0] = 1.0
+    for k in range(1, n):
+        pi[k] = float(np.dot(pi[:k], matrix[:k, k]))
+    return _normalise(pi)
+
+
+def _uniformised_transition_matrix(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    rates = -matrix.diagonal()
+    uniformisation_rate = float(rates.max()) * 1.05
+    if uniformisation_rate <= 0.0:
+        raise AnalysisError("generator matrix has no transitions (all rates zero)")
+    n = matrix.shape[0]
+    probability_matrix = sparse.eye(n, format="csr") + matrix / uniformisation_rate
+    return probability_matrix.tocsr()
+
+
+def _steady_state_power(
+    matrix: sparse.csr_matrix, tolerance: float, max_iterations: int
+) -> np.ndarray:
+    probability_matrix = _uniformised_transition_matrix(matrix)
+    n = matrix.shape[0]
+    pi = np.full(n, 1.0 / n)
+    for _ in range(max_iterations):
+        updated = pi @ probability_matrix
+        updated = np.asarray(updated).ravel()
+        total = updated.sum()
+        if total <= 0.0:
+            raise AnalysisError("power iteration lost all probability mass")
+        updated /= total
+        if np.max(np.abs(updated - pi)) < tolerance:
+            return _normalise(updated)
+        pi = updated
+    raise AnalysisError(
+        f"power iteration did not converge within {max_iterations} iterations"
+    )
+
+
+def _steady_state_gauss_seidel(
+    matrix: sparse.csr_matrix, tolerance: float, max_iterations: int
+) -> np.ndarray:
+    # Solve pi Q = 0 by Gauss-Seidel sweeps on Q^T x = 0 with diag scaling.
+    transposed = matrix.transpose().tocsr()
+    n = matrix.shape[0]
+    diagonal = transposed.diagonal()
+    if np.any(diagonal >= 0.0):
+        # Absorbing or isolated states make plain Gauss-Seidel ill-defined.
+        return _steady_state_power(matrix, tolerance, max_iterations)
+    x = np.full(n, 1.0 / n)
+    indptr, indices, data = transposed.indptr, transposed.indices, transposed.data
+    for iteration in range(max_iterations):
+        max_change = 0.0
+        for i in range(n):
+            row_start, row_end = indptr[i], indptr[i + 1]
+            acc = 0.0
+            diag = diagonal[i]
+            for pointer in range(row_start, row_end):
+                j = indices[pointer]
+                if j != i:
+                    acc += data[pointer] * x[j]
+            new_value = -acc / diag
+            change = abs(new_value - x[i])
+            if change > max_change:
+                max_change = change
+            x[i] = new_value
+        total = x.sum()
+        if total <= 0.0:
+            raise AnalysisError("Gauss-Seidel iteration lost all probability mass")
+        x /= total
+        if max_change < tolerance:
+            return _normalise(x)
+    raise AnalysisError(
+        f"Gauss-Seidel iteration did not converge within {max_iterations} iterations"
+    )

@@ -1,0 +1,101 @@
+"""Conversions between dependability parameters.
+
+The hierarchical approach of the paper repeatedly converts between mean times
+(MTTF/MTTR, hours) and exponential rates (failures/repairs per hour), and
+between equivalent MTTF/MTTR and availability when results of a lower-level
+RBD model feed a higher-level SPN simple component.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def rate_from_mean_time(mean_time: float) -> float:
+    """Exponential rate equivalent to a mean time (``rate = 1 / mean``)."""
+    if mean_time <= 0.0:
+        raise ValueError(f"mean time must be positive, got {mean_time!r}")
+    return 1.0 / mean_time
+
+
+def mean_time_from_rate(rate: float) -> float:
+    """Mean time equivalent to an exponential rate (``mean = 1 / rate``)."""
+    if rate <= 0.0:
+        raise ValueError(f"rate must be positive, got {rate!r}")
+    return 1.0 / rate
+
+
+def mttf_mttr_from_availability(availability: float, mttr: float) -> float:
+    """MTTF consistent with a given availability and repair time.
+
+    Solves ``A = MTTF / (MTTF + MTTR)`` for MTTF.
+    """
+    if not 0.0 < availability < 1.0:
+        raise ValueError(
+            f"availability must be strictly inside (0, 1) to infer an MTTF, got {availability!r}"
+        )
+    if mttr <= 0.0:
+        raise ValueError(f"MTTR must be positive, got {mttr!r}")
+    return availability * mttr / (1.0 - availability)
+
+
+def mttr_from_availability(availability: float, mttf: float) -> float:
+    """MTTR consistent with a given availability and failure time."""
+    if not 0.0 < availability <= 1.0:
+        raise ValueError(
+            f"availability must be in (0, 1] to infer an MTTR, got {availability!r}"
+        )
+    if mttf <= 0.0:
+        raise ValueError(f"MTTF must be positive, got {mttf!r}")
+    return mttf * (1.0 - availability) / availability
+
+
+def equivalent_mttf_mttr(
+    availability: float, equivalent_failure_rate: float
+) -> tuple[float, float]:
+    """Equivalent (MTTF, MTTR) pair of a composite structure.
+
+    This is the standard hierarchical-modeling step used in Section IV-D of
+    the paper: the lower-level RBD yields a steady-state availability ``A``
+    and an equivalent failure rate ``Λ_eq``; the equivalent mean times that
+    parameterise the higher-level SPN simple component are then
+
+    ``MTTF_eq = 1 / Λ_eq`` and ``MTTR_eq = MTTF_eq * (1 - A) / A``.
+    """
+    if equivalent_failure_rate <= 0.0:
+        raise ValueError(
+            f"equivalent failure rate must be positive, got {equivalent_failure_rate!r}"
+        )
+    mttf = 1.0 / equivalent_failure_rate
+    mttr = mttr_from_availability(availability, mttf)
+    return mttf, mttr
+
+
+def exponential_reliability(mttf: float, time: float) -> float:
+    """Reliability ``R(t) = exp(-t / MTTF)`` of a non-repairable component."""
+    if mttf <= 0.0:
+        raise ValueError(f"MTTF must be positive, got {mttf!r}")
+    if time < 0.0:
+        raise ValueError(f"time must be non-negative, got {time!r}")
+    return math.exp(-time / mttf)
+
+
+def hours_from_years(years: float) -> float:
+    """Convert years to hours (8760 hours / year, as used for disaster times)."""
+    if years < 0.0:
+        raise ValueError(f"years must be non-negative, got {years!r}")
+    return years * 8760.0
+
+
+def hours_from_minutes(minutes: float) -> float:
+    """Convert minutes to hours (used for the 5-minute VM start time)."""
+    if minutes < 0.0:
+        raise ValueError(f"minutes must be non-negative, got {minutes!r}")
+    return minutes / 60.0
+
+
+def hours_from_seconds(seconds: float) -> float:
+    """Convert seconds to hours (used for computed VM transfer times)."""
+    if seconds < 0.0:
+        raise ValueError(f"seconds must be non-negative, got {seconds!r}")
+    return seconds / 3600.0

@@ -1,0 +1,37 @@
+"""Network / geography substrate: cities, latency, throughput, migration times."""
+
+from repro.network.geo import (
+    BRASILIA,
+    CALCUTTA,
+    CITIES,
+    NEW_YORK,
+    RECIFE,
+    RIO_DE_JANEIRO,
+    SAO_PAULO,
+    TOKYO,
+    City,
+    city_named,
+    haversine_distance,
+)
+from repro.network.latency import LatencyModel
+from repro.network.migration import MigrationPlanner, MigrationTimes
+from repro.network.throughput import ThroughputModel, validate_alpha
+
+__all__ = [
+    "BRASILIA",
+    "CALCUTTA",
+    "CITIES",
+    "NEW_YORK",
+    "RECIFE",
+    "RIO_DE_JANEIRO",
+    "SAO_PAULO",
+    "TOKYO",
+    "City",
+    "city_named",
+    "haversine_distance",
+    "LatencyModel",
+    "MigrationPlanner",
+    "MigrationTimes",
+    "ThroughputModel",
+    "validate_alpha",
+]

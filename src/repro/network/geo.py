@@ -1,0 +1,96 @@
+"""Geography: the case-study cities and great-circle distances.
+
+The case study of the paper (Section V) places data centers in pairs of
+cities — Rio de Janeiro paired with Brasília, Recife, New York, Calcutta and
+Tokyo — and the backup server in São Paulo.  The mean VM transfer time (MTT)
+between two sites grows with the distance between them, so the first
+ingredient of the network substrate is a small gazetteer plus the haversine
+great-circle distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.units import Distance
+
+_EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True)
+class City:
+    """A city with WGS-84 coordinates.
+
+    Attributes:
+        name: display name (used in scenario labels and tables).
+        latitude: degrees north.
+        longitude: degrees east.
+    """
+
+    name: str
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ConfigurationError(
+                f"city {self.name!r}: latitude must be in [-90, 90], got {self.latitude!r}"
+            )
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ConfigurationError(
+                f"city {self.name!r}: longitude must be in [-180, 180], got {self.longitude!r}"
+            )
+
+    def distance_to(self, other: "City") -> Distance:
+        """Great-circle distance to another city."""
+        return haversine_distance(self, other)
+
+
+def haversine_distance(first: City, second: City) -> Distance:
+    """Great-circle (haversine) distance between two cities."""
+    lat1, lon1 = math.radians(first.latitude), math.radians(first.longitude)
+    lat2, lon2 = math.radians(second.latitude), math.radians(second.longitude)
+    delta_lat = lat2 - lat1
+    delta_lon = lon2 - lon1
+    a = (
+        math.sin(delta_lat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(delta_lon / 2.0) ** 2
+    )
+    central_angle = 2.0 * math.asin(min(1.0, math.sqrt(a)))
+    return Distance(_EARTH_RADIUS_KM * central_angle)
+
+
+#: The cities used by the paper's case study.
+RIO_DE_JANEIRO = City("Rio de Janeiro", -22.9068, -43.1729)
+BRASILIA = City("Brasilia", -15.7939, -47.8828)
+RECIFE = City("Recife", -8.0539, -34.8811)
+NEW_YORK = City("New York", 40.7128, -74.0060)
+CALCUTTA = City("Calcutta", 22.5726, 88.3639)
+TOKYO = City("Tokyo", 35.6762, 139.6503)
+SAO_PAULO = City("Sao Paulo", -23.5505, -46.6333)
+
+#: Registry by (case-insensitive) name for scenario parsing.
+CITIES: dict[str, City] = {
+    city.name.lower(): city
+    for city in (
+        RIO_DE_JANEIRO,
+        BRASILIA,
+        RECIFE,
+        NEW_YORK,
+        CALCUTTA,
+        TOKYO,
+        SAO_PAULO,
+    )
+}
+
+
+def city_named(name: str) -> City:
+    """Look up one of the case-study cities by name (case-insensitive)."""
+    try:
+        return CITIES[name.strip().lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown city {name!r}; known cities: {sorted(c.name for c in CITIES.values())}"
+        ) from None

@@ -1,0 +1,64 @@
+"""Round-trip-time model over wide-area links.
+
+The throughput model (PingER / Mathis style, see :mod:`repro.network.throughput`)
+needs the round-trip time between two sites.  We model the RTT as the
+two-way propagation delay over optical fibre plus a fixed equipment /
+processing overhead::
+
+    RTT(d) = 2 * (route_factor * d) / fibre_speed + base_rtt
+
+``route_factor`` accounts for cables not following the great circle (real
+submarine/terrestrial routes are typically 20-60 % longer than the geodesic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.units import Distance, Duration
+
+#: Speed of light in optical fibre, km/s (refractive index ~1.47).
+FIBRE_SPEED_KM_PER_S = 204_000.0
+
+#: Default detour factor of real routes relative to the great circle.
+DEFAULT_ROUTE_FACTOR = 1.4
+
+#: Default fixed overhead (switching, queuing, last-mile) added to every RTT.
+DEFAULT_BASE_RTT_S = 0.004
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Distance → round-trip-time model.
+
+    Attributes:
+        fibre_speed_km_per_s: signal propagation speed in the medium.
+        route_factor: multiplicative detour factor applied to the
+            great-circle distance.
+        base_rtt_s: fixed RTT component independent of distance (seconds).
+    """
+
+    fibre_speed_km_per_s: float = FIBRE_SPEED_KM_PER_S
+    route_factor: float = DEFAULT_ROUTE_FACTOR
+    base_rtt_s: float = DEFAULT_BASE_RTT_S
+
+    def __post_init__(self) -> None:
+        if self.fibre_speed_km_per_s <= 0.0:
+            raise ConfigurationError("fibre speed must be positive")
+        if self.route_factor < 1.0:
+            raise ConfigurationError(
+                f"route factor must be at least 1.0, got {self.route_factor!r}"
+            )
+        if self.base_rtt_s < 0.0:
+            raise ConfigurationError("base RTT must be non-negative")
+
+    def round_trip_time(self, distance: Distance) -> Duration:
+        """RTT for a link spanning ``distance``."""
+        route_km = self.route_factor * distance.kilometers
+        propagation_s = 2.0 * route_km / self.fibre_speed_km_per_s
+        return Duration.from_seconds(propagation_s + self.base_rtt_s)
+
+    def one_way_latency(self, distance: Distance) -> Duration:
+        """One-way latency (half the RTT)."""
+        return Duration.from_seconds(self.round_trip_time(distance).seconds / 2.0)

@@ -1,0 +1,69 @@
+"""VM migration time (MTT) computation.
+
+``MigrationPlanner`` turns the geography + throughput substrate into the
+three mean-time-to-transmit parameters used by the TRANSMISSION_COMPONENT of
+the SPN model (Table V):
+
+* ``MTT_DCS`` — transfer of one VM image between the two data centers,
+* ``MTT_BK1`` / ``MTT_BK2`` — transfer of one VM image from the backup server
+  to data center 1 / 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.units import DataSize, Duration
+from repro.network.geo import City
+from repro.network.throughput import ThroughputModel
+
+
+@dataclass(frozen=True)
+class MigrationTimes:
+    """The three MTT parameters of the TRANSMISSION_COMPONENT (in hours)."""
+
+    datacenter_to_datacenter: Duration
+    backup_to_first: Duration
+    backup_to_second: Duration
+
+    def as_dict(self) -> dict[str, float]:
+        """Hours keyed by the paper's parameter names."""
+        return {
+            "MTT_DCS": self.datacenter_to_datacenter.hours,
+            "MTT_BK1": self.backup_to_first.hours,
+            "MTT_BK2": self.backup_to_second.hours,
+        }
+
+
+@dataclass(frozen=True)
+class MigrationPlanner:
+    """Compute VM migration times between sites for a given VM image size.
+
+    Attributes:
+        vm_image_size: size of one VM image (4 GB in the case study).
+        throughput_model: distance/alpha → throughput model.
+    """
+
+    vm_image_size: DataSize = field(default_factory=lambda: DataSize.from_gigabytes(4.0))
+    throughput_model: ThroughputModel = field(default_factory=ThroughputModel)
+
+    def transfer_time(self, origin: City, destination: City, alpha: float) -> Duration:
+        """Mean time to transmit one VM image from ``origin`` to ``destination``."""
+        distance = origin.distance_to(destination)
+        return self.throughput_model.transfer_time(self.vm_image_size, distance, alpha)
+
+    def migration_times(
+        self,
+        first_datacenter: City,
+        second_datacenter: City,
+        backup_site: City,
+        alpha: float,
+    ) -> MigrationTimes:
+        """All three MTT parameters for a two-data-center deployment."""
+        return MigrationTimes(
+            datacenter_to_datacenter=self.transfer_time(
+                first_datacenter, second_datacenter, alpha
+            ),
+            backup_to_first=self.transfer_time(backup_site, first_datacenter, alpha),
+            backup_to_second=self.transfer_time(backup_site, second_datacenter, alpha),
+        )

@@ -1,0 +1,78 @@
+"""Distance- and alpha-dependent throughput model.
+
+The paper estimates the mean VM transfer time using "the approach presented
+in [18] that assesses the network throughput based on the distance between
+the communication nodes.  The equation associates a constant alpha with the
+network speed, which can vary from 0 (no connection) up to 1.0 (fastest
+connection)" (Section V).  Reference [18] is the SLAC PingER work, whose
+practical summary is the Mathis TCP-throughput law: sustained throughput is
+inversely proportional to the round-trip time,
+
+    throughput(d, alpha) = alpha * W / RTT(d)
+
+where ``W`` plays the role of the effective TCP window (how many bytes are in
+flight per round trip on the best possible connection) and ``alpha`` scales
+it down for slower connections.  This preserves exactly the two properties
+the case study relies on: throughput decreases with distance and increases
+with alpha.  The model optionally caps the result at a physical link
+capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.units import Bandwidth, DataSize, Distance
+from repro.network.latency import LatencyModel
+
+#: Effective in-flight window of the best (alpha = 1) connection.
+DEFAULT_WINDOW_BYTES = 256.0 * 1024.0
+
+#: Default physical cap on the achievable throughput (1 Gbit/s).
+DEFAULT_LINK_CAPACITY = Bandwidth.from_megabits_per_second(1000.0)
+
+
+@dataclass(frozen=True)
+class ThroughputModel:
+    """PingER/Mathis-style throughput as a function of distance and alpha.
+
+    Attributes:
+        latency: distance → RTT model.
+        window_bytes: bytes in flight per RTT at ``alpha = 1``.
+        link_capacity: hard cap on the sustained throughput.
+    """
+
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    window_bytes: float = DEFAULT_WINDOW_BYTES
+    link_capacity: Bandwidth = DEFAULT_LINK_CAPACITY
+
+    def __post_init__(self) -> None:
+        if self.window_bytes <= 0.0:
+            raise ConfigurationError("window size must be positive")
+        if self.link_capacity.bytes_per_second <= 0.0:
+            raise ConfigurationError("link capacity must be positive")
+
+    def throughput(self, distance: Distance, alpha: float) -> Bandwidth:
+        """Sustained throughput of a connection spanning ``distance``.
+
+        Args:
+            distance: great-circle distance between the endpoints.
+            alpha: network-speed coefficient in ``(0, 1]`` (the paper's α).
+        """
+        validate_alpha(alpha)
+        rtt_seconds = self.latency.round_trip_time(distance).seconds
+        raw = alpha * self.window_bytes / rtt_seconds
+        return Bandwidth(min(raw, self.link_capacity.bytes_per_second))
+
+    def transfer_time(self, size: DataSize, distance: Distance, alpha: float):
+        """Time to transfer ``size`` over a connection spanning ``distance``."""
+        return self.throughput(distance, alpha).transfer_time(size)
+
+
+def validate_alpha(alpha: float) -> None:
+    """Check the paper's α coefficient is usable (0 means "no connection")."""
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(
+            f"alpha must be in (0, 1] (0 means no connection), got {alpha!r}"
+        )

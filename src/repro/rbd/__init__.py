@@ -1,0 +1,33 @@
+"""Reliability Block Diagrams: structures, evaluation and importance analysis."""
+
+from repro.rbd.blocks import BasicBlock, Block, Bridge, KOutOfN, Parallel, Series
+from repro.rbd.builders import k_out_of_n, parallel, replicate, series
+from repro.rbd.evaluation import (
+    RbdResult,
+    equivalent_failure_rate,
+    equivalent_mttr,
+    evaluate,
+    mean_time_to_failure,
+)
+from repro.rbd.importance import ImportanceResult, birnbaum_importance, importance_analysis
+
+__all__ = [
+    "BasicBlock",
+    "Block",
+    "Bridge",
+    "KOutOfN",
+    "Parallel",
+    "Series",
+    "k_out_of_n",
+    "parallel",
+    "replicate",
+    "series",
+    "RbdResult",
+    "equivalent_failure_rate",
+    "equivalent_mttr",
+    "evaluate",
+    "mean_time_to_failure",
+    "ImportanceResult",
+    "birnbaum_importance",
+    "importance_analysis",
+]

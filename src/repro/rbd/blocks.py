@@ -1,0 +1,269 @@
+"""Reliability Block Diagram (RBD) structures.
+
+The paper uses RBDs at the lower level of its hierarchical approach
+(Section IV-D, Figure 5): the operating system and the physical-machine
+hardware form a series RBD (``OS_PM``), and the switch, router and NAS form a
+second series RBD (``NAS_NET``).  The equivalent MTTF/MTTR of each RBD then
+parameterises a SIMPLE_COMPONENT of the higher-level SPN.
+
+The implementation is more general than the paper needs: series, parallel,
+k-out-of-n and bridge structures may be nested arbitrarily, and every block
+exposes steady-state availability, time-dependent reliability (without
+repair), an equivalent failure rate and equivalent MTTF/MTTR.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import ModelError
+from repro.metrics.availability import availability_from_mttf_mttr
+
+
+class Block:
+    """Base class of every RBD node.
+
+    Concrete subclasses implement :meth:`availability_given` (steady-state
+    availability with optional per-basic-block overrides) and
+    :meth:`reliability` (probability of surviving ``[0, t]`` without repair).
+    """
+
+    name: str
+
+    def availability(self) -> float:
+        """Steady-state availability of the (sub)system rooted at this block."""
+        return self.availability_given({})
+
+    def availability_given(self, overrides: Mapping[str, float]) -> float:
+        """Availability with some basic blocks pinned to given values.
+
+        Args:
+            overrides: mapping from basic-block name to an availability value
+                in ``[0, 1]``; used by importance analysis.
+        """
+        raise NotImplementedError
+
+    def reliability(self, time: float) -> float:
+        """Reliability ``R(t)`` assuming no repair (mission reliability)."""
+        raise NotImplementedError
+
+    def basic_blocks(self) -> list["BasicBlock"]:
+        """All basic (leaf) blocks in the subtree, in depth-first order."""
+        raise NotImplementedError
+
+    def basic_block_names(self) -> list[str]:
+        """Names of all basic blocks in the subtree."""
+        return [block.name for block in self.basic_blocks()]
+
+    # Derived metrics -----------------------------------------------------
+
+    def mttf(self, upper_limit_factor: float = 200.0) -> float:
+        """Mean time to (first) failure ``∫ R(t) dt``.
+
+        For leaves and pure series structures the closed form is used; other
+        structures integrate the reliability numerically.  The integration
+        horizon is ``upper_limit_factor`` times the largest leaf MTTF, which
+        keeps the truncation error negligible for the structures used here.
+        """
+        from repro.rbd.evaluation import mean_time_to_failure
+
+        return mean_time_to_failure(self, upper_limit_factor=upper_limit_factor)
+
+    def mttr(self) -> float:
+        """Equivalent MTTR consistent with the availability and the MTTF."""
+        from repro.rbd.evaluation import equivalent_mttr
+
+        return equivalent_mttr(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class BasicBlock(Block):
+    """A leaf component with exponential failure and repair times.
+
+    Attributes:
+        name: unique component name (e.g. ``"OS"``, ``"Router"``).
+        mttf: mean time to failure (hours in the paper's tables).
+        mttr: mean time to repair (same unit).
+    """
+
+    def __init__(self, name: str, mttf: float, mttr: float):
+        if not name:
+            raise ModelError("a basic block needs a non-empty name")
+        if mttf <= 0.0:
+            raise ModelError(f"block {name!r}: MTTF must be positive, got {mttf!r}")
+        if mttr < 0.0:
+            raise ModelError(f"block {name!r}: MTTR must be non-negative, got {mttr!r}")
+        self.name = name
+        self._mttf = mttf
+        self._mttr = mttr
+
+    @property
+    def failure_rate(self) -> float:
+        """Exponential failure rate ``1 / MTTF``."""
+        return 1.0 / self._mttf
+
+    @property
+    def repair_rate(self) -> float:
+        """Exponential repair rate ``1 / MTTR`` (``inf`` for MTTR = 0)."""
+        if self._mttr == 0.0:
+            return math.inf
+        return 1.0 / self._mttr
+
+    def availability_given(self, overrides: Mapping[str, float]) -> float:
+        if self.name in overrides:
+            value = overrides[self.name]
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(
+                    f"override for block {self.name!r} must be in [0, 1], got {value!r}"
+                )
+            return value
+        return availability_from_mttf_mttr(self._mttf, self._mttr)
+
+    def reliability(self, time: float) -> float:
+        if time < 0.0:
+            raise ValueError(f"time must be non-negative, got {time!r}")
+        return math.exp(-time / self._mttf)
+
+    def basic_blocks(self) -> list["BasicBlock"]:
+        return [self]
+
+    def mttf(self, upper_limit_factor: float = 200.0) -> float:
+        return self._mttf
+
+    def mttr(self) -> float:
+        return self._mttr
+
+
+class _Composite(Block):
+    """Shared plumbing of structures with child blocks."""
+
+    def __init__(self, name: str, children: Iterable[Block]):
+        children = list(children)
+        if not name:
+            raise ModelError("a composite block needs a non-empty name")
+        if not children:
+            raise ModelError(f"composite block {name!r} needs at least one child")
+        names = [block.name for child in children for block in child.basic_blocks()]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ModelError(
+                f"composite block {name!r} contains duplicated basic block names: "
+                f"{sorted(duplicates)}"
+            )
+        self.name = name
+        self.children: Sequence[Block] = tuple(children)
+
+    def basic_blocks(self) -> list[BasicBlock]:
+        blocks: list[BasicBlock] = []
+        for child in self.children:
+            blocks.extend(child.basic_blocks())
+        return blocks
+
+
+class Series(_Composite):
+    """Series arrangement: the structure works iff every child works."""
+
+    def availability_given(self, overrides: Mapping[str, float]) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= child.availability_given(overrides)
+        return result
+
+    def reliability(self, time: float) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= child.reliability(time)
+        return result
+
+
+class Parallel(_Composite):
+    """Parallel arrangement: the structure works iff at least one child works."""
+
+    def availability_given(self, overrides: Mapping[str, float]) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= 1.0 - child.availability_given(overrides)
+        return 1.0 - result
+
+    def reliability(self, time: float) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= 1.0 - child.reliability(time)
+        return 1.0 - result
+
+
+class KOutOfN(_Composite):
+    """k-out-of-n arrangement: works iff at least ``k`` of the children work.
+
+    Children do not need to be identical; the evaluation enumerates all
+    working/failed child combinations, which is exact and fine for the small
+    ``n`` used in dependability block diagrams.
+    """
+
+    def __init__(self, name: str, k: int, children: Iterable[Block]):
+        super().__init__(name, children)
+        if not 1 <= k <= len(self.children):
+            raise ModelError(
+                f"k-out-of-n block {name!r}: k={k} must be between 1 and "
+                f"{len(self.children)}"
+            )
+        self.k = k
+
+    def _probability_at_least_k(self, child_probabilities: Sequence[float]) -> float:
+        n = len(child_probabilities)
+        total = 0.0
+        for working in itertools.product((True, False), repeat=n):
+            if sum(working) < self.k:
+                continue
+            probability = 1.0
+            for is_working, p in zip(working, child_probabilities):
+                probability *= p if is_working else (1.0 - p)
+            total += probability
+        return total
+
+    def availability_given(self, overrides: Mapping[str, float]) -> float:
+        return self._probability_at_least_k(
+            [child.availability_given(overrides) for child in self.children]
+        )
+
+    def reliability(self, time: float) -> float:
+        return self._probability_at_least_k(
+            [child.reliability(time) for child in self.children]
+        )
+
+
+class Bridge(_Composite):
+    """Classical five-component bridge structure.
+
+    Children are ordered ``[A, B, C, D, E]`` where A-B form the upper path,
+    C-D the lower path and E is the bridging component.  Evaluated by
+    conditioning on the state of E (factoring theorem).
+    """
+
+    def __init__(self, name: str, children: Iterable[Block]):
+        super().__init__(name, children)
+        if len(self.children) != 5:
+            raise ModelError(
+                f"bridge block {name!r} needs exactly five children, got "
+                f"{len(self.children)}"
+            )
+
+    @staticmethod
+    def _structure(p: Sequence[float]) -> float:
+        a, b, c, d, e = p
+        # Condition on the bridge element E.
+        given_e_up = (1.0 - (1.0 - a) * (1.0 - c)) * (1.0 - (1.0 - b) * (1.0 - d))
+        given_e_down = 1.0 - (1.0 - a * b) * (1.0 - c * d)
+        return e * given_e_up + (1.0 - e) * given_e_down
+
+    def availability_given(self, overrides: Mapping[str, float]) -> float:
+        return self._structure(
+            [child.availability_given(overrides) for child in self.children]
+        )
+
+    def reliability(self, time: float) -> float:
+        return self._structure([child.reliability(time) for child in self.children])

@@ -1,0 +1,123 @@
+"""Evaluation of RBD structures: MTTF, equivalent MTTR and summary results.
+
+The hierarchical step of the paper (Section IV-D) needs the *equivalent*
+MTTF/MTTR of an RBD so that the corresponding SIMPLE_COMPONENT of the SPN can
+be parameterised.  For a series structure of independently repairable
+exponential components the standard equivalences are used::
+
+    Λ_eq  = Σ λ_i                      (equivalent failure rate)
+    A_eq  = Π A_i                      (steady-state availability)
+    MTTF_eq = 1 / Λ_eq
+    MTTR_eq = MTTF_eq (1 - A_eq) / A_eq
+
+For arbitrary structures MTTF is obtained by integrating the mission
+reliability ``∫ R(t) dt`` and MTTR again follows from the availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import integrate
+
+from repro.exceptions import AnalysisError
+from repro.metrics.availability import number_of_nines
+from repro.rbd.blocks import BasicBlock, Block, Series
+
+
+def equivalent_failure_rate(block: Block) -> float:
+    """Equivalent failure rate of a block.
+
+    Exact for basic blocks and series structures (sum of leaf rates); for
+    other structures it is defined as ``1 / MTTF`` with MTTF obtained from
+    :func:`mean_time_to_failure`.
+    """
+    if isinstance(block, BasicBlock):
+        return block.failure_rate
+    if isinstance(block, Series) and all(
+        isinstance(child, (BasicBlock, Series)) for child in block.children
+    ):
+        return sum(equivalent_failure_rate(child) for child in block.children)
+    return 1.0 / mean_time_to_failure(block)
+
+
+def mean_time_to_failure(block: Block, upper_limit_factor: float = 200.0) -> float:
+    """Mean time to first failure of the structure (no repair).
+
+    Closed form for basic blocks and series-of-exponential structures,
+    numerical integration of ``R(t)`` otherwise.
+    """
+    if isinstance(block, BasicBlock):
+        return block.mttf()
+    if isinstance(block, Series) and all(
+        isinstance(child, (BasicBlock, Series)) for child in block.children
+    ):
+        return 1.0 / sum(equivalent_failure_rate(child) for child in block.children)
+
+    longest_leaf_mttf = max(leaf.mttf() for leaf in block.basic_blocks())
+    upper_limit = upper_limit_factor * longest_leaf_mttf
+    value, absolute_error = integrate.quad(
+        block.reliability, 0.0, upper_limit, limit=400
+    )
+    if value <= 0.0:
+        raise AnalysisError(
+            f"numerical MTTF integration for block {block.name!r} returned {value!r}"
+        )
+    if absolute_error > max(1e-6, 1e-4 * value):
+        raise AnalysisError(
+            f"numerical MTTF integration for block {block.name!r} did not converge "
+            f"(value={value!r}, error estimate={absolute_error!r})"
+        )
+    return value
+
+
+def equivalent_mttr(block: Block) -> float:
+    """Equivalent MTTR consistent with the block availability and MTTF."""
+    if isinstance(block, BasicBlock):
+        return block.mttr()
+    availability = block.availability()
+    if availability >= 1.0:
+        return 0.0
+    if availability <= 0.0:
+        raise AnalysisError(
+            f"block {block.name!r} has zero availability; equivalent MTTR is undefined"
+        )
+    mttf = mean_time_to_failure(block)
+    return mttf * (1.0 - availability) / availability
+
+
+@dataclass(frozen=True)
+class RbdResult:
+    """Summary of an RBD evaluation used to feed the SPN level.
+
+    Attributes:
+        name: name of the evaluated structure.
+        availability: steady-state availability.
+        mttf: equivalent mean time to failure.
+        mttr: equivalent mean time to repair.
+    """
+
+    name: str
+    availability: float
+    mttf: float
+    mttr: float
+
+    @property
+    def nines(self) -> float:
+        """Number of nines of the availability."""
+        return number_of_nines(self.availability)
+
+    @property
+    def failure_rate(self) -> float:
+        """Equivalent failure rate ``1 / MTTF``."""
+        return 1.0 / self.mttf
+
+
+def evaluate(block: Block) -> RbdResult:
+    """Evaluate a block and return the (availability, MTTF, MTTR) summary."""
+    return RbdResult(
+        name=block.name,
+        availability=block.availability(),
+        mttf=mean_time_to_failure(block),
+        mttr=equivalent_mttr(block),
+    )

@@ -1,0 +1,78 @@
+"""Stochastic Petri net engine: modelling, analysis, simulation and export."""
+
+from repro.spn.analysis import (
+    SteadyStateSolution,
+    TransientSolution,
+    solve_steady_state,
+    solve_transient,
+)
+from repro.spn.composition import merge, relabel
+from repro.spn.ctmc_export import generator_matrix, initial_distribution_vector, to_markov_chain
+from repro.spn.enabling import CompiledNet, CompiledTransition
+from repro.spn.marking import MarkingView, marking_vector
+from repro.spn.model import (
+    Arc,
+    ArcKind,
+    Place,
+    ServerSemantics,
+    StochasticPetriNet,
+    Transition,
+)
+from repro.spn.parametric import with_transition_delays, with_transition_rates
+from repro.spn.reachability import (
+    TangibleReachabilityGraph,
+    generate_tangible_reachability_graph,
+    resolve_vanishing,
+)
+from repro.spn.rewards import (
+    ExpectedTokensMeasure,
+    Measure,
+    ProbabilityMeasure,
+    ThroughputMeasure,
+    availability_measure,
+    validate_measures,
+)
+from repro.spn.simulation import MeasureEstimate, SimulationResult, simulate
+from repro.spn.validation import Severity, ValidationIssue, validate
+from repro.spn.visualization import to_dot, write_dot
+
+__all__ = [
+    "SteadyStateSolution",
+    "TransientSolution",
+    "solve_steady_state",
+    "solve_transient",
+    "merge",
+    "relabel",
+    "generator_matrix",
+    "initial_distribution_vector",
+    "to_markov_chain",
+    "CompiledNet",
+    "CompiledTransition",
+    "MarkingView",
+    "marking_vector",
+    "Arc",
+    "ArcKind",
+    "Place",
+    "ServerSemantics",
+    "StochasticPetriNet",
+    "Transition",
+    "with_transition_delays",
+    "with_transition_rates",
+    "TangibleReachabilityGraph",
+    "generate_tangible_reachability_graph",
+    "resolve_vanishing",
+    "ExpectedTokensMeasure",
+    "Measure",
+    "ProbabilityMeasure",
+    "ThroughputMeasure",
+    "availability_measure",
+    "validate_measures",
+    "MeasureEstimate",
+    "SimulationResult",
+    "simulate",
+    "Severity",
+    "ValidationIssue",
+    "validate",
+    "to_dot",
+    "write_dot",
+]

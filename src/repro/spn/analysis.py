@@ -1,0 +1,218 @@
+"""Numerical analysis of stochastic Petri nets.
+
+``solve_steady_state`` is the analytic pipeline used throughout the case
+study: generate the tangible reachability graph, build the CTMC generator,
+solve for the stationary distribution and evaluate measures on it.
+``solve_transient`` provides instantaneous (point) availability curves via
+uniformization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import AnalysisError, ModelError
+from repro.expressions import Expression, compile_expression
+from repro.markov import solvers
+from repro.markov.transient import transient_distribution
+from repro.spn.ctmc_export import generator_matrix, initial_distribution_vector
+from repro.spn.enabling import CompiledNet
+from repro.spn.marking import MarkingView
+from repro.spn.model import StochasticPetriNet
+from repro.spn.reachability import (
+    DEFAULT_MAX_TANGIBLE_MARKINGS,
+    TangibleReachabilityGraph,
+    generate_tangible_reachability_graph,
+)
+from repro.spn.rewards import (
+    ExpectedTokensMeasure,
+    Measure,
+    ProbabilityMeasure,
+    ThroughputMeasure,
+    validate_measures,
+)
+
+ExpressionLike = Union[str, Expression]
+
+
+class _SolutionBase:
+    """Shared measure-evaluation helpers over a probability vector."""
+
+    graph: TangibleReachabilityGraph
+
+    def _place_index(self) -> Mapping[str, int]:
+        return self.graph.net.place_index
+
+    def _expectation(self, values_per_state: np.ndarray, probabilities: np.ndarray) -> float:
+        return float(np.dot(values_per_state, probabilities))
+
+    def _predicate_vector(self, expression: ExpressionLike) -> np.ndarray:
+        predicate = compile_expression(expression, self._place_index())
+        return np.asarray(
+            [1.0 if predicate(marking) else 0.0 for marking in self.graph.markings]
+        )
+
+    def _value_vector(self, expression: ExpressionLike) -> np.ndarray:
+        if isinstance(expression, str):
+            candidate = expression.strip()
+            if candidate in self._place_index():
+                expression = f"#{candidate}"
+        value = compile_expression(expression, self._place_index())
+        return np.asarray([float(value(marking)) for marking in self.graph.markings])
+
+    def _throughput_vector(self, transition_name: str) -> np.ndarray:
+        contributions = self.graph.throughput_contributions.get(transition_name)
+        if contributions is None:
+            raise ModelError(
+                f"unknown timed transition {transition_name!r}; throughput is only "
+                "defined for timed transitions"
+            )
+        vector = np.zeros(self.graph.number_of_states)
+        for state_id, rate in contributions.items():
+            vector[state_id] = rate
+        return vector
+
+
+@dataclass
+class SteadyStateSolution(_SolutionBase):
+    """Stationary solution of a net.
+
+    Attributes:
+        graph: tangible reachability graph.
+        probabilities: stationary probability of each tangible marking.
+    """
+
+    graph: TangibleReachabilityGraph
+    probabilities: np.ndarray
+
+    # --- the paper's operators -------------------------------------------
+
+    def probability(self, expression: ExpressionLike) -> float:
+        """``P{expression}`` — steady-state probability of a marking predicate."""
+        return self._expectation(self._predicate_vector(expression), self.probabilities)
+
+    def expected_tokens(self, expression: ExpressionLike) -> float:
+        """``E{expression}`` — expected value of a numeric marking expression."""
+        return self._expectation(self._value_vector(expression), self.probabilities)
+
+    def throughput(self, transition_name: str) -> float:
+        """Expected firing rate of a timed transition."""
+        return self._expectation(
+            self._throughput_vector(transition_name), self.probabilities
+        )
+
+    # --- measure objects ----------------------------------------------------
+
+    def measure(self, measure: Measure) -> float:
+        """Evaluate a single measure object."""
+        if isinstance(measure, ProbabilityMeasure):
+            return self.probability(measure.expression)
+        if isinstance(measure, ExpectedTokensMeasure):
+            return self.expected_tokens(measure.expression)
+        if isinstance(measure, ThroughputMeasure):
+            return self.throughput(measure.transition)
+        raise ModelError(f"unsupported measure type {type(measure)!r}")
+
+    def evaluate(self, measures: Sequence[Measure]) -> dict[str, float]:
+        """Evaluate several measures at once."""
+        validate_measures(measures)
+        return {measure.name: self.measure(measure) for measure in measures}
+
+    # --- inspection -----------------------------------------------------------
+
+    def marking_probabilities(
+        self, minimum_probability: float = 0.0
+    ) -> list[tuple[MarkingView, float]]:
+        """(marking, probability) pairs sorted by decreasing probability."""
+        pairs = [
+            (self.graph.marking_view(state_id), float(probability))
+            for state_id, probability in enumerate(self.probabilities)
+            if probability >= minimum_probability
+        ]
+        pairs.sort(key=lambda item: item[1], reverse=True)
+        return pairs
+
+    @property
+    def number_of_states(self) -> int:
+        return self.graph.number_of_states
+
+
+@dataclass
+class TransientSolution(_SolutionBase):
+    """Point (instantaneous) solution of a net at a set of time instants."""
+
+    graph: TangibleReachabilityGraph
+    times: tuple[float, ...]
+    distributions: np.ndarray  # shape (len(times), number_of_states)
+
+    def probability(self, expression: ExpressionLike) -> np.ndarray:
+        """``P{expression}`` evaluated at every requested time instant."""
+        predicate = self._predicate_vector(expression)
+        return np.asarray([
+            self._expectation(predicate, distribution)
+            for distribution in self.distributions
+        ])
+
+    def expected_tokens(self, expression: ExpressionLike) -> np.ndarray:
+        """``E{expression}`` evaluated at every requested time instant."""
+        values = self._value_vector(expression)
+        return np.asarray([
+            self._expectation(values, distribution)
+            for distribution in self.distributions
+        ])
+
+
+def solve_steady_state(
+    net: Union[StochasticPetriNet, CompiledNet, TangibleReachabilityGraph],
+    method: str = "auto",
+    max_states: int = DEFAULT_MAX_TANGIBLE_MARKINGS,
+) -> SteadyStateSolution:
+    """Stationary analysis of a net.
+
+    Args:
+        net: a declarative net, a compiled net, or an already-generated
+            tangible reachability graph (reused as-is).
+        method: stationary solver passed to :func:`repro.markov.solvers.steady_state`.
+        max_states: tangible state-space limit for reachability generation.
+    """
+    graph = _as_graph(net, max_states)
+    matrix = generator_matrix(graph)
+    if graph.number_of_states == 1:
+        probabilities = np.array([1.0])
+    else:
+        probabilities = solvers.steady_state(matrix, method=method)
+    return SteadyStateSolution(graph=graph, probabilities=probabilities)
+
+
+def solve_transient(
+    net: Union[StochasticPetriNet, CompiledNet, TangibleReachabilityGraph],
+    times: Iterable[float],
+    max_states: int = DEFAULT_MAX_TANGIBLE_MARKINGS,
+) -> TransientSolution:
+    """Point (instantaneous) analysis at the requested time instants.
+
+    The initial distribution is the net's initial marking (redistributed over
+    tangible markings if it is vanishing).
+    """
+    graph = _as_graph(net, max_states)
+    times = tuple(float(t) for t in times)
+    if not times:
+        raise AnalysisError("at least one time instant is required")
+    matrix = generator_matrix(graph)
+    initial = initial_distribution_vector(graph)
+    distributions = np.vstack(
+        [transient_distribution(matrix, initial, time) for time in times]
+    )
+    return TransientSolution(graph=graph, times=times, distributions=distributions)
+
+
+def _as_graph(
+    net: Union[StochasticPetriNet, CompiledNet, TangibleReachabilityGraph],
+    max_states: int,
+) -> TangibleReachabilityGraph:
+    if isinstance(net, TangibleReachabilityGraph):
+        return net
+    return generate_tangible_reachability_graph(net, max_states=max_states)

@@ -1,0 +1,53 @@
+"""Conversion of a tangible reachability graph into a CTMC."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import StateSpaceError
+from repro.markov.ctmc import ContinuousTimeMarkovChain
+from repro.spn.reachability import TangibleReachabilityGraph
+
+
+def generator_matrix(graph: TangibleReachabilityGraph) -> sparse.csr_matrix:
+    """Sparse CTMC generator matrix over the tangible markings of ``graph``."""
+    n = graph.number_of_states
+    if n == 0:
+        raise StateSpaceError("reachability graph has no tangible markings")
+    if graph.transitions:
+        rows, cols, data = zip(
+            *((source, target, rate) for (source, target), rate in graph.transitions.items())
+        )
+    else:
+        rows, cols, data = (), (), ()
+    matrix = sparse.coo_matrix((data, (rows, cols)), shape=(n, n)).tolil()
+    exit_rates = np.asarray(matrix.sum(axis=1)).ravel()
+    matrix.setdiag(-exit_rates)
+    return matrix.tocsr()
+
+
+def initial_distribution_vector(graph: TangibleReachabilityGraph) -> np.ndarray:
+    """Initial probability vector aligned with the tangible state ids."""
+    vector = np.zeros(graph.number_of_states)
+    for state_id, probability in graph.initial_distribution.items():
+        vector[state_id] = probability
+    total = vector.sum()
+    if abs(total - 1.0) > 1e-9:
+        raise StateSpaceError(
+            f"initial distribution of the reachability graph sums to {total!r}"
+        )
+    return vector
+
+
+def to_markov_chain(graph: TangibleReachabilityGraph) -> ContinuousTimeMarkovChain:
+    """Labelled :class:`ContinuousTimeMarkovChain` whose states are marking ids.
+
+    The state labels are the integer tangible-marking ids; use
+    :meth:`TangibleReachabilityGraph.marking_view` to map them back to
+    ``{place: tokens}`` views.
+    """
+    chain = ContinuousTimeMarkovChain(list(range(graph.number_of_states)))
+    for (source, target), rate in graph.transitions.items():
+        chain.add_transition(source, target, rate)
+    return chain

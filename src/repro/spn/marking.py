@@ -1,0 +1,73 @@
+"""Marking representation helpers.
+
+Markings are stored internally as plain tuples of token counts aligned with a
+place-index mapping (fast hashing, low memory).  :class:`MarkingView` wraps a
+tuple with its index to provide a friendly dict-like read API for users who
+inspect reachability results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.exceptions import ModelError
+
+
+class MarkingView(Mapping[str, int]):
+    """Read-only, dict-like view of a marking vector."""
+
+    __slots__ = ("_tokens", "_index")
+
+    def __init__(self, tokens: Sequence[int], place_index: Mapping[str, int]):
+        self._tokens = tuple(int(count) for count in tokens)
+        self._index = place_index
+        if len(self._tokens) != len(place_index):
+            raise ModelError(
+                f"marking has {len(self._tokens)} entries but the net has "
+                f"{len(place_index)} places"
+            )
+
+    def __getitem__(self, place: str) -> int:
+        try:
+            return self._tokens[self._index[place]]
+        except KeyError:
+            raise ModelError(f"unknown place {place!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def tokens(self) -> tuple[int, ...]:
+        """The underlying marking vector."""
+        return self._tokens
+
+    def non_empty_places(self) -> dict[str, int]:
+        """Only the places holding at least one token (compact display)."""
+        return {place: self[place] for place in self._index if self[place] > 0}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inside = ", ".join(f"{place}:{count}" for place, count in self.non_empty_places().items())
+        return f"MarkingView({inside})"
+
+
+def marking_vector(
+    marking: Mapping[str, int], place_index: Mapping[str, int]
+) -> tuple[int, ...]:
+    """Convert a ``{place: tokens}`` mapping into an index-aligned tuple.
+
+    Places missing from ``marking`` default to zero tokens; unknown places
+    raise :class:`~repro.exceptions.ModelError`.
+    """
+    unknown = set(marking) - set(place_index)
+    if unknown:
+        raise ModelError(f"marking references unknown places: {sorted(unknown)}")
+    vector = [0] * len(place_index)
+    for place, count in marking.items():
+        count = int(count)
+        if count < 0:
+            raise ModelError(f"place {place!r}: token count must be non-negative")
+        vector[place_index[place]] = count
+    return tuple(vector)

@@ -1,0 +1,272 @@
+"""Tangible reachability graph generation with vanishing-marking elimination.
+
+The analysis pipeline of the paper's tools (Mercury, TimeNET) reduces a GSPN
+to a continuous-time Markov chain over its *tangible* markings: markings in
+which no immediate transition is enabled.  Markings that enable immediate
+transitions (*vanishing* markings) are passed through in zero time and are
+eliminated on the fly here — every timed firing that lands on a vanishing
+marking is redistributed over the tangible markings reachable through
+immediate firings, weighted by the branching probabilities of the immediate
+race (priority first, then relative weights).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.exceptions import StateSpaceError
+from repro.spn.enabling import CompiledNet
+from repro.spn.marking import MarkingView
+from repro.spn.model import StochasticPetriNet
+
+#: Safety limit: exploring more tangible markings than this aborts generation.
+DEFAULT_MAX_TANGIBLE_MARKINGS = 500_000
+
+#: Safety limit on the depth of chained immediate firings from a single marking.
+DEFAULT_MAX_VANISHING_DEPTH = 10_000
+
+
+@dataclass
+class TangibleReachabilityGraph:
+    """The tangible state space of a net.
+
+    Attributes:
+        net: the compiled net the graph was generated from.
+        markings: tangible markings in discovery order (index = state id).
+        initial_distribution: probability of starting in each tangible
+            marking (the initial marking itself may be vanishing).
+        transitions: ``{(source_id, target_id): rate}`` aggregated rates.
+        throughput_contributions: ``{transition_name: {state_id: rate}}`` —
+            the effective firing rate of each *timed* transition in each
+            tangible state, used for throughput measures.
+        edge_contributions: ``{transition_name: {(source_id, target_id): c}}``
+            where ``c`` is the *rate-independent* coefficient (enabling degree
+            × switching probability through vanishing markings) such that the
+            edge rate equals ``Σ_t base_rate(t) · c``.  Because the graph
+            structure itself never depends on the delays, these coefficients
+            let :mod:`repro.spn.parametric` re-rate the same graph for a whole
+            family of parameter values (the Figure 7 sweep) without
+            regenerating the state space.
+        throughput_coefficients: ``{transition_name: {state_id: degree}}`` —
+            the rate-independent part of ``throughput_contributions``.
+    """
+
+    net: CompiledNet
+    markings: list[tuple[int, ...]]
+    initial_distribution: dict[int, float]
+    transitions: dict[tuple[int, int], float]
+    throughput_contributions: dict[str, dict[int, float]] = field(default_factory=dict)
+    edge_contributions: dict[str, dict[tuple[int, int], float]] = field(default_factory=dict)
+    throughput_coefficients: dict[str, dict[int, float]] = field(default_factory=dict)
+    base_rates: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def number_of_states(self) -> int:
+        return len(self.markings)
+
+    @property
+    def number_of_transitions(self) -> int:
+        return len(self.transitions)
+
+    def marking_view(self, state_id: int) -> MarkingView:
+        """Dict-like view of one tangible marking."""
+        return MarkingView(self.markings[state_id], self.net.place_index)
+
+
+def _immediate_branching(
+    net: CompiledNet, marking: tuple[int, ...]
+) -> list[tuple[float, tuple[int, ...]]]:
+    """One step of the immediate race: ``[(probability, next_marking), ...]``."""
+    enabled = net.enabled_immediate(marking)
+    total_weight = sum(t.weight for t in enabled)
+    return [(t.weight / total_weight, t.fire(marking)) for t in enabled]
+
+
+def resolve_vanishing(
+    net: CompiledNet,
+    marking: tuple[int, ...],
+    max_depth: int = DEFAULT_MAX_VANISHING_DEPTH,
+    memo: dict[tuple[int, ...], dict[tuple[int, ...], float]] | None = None,
+) -> dict[tuple[int, ...], float]:
+    """Distribute a (possibly vanishing) marking over tangible markings.
+
+    Performs a memoized depth-first traversal of the vanishing sub-graph
+    rooted at ``marking``, accumulating branching probabilities.  Memoization
+    matters: when an infrastructure component fails, the flush-style immediate
+    transitions of the cloud models can fire in factorially many orders, all
+    converging on the same tangible markings — each intermediate vanishing
+    marking is resolved once.  Cycles among vanishing markings (immediate
+    loops / "time traps") are detected and reported.
+
+    Args:
+        net: compiled net.
+        marking: the marking to resolve.
+        max_depth: maximum length of a chain of immediate firings.
+        memo: optional cache shared across calls (the reachability generator
+            passes one cache for the whole exploration).
+
+    Returns:
+        ``{tangible_marking: probability}`` summing to one.
+
+    Raises:
+        StateSpaceError: on immediate-transition cycles or excessive depth.
+    """
+    if not net.is_vanishing(marking):
+        return {marking: 1.0}
+    if memo is None:
+        memo = {}
+    on_path: set[tuple[int, ...]] = set()
+
+    def resolve(current: tuple[int, ...], depth: int) -> dict[tuple[int, ...], float]:
+        cached = memo.get(current)
+        if cached is not None:
+            return cached
+        if depth > max_depth:
+            raise StateSpaceError(
+                f"net {net.name!r}: vanishing-marking resolution exceeded "
+                f"{max_depth} chained immediate firings"
+            )
+        if current in on_path:
+            raise StateSpaceError(
+                f"net {net.name!r}: cycle of immediate transitions detected "
+                f"(time trap) around marking {current}"
+            )
+        on_path.add(current)
+        distribution: dict[tuple[int, ...], float] = {}
+        for branch_probability, successor in _immediate_branching(net, current):
+            if branch_probability <= 0.0:
+                continue
+            if net.is_vanishing(successor):
+                for tangible, probability in resolve(successor, depth + 1).items():
+                    mass = branch_probability * probability
+                    distribution[tangible] = distribution.get(tangible, 0.0) + mass
+            else:
+                distribution[successor] = (
+                    distribution.get(successor, 0.0) + branch_probability
+                )
+        on_path.discard(current)
+        memo[current] = distribution
+        return distribution
+
+    result = resolve(marking, 0)
+    total = sum(result.values())
+    if abs(total - 1.0) > 1e-9:
+        raise StateSpaceError(
+            f"net {net.name!r}: vanishing resolution lost probability mass "
+            f"(total={total!r})"
+        )
+    return result
+
+
+def generate_tangible_reachability_graph(
+    net: StochasticPetriNet | CompiledNet,
+    max_states: int = DEFAULT_MAX_TANGIBLE_MARKINGS,
+    canonicalize=None,
+) -> TangibleReachabilityGraph:
+    """Explore the tangible state space of ``net``.
+
+    Args:
+        net: the net to explore (a declarative net is compiled first).
+        max_states: abort if more tangible markings than this are discovered
+            (protects against unbounded nets).
+        canonicalize: optional ``f(marking_tuple) -> marking_tuple`` mapping
+            every marking to the canonical representative of its symmetry
+            orbit.  When the net is invariant under a group of place
+            permutations (e.g. identical physical machines within a data
+            center), exploring only canonical representatives produces the
+            exactly lumped CTMC, often several times smaller.  Measures
+            evaluated on the lumped graph must themselves be symmetric under
+            the same permutations.
+
+    Raises:
+        StateSpaceError: if the exploration exceeds ``max_states`` or the net
+            contains immediate-transition cycles.
+    """
+    compiled = net if isinstance(net, CompiledNet) else CompiledNet(net)
+
+    marking_ids: dict[tuple[int, ...], int] = {}
+    markings: list[tuple[int, ...]] = []
+    transitions: dict[tuple[int, int], float] = {}
+    throughput: dict[str, dict[int, float]] = {
+        t.name: {} for t in compiled.timed_transitions
+    }
+    throughput_coefficients: dict[str, dict[int, float]] = {
+        t.name: {} for t in compiled.timed_transitions
+    }
+    edge_contributions: dict[str, dict[tuple[int, int], float]] = {
+        t.name: {} for t in compiled.timed_transitions
+    }
+    base_rates = {t.name: t.rate for t in compiled.timed_transitions}
+
+    def intern(marking: tuple[int, ...]) -> tuple[int, bool]:
+        if canonicalize is not None:
+            marking = canonicalize(marking)
+        state_id = marking_ids.get(marking)
+        if state_id is not None:
+            return state_id, False
+        state_id = len(markings)
+        if state_id >= max_states:
+            raise StateSpaceError(
+                f"net {compiled.name!r}: tangible state space exceeds the limit of "
+                f"{max_states} markings"
+            )
+        marking_ids[marking] = state_id
+        markings.append(marking)
+        return state_id, True
+
+    vanishing_memo: dict[tuple[int, ...], dict[tuple[int, ...], float]] = {}
+    initial_distribution: dict[int, float] = {}
+    frontier: deque[int] = deque()
+    for tangible_marking, probability in resolve_vanishing(
+        compiled, compiled.initial_marking, memo=vanishing_memo
+    ).items():
+        state_id, is_new = intern(tangible_marking)
+        initial_distribution[state_id] = (
+            initial_distribution.get(state_id, 0.0) + probability
+        )
+        if is_new:
+            frontier.append(state_id)
+
+    while frontier:
+        state_id = frontier.popleft()
+        marking = markings[state_id]
+        for transition in compiled.timed_transitions:
+            if not transition.is_enabled(marking):
+                continue
+            degree = float(transition.enabling_degree(marking)) if transition.infinite_server else 1.0
+            rate = transition.rate * degree
+            if rate <= 0.0:
+                continue
+            throughput[transition.name][state_id] = (
+                throughput[transition.name].get(state_id, 0.0) + rate
+            )
+            throughput_coefficients[transition.name][state_id] = (
+                throughput_coefficients[transition.name].get(state_id, 0.0) + degree
+            )
+            fired = transition.fire(marking)
+            contributions = edge_contributions[transition.name]
+            for tangible_marking, probability in resolve_vanishing(
+                compiled, fired, memo=vanishing_memo
+            ).items():
+                target_id, is_new = intern(tangible_marking)
+                if is_new:
+                    frontier.append(target_id)
+                if target_id == state_id:
+                    # A self-loop contributes nothing to the CTMC dynamics.
+                    continue
+                key = (state_id, target_id)
+                transitions[key] = transitions.get(key, 0.0) + rate * probability
+                contributions[key] = contributions.get(key, 0.0) + degree * probability
+
+    return TangibleReachabilityGraph(
+        net=compiled,
+        markings=markings,
+        initial_distribution=initial_distribution,
+        transitions=transitions,
+        throughput_contributions=throughput,
+        edge_contributions=edge_contributions,
+        throughput_coefficients=throughput_coefficients,
+        base_rates=base_rates,
+    )

@@ -1,0 +1,151 @@
+"""Structural validation of stochastic Petri nets.
+
+``validate`` performs cheap, purely structural checks that catch the most
+common modelling mistakes *before* an expensive state-space generation:
+transitions without arcs, guards referencing unknown places, immediate
+transitions that can never win a race, source transitions that make the net
+obviously unbounded, and so on.  Findings are reported as a list of
+:class:`ValidationIssue`; only ``ERROR`` severity raises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+from repro.spn.model import ArcKind, StochasticPetriNet
+
+
+class Severity(enum.Enum):
+    """Severity of a validation finding."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding of the structural validator."""
+
+    severity: Severity
+    subject: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity.value}] {self.subject}: {self.message}"
+
+
+def validate(net: StochasticPetriNet, raise_on_error: bool = True) -> list[ValidationIssue]:
+    """Run all structural checks on ``net``.
+
+    Args:
+        net: the net to inspect.
+        raise_on_error: raise :class:`~repro.exceptions.ModelError` if any
+            ERROR-severity issue is found (warnings never raise).
+
+    Returns:
+        All issues found, errors first.
+    """
+    issues: list[ValidationIssue] = []
+    issues.extend(_check_guard_references(net))
+    issues.extend(_check_transition_connectivity(net))
+    issues.extend(_check_token_sources(net))
+    issues.extend(_check_isolated_places(net))
+    issues.sort(key=lambda issue: 0 if issue.severity is Severity.ERROR else 1)
+    if raise_on_error:
+        errors = [issue for issue in issues if issue.severity is Severity.ERROR]
+        if errors:
+            summary = "; ".join(str(issue) for issue in errors)
+            raise ModelError(f"net {net.name!r} failed validation: {summary}")
+    return issues
+
+
+def _check_guard_references(net: StochasticPetriNet) -> list[ValidationIssue]:
+    issues = []
+    known = set(net.place_names)
+    for transition in net.transitions:
+        if transition.guard is None:
+            continue
+        unknown = transition.guard.places() - known
+        if unknown:
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    transition.name,
+                    f"guard references unknown places {sorted(unknown)}",
+                )
+            )
+        if transition.guard.identifiers():
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    transition.name,
+                    "guard contains unresolved identifiers "
+                    f"{sorted(transition.guard.identifiers())}",
+                )
+            )
+    return issues
+
+
+def _check_transition_connectivity(net: StochasticPetriNet) -> list[ValidationIssue]:
+    issues = []
+    for transition in net.transitions:
+        arcs = net.arcs_of(transition.name)
+        inputs = [arc for arc in arcs if arc.kind is ArcKind.INPUT]
+        outputs = [arc for arc in arcs if arc.kind is ArcKind.OUTPUT]
+        if not inputs and not outputs:
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    transition.name,
+                    "transition has neither input nor output arcs",
+                )
+            )
+        elif not inputs and transition.immediate and transition.guard is None:
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    transition.name,
+                    "immediate transition without input arcs or guard is always "
+                    "enabled and creates an immediate loop",
+                )
+            )
+    return issues
+
+
+def _check_token_sources(net: StochasticPetriNet) -> list[ValidationIssue]:
+    issues = []
+    for transition in net.transitions:
+        arcs = net.arcs_of(transition.name)
+        inputs = [arc for arc in arcs if arc.kind is ArcKind.INPUT]
+        outputs = [arc for arc in arcs if arc.kind is ArcKind.OUTPUT]
+        if not inputs and outputs and not transition.immediate:
+            issues.append(
+                ValidationIssue(
+                    Severity.WARNING,
+                    transition.name,
+                    "timed transition produces tokens without consuming any; the "
+                    "net may be unbounded",
+                )
+            )
+    return issues
+
+
+def _check_isolated_places(net: StochasticPetriNet) -> list[ValidationIssue]:
+    connected = {arc.place for arc in net.arcs}
+    guard_places: set[str] = set()
+    for transition in net.transitions:
+        if transition.guard is not None:
+            guard_places |= transition.guard.places()
+    issues = []
+    for place in net.places:
+        if place.name not in connected and place.name not in guard_places:
+            issues.append(
+                ValidationIssue(
+                    Severity.WARNING,
+                    place.name,
+                    "place is not connected to any transition or guard",
+                )
+            )
+    return issues

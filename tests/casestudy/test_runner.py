@@ -1,0 +1,104 @@
+"""Tests for the shared-state-space sweep runner.
+
+The full two-PM-per-data-center configuration is exercised by the benchmark
+suite; here the runner is instantiated with one PM per data center so the
+whole module runs in a few seconds while still covering the re-rating logic.
+"""
+
+import pytest
+
+from repro.casestudy import DistributedSweepRunner
+from repro.core import CaseStudyParameters, DistributedScenario
+from repro.network import BRASILIA, RIO_DE_JANEIRO, TOKYO
+
+
+@pytest.fixture(scope="module")
+def runner():
+    parameters = CaseStudyParameters(required_running_vms=1)
+    return DistributedSweepRunner(parameters=parameters, machines_per_datacenter=1)
+
+
+def scenario(second=BRASILIA, alpha=0.35, years=100.0):
+    return DistributedScenario(
+        RIO_DE_JANEIRO, second, alpha=alpha, disaster_mean_time_years=years
+    )
+
+
+class TestScenarioDelays:
+    def test_delay_mapping_covers_disasters_and_migrations(self, runner):
+        delays = runner.scenario_delays(scenario(years=200.0))
+        assert set(delays) == {"DC_1_F", "DC_2_F", "TRE_12", "TRE_21", "TBE_12", "TBE_21"}
+        assert delays["DC_1_F"] == pytest.approx(200.0 * 8760.0)
+
+    def test_longer_distance_means_longer_migration_delay(self, runner):
+        near = runner.scenario_delays(scenario(second=BRASILIA))
+        far = runner.scenario_delays(scenario(second=TOKYO))
+        assert far["TRE_12"] > near["TRE_12"]
+
+    def test_higher_alpha_means_shorter_migration_delay(self, runner):
+        slow = runner.scenario_delays(scenario(alpha=0.35))
+        fast = runner.scenario_delays(scenario(alpha=0.45))
+        assert fast["TRE_12"] < slow["TRE_12"]
+
+
+class TestEvaluation:
+    def test_graph_is_generated_once_and_reused(self, runner):
+        first = runner.graph()
+        second = runner.graph()
+        assert first is second
+
+    def test_evaluation_matches_direct_model_solution(self, runner):
+        target = scenario(second=BRASILIA, alpha=0.40, years=200.0)
+        via_runner = runner.evaluate(target).availability.availability
+
+        parameters = CaseStudyParameters(required_running_vms=1).with_disaster_mean_time(200.0)
+        from repro.core.datacenter import two_datacenter_spec
+        from repro.core import CloudSystemModel
+        from repro.core.scenarios import BACKUP_LOCATION
+
+        spec = two_datacenter_spec(
+            first_location=RIO_DE_JANEIRO,
+            second_location=BRASILIA,
+            backup_location=BACKUP_LOCATION,
+            machines_per_datacenter=1,
+            required_running_vms=1,
+        )
+        direct = CloudSystemModel(spec=spec, parameters=parameters, alpha=0.40).availability()
+        assert via_runner == pytest.approx(direct.availability, rel=1e-9)
+
+    def test_symmetric_lumping_matches_full_graph(self):
+        parameters = CaseStudyParameters(required_running_vms=1)
+        lumped = DistributedSweepRunner(
+            parameters=parameters, machines_per_datacenter=1, symmetry_reduction=True
+        )
+        full = DistributedSweepRunner(
+            parameters=parameters, machines_per_datacenter=1, symmetry_reduction=False
+        )
+        target = scenario()
+        assert lumped.evaluate(target).availability.availability == pytest.approx(
+            full.evaluate(target).availability.availability, rel=1e-9
+        )
+
+    def test_monotonicity_in_distance(self, runner):
+        near = runner.evaluate(scenario(second=BRASILIA))
+        far = runner.evaluate(scenario(second=TOKYO))
+        assert far.availability.availability < near.availability.availability
+
+    def test_monotonicity_in_disaster_mean_time(self, runner):
+        frequent = runner.evaluate(scenario(years=100.0))
+        rare = runner.evaluate(scenario(years=300.0))
+        assert rare.availability.availability > frequent.availability.availability
+
+    def test_evaluate_many(self, runner):
+        evaluations = runner.evaluate_many([scenario(), scenario(alpha=0.45)])
+        assert len(evaluations) == 2
+        assert all(e.number_of_states == runner.graph().number_of_states for e in evaluations)
+
+    def test_invalid_disaster_mean_time_rejected(self, runner):
+        from repro.exceptions import ConfigurationError
+
+        bad = DistributedScenario(
+            RIO_DE_JANEIRO, BRASILIA, disaster_mean_time_years=-1.0
+        )
+        with pytest.raises(ConfigurationError):
+            runner.evaluate(bad)

@@ -1,0 +1,139 @@
+"""Tests for the Table VII and Figure 7 reproduction harness.
+
+The distributed rows are exercised through a reduced runner (one PM per data
+center) so the tests stay fast; the full-scale sweep is run by the benchmark
+suite and recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.casestudy import (
+    DistributedSweepRunner,
+    PAPER_TABLE_VII,
+    best_configuration,
+    distributed_rows,
+    figure7_grid,
+    reproduce_figure7,
+    reproduce_table7,
+    single_site_rows,
+)
+from repro.core import CaseStudyParameters
+from repro.core.scenarios import CITY_PAIRS
+from repro.metrics import number_of_nines
+
+
+@pytest.fixture(scope="module")
+def small_runner():
+    return DistributedSweepRunner(
+        parameters=CaseStudyParameters(required_running_vms=1),
+        machines_per_datacenter=1,
+    )
+
+
+class TestPaperReferenceValues:
+    def test_all_eight_rows_published(self):
+        assert len(PAPER_TABLE_VII) == 8
+
+    def test_published_nines_match_paper_column(self):
+        # The paper reports 1.80 / 3.57 nines for these rows.
+        assert number_of_nines(PAPER_TABLE_VII["Cloud system with one machine"]) == pytest.approx(1.80, abs=0.01)
+        assert number_of_nines(
+            PAPER_TABLE_VII["Baseline architecture: Rio de Janeiro - Brasilia"]
+        ) == pytest.approx(3.57, abs=0.01)
+
+    def test_paper_orders_distributed_by_distance(self):
+        distributed = [
+            PAPER_TABLE_VII[f"Baseline architecture: Rio de Janeiro - {city}"]
+            for city in ("Brasilia", "Recife", "New York", "Calcutta", "Tokyo")
+        ]
+        assert distributed == sorted(distributed, reverse=True)
+
+
+class TestSingleSiteRows:
+    def test_three_rows_with_published_counterparts(self):
+        rows = single_site_rows()
+        assert len(rows) == 3
+        assert all(row.paper_availability is not None for row in rows)
+
+    def test_shape_more_machines_higher_availability(self):
+        rows = single_site_rows()
+        values = [row.measured.availability for row in rows]
+        assert values[0] < values[1] <= values[2] + 1e-9
+
+    def test_single_site_rows_are_disaster_limited(self):
+        # All single-site architectures sit below the ~0.9901 disaster ceiling.
+        for row in single_site_rows():
+            assert row.measured.availability < 0.9902
+
+    def test_measured_close_to_paper(self):
+        for row in single_site_rows():
+            assert row.nines_difference == pytest.approx(0.0, abs=0.35)
+
+
+class TestDistributedRows:
+    def test_rows_produced_for_every_pair(self, small_runner):
+        rows = distributed_rows(small_runner)
+        assert len(rows) == 5
+        assert all(row.measured.availability > 0.99 for row in rows)
+
+    def test_distance_ordering_matches_paper(self, small_runner):
+        rows = distributed_rows(small_runner)
+        values = [row.measured.availability for row in rows]
+        assert values[0] >= values[1] >= values[2] >= values[3] >= values[4]
+
+    def test_reproduce_table7_combines_both_groups(self, small_runner):
+        rows = reproduce_table7(small_runner)
+        assert len(rows) == 8
+        distributed = rows[3:]
+        single = rows[:3]
+        assert min(r.measured.availability for r in distributed) > max(
+            r.measured.availability for r in single
+        )
+
+    def test_reproduce_table7_can_skip_distributed(self):
+        assert len(reproduce_table7(include_distributed=False)) == 3
+
+
+class TestFigure7:
+    def test_grid_restriction(self):
+        scenarios = figure7_grid(city_pairs=CITY_PAIRS[:1], alphas=[0.35], disaster_years=[100.0, 300.0])
+        assert len(scenarios) == 2
+
+    def test_points_report_improvement_over_baseline(self, small_runner):
+        points = reproduce_figure7(
+            small_runner,
+            city_pairs=CITY_PAIRS[:1],
+            alphas=[0.35, 0.45],
+            disaster_years=[100.0, 300.0],
+        )
+        assert len(points) == 4
+        baseline = [p for p in points if p.is_baseline]
+        assert len(baseline) == 1
+        assert baseline[0].improvement_over_baseline == pytest.approx(0.0)
+        assert all(p.improvement_over_baseline >= -1e-9 for p in points)
+
+    def test_improvement_grows_with_disaster_mean_time(self, small_runner):
+        points = reproduce_figure7(
+            small_runner,
+            city_pairs=CITY_PAIRS[:1],
+            alphas=[0.35],
+            disaster_years=[100.0, 200.0, 300.0],
+        )
+        ordered = sorted(points, key=lambda p: p.disaster_mean_time_years)
+        improvements = [p.improvement_over_baseline for p in ordered]
+        assert improvements == sorted(improvements)
+
+    def test_best_configuration_prefers_rare_disasters_and_fast_network(self, small_runner):
+        points = reproduce_figure7(
+            small_runner,
+            city_pairs=CITY_PAIRS[:1],
+            alphas=[0.35, 0.45],
+            disaster_years=[100.0, 300.0],
+        )
+        best = best_configuration(points)
+        assert best.disaster_mean_time_years == 300.0
+        assert best.alpha == 0.45
+
+    def test_best_configuration_requires_points(self):
+        with pytest.raises(ValueError):
+            best_configuration([])

@@ -1,0 +1,68 @@
+"""Tests for the SIMPLE_COMPONENT block (Figure 2 / Table I)."""
+
+import pytest
+
+from repro.core import build_simple_component, down_place, up_place
+from repro.core.components import availability_expression
+from repro.exceptions import ModelError
+from repro.metrics import availability_from_mttf_mttr
+from repro.spn import solve_steady_state, validate
+
+
+class TestStructure:
+    def test_places_follow_paper_naming(self):
+        net = build_simple_component("DC_1", mttf=876000.0, mttr=8760.0)
+        assert up_place("DC_1") == "DC_1_UP"
+        assert down_place("DC_1") == "DC_1_DOWN"
+        assert set(net.place_names) == {"DC_1_UP", "DC_1_DOWN"}
+
+    def test_transitions_are_single_server_exponential(self):
+        net = build_simple_component("OSPM_1", mttf=100.0, mttr=2.0)
+        failure = net.transition("OSPM_1_F")
+        repair = net.transition("OSPM_1_R")
+        assert not failure.immediate
+        assert failure.delay == 100.0
+        assert repair.delay == 2.0
+        assert failure.semantics.value == "ss"
+
+    def test_initially_up_by_default(self):
+        net = build_simple_component("X", 10.0, 1.0)
+        assert net.initial_marking() == {"X_UP": 1, "X_DOWN": 0}
+
+    def test_initially_down_option(self):
+        net = build_simple_component("X", 10.0, 1.0, initially_up=False)
+        assert net.initial_marking() == {"X_UP": 0, "X_DOWN": 1}
+
+    def test_block_passes_structural_validation(self):
+        assert validate(build_simple_component("X", 10.0, 1.0)) == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            build_simple_component("X", 0.0, 1.0)
+        with pytest.raises(ModelError):
+            build_simple_component("X", 10.0, 0.0)
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize(
+        "mttf, mttr",
+        [
+            (4000.0, 1.0),        # operating system (Table VI)
+            (1000.0, 12.0),       # physical machine
+            (2880.0, 0.5),        # virtual machine
+            (50_000.0, 0.5),      # backup server
+            (876_000.0, 8760.0),  # disaster occurrence / recovery
+        ],
+    )
+    def test_availability_equals_closed_form(self, mttf, mttr):
+        net = build_simple_component("X", mttf, mttr)
+        solution = solve_steady_state(net)
+        assert solution.probability(availability_expression("X")) == pytest.approx(
+            availability_from_mttf_mttr(mttf, mttr), rel=1e-9
+        )
+
+    def test_token_is_conserved(self):
+        net = build_simple_component("X", 10.0, 1.0)
+        solution = solve_steady_state(net)
+        for marking, _ in solution.marking_probabilities():
+            assert marking["X_UP"] + marking["X_DOWN"] == 1

@@ -1,0 +1,101 @@
+"""Tests for the deployment specification dataclasses."""
+
+import pytest
+
+from repro.core import (
+    CloudSystemSpec,
+    DataCenterSpec,
+    PhysicalMachineSpec,
+    single_datacenter_spec,
+    two_datacenter_spec,
+)
+from repro.exceptions import ConfigurationError
+from repro.network import BRASILIA, RIO_DE_JANEIRO, SAO_PAULO
+
+
+class TestPhysicalMachineSpec:
+    def test_naming(self):
+        pm = PhysicalMachineSpec(index=3, datacenter_index=2, vm_capacity=2, initial_vms=1)
+        assert pm.name == "OSPM_3"
+        assert pm.is_hot
+
+    def test_warm_machine(self):
+        pm = PhysicalMachineSpec(index=1, datacenter_index=1, vm_capacity=2, initial_vms=0)
+        assert not pm.is_hot
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalMachineSpec(index=1, datacenter_index=1, vm_capacity=0, initial_vms=0)
+
+    def test_initial_vms_above_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalMachineSpec(index=1, datacenter_index=1, vm_capacity=2, initial_vms=3)
+
+
+class TestDataCenterSpec:
+    def test_paper_notation_t_equals_n_plus_m(self):
+        dc = DataCenterSpec(index=1, hot_physical_machines=2, warm_physical_machines=1)
+        assert dc.total_physical_machines == 3
+
+    def test_names(self):
+        dc = DataCenterSpec(index=2)
+        assert dc.name == "DC_2"
+        assert dc.network_name == "NAS_NET_2"
+        assert dc.failed_pool_place == "FailedVMS_2"
+
+    def test_needs_at_least_one_machine(self):
+        with pytest.raises(ConfigurationError):
+            DataCenterSpec(index=1, hot_physical_machines=0, warm_physical_machines=0)
+
+    def test_initial_vms_bounded_by_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DataCenterSpec(index=1, vms_per_machine=2, initial_vms_per_hot_machine=3)
+
+
+class TestCloudSystemSpec:
+    def test_case_study_configuration(self):
+        spec = two_datacenter_spec(
+            first_location=RIO_DE_JANEIRO,
+            second_location=BRASILIA,
+            backup_location=SAO_PAULO,
+        )
+        assert spec.is_distributed
+        assert spec.total_initial_vms == 4  # N = 4 in the paper
+        assert spec.required_running_vms == 2  # k = 2
+        machines = spec.physical_machines
+        assert [pm.index for pm in machines] == [1, 2, 3, 4]
+        assert [pm.datacenter_index for pm in machines] == [1, 1, 2, 2]
+        assert all(pm.vm_capacity == 2 for pm in machines)
+
+    def test_machines_of_datacenter(self):
+        spec = two_datacenter_spec()
+        assert [pm.index for pm in spec.machines_of(2)] == [3, 4]
+
+    def test_warm_machines_start_empty(self):
+        spec = two_datacenter_spec(warm_machines_per_datacenter=1)
+        warm = [pm for pm in spec.physical_machines if not pm.is_hot]
+        assert len(warm) == 2
+        assert all(pm.initial_vms == 0 for pm in warm)
+
+    def test_indices_must_be_sequential(self):
+        with pytest.raises(ConfigurationError):
+            CloudSystemSpec(datacenters=(DataCenterSpec(index=2),))
+
+    def test_threshold_cannot_exceed_total_vms(self):
+        with pytest.raises(ConfigurationError):
+            single_datacenter_spec(machines=1, vms_per_machine=2, required_running_vms=5)
+
+    def test_single_datacenter_baseline_hosts_enough_vms(self):
+        # The one-machine baseline must host two VMs so that k = 2 can be met.
+        spec = single_datacenter_spec(machines=1, required_running_vms=2)
+        assert spec.total_initial_vms == 2
+        assert not spec.is_distributed
+
+    def test_two_machine_baseline_hosts_one_vm_each(self):
+        spec = single_datacenter_spec(machines=2, required_running_vms=2)
+        assert spec.total_initial_vms == 2
+        assert [pm.initial_vms for pm in spec.physical_machines] == [1, 1]
+
+    def test_four_machine_baseline_matches_distributed_vm_count(self):
+        spec = single_datacenter_spec(machines=4, required_running_vms=2)
+        assert spec.total_initial_vms == 4

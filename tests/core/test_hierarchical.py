@@ -1,0 +1,65 @@
+"""Tests for the RBD → SPN hierarchical step (Figure 5)."""
+
+import pytest
+
+from repro.core import (
+    ComponentParameters,
+    FailureRepairPair,
+    HierarchicalParameters,
+    build_nas_net_rbd,
+    build_os_pm_rbd,
+)
+from repro.metrics import availability_from_mttf_mttr
+
+
+class TestOsPmRbd:
+    def test_structure(self):
+        rbd = build_os_pm_rbd(ComponentParameters())
+        assert rbd.basic_block_names() == ["OS", "PM"]
+
+    def test_availability_is_series_product(self):
+        rbd = build_os_pm_rbd(ComponentParameters())
+        expected = (4000.0 / 4001.0) * (1000.0 / 1012.0)
+        assert rbd.availability() == pytest.approx(expected)
+
+
+class TestNasNetRbd:
+    def test_structure(self):
+        rbd = build_nas_net_rbd(ComponentParameters())
+        assert rbd.basic_block_names() == ["Switch", "Router", "NAS"]
+
+    def test_availability_dominated_by_switch(self):
+        rbd = build_nas_net_rbd(ComponentParameters())
+        assert rbd.availability() > 0.99998
+        assert rbd.availability() < 1.0
+
+
+class TestHierarchicalParameters:
+    def test_equivalent_values_reproduce_availability(self):
+        hierarchy = HierarchicalParameters.from_components(ComponentParameters())
+        os_pm = hierarchy.os_pm
+        assert availability_from_mttf_mttr(os_pm.mttf, os_pm.mttr) == pytest.approx(
+            os_pm.availability
+        )
+        nas_net = hierarchy.nas_net
+        assert availability_from_mttf_mttr(nas_net.mttf, nas_net.mttr) == pytest.approx(
+            nas_net.availability
+        )
+
+    def test_os_pm_equivalent_mttf_closed_form(self):
+        hierarchy = HierarchicalParameters.from_components(ComponentParameters())
+        assert hierarchy.os_pm.mttf == pytest.approx(1.0 / (1 / 4000.0 + 1 / 1000.0))
+
+    def test_physical_machine_dominates_os_pm_unavailability(self):
+        hierarchy = HierarchicalParameters.from_components(ComponentParameters())
+        pm_only = 1000.0 / 1012.0
+        assert hierarchy.os_pm.availability < pm_only
+        assert hierarchy.os_pm.availability > pm_only - 0.001
+
+    def test_custom_components_flow_through(self):
+        components = ComponentParameters().with_override(
+            "physical_machine", FailureRepairPair(2000.0, 6.0)
+        )
+        hierarchy = HierarchicalParameters.from_components(components)
+        default = HierarchicalParameters.from_components(ComponentParameters())
+        assert hierarchy.os_pm.availability > default.os_pm.availability

@@ -1,0 +1,82 @@
+"""Tests for the case-study parameters (Table VI and Section V constants)."""
+
+import pytest
+
+from repro.core import (
+    ALPHA_VALUES,
+    CaseStudyParameters,
+    ComponentParameters,
+    DEFAULT_PARAMETERS,
+    DISASTER_MEAN_TIME_YEARS,
+    DisasterParameters,
+    FailureRepairPair,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTableVIDefaults:
+    def test_published_values(self):
+        components = ComponentParameters()
+        assert components.operating_system == FailureRepairPair(4000.0, 1.0)
+        assert components.physical_machine == FailureRepairPair(1000.0, 12.0)
+        assert components.switch == FailureRepairPair(430_000.0, 4.0)
+        assert components.router == FailureRepairPair(14_077_473.0, 4.0)
+        assert components.nas == FailureRepairPair(20_000_000.0, 2.0)
+        assert components.virtual_machine == FailureRepairPair(2880.0, 0.5)
+        assert components.backup_server == FailureRepairPair(50_000.0, 0.5)
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureRepairPair(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            FailureRepairPair(10.0, -1.0)
+
+    def test_with_override_replaces_single_component(self):
+        components = ComponentParameters().with_override(
+            "physical_machine", FailureRepairPair(5000.0, 6.0)
+        )
+        assert components.physical_machine.mttf_hours == 5000.0
+        assert components.operating_system.mttf_hours == 4000.0
+
+    def test_with_override_unknown_component_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComponentParameters().with_override("gpu", FailureRepairPair(1.0, 1.0))
+
+
+class TestCaseStudyConstants:
+    def test_sweep_values_match_section_v(self):
+        assert ALPHA_VALUES == (0.35, 0.40, 0.45)
+        assert DISASTER_MEAN_TIME_YEARS == (100.0, 200.0, 300.0)
+
+    def test_default_disaster_parameters(self):
+        disaster = DisasterParameters()
+        assert disaster.mean_time_to_disaster.years == pytest.approx(100.0)
+        assert disaster.recovery_time.years == pytest.approx(1.0)
+
+    def test_disaster_from_years(self):
+        disaster = DisasterParameters.from_years(300.0)
+        assert disaster.mean_time_to_disaster.hours == pytest.approx(300.0 * 8760.0)
+
+    def test_invalid_disaster_parameters_rejected(self):
+        from repro.metrics import Duration
+
+        with pytest.raises(ConfigurationError):
+            DisasterParameters(recovery_time=Duration(0.0))
+
+    def test_default_case_study_parameters(self):
+        assert DEFAULT_PARAMETERS.vm_image_size.gigabytes == pytest.approx(4.0)
+        assert DEFAULT_PARAMETERS.vm_start_time.minutes == pytest.approx(5.0)
+        assert DEFAULT_PARAMETERS.required_running_vms == 2
+        assert DEFAULT_PARAMETERS.vms_per_physical_machine == 2
+
+    def test_with_disaster_mean_time_keeps_other_fields(self):
+        updated = DEFAULT_PARAMETERS.with_disaster_mean_time(300.0)
+        assert updated.disaster.mean_time_to_disaster.years == pytest.approx(300.0)
+        assert updated.disaster.recovery_time.years == pytest.approx(1.0)
+        assert updated.vm_image_size.gigabytes == pytest.approx(4.0)
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CaseStudyParameters(required_running_vms=0)
+        with pytest.raises(ConfigurationError):
+            CaseStudyParameters(vms_per_physical_machine=0)

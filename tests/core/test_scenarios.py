@@ -1,0 +1,71 @@
+"""Tests for the case-study scenario definitions."""
+
+import pytest
+
+from repro.core import (
+    ALPHA_VALUES,
+    BASELINE_ALPHA,
+    BASELINE_DISASTER_YEARS,
+    CITY_PAIRS,
+    DISASTER_MEAN_TIME_YEARS,
+    DistributedScenario,
+    baseline_distributed_scenarios,
+    figure7_scenarios,
+    single_datacenter_baselines,
+)
+from repro.network import BRASILIA, RIO_DE_JANEIRO, SAO_PAULO, TOKYO
+
+
+class TestCityPairs:
+    def test_five_pairs_anchored_at_rio(self):
+        assert len(CITY_PAIRS) == 5
+        assert all(first is RIO_DE_JANEIRO for first, _ in CITY_PAIRS)
+
+    def test_partners_match_section_v(self):
+        partners = [second.name for _, second in CITY_PAIRS]
+        assert partners == ["Brasilia", "Recife", "New York", "Calcutta", "Tokyo"]
+
+
+class TestDistributedScenario:
+    def test_defaults_are_the_baseline_configuration(self):
+        scenario = DistributedScenario(RIO_DE_JANEIRO, BRASILIA)
+        assert scenario.alpha == BASELINE_ALPHA == 0.35
+        assert scenario.disaster_mean_time_years == BASELINE_DISASTER_YEARS == 100.0
+        assert scenario.backup is SAO_PAULO
+
+    def test_label_mentions_parameters(self):
+        scenario = DistributedScenario(RIO_DE_JANEIRO, TOKYO, alpha=0.45, disaster_mean_time_years=300.0)
+        assert "Tokyo" in scenario.label
+        assert "0.45" in scenario.label
+        assert "300" in scenario.label
+
+    def test_build_model_uses_case_study_configuration(self):
+        model = DistributedScenario(RIO_DE_JANEIRO, BRASILIA).build_model()
+        assert model.spec.total_initial_vms == 4
+        assert model.spec.required_running_vms == 2
+        assert len(model.spec.physical_machines) == 4
+        assert model.alpha == 0.35
+
+    def test_build_model_applies_disaster_mean_time(self):
+        model = DistributedScenario(
+            RIO_DE_JANEIRO, BRASILIA, disaster_mean_time_years=200.0
+        ).build_model()
+        assert model.parameters.disaster.mean_time_to_disaster.years == pytest.approx(200.0)
+
+
+class TestScenarioCollections:
+    def test_baseline_scenarios_one_per_pair(self):
+        scenarios = baseline_distributed_scenarios()
+        assert len(scenarios) == 5
+        assert all(s.alpha == BASELINE_ALPHA for s in scenarios)
+        assert all(s.disaster_mean_time_years == BASELINE_DISASTER_YEARS for s in scenarios)
+
+    def test_figure7_grid_has_45_scenarios(self):
+        scenarios = figure7_scenarios()
+        assert len(scenarios) == len(CITY_PAIRS) * len(ALPHA_VALUES) * len(DISASTER_MEAN_TIME_YEARS)
+        assert len({s.label for s in scenarios}) == 45
+
+    def test_single_site_baselines(self):
+        baselines = single_datacenter_baselines()
+        assert [b.machines for b in baselines] == [1, 2, 4]
+        assert all("machine" in b.label for b in baselines)

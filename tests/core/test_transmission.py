@@ -1,0 +1,157 @@
+"""Tests for the TRANSMISSION_COMPONENT block (Figure 4 / Tables IV-V)."""
+
+import pytest
+
+from repro.core import (
+    DataCenterSpec,
+    PhysicalMachineSpec,
+    TransmissionParameters,
+    build_transmission_component,
+)
+from repro.core.transmission import backup_transfer_place, transfer_place
+from repro.exceptions import ModelError
+
+
+PARAMS = TransmissionParameters(
+    datacenter_to_datacenter=0.5, backup_to_first=0.2, backup_to_second=0.4
+)
+
+
+def specs():
+    first = DataCenterSpec(index=1)
+    second = DataCenterSpec(index=2)
+    first_machines = (
+        PhysicalMachineSpec(index=1, datacenter_index=1, vm_capacity=2, initial_vms=1),
+        PhysicalMachineSpec(index=2, datacenter_index=1, vm_capacity=2, initial_vms=1),
+    )
+    second_machines = (
+        PhysicalMachineSpec(index=3, datacenter_index=2, vm_capacity=2, initial_vms=1),
+        PhysicalMachineSpec(index=4, datacenter_index=2, vm_capacity=2, initial_vms=1),
+    )
+    return first, second, first_machines, second_machines
+
+
+def build(has_backup=True, l=1):
+    first, second, first_machines, second_machines = specs()
+    return build_transmission_component(
+        first, second, first_machines, second_machines, PARAMS,
+        has_backup_server=has_backup, minimum_operational_pms=l,
+    )
+
+
+class TestStructure:
+    def test_paper_transition_names_present(self):
+        net = build()
+        names = set(net.transition_names)
+        assert {"TRI_12", "TRI_21", "TRE_12", "TRE_21", "TBI_12", "TBI_21", "TBE_12", "TBE_21"} <= names
+
+    def test_transfer_places_created(self):
+        net = build()
+        assert transfer_place(1, 2) in net.place_names
+        assert backup_transfer_place(2, 1) in net.place_names
+
+    def test_mtt_values_match_table_v(self):
+        net = build()
+        assert net.transition("TRE_12").delay == 0.5
+        assert net.transition("TRE_21").delay == 0.5
+        assert net.transition("TBE_12").delay == 0.4  # backup -> DC2 uses MTT_BK2
+        assert net.transition("TBE_21").delay == 0.2  # backup -> DC1 uses MTT_BK1
+
+    def test_without_backup_server(self):
+        net = build(has_backup=False)
+        names = set(net.transition_names)
+        assert "TBI_12" not in names and "TBE_21" not in names
+        assert "TRI_12" in names
+
+    def test_direct_guard_references_table_iv_places(self):
+        net = build()
+        guard = net.transition("TRI_12").guard
+        places = guard.places()
+        assert {"OSPM_1_UP", "OSPM_2_UP", "OSPM_3_UP", "OSPM_4_UP"} <= places
+        assert {"NAS_NET_2_UP", "DC_2_UP"} <= places
+
+    def test_backup_guard_requires_backup_server_and_source_disaster(self):
+        net = build()
+        guard = net.transition("TBI_12").guard
+        places = guard.places()
+        assert "BKP_UP" in places
+        assert {"NAS_NET_1_UP", "DC_1_UP"} <= places
+        assert {"NAS_NET_2_UP", "DC_2_UP"} <= places
+
+    def test_migration_threshold_l_appears_in_guard(self):
+        net = build(l=2)
+        source = net.transition("TRI_12").guard.to_source()
+        assert "< 2" in source
+
+    def test_same_datacenter_rejected(self):
+        first, _, machines, _ = specs()
+        with pytest.raises(ModelError):
+            build_transmission_component(first, first, machines, machines, PARAMS)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ModelError):
+            build(l=0)
+
+    def test_invalid_mtt_rejected(self):
+        with pytest.raises(ModelError):
+            TransmissionParameters(0.0, 1.0, 1.0)
+
+
+class TestGuardSemantics:
+    """Evaluate the guards directly against hand-built markings."""
+
+    def marking(self, **overrides):
+        base = {
+            "OSPM_1_UP": 1,
+            "OSPM_2_UP": 1,
+            "OSPM_3_UP": 1,
+            "OSPM_4_UP": 1,
+            "NAS_NET_1_UP": 1,
+            "NAS_NET_2_UP": 1,
+            "DC_1_UP": 1,
+            "DC_2_UP": 1,
+            "BKP_UP": 1,
+        }
+        base.update(overrides)
+        return base
+
+    def evaluate(self, transition_name, marking):
+        from repro.expressions import evaluate
+
+        net = build()
+        return evaluate(net.transition(transition_name).guard, marking)
+
+    def test_direct_migration_disabled_in_nominal_state(self):
+        assert self.evaluate("TRI_12", self.marking()) is False
+
+    def test_direct_migration_enabled_when_source_pms_exhausted(self):
+        marking = self.marking(OSPM_1_UP=0, OSPM_2_UP=0)
+        assert self.evaluate("TRI_12", marking) is True
+
+    def test_direct_migration_disabled_when_destination_unhealthy(self):
+        marking = self.marking(OSPM_1_UP=0, OSPM_2_UP=0, DC_2_UP=0)
+        assert self.evaluate("TRI_12", marking) is False
+
+    def test_direct_migration_disabled_during_source_disaster(self):
+        # A destroyed data center cannot push its images directly; the backup
+        # server path takes over (Section III).
+        marking = self.marking(OSPM_1_UP=0, OSPM_2_UP=0, DC_1_UP=0)
+        assert self.evaluate("TRI_12", marking) is False
+        assert self.evaluate("TBI_12", marking) is True
+
+    def test_backup_path_requires_backup_server(self):
+        marking = self.marking(DC_1_UP=0, BKP_UP=0)
+        assert self.evaluate("TBI_12", marking) is False
+
+    def test_backup_path_triggered_by_network_loss(self):
+        marking = self.marking(NAS_NET_1_UP=0)
+        assert self.evaluate("TBI_12", marking) is True
+
+    def test_backup_path_needs_healthy_destination(self):
+        marking = self.marking(DC_1_UP=0, OSPM_3_UP=0, OSPM_4_UP=0)
+        assert self.evaluate("TBI_12", marking) is False
+
+    def test_symmetric_paths(self):
+        marking = self.marking(OSPM_3_UP=0, OSPM_4_UP=0)
+        assert self.evaluate("TRI_21", marking) is True
+        assert self.evaluate("TRI_12", marking) is False

@@ -1,0 +1,162 @@
+"""Tests for the VM_BEHAVIOR block (Figure 3 / Tables II-III)."""
+
+import pytest
+
+from repro.core import (
+    CaseStudyParameters,
+    DataCenterSpec,
+    PhysicalMachineSpec,
+    VmBehaviorParameters,
+    build_simple_component,
+    build_vm_behavior,
+)
+from repro.core.vm_behavior import (
+    failed_pool_place,
+    infrastructure_failed_guard,
+    infrastructure_working_guard,
+    vm_up_place,
+)
+from repro.exceptions import ModelError
+from repro.spn import ProbabilityMeasure, merge, solve_steady_state, validate
+
+
+PARAMS = VmBehaviorParameters(vm_mttf=2880.0, vm_mttr=0.5, vm_start_time=5.0 / 60.0)
+
+
+def machine(index=1, dc=1, capacity=2, initial=1):
+    return PhysicalMachineSpec(
+        index=index, datacenter_index=dc, vm_capacity=capacity, initial_vms=initial
+    )
+
+
+def datacenter(index=1):
+    return DataCenterSpec(index=index)
+
+
+def block(pm=None, dc=None, params=PARAMS):
+    return build_vm_behavior(pm or machine(), dc or datacenter(), params)
+
+
+def full_single_pm_model(vm_mttf=2880.0, vm_mttr=0.5, start=5.0 / 60.0, initial=1):
+    """One PM with its infrastructure simple components, composed."""
+    parameters = VmBehaviorParameters(vm_mttf, vm_mttr, start)
+    blocks = [
+        build_simple_component("OSPM_1", mttf=806.0, mttr=9.8),
+        build_simple_component("NAS_NET_1", mttf=400000.0, mttr=4.0),
+        build_simple_component("DC_1", mttf=876000.0, mttr=8760.0),
+        build_vm_behavior(machine(initial=initial), datacenter(), parameters),
+    ]
+    return merge("single_pm", blocks)
+
+
+class TestStructure:
+    def test_places_follow_paper_naming(self):
+        net = block()
+        expected = {"VM_UP_1", "VM_DOWN_1", "VM_RDY_1", "VM_STRTD_1", "FailedVMS_1"}
+        assert set(net.place_names) == expected
+
+    def test_transition_attributes_match_table_iii(self):
+        net = block()
+        fail = net.transition("VM_F_1")
+        repair = net.transition("VM_R_1")
+        start = net.transition("VM_STRT_1")
+        assert fail.semantics.value == "is" and fail.delay == 2880.0
+        assert repair.semantics.value == "is" and repair.delay == 0.5
+        assert start.semantics.value == "ss" and start.delay == pytest.approx(5.0 / 60.0)
+
+    def test_immediate_transitions_present(self):
+        net = block()
+        immediate = {t.name for t in net.transitions if t.immediate}
+        assert immediate == {
+            "VM_Subs_1",
+            "FPM_UP_1",
+            "FPM_DW_1",
+            "FPM_ST_1",
+            "FPM_Subs_1",
+            "VM_Acq_1",
+        }
+
+    def test_guards_reference_infrastructure_components(self):
+        net = block()
+        guard = net.transition("FPM_UP_1").guard
+        assert guard.places() == frozenset({"OSPM_1_UP", "NAS_NET_1_UP", "DC_1_UP"})
+        working = net.transition("VM_Subs_1").guard
+        assert working.places() == frozenset({"OSPM_1_UP", "NAS_NET_1_UP", "DC_1_UP"})
+
+    def test_guard_helpers_match_table_ii_semantics(self):
+        failed = infrastructure_failed_guard(2, 1)
+        working = infrastructure_working_guard(2, 1)
+        assert "OR" in failed and "= 0" in failed
+        assert "AND" in working and "> 0" in working
+
+    def test_initial_marking_reflects_hot_pool(self):
+        assert block().initial_marking()[vm_up_place(1)] == 1
+        warm = build_vm_behavior(machine(initial=0), datacenter(), PARAMS)
+        assert warm.initial_marking()[vm_up_place(1)] == 0
+
+    def test_mismatched_datacenter_rejected(self):
+        with pytest.raises(ModelError):
+            build_vm_behavior(machine(dc=2), datacenter(index=1), PARAMS)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            VmBehaviorParameters(vm_mttf=0.0, vm_mttr=1.0, vm_start_time=1.0)
+
+
+class TestComposedBehaviour:
+    def test_validation_of_composed_model(self):
+        assert validate(full_single_pm_model()) == []
+
+    def test_vm_availability_close_to_infrastructure_times_vm(self):
+        net = full_single_pm_model()
+        solution = solve_steady_state(net)
+        availability = solution.probability("#VM_UP_1 >= 1")
+        # The VM runs only while OSPM, NAS_NET and DC are up, and it also has
+        # its own failure/restart cycle, so availability is slightly below the
+        # product of the infrastructure availabilities.
+        infra = (806.0 / 815.8) * (400000.0 / 400004.0) * (876000.0 / 884760.0)
+        assert availability < infra
+        assert availability > infra - 0.01
+
+    def test_vm_tokens_conserved(self):
+        net = full_single_pm_model(initial=1)
+        solution = solve_steady_state(net)
+        for marking, _ in solution.marking_probabilities():
+            total = (
+                marking["VM_UP_1"]
+                + marking["VM_DOWN_1"]
+                + marking["VM_RDY_1"]
+                + marking["VM_STRTD_1"]
+                + marking["FailedVMS_1"]
+            )
+            assert total == 1
+
+    def test_vms_never_hosted_while_infrastructure_down(self):
+        net = full_single_pm_model()
+        solution = solve_steady_state(net)
+        for marking, probability in solution.marking_probabilities():
+            if probability == 0.0:
+                continue
+            if marking["OSPM_1_UP"] == 0 or marking["DC_1_UP"] == 0:
+                assert marking["VM_UP_1"] == 0
+                assert marking["VM_STRTD_1"] == 0
+
+    def test_ready_place_is_always_vanishing(self):
+        net = full_single_pm_model()
+        solution = solve_steady_state(net)
+        for marking, _ in solution.marking_probabilities():
+            assert marking["VM_RDY_1"] == 0
+
+    def test_two_vms_on_one_machine(self):
+        net = full_single_pm_model(initial=2)
+        solution = solve_steady_state(net)
+        both_up = solution.probability("#VM_UP_1 >= 2")
+        one_up = solution.probability("#VM_UP_1 >= 1")
+        assert 0.9 < both_up < one_up < 1.0
+
+    def test_faster_start_improves_availability(self):
+        slow = solve_steady_state(full_single_pm_model(start=2.0)).probability("#VM_UP_1 >= 1")
+        fast = solve_steady_state(full_single_pm_model(start=5.0 / 60.0)).probability(
+            "#VM_UP_1 >= 1"
+        )
+        assert fast > slow

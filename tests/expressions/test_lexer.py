@@ -1,0 +1,86 @@
+"""Tests for the expression lexer."""
+
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.expressions.lexer import tokenize
+from repro.expressions.tokens import TokenType
+
+
+def token_types(source):
+    return [token.type for token in tokenize(source)]
+
+
+class TestTokenize:
+    def test_place_reference(self):
+        tokens = tokenize("#OSPM_UP1")
+        assert tokens[0].type is TokenType.PLACE
+        assert tokens[0].value == "OSPM_UP1"
+        assert tokens[-1].type is TokenType.END
+
+    def test_integer_and_float(self):
+        tokens = tokenize("42 3.14 1e-3")
+        assert tokens[0].value == 42
+        assert tokens[1].value == pytest.approx(3.14)
+        assert tokens[2].value == pytest.approx(1e-3)
+
+    def test_operators(self):
+        assert token_types("+ - * / ( )")[:-1] == [
+            TokenType.PLUS,
+            TokenType.MINUS,
+            TokenType.STAR,
+            TokenType.SLASH,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+        ]
+
+    def test_comparisons(self):
+        assert token_types("= == <> != < <= > >=")[:-1] == [
+            TokenType.EQ,
+            TokenType.EQ,
+            TokenType.NEQ,
+            TokenType.NEQ,
+            TokenType.LT,
+            TokenType.LE,
+            TokenType.GT,
+            TokenType.GE,
+        ]
+
+    def test_keywords_are_case_insensitive(self):
+        assert token_types("AND and Or nOt TRUE false")[:-1] == [
+            TokenType.AND,
+            TokenType.AND,
+            TokenType.OR,
+            TokenType.NOT,
+            TokenType.TRUE,
+            TokenType.FALSE,
+        ]
+
+    def test_identifier(self):
+        tokens = tokenize("threshold_k")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "threshold_k"
+
+    def test_paper_guard_expression(self):
+        source = "(#OSPM_UP1=0) OR (#NAS_NET_UP1=0) OR (#DC_UP1=0)"
+        types = token_types(source)
+        assert types.count(TokenType.PLACE) == 3
+        assert types.count(TokenType.OR) == 2
+        assert types.count(TokenType.EQ) == 3
+
+    def test_positions_are_recorded(self):
+        tokens = tokenize("  #A + 1")
+        assert tokens[0].position == 2
+        assert tokens[1].position == 5
+
+    def test_rejects_bad_character(self):
+        with pytest.raises(ExpressionError):
+            tokenize("#A & #B")
+
+    def test_rejects_hash_without_name(self):
+        with pytest.raises(ExpressionError):
+            tokenize("# + 1")
+
+    def test_rejects_lone_exclamation(self):
+        with pytest.raises(ExpressionError):
+            tokenize("#A ! 1")

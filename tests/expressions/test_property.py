@@ -1,0 +1,81 @@
+"""Property-based tests for the expression language (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.expressions import compile_expression, evaluate, parse
+from repro.expressions.ast import (
+    ArithmeticOp,
+    BooleanOp,
+    Comparison,
+    Expression,
+    Not,
+    NumberLiteral,
+    TokenCount,
+)
+
+PLACES = ["P0", "P1", "P2", "P3"]
+
+
+def _leaf_strategy():
+    return st.one_of(
+        st.integers(min_value=0, max_value=20).map(lambda v: NumberLiteral(float(v))),
+        st.sampled_from(PLACES).map(TokenCount),
+    )
+
+
+# Arithmetic expressions only ever contain arithmetic children (the grammar
+# does not allow boolean operands inside +, -, *).
+arithmetic_strategy = st.recursive(
+    _leaf_strategy(),
+    lambda children: st.tuples(st.sampled_from("+-*"), children, children).map(
+        lambda t: ArithmeticOp(t[0], t[1], t[2])
+    ),
+    max_leaves=8,
+)
+
+comparison_strategy = st.tuples(
+    st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+    arithmetic_strategy,
+    arithmetic_strategy,
+).map(lambda t: Comparison(t[0], t[1], t[2]))
+
+boolean_strategy = st.recursive(
+    comparison_strategy,
+    lambda children: st.one_of(
+        st.tuples(st.sampled_from(["AND", "OR"]), children, children).map(
+            lambda t: BooleanOp(t[0], t[1], t[2])
+        ),
+        children.map(Not),
+    ),
+    max_leaves=6,
+)
+
+expression_strategy = st.one_of(arithmetic_strategy, boolean_strategy)
+marking_strategy = st.tuples(*[st.integers(min_value=0, max_value=9) for _ in PLACES])
+
+
+@given(expression=expression_strategy)
+@settings(max_examples=150, deadline=None)
+def test_round_trip_through_source(expression: Expression):
+    """Rendering to source and re-parsing yields an equivalent AST."""
+    assert parse(expression.to_source()) == expression
+
+
+@given(expression=expression_strategy, marking=marking_strategy)
+@settings(max_examples=150, deadline=None)
+def test_compiled_closure_agrees_with_interpreter(expression, marking):
+    """compile_expression and evaluate must agree on every marking."""
+    index = {name: i for i, name in enumerate(PLACES)}
+    as_dict = dict(zip(PLACES, marking))
+    compiled = compile_expression(expression, index)
+    assert compiled(marking) == evaluate(expression, as_dict)
+
+
+@given(expression=expression_strategy, marking=marking_strategy)
+@settings(max_examples=100, deadline=None)
+def test_places_reported_are_sufficient_to_evaluate(expression, marking):
+    """Evaluation only needs the places reported by Expression.places()."""
+    full = dict(zip(PLACES, marking))
+    restricted = {name: full[name] for name in expression.places()}
+    assert evaluate(expression, restricted) == evaluate(expression, full)

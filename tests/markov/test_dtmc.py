@@ -1,0 +1,88 @@
+"""Tests for the DTMC model."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.markov import DiscreteTimeMarkovChain
+
+
+def weather_chain():
+    chain = DiscreteTimeMarkovChain(["sunny", "rainy"])
+    chain.set_probability("sunny", "sunny", 0.8)
+    chain.set_probability("sunny", "rainy", 0.2)
+    chain.set_probability("rainy", "sunny", 0.5)
+    chain.set_probability("rainy", "rainy", 0.5)
+    return chain
+
+
+class TestConstruction:
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ModelError):
+            DiscreteTimeMarkovChain(["A", "A"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            DiscreteTimeMarkovChain([])
+
+    def test_invalid_probability_rejected(self):
+        chain = DiscreteTimeMarkovChain(["A", "B"])
+        with pytest.raises(ModelError):
+            chain.set_probability("A", "B", 1.5)
+
+    def test_validate_accepts_stochastic_rows(self):
+        weather_chain().validate()
+
+    def test_validate_rejects_bad_rows(self):
+        chain = DiscreteTimeMarkovChain(["A", "B"])
+        chain.set_probability("A", "B", 0.4)
+        with pytest.raises(ModelError):
+            chain.validate()
+
+    def test_validate_accepts_absorbing_rows(self):
+        chain = DiscreteTimeMarkovChain(["A", "B"])
+        chain.set_probability("A", "B", 1.0)
+        chain.validate()  # row B sums to zero -> absorbing, allowed
+
+
+class TestSteadyState:
+    def test_weather_chain(self):
+        pi = weather_chain().steady_state()
+        # Solve pi = pi P: pi_sunny = 5/7.
+        assert pi["sunny"] == pytest.approx(5.0 / 7.0)
+        assert pi["rainy"] == pytest.approx(2.0 / 7.0)
+
+    def test_distribution_sums_to_one(self):
+        assert sum(weather_chain().steady_state().values()) == pytest.approx(1.0)
+
+
+class TestAbsorptionProbabilities:
+    def test_gambler_ruin_three_states(self):
+        # States 0 and 2 absorbing, fair coin from state 1.
+        chain = DiscreteTimeMarkovChain([0, 1, 2])
+        chain.set_probability(1, 0, 0.5)
+        chain.set_probability(1, 2, 0.5)
+        result = chain.absorption_probabilities([0, 2])
+        assert result[1][0] == pytest.approx(0.5)
+        assert result[1][2] == pytest.approx(0.5)
+
+    def test_chained_transient_states(self):
+        chain = DiscreteTimeMarkovChain(["v1", "v2", "t1", "t2"])
+        chain.set_probability("v1", "v2", 0.5)
+        chain.set_probability("v1", "t1", 0.5)
+        chain.set_probability("v2", "t2", 1.0)
+        result = chain.absorption_probabilities(["t1", "t2"])
+        assert result["v1"]["t1"] == pytest.approx(0.5)
+        assert result["v1"]["t2"] == pytest.approx(0.5)
+        assert result["v2"]["t2"] == pytest.approx(1.0)
+
+    def test_all_states_absorbing_returns_empty(self):
+        chain = DiscreteTimeMarkovChain(["a", "b"])
+        assert chain.absorption_probabilities(["a", "b"]) == {}
+
+    def test_probabilities_sum_to_one_per_transient_state(self):
+        chain = DiscreteTimeMarkovChain(["v", "a", "b", "c"])
+        chain.set_probability("v", "a", 0.2)
+        chain.set_probability("v", "b", 0.3)
+        chain.set_probability("v", "c", 0.5)
+        result = chain.absorption_probabilities(["a", "b", "c"])
+        assert sum(result["v"].values()) == pytest.approx(1.0)

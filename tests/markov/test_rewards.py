@@ -1,0 +1,53 @@
+"""Tests for Markov reward structures."""
+
+import pytest
+
+from repro.markov import (
+    ContinuousTimeMarkovChain,
+    RewardReport,
+    RewardStructure,
+    two_state_availability_chain,
+)
+
+
+class TestRewardStructure:
+    def test_indicator_reward(self):
+        chain = two_state_availability_chain(mttf=9.0, mttr=1.0)
+        availability = RewardStructure.indicator("availability", lambda s: s == "UP")
+        assert availability.steady_state_value(chain) == pytest.approx(0.9)
+
+    def test_mapping_reward_with_default(self):
+        chain = two_state_availability_chain(mttf=3.0, mttr=1.0)
+        capacity = RewardStructure.from_mapping("capacity", {"UP": 8.0}, default=0.0)
+        assert capacity.steady_state_value(chain) == pytest.approx(6.0)
+
+    def test_callable_reward(self):
+        chain = two_state_availability_chain(mttf=1.0, mttr=1.0)
+        structure = RewardStructure("constant", lambda s: 2.5)
+        assert structure.steady_state_value(chain) == pytest.approx(2.5)
+
+
+class TestRewardReport:
+    def test_multiple_structures_evaluated_together(self):
+        chain = ContinuousTimeMarkovChain(["UP2", "UP1", "DOWN"])
+        chain.add_transition("UP2", "UP1", 0.2)
+        chain.add_transition("UP1", "DOWN", 0.2)
+        chain.add_transition("UP1", "UP2", 1.0)
+        chain.add_transition("DOWN", "UP1", 1.0)
+        report = RewardReport(chain)
+        report.add(RewardStructure.indicator("availability", lambda s: s != "DOWN"))
+        report.add(
+            RewardStructure.from_mapping("capacity", {"UP2": 2.0, "UP1": 1.0}, default=0.0)
+        )
+        values = report.evaluate()
+        assert set(values) == {"availability", "capacity"}
+        assert 0.0 < values["availability"] < 1.0
+        assert values["capacity"] > values["availability"]
+
+    def test_add_returns_report_for_chaining(self):
+        chain = two_state_availability_chain(2.0, 1.0)
+        report = RewardReport(chain).add(
+            RewardStructure.indicator("availability", lambda s: s == "UP")
+        )
+        assert isinstance(report, RewardReport)
+        assert report.evaluate()["availability"] == pytest.approx(2.0 / 3.0)

@@ -1,0 +1,80 @@
+"""Tests for transient analysis by uniformization."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.exceptions import AnalysisError
+from repro.markov import transient_distribution, transient_rewards
+
+
+def generator(failure_rate=0.1, repair_rate=1.0):
+    return np.array(
+        [[-failure_rate, failure_rate], [repair_rate, -repair_rate]], dtype=float
+    )
+
+
+def random_generator(n, seed):
+    rng = np.random.default_rng(seed)
+    rates = rng.uniform(0.0, 1.5, size=(n, n))
+    np.fill_diagonal(rates, 0.0)
+    q = rates.copy()
+    np.fill_diagonal(q, -rates.sum(axis=1))
+    return q
+
+
+class TestTransientDistribution:
+    def test_time_zero_returns_initial(self):
+        pi = transient_distribution(generator(), [1.0, 0.0], 0.0)
+        assert np.allclose(pi, [1.0, 0.0])
+
+    def test_matches_matrix_exponential(self):
+        q = random_generator(5, seed=42)
+        pi0 = np.zeros(5)
+        pi0[0] = 1.0
+        for t in (0.1, 1.0, 4.0):
+            expected = pi0 @ expm(q * t)
+            computed = transient_distribution(q, pi0, t)
+            assert np.allclose(computed, expected, atol=1e-9)
+
+    def test_long_horizon_reaches_steady_state(self):
+        q = generator(0.2, 2.0)
+        pi = transient_distribution(q, [0.0, 1.0], 500.0)
+        assert pi[0] == pytest.approx(2.0 / 2.2, rel=1e-6)
+
+    def test_probability_conserved(self):
+        q = random_generator(8, seed=1)
+        pi = transient_distribution(q, np.full(8, 1.0 / 8.0), 3.0)
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= 0.0)
+
+    def test_zero_generator_is_identity(self):
+        pi = transient_distribution(np.zeros((3, 3)), [0.2, 0.3, 0.5], 10.0)
+        assert np.allclose(pi, [0.2, 0.3, 0.5])
+
+    def test_invalid_initial_distribution_rejected(self):
+        with pytest.raises(AnalysisError):
+            transient_distribution(generator(), [0.7, 0.7], 1.0)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(AnalysisError):
+            transient_distribution(generator(), [1.0, 0.0, 0.0], 1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(AnalysisError):
+            transient_distribution(generator(), [1.0, 0.0], -1.0)
+
+
+class TestTransientRewards:
+    def test_instantaneous_availability_curve(self):
+        q = generator(0.1, 1.0)
+        times = [0.0, 1.0, 10.0, 100.0]
+        availability = transient_rewards(q, [1.0, 0.0], [1.0, 0.0], times)
+        # Starts at 1, decreases monotonically towards steady state 1/1.1*1 ≈ 0.909.
+        assert availability[0] == pytest.approx(1.0)
+        assert np.all(np.diff(availability) <= 1e-12)
+        assert availability[-1] == pytest.approx(1.0 / 1.1, rel=1e-4)
+
+    def test_reward_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            transient_rewards(generator(), [1.0, 0.0], [1.0, 0.0, 0.0], [1.0])

@@ -1,0 +1,96 @@
+"""Tests for dependability parameter conversions."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    availability_from_mttf_mttr,
+    equivalent_mttf_mttr,
+    exponential_reliability,
+    hours_from_minutes,
+    hours_from_seconds,
+    hours_from_years,
+    mean_time_from_rate,
+    mttf_mttr_from_availability,
+    mttr_from_availability,
+    rate_from_mean_time,
+)
+
+
+class TestRateConversions:
+    def test_rate_round_trip(self):
+        assert mean_time_from_rate(rate_from_mean_time(123.4)) == pytest.approx(123.4)
+
+    def test_rate_of_1000_hours(self):
+        assert rate_from_mean_time(1000.0) == pytest.approx(1e-3)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            rate_from_mean_time(0.0)
+        with pytest.raises(ValueError):
+            mean_time_from_rate(-1.0)
+
+
+class TestAvailabilityInversion:
+    def test_mttf_from_availability_round_trip(self):
+        mttf = mttf_mttr_from_availability(0.99, mttr=2.0)
+        assert availability_from_mttf_mttr(mttf, 2.0) == pytest.approx(0.99)
+
+    def test_mttr_from_availability_round_trip(self):
+        mttr = mttr_from_availability(0.95, mttf=100.0)
+        assert availability_from_mttf_mttr(100.0, mttr) == pytest.approx(0.95)
+
+    def test_perfect_availability_gives_zero_mttr(self):
+        assert mttr_from_availability(1.0, mttf=10.0) == 0.0
+
+    def test_rejects_degenerate_availability(self):
+        with pytest.raises(ValueError):
+            mttf_mttr_from_availability(1.0, mttr=1.0)
+        with pytest.raises(ValueError):
+            mttr_from_availability(0.0, mttf=1.0)
+
+
+class TestEquivalentMttfMttr:
+    def test_consistency_with_availability(self):
+        mttf, mttr = equivalent_mttf_mttr(0.999, equivalent_failure_rate=0.01)
+        assert mttf == pytest.approx(100.0)
+        assert availability_from_mttf_mttr(mttf, mttr) == pytest.approx(0.999)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            equivalent_mttf_mttr(0.99, 0.0)
+
+
+class TestExponentialReliability:
+    def test_at_time_zero(self):
+        assert exponential_reliability(100.0, 0.0) == 1.0
+
+    def test_at_mttf(self):
+        assert exponential_reliability(100.0, 100.0) == pytest.approx(math.exp(-1.0))
+
+    def test_monotone_decreasing(self):
+        values = [exponential_reliability(50.0, t) for t in (0.0, 10.0, 50.0, 200.0)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestTimeUnitHelpers:
+    def test_hours_from_years(self):
+        assert hours_from_years(1.0) == pytest.approx(8760.0)
+        # Disaster mean time of 100 years used in the case study.
+        assert hours_from_years(100.0) == pytest.approx(876000.0)
+
+    def test_hours_from_minutes(self):
+        # VM start time of 5 minutes used in the case study.
+        assert hours_from_minutes(5.0) == pytest.approx(5.0 / 60.0)
+
+    def test_hours_from_seconds(self):
+        assert hours_from_seconds(3600.0) == pytest.approx(1.0)
+
+    def test_reject_negative(self):
+        with pytest.raises(ValueError):
+            hours_from_years(-1.0)
+        with pytest.raises(ValueError):
+            hours_from_minutes(-1.0)
+        with pytest.raises(ValueError):
+            hours_from_seconds(-1.0)

@@ -1,0 +1,75 @@
+"""Tests for the geography substrate."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network import (
+    BRASILIA,
+    CALCUTTA,
+    NEW_YORK,
+    RECIFE,
+    RIO_DE_JANEIRO,
+    SAO_PAULO,
+    TOKYO,
+    City,
+    city_named,
+    haversine_distance,
+)
+
+
+class TestCity:
+    def test_invalid_latitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            City("Nowhere", 91.0, 0.0)
+
+    def test_invalid_longitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            City("Nowhere", 0.0, 181.0)
+
+    def test_distance_to_self_is_zero(self):
+        assert RIO_DE_JANEIRO.distance_to(RIO_DE_JANEIRO).kilometers == pytest.approx(0.0)
+
+    def test_distance_is_symmetric(self):
+        assert RIO_DE_JANEIRO.distance_to(TOKYO).kilometers == pytest.approx(
+            TOKYO.distance_to(RIO_DE_JANEIRO).kilometers
+        )
+
+
+class TestCaseStudyDistances:
+    """Great-circle distances of the paper's city pairs (reference values
+    from standard geodesic calculators, tolerance 3%)."""
+
+    @pytest.mark.parametrize(
+        "destination, expected_km",
+        [
+            (BRASILIA, 930.0),
+            (RECIFE, 1870.0),
+            (NEW_YORK, 7770.0),
+            (CALCUTTA, 15000.0),
+            (TOKYO, 18570.0),
+        ],
+    )
+    def test_distance_from_rio(self, destination, expected_km):
+        distance = haversine_distance(RIO_DE_JANEIRO, destination)
+        assert distance.kilometers == pytest.approx(expected_km, rel=0.03)
+
+    def test_backup_site_close_to_rio(self):
+        assert SAO_PAULO.distance_to(RIO_DE_JANEIRO).kilometers < 450.0
+
+    def test_case_study_ordering_preserved(self):
+        """The paper orders the pairs by increasing distance from Rio."""
+        distances = [
+            RIO_DE_JANEIRO.distance_to(city).kilometers
+            for city in (BRASILIA, RECIFE, NEW_YORK, CALCUTTA, TOKYO)
+        ]
+        assert distances == sorted(distances)
+
+
+class TestCityRegistry:
+    def test_lookup_is_case_insensitive(self):
+        assert city_named("tokyo") is TOKYO
+        assert city_named("Rio de Janeiro") is RIO_DE_JANEIRO
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(ConfigurationError):
+            city_named("Atlantis")

@@ -1,0 +1,88 @@
+"""Tests for the latency and throughput models."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics import DataSize, Distance
+from repro.network import LatencyModel, ThroughputModel, validate_alpha
+from repro.network.geo import BRASILIA, RIO_DE_JANEIRO, TOKYO
+
+
+class TestLatencyModel:
+    def test_zero_distance_gives_base_rtt(self):
+        model = LatencyModel(base_rtt_s=0.004)
+        assert model.round_trip_time(Distance(0.0)).seconds == pytest.approx(0.004)
+
+    def test_rtt_grows_linearly_with_distance(self):
+        model = LatencyModel(base_rtt_s=0.0)
+        short = model.round_trip_time(Distance(1000.0)).seconds
+        long = model.round_trip_time(Distance(2000.0)).seconds
+        assert long == pytest.approx(2.0 * short)
+
+    def test_intercontinental_rtt_magnitude(self):
+        model = LatencyModel()
+        rtt = model.round_trip_time(RIO_DE_JANEIRO.distance_to(TOKYO)).seconds
+        # Real-world Rio-Tokyo RTTs are in the 250-400 ms range.
+        assert 0.2 < rtt < 0.5
+
+    def test_one_way_latency_is_half_rtt(self):
+        model = LatencyModel()
+        distance = Distance(5000.0)
+        assert model.one_way_latency(distance).seconds == pytest.approx(
+            model.round_trip_time(distance).seconds / 2.0
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(fibre_speed_km_per_s=0.0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(route_factor=0.9)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(base_rtt_s=-0.1)
+
+
+class TestThroughputModel:
+    def test_throughput_decreases_with_distance(self):
+        model = ThroughputModel()
+        near = model.throughput(RIO_DE_JANEIRO.distance_to(BRASILIA), alpha=0.35)
+        far = model.throughput(RIO_DE_JANEIRO.distance_to(TOKYO), alpha=0.35)
+        assert near.bytes_per_second > far.bytes_per_second
+
+    def test_throughput_increases_with_alpha(self):
+        model = ThroughputModel()
+        distance = RIO_DE_JANEIRO.distance_to(TOKYO)
+        slow = model.throughput(distance, alpha=0.35)
+        fast = model.throughput(distance, alpha=0.45)
+        assert fast.bytes_per_second > slow.bytes_per_second
+        assert fast.bytes_per_second / slow.bytes_per_second == pytest.approx(
+            0.45 / 0.35
+        )
+
+    def test_link_capacity_caps_throughput(self):
+        model = ThroughputModel()
+        capacity = model.link_capacity.bytes_per_second
+        value = model.throughput(Distance(0.1), alpha=1.0)
+        assert value.bytes_per_second <= capacity
+
+    def test_transfer_time_of_case_study_vm(self):
+        model = ThroughputModel()
+        vm = DataSize.from_gigabytes(4.0)
+        brasilia = model.transfer_time(vm, RIO_DE_JANEIRO.distance_to(BRASILIA), 0.35)
+        tokyo = model.transfer_time(vm, RIO_DE_JANEIRO.distance_to(TOKYO), 0.35)
+        # Transfers take minutes-to-hours nearby and hours intercontinentally.
+        assert 0.05 < brasilia.hours < 2.0
+        assert 2.0 < tokyo.hours < 48.0
+        assert tokyo.hours > brasilia.hours
+
+    def test_invalid_alpha_rejected(self):
+        model = ThroughputModel()
+        with pytest.raises(ConfigurationError):
+            model.throughput(Distance(100.0), alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            model.throughput(Distance(100.0), alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            validate_alpha(-0.2)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputModel(window_bytes=0.0)

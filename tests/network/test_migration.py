@@ -1,0 +1,46 @@
+"""Tests for VM migration-time (MTT) computation."""
+
+import pytest
+
+from repro.metrics import DataSize
+from repro.network import MigrationPlanner
+from repro.network.geo import BRASILIA, RIO_DE_JANEIRO, SAO_PAULO, TOKYO
+
+
+class TestMigrationPlanner:
+    def test_transfer_time_monotone_in_distance(self):
+        planner = MigrationPlanner()
+        near = planner.transfer_time(RIO_DE_JANEIRO, BRASILIA, alpha=0.35)
+        far = planner.transfer_time(RIO_DE_JANEIRO, TOKYO, alpha=0.35)
+        assert far.hours > near.hours
+
+    def test_transfer_time_monotone_in_alpha(self):
+        planner = MigrationPlanner()
+        slow = planner.transfer_time(RIO_DE_JANEIRO, TOKYO, alpha=0.35)
+        fast = planner.transfer_time(RIO_DE_JANEIRO, TOKYO, alpha=0.45)
+        assert fast.hours < slow.hours
+
+    def test_transfer_time_scales_with_image_size(self):
+        small = MigrationPlanner(vm_image_size=DataSize.from_gigabytes(2.0))
+        large = MigrationPlanner(vm_image_size=DataSize.from_gigabytes(4.0))
+        ratio = (
+            large.transfer_time(RIO_DE_JANEIRO, TOKYO, 0.35).hours
+            / small.transfer_time(RIO_DE_JANEIRO, TOKYO, 0.35).hours
+        )
+        assert ratio == pytest.approx(2.0)
+
+    def test_migration_times_bundle(self):
+        planner = MigrationPlanner()
+        times = planner.migration_times(RIO_DE_JANEIRO, BRASILIA, SAO_PAULO, alpha=0.40)
+        values = times.as_dict()
+        assert set(values) == {"MTT_DCS", "MTT_BK1", "MTT_BK2"}
+        assert all(value > 0.0 for value in values.values())
+        # The backup server (Sao Paulo) is closer to Rio than to Brasilia.
+        assert values["MTT_BK1"] < values["MTT_BK2"]
+
+    def test_case_study_backup_paths_shorter_than_long_haul(self):
+        planner = MigrationPlanner()
+        times = planner.migration_times(RIO_DE_JANEIRO, TOKYO, SAO_PAULO, alpha=0.35)
+        values = times.as_dict()
+        # Sao Paulo -> Rio is much faster than the Rio <-> Tokyo long haul.
+        assert values["MTT_BK1"] < values["MTT_DCS"]

@@ -1,0 +1,115 @@
+"""Tests for net composition (union) and relabelling."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.spn import merge, relabel, solve_steady_state
+
+from tests.spn.nets import simple_component
+
+
+class TestMerge:
+    def test_disjoint_union_keeps_everything(self):
+        merged = merge("pair", [simple_component("A"), simple_component("B")])
+        assert set(merged.place_names) == {"A_ON", "A_OFF", "B_ON", "B_OFF"}
+        assert len(merged.transitions) == 4
+        assert len(merged.arcs) == 8
+
+    def test_merged_components_stay_independent(self):
+        merged = merge(
+            "pair",
+            [simple_component("A", 100.0, 1.0), simple_component("B", 10.0, 1.0)],
+        )
+        solution = solve_steady_state(merged)
+        assert solution.probability("#A_ON > 0") == pytest.approx(100.0 / 101.0)
+        assert solution.probability("#B_ON > 0") == pytest.approx(10.0 / 11.0)
+        both = solution.probability("#A_ON > 0 AND #B_ON > 0")
+        assert both == pytest.approx((100.0 / 101.0) * (10.0 / 11.0))
+
+    def test_shared_place_fused(self):
+        from repro.spn import StochasticPetriNet
+
+        producer = StochasticPetriNet("producer")
+        producer.add_place("BUFFER", 0)
+        producer.add_place("IDLE", 1)
+        producer.add_timed_transition("PRODUCE", delay=1.0)
+        producer.add_input_arc("IDLE", "PRODUCE")
+        producer.add_output_arc("PRODUCE", "BUFFER")
+
+        consumer = StochasticPetriNet("consumer")
+        consumer.add_place("BUFFER", 0)
+        consumer.add_place("DONE", 0)
+        consumer.add_timed_transition("CONSUME", delay=1.0)
+        consumer.add_input_arc("BUFFER", "CONSUME")
+        consumer.add_output_arc("CONSUME", "DONE")
+
+        merged = merge("line", [producer, consumer])
+        assert merged.place_names.count("BUFFER") == 1
+        assert set(merged.place_names) == {"BUFFER", "IDLE", "DONE"}
+
+    def test_conflicting_initial_markings_rejected(self):
+        first = simple_component("A", initially_on=True)
+        second = simple_component("A", initially_on=False)
+        with pytest.raises(ModelError):
+            merge("broken", [first, second])
+
+    def test_duplicate_transition_names_rejected(self):
+        with pytest.raises(ModelError):
+            merge("broken", [simple_component("A"), simple_component("A")])
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ModelError):
+            merge("empty", [])
+
+
+class TestRelabel:
+    def test_prefix_applied_to_places_and_transitions(self):
+        renamed = relabel(simple_component("X"), prefix="DC1_")
+        assert set(renamed.place_names) == {"DC1_X_ON", "DC1_X_OFF"}
+        assert set(renamed.transition_names) == {"DC1_X_Failure", "DC1_X_Repair"}
+
+    def test_shared_places_not_renamed(self):
+        from repro.spn import StochasticPetriNet
+
+        net = StochasticPetriNet("block")
+        net.add_place("LOCAL", 1)
+        net.add_place("POOL", 0)
+        net.add_timed_transition("MOVE", delay=1.0)
+        net.add_input_arc("LOCAL", "MOVE")
+        net.add_output_arc("MOVE", "POOL")
+        renamed = relabel(net, prefix="PM1_", shared_places=["POOL"])
+        assert set(renamed.place_names) == {"PM1_LOCAL", "POOL"}
+
+    def test_guards_rewritten_to_renamed_places(self):
+        from repro.spn import StochasticPetriNet
+
+        net = StochasticPetriNet("block")
+        net.add_place("A", 1)
+        net.add_place("B", 0)
+        net.add_immediate_transition("T", guard="#A > 0 AND #B = 0")
+        net.add_input_arc("A", "T")
+        net.add_output_arc("T", "B")
+        renamed = relabel(net, prefix="X_")
+        guard = renamed.transition("X_T").guard
+        assert guard.places() == frozenset({"X_A", "X_B"})
+
+    def test_guard_renaming_does_not_clobber_longer_names(self):
+        from repro.spn import StochasticPetriNet
+
+        net = StochasticPetriNet("block")
+        net.add_place("UP", 1)
+        net.add_place("UP1", 0)
+        net.add_immediate_transition("T", guard="#UP1 = 0 AND #UP > 0")
+        net.add_input_arc("UP", "T")
+        net.add_output_arc("T", "UP1")
+        renamed = relabel(net, prefix="N_")
+        assert renamed.transition("N_T").guard.places() == frozenset({"N_UP", "N_UP1"})
+
+    def test_relabelled_instances_can_be_merged(self):
+        block = simple_component("X", 100.0, 1.0)
+        merged = merge(
+            "two", [relabel(block, "PM1_"), relabel(block, "PM2_")]
+        )
+        solution = solve_steady_state(merged)
+        assert solution.probability("#PM1_X_ON > 0") == pytest.approx(100.0 / 101.0)
+        assert solution.probability("#PM2_X_ON > 0") == pytest.approx(100.0 / 101.0)

@@ -1,0 +1,142 @@
+"""Tests for the compiled-net enabling / firing logic."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.spn import CompiledNet, ServerSemantics, StochasticPetriNet
+
+from tests.spn.nets import guarded_failover, machine_repair, simple_component
+
+
+def compiled_simple():
+    return CompiledNet(simple_component("X", mttf=100.0, mttr=2.0))
+
+
+class TestCompiledNetStructure:
+    def test_place_index_and_initial_marking(self):
+        net = compiled_simple()
+        assert net.place_index == {"X_ON": 0, "X_OFF": 1}
+        assert net.initial_marking == (1, 0)
+
+    def test_transition_partition(self):
+        net = CompiledNet(guarded_failover())
+        assert {t.name for t in net.immediate_transitions} == {"ACTIVATE", "DEACTIVATE"}
+        assert {t.name for t in net.timed_transitions} == {"P_FAIL", "P_REPAIR"}
+
+    def test_transition_named_lookup(self):
+        net = compiled_simple()
+        assert net.transition_named("X_Failure").rate == pytest.approx(0.01)
+        with pytest.raises(ModelError):
+            net.transition_named("nope")
+
+
+class TestEnabling:
+    def test_enabled_in_initial_marking(self):
+        net = compiled_simple()
+        failure = net.transition_named("X_Failure")
+        repair = net.transition_named("X_Repair")
+        assert failure.is_enabled((1, 0))
+        assert not repair.is_enabled((1, 0))
+        assert repair.is_enabled((0, 1))
+
+    def test_guard_blocks_enabled_transition(self):
+        net = CompiledNet(guarded_failover())
+        activate = net.transition_named("ACTIVATE")
+        # marking order: PRIMARY_ON, PRIMARY_OFF, SPARE_IDLE, SPARE_ACTIVE
+        assert not activate.is_enabled((1, 0, 1, 0))
+        assert activate.is_enabled((0, 1, 1, 0))
+
+    def test_inhibitor_arc_disables(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 1)
+        net.add_place("BLOCK", 0)
+        net.add_place("OUT", 0)
+        net.add_timed_transition("T", delay=1.0)
+        net.add_input_arc("P", "T")
+        net.add_output_arc("T", "OUT")
+        net.add_inhibitor_arc("BLOCK", "T", multiplicity=1)
+        compiled = CompiledNet(net)
+        transition = compiled.transition_named("T")
+        assert transition.is_enabled((1, 0, 0))
+        assert not transition.is_enabled((1, 1, 0))
+
+    def test_multiplicity_requirement(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 3)
+        net.add_place("OUT", 0)
+        net.add_timed_transition("T", delay=1.0)
+        net.add_input_arc("P", "T", multiplicity=2)
+        net.add_output_arc("T", "OUT")
+        compiled = CompiledNet(net)
+        transition = compiled.transition_named("T")
+        assert transition.is_enabled((2, 0))
+        assert not transition.is_enabled((1, 0))
+
+
+class TestRatesAndFiring:
+    def test_single_server_rate_independent_of_tokens(self):
+        net = CompiledNet(machine_repair(machines=3, mttf=10.0, mttr=1.0, repair_crews=1))
+        repair = net.transition_named("REPAIR")
+        assert repair.effective_rate((0, 3)) == pytest.approx(1.0)
+        assert repair.effective_rate((2, 1)) == pytest.approx(1.0)
+
+    def test_infinite_server_rate_scales_with_degree(self):
+        net = CompiledNet(machine_repair(machines=3, mttf=10.0, mttr=1.0))
+        fail = net.transition_named("FAIL")
+        assert fail.effective_rate((3, 0)) == pytest.approx(0.3)
+        assert fail.effective_rate((1, 2)) == pytest.approx(0.1)
+
+    def test_enabling_degree_with_multiplicity(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 5)
+        net.add_place("OUT", 0)
+        net.add_timed_transition("T", delay=1.0, semantics=ServerSemantics.INFINITE_SERVER)
+        net.add_input_arc("P", "T", multiplicity=2)
+        net.add_output_arc("T", "OUT")
+        compiled = CompiledNet(net)
+        assert compiled.transition_named("T").enabling_degree((5, 0)) == 2
+
+    def test_fire_moves_tokens(self):
+        net = compiled_simple()
+        failure = net.transition_named("X_Failure")
+        assert failure.fire((1, 0)) == (0, 1)
+
+    def test_fire_with_insufficient_tokens_raises(self):
+        net = compiled_simple()
+        failure = net.transition_named("X_Failure")
+        with pytest.raises(ModelError):
+            failure.fire((0, 1))
+
+    def test_effective_rate_rejected_for_immediate(self):
+        net = CompiledNet(guarded_failover())
+        with pytest.raises(ModelError):
+            net.transition_named("ACTIVATE").effective_rate((0, 1, 1, 0))
+
+
+class TestMarkingClassification:
+    def test_vanishing_detection(self):
+        net = CompiledNet(guarded_failover())
+        # Primary just failed, spare still idle -> ACTIVATE enabled -> vanishing.
+        assert net.is_vanishing((0, 1, 1, 0))
+        # Primary up, spare idle -> DEACTIVATE requires a SPARE_ACTIVE token -> tangible.
+        assert not net.is_vanishing((1, 0, 1, 0))
+
+    def test_enabled_immediate_respects_priority(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 1)
+        net.add_place("A", 0)
+        net.add_place("B", 0)
+        net.add_immediate_transition("LOW", weight=1.0, priority=1)
+        net.add_immediate_transition("HIGH", weight=1.0, priority=2)
+        net.add_input_arc("P", "LOW")
+        net.add_output_arc("LOW", "A")
+        net.add_input_arc("P", "HIGH")
+        net.add_output_arc("HIGH", "B")
+        compiled = CompiledNet(net)
+        enabled = compiled.enabled_immediate((1, 0, 0))
+        assert [t.name for t in enabled] == ["HIGH"]
+
+    def test_enabled_timed_listing(self):
+        net = compiled_simple()
+        assert [t.name for t in net.enabled_timed((1, 0))] == ["X_Failure"]
+        assert [t.name for t in net.enabled_timed((0, 1))] == ["X_Repair"]

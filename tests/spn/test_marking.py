@@ -1,0 +1,54 @@
+"""Tests for marking views and conversion helpers."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.spn import MarkingView, marking_vector
+
+
+PLACE_INDEX = {"A": 0, "B": 1, "C": 2}
+
+
+class TestMarkingView:
+    def test_lookup_by_place_name(self):
+        view = MarkingView((1, 0, 3), PLACE_INDEX)
+        assert view["A"] == 1
+        assert view["C"] == 3
+
+    def test_mapping_protocol(self):
+        view = MarkingView((1, 0, 3), PLACE_INDEX)
+        assert len(view) == 3
+        assert set(view) == {"A", "B", "C"}
+        assert dict(view) == {"A": 1, "B": 0, "C": 3}
+
+    def test_non_empty_places(self):
+        view = MarkingView((1, 0, 3), PLACE_INDEX)
+        assert view.non_empty_places() == {"A": 1, "C": 3}
+
+    def test_tokens_property(self):
+        assert MarkingView((1, 0, 3), PLACE_INDEX).tokens == (1, 0, 3)
+
+    def test_unknown_place_raises(self):
+        view = MarkingView((1, 0, 3), PLACE_INDEX)
+        with pytest.raises(ModelError):
+            _ = view["missing"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            MarkingView((1, 0), PLACE_INDEX)
+
+
+class TestMarkingVector:
+    def test_conversion_with_defaults(self):
+        assert marking_vector({"A": 2}, PLACE_INDEX) == (2, 0, 0)
+
+    def test_full_specification(self):
+        assert marking_vector({"A": 1, "B": 2, "C": 3}, PLACE_INDEX) == (1, 2, 3)
+
+    def test_unknown_place_rejected(self):
+        with pytest.raises(ModelError):
+            marking_vector({"Z": 1}, PLACE_INDEX)
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ModelError):
+            marking_vector({"A": -1}, PLACE_INDEX)

@@ -1,0 +1,160 @@
+"""Tests for the SPN model definition API."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.spn import ArcKind, ServerSemantics, StochasticPetriNet
+
+from tests.spn.nets import simple_component
+
+
+class TestPlaces:
+    def test_add_and_query_place(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", initial_tokens=2)
+        assert net.place("P").initial_tokens == 2
+        assert net.has_place("P")
+        assert net.place_names == ["P"]
+
+    def test_re_adding_same_place_is_idempotent(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 1)
+        net.add_place("P", 1)
+        assert len(net.places) == 1
+
+    def test_re_adding_with_different_marking_fails(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 1)
+        with pytest.raises(ModelError):
+            net.add_place("P", 2)
+
+    def test_negative_initial_tokens_rejected(self):
+        net = StochasticPetriNet("n")
+        with pytest.raises(ModelError):
+            net.add_place("P", -1)
+
+    def test_set_initial_tokens(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 0)
+        net.set_initial_tokens("P", 5)
+        assert net.place("P").initial_tokens == 5
+
+    def test_unknown_place_lookup_fails(self):
+        with pytest.raises(ModelError):
+            StochasticPetriNet("n").place("missing")
+
+    def test_initial_marking_mapping(self):
+        net = simple_component("X", 10.0, 1.0)
+        assert net.initial_marking() == {"X_ON": 1, "X_OFF": 0}
+
+
+class TestTransitions:
+    def test_timed_transition_rate(self):
+        net = StochasticPetriNet("n")
+        transition = net.add_timed_transition("T", delay=4.0)
+        assert transition.rate == pytest.approx(0.25)
+        assert not transition.immediate
+
+    def test_timed_transition_requires_positive_delay(self):
+        net = StochasticPetriNet("n")
+        with pytest.raises(ModelError):
+            net.add_timed_transition("T", delay=0.0)
+
+    def test_immediate_transition_attributes(self):
+        net = StochasticPetriNet("n")
+        transition = net.add_immediate_transition("I", weight=2.0, priority=3)
+        assert transition.immediate
+        assert transition.weight == 2.0
+        assert transition.priority == 3
+
+    def test_immediate_rate_is_undefined(self):
+        net = StochasticPetriNet("n")
+        transition = net.add_immediate_transition("I")
+        with pytest.raises(ModelError):
+            _ = transition.rate
+
+    def test_immediate_rejects_non_positive_weight(self):
+        net = StochasticPetriNet("n")
+        with pytest.raises(ModelError):
+            net.add_immediate_transition("I", weight=0.0)
+
+    def test_duplicate_transition_name_rejected(self):
+        net = StochasticPetriNet("n")
+        net.add_timed_transition("T", delay=1.0)
+        with pytest.raises(ModelError):
+            net.add_immediate_transition("T")
+
+    def test_transition_name_clash_with_place_rejected(self):
+        net = StochasticPetriNet("n")
+        net.add_place("X")
+        with pytest.raises(ModelError):
+            net.add_timed_transition("X", delay=1.0)
+
+    def test_semantics_accepts_paper_shorthand(self):
+        net = StochasticPetriNet("n")
+        transition = net.add_timed_transition("T", delay=1.0, semantics="is")
+        assert transition.semantics is ServerSemantics.INFINITE_SERVER
+
+    def test_unknown_semantics_rejected(self):
+        net = StochasticPetriNet("n")
+        with pytest.raises(ModelError):
+            net.add_timed_transition("T", delay=1.0, semantics="many")
+
+    def test_guard_parsed_from_string(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P")
+        transition = net.add_immediate_transition("I", guard="#P > 0")
+        assert transition.guard is not None
+        assert transition.guard.places() == frozenset({"P"})
+
+
+class TestArcs:
+    def test_arc_kinds_recorded(self):
+        net = simple_component("X")
+        kinds = {(arc.kind, arc.place, arc.transition) for arc in net.arcs}
+        assert (ArcKind.INPUT, "X_ON", "X_Failure") in kinds
+        assert (ArcKind.OUTPUT, "X_OFF", "X_Failure") in kinds
+
+    def test_arcs_of_transition(self):
+        net = simple_component("X")
+        arcs = net.arcs_of("X_Failure")
+        assert len(arcs) == 2
+
+    def test_arc_to_unknown_place_rejected(self):
+        net = StochasticPetriNet("n")
+        net.add_timed_transition("T", delay=1.0)
+        with pytest.raises(ModelError):
+            net.add_input_arc("missing", "T")
+
+    def test_arc_to_unknown_transition_rejected(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P")
+        with pytest.raises(ModelError):
+            net.add_output_arc("missing", "P")
+
+    def test_zero_multiplicity_rejected(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P")
+        net.add_timed_transition("T", delay=1.0)
+        with pytest.raises(ModelError):
+            net.add_input_arc("P", "T", multiplicity=0)
+
+    def test_inhibitor_arc(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P")
+        net.add_timed_transition("T", delay=1.0)
+        arc = net.add_inhibitor_arc("P", "T", multiplicity=2)
+        assert arc.kind is ArcKind.INHIBITOR
+        assert arc.multiplicity == 2
+
+
+class TestNet:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            StochasticPetriNet("")
+
+    def test_repr_mentions_counts(self):
+        net = simple_component("X")
+        text = repr(net)
+        assert "places=2" in text
+        assert "transitions=2" in text

@@ -1,0 +1,95 @@
+"""Tests for parametric re-rating of reachability graphs."""
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.spn import (
+    generate_tangible_reachability_graph,
+    solve_steady_state,
+    with_transition_delays,
+    with_transition_rates,
+)
+
+from tests.spn.nets import machine_repair, simple_component
+
+
+def graph_for(mttf=100.0, mttr=2.0):
+    return generate_tangible_reachability_graph(simple_component("X", mttf, mttr))
+
+
+class TestWithTransitionRates:
+    def test_re_rated_graph_matches_fresh_generation(self):
+        base = graph_for(mttf=100.0, mttr=2.0)
+        re_rated = with_transition_rates(base, {"X_Failure": 1.0 / 50.0, "X_Repair": 1.0 / 5.0})
+        fresh = graph_for(mttf=50.0, mttr=5.0)
+        a_re_rated = solve_steady_state(re_rated).probability("#X_ON > 0")
+        a_fresh = solve_steady_state(fresh).probability("#X_ON > 0")
+        assert a_re_rated == pytest.approx(a_fresh, rel=1e-12)
+
+    def test_unmentioned_transitions_keep_original_rates(self):
+        base = graph_for(mttf=100.0, mttr=2.0)
+        re_rated = with_transition_rates(base, {"X_Repair": 1.0})
+        assert re_rated.base_rates["X_Failure"] == pytest.approx(0.01)
+        assert re_rated.base_rates["X_Repair"] == pytest.approx(1.0)
+
+    def test_original_graph_not_mutated(self):
+        base = graph_for(mttf=100.0, mttr=2.0)
+        original_rates = dict(base.base_rates)
+        original_edges = dict(base.transitions)
+        with_transition_rates(base, {"X_Failure": 0.5})
+        assert base.base_rates == original_rates
+        assert base.transitions == original_edges
+
+    def test_throughput_contributions_re_rated(self):
+        base = graph_for(mttf=100.0, mttr=2.0)
+        re_rated = with_transition_rates(base, {"X_Failure": 0.02})
+        solution = solve_steady_state(re_rated)
+        availability = solution.probability("#X_ON > 0")
+        assert solution.throughput("X_Failure") == pytest.approx(availability * 0.02)
+
+    def test_infinite_server_coefficients_preserved(self):
+        base = generate_tangible_reachability_graph(machine_repair(machines=3, mttf=10.0, mttr=1.0))
+        re_rated = with_transition_delays(base, {"FAIL": 20.0, "REPAIR": 2.0})
+        fresh = generate_tangible_reachability_graph(machine_repair(machines=3, mttf=20.0, mttr=2.0))
+        assert solve_steady_state(re_rated).expected_tokens("#BROKEN") == pytest.approx(
+            solve_steady_state(fresh).expected_tokens("#BROKEN"), rel=1e-12
+        )
+
+    def test_unknown_transition_rejected(self):
+        with pytest.raises(AnalysisError):
+            with_transition_rates(graph_for(), {"missing": 1.0})
+
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(AnalysisError):
+            with_transition_rates(graph_for(), {"X_Failure": 0.0})
+
+    def test_graph_without_coefficients_rejected(self):
+        base = graph_for()
+        stripped = type(base)(
+            net=base.net,
+            markings=base.markings,
+            initial_distribution=base.initial_distribution,
+            transitions=base.transitions,
+        )
+        with pytest.raises(AnalysisError):
+            with_transition_rates(stripped, {"X_Failure": 1.0})
+
+
+class TestWithTransitionDelays:
+    def test_delays_are_inverted_rates(self):
+        base = graph_for(mttf=100.0, mttr=2.0)
+        re_rated = with_transition_delays(base, {"X_Failure": 200.0})
+        assert re_rated.base_rates["X_Failure"] == pytest.approx(0.005)
+
+    def test_non_positive_delay_rejected(self):
+        with pytest.raises(AnalysisError):
+            with_transition_delays(graph_for(), {"X_Failure": 0.0})
+
+    def test_chained_re_rating_is_consistent(self):
+        base = graph_for(mttf=100.0, mttr=2.0)
+        once = with_transition_delays(base, {"X_Failure": 50.0})
+        twice = with_transition_delays(once, {"X_Repair": 4.0})
+        fresh = graph_for(mttf=50.0, mttr=4.0)
+        assert solve_steady_state(twice).probability("#X_ON > 0") == pytest.approx(
+            solve_steady_state(fresh).probability("#X_ON > 0"), rel=1e-12
+        )

@@ -1,0 +1,84 @@
+"""Property-based tests for the SPN engine (hypothesis)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.metrics import availability_from_mttf_mttr
+from repro.spn import (
+    CompiledNet,
+    generate_tangible_reachability_graph,
+    solve_steady_state,
+)
+
+from tests.spn.nets import machine_repair, mm1k_queue, simple_component
+
+positive_time = st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+
+
+@given(mttf=positive_time, mttr=positive_time)
+@settings(max_examples=60, deadline=None)
+def test_simple_component_availability_matches_closed_form(mttf, mttr):
+    """P{#X_ON>0} equals MTTF/(MTTF+MTTR) for any parameter values."""
+    solution = solve_steady_state(simple_component("X", mttf, mttr))
+    expected = availability_from_mttf_mttr(mttf, mttr)
+    assert solution.probability("#X_ON > 0") == pytest.approx(expected, rel=1e-9)
+
+
+@given(
+    machines=st.integers(min_value=1, max_value=6),
+    mttf=positive_time,
+    mttr=positive_time,
+)
+@settings(max_examples=40, deadline=None)
+def test_machine_repair_token_conservation(machines, mttf, mttr):
+    """Every tangible marking conserves the total number of machines."""
+    graph = generate_tangible_reachability_graph(machine_repair(machines, mttf, mttr))
+    for marking in graph.markings:
+        assert sum(marking) == machines
+    assert graph.number_of_states == machines + 1
+
+
+@given(
+    machines=st.integers(min_value=1, max_value=5),
+    mttf=positive_time,
+    mttr=positive_time,
+)
+@settings(max_examples=40, deadline=None)
+def test_steady_state_probabilities_form_distribution(machines, mttf, mttr):
+    """The stationary vector is a probability distribution."""
+    solution = solve_steady_state(machine_repair(machines, mttf, mttr))
+    assert solution.probabilities.sum() == pytest.approx(1.0)
+    assert (solution.probabilities >= -1e-12).all()
+
+
+@given(capacity=st.integers(min_value=1, max_value=8), arrival=positive_time, service=positive_time)
+@settings(max_examples=40, deadline=None)
+def test_mm1k_reachability_size_and_boundedness(capacity, arrival, service):
+    """The M/M/1/k net has exactly capacity+1 tangible markings, all bounded."""
+    graph = generate_tangible_reachability_graph(mm1k_queue(arrival, service, capacity))
+    assert graph.number_of_states == capacity + 1
+    for marking in graph.markings:
+        assert max(marking) <= capacity
+
+
+@given(mttf=positive_time, mttr=positive_time)
+@settings(max_examples=30, deadline=None)
+def test_probability_and_complement_sum_to_one(mttf, mttr):
+    """P{expr} + P{NOT expr} = 1 for any marking predicate."""
+    solution = solve_steady_state(simple_component("X", mttf, mttr))
+    p_up = solution.probability("#X_ON > 0")
+    p_down = solution.probability("NOT (#X_ON > 0)")
+    assert p_up + p_down == pytest.approx(1.0)
+
+
+@given(mttf=positive_time, mttr=positive_time)
+@settings(max_examples=30, deadline=None)
+def test_expected_tokens_matches_weighted_sum(mttf, mttr):
+    """E{#p} equals the probability-weighted token count over all markings."""
+    solution = solve_steady_state(simple_component("X", mttf, mttr))
+    manual = sum(
+        probability * marking[solution.graph.net.place_index["X_ON"]]
+        for marking, probability in zip(solution.graph.markings, solution.probabilities)
+    )
+    assert solution.expected_tokens("#X_ON") == pytest.approx(manual)

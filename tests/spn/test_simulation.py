@@ -1,0 +1,160 @@
+"""Tests for the discrete-event SPN simulator."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.spn import (
+    ExpectedTokensMeasure,
+    ProbabilityMeasure,
+    StochasticPetriNet,
+    ThroughputMeasure,
+    simulate,
+    solve_steady_state,
+)
+
+from tests.spn.nets import immediate_routing, machine_repair, simple_component
+
+
+AVAILABILITY = ProbabilityMeasure("availability", "#X_ON > 0")
+
+
+class TestAgainstAnalyticResults:
+    def test_simple_component_availability(self):
+        net = simple_component("X", mttf=100.0, mttr=10.0)
+        analytic = solve_steady_state(net).probability("#X_ON > 0")
+        result = simulate(net, [AVAILABILITY], horizon=50_000.0, replications=6, seed=42)
+        estimate = result["availability"]
+        assert estimate.mean == pytest.approx(analytic, abs=0.02)
+        assert estimate.half_width < 0.05
+
+    def test_machine_repair_expected_tokens(self):
+        net = machine_repair(machines=3, mttf=10.0, mttr=1.0)
+        analytic = solve_steady_state(net).expected_tokens("#BROKEN")
+        result = simulate(
+            net,
+            [ExpectedTokensMeasure("broken", "#BROKEN")],
+            horizon=20_000.0,
+            replications=6,
+            seed=7,
+        )
+        assert result.value("broken") == pytest.approx(analytic, rel=0.1)
+
+    def test_throughput_estimate(self):
+        net = simple_component("X", mttf=50.0, mttr=5.0)
+        analytic = solve_steady_state(net).throughput("X_Failure")
+        result = simulate(
+            net,
+            [ThroughputMeasure("failures", "X_Failure")],
+            horizon=50_000.0,
+            replications=6,
+            seed=3,
+        )
+        assert result.value("failures") == pytest.approx(analytic, rel=0.15)
+
+    def test_immediate_routing_weights_respected(self):
+        net = immediate_routing(weight_a=1.0, weight_b=3.0)
+        result = simulate(
+            net,
+            [
+                ProbabilityMeasure("on_a", "#PATH_A = 1"),
+                ProbabilityMeasure("on_b", "#PATH_B = 1"),
+            ],
+            horizon=20_000.0,
+            replications=4,
+            seed=11,
+        )
+        ratio = result.value("on_b") / result.value("on_a")
+        assert ratio == pytest.approx(3.0, rel=0.2)
+
+
+class TestReproducibility:
+    def test_same_seed_gives_same_estimates(self):
+        net = simple_component("X", mttf=100.0, mttr=10.0)
+        first = simulate(net, [AVAILABILITY], horizon=1_000.0, replications=3, seed=5)
+        second = simulate(net, [AVAILABILITY], horizon=1_000.0, replications=3, seed=5)
+        assert first["availability"].replication_values == second["availability"].replication_values
+
+    def test_different_seeds_differ(self):
+        net = simple_component("X", mttf=100.0, mttr=10.0)
+        first = simulate(net, [AVAILABILITY], horizon=1_000.0, replications=3, seed=5)
+        second = simulate(net, [AVAILABILITY], horizon=1_000.0, replications=3, seed=6)
+        assert (
+            first["availability"].replication_values
+            != second["availability"].replication_values
+        )
+
+
+class TestEstimates:
+    def test_confidence_interval_contains_mean(self):
+        net = simple_component("X", mttf=100.0, mttr=10.0)
+        estimate = simulate(net, [AVAILABILITY], horizon=5_000.0, replications=5, seed=1)[
+            "availability"
+        ]
+        assert estimate.lower <= estimate.mean <= estimate.upper
+        assert estimate.contains(estimate.mean)
+
+    def test_single_replication_has_zero_half_width(self):
+        net = simple_component("X")
+        estimate = simulate(net, [AVAILABILITY], horizon=500.0, replications=1, seed=1)[
+            "availability"
+        ]
+        assert estimate.half_width == 0.0
+
+    def test_absorbing_net_spends_remaining_time_in_final_state(self):
+        net = StochasticPetriNet("absorbing")
+        net.add_place("RUN", 1)
+        net.add_place("DEAD", 0)
+        net.add_timed_transition("DIE", delay=1.0)
+        net.add_input_arc("RUN", "DIE")
+        net.add_output_arc("DIE", "DEAD")
+        result = simulate(
+            net,
+            [ProbabilityMeasure("dead", "#DEAD = 1")],
+            horizon=1_000.0,
+            replications=3,
+            warmup_fraction=0.0,
+            seed=2,
+        )
+        assert result.value("dead") > 0.99
+
+
+class TestArgumentValidation:
+    def test_invalid_horizon(self):
+        with pytest.raises(SimulationError):
+            simulate(simple_component("X"), [AVAILABILITY], horizon=0.0)
+
+    def test_invalid_replications(self):
+        with pytest.raises(SimulationError):
+            simulate(simple_component("X"), [AVAILABILITY], horizon=10.0, replications=0)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(SimulationError):
+            simulate(
+                simple_component("X"), [AVAILABILITY], horizon=10.0, warmup_fraction=1.0
+            )
+
+    def test_invalid_confidence_level(self):
+        with pytest.raises(SimulationError):
+            simulate(
+                simple_component("X"), [AVAILABILITY], horizon=10.0, confidence_level=1.0
+            )
+
+    def test_unknown_throughput_transition(self):
+        with pytest.raises(SimulationError):
+            simulate(
+                simple_component("X"),
+                [ThroughputMeasure("t", "missing")],
+                horizon=10.0,
+            )
+
+    def test_custom_initial_marking(self):
+        net = simple_component("X", mttf=100.0, mttr=10.0)
+        result = simulate(
+            net,
+            [AVAILABILITY],
+            horizon=2_000.0,
+            replications=2,
+            seed=9,
+            initial_marking={"X_ON": 0, "X_OFF": 1},
+        )
+        assert 0.0 < result.value("availability") < 1.0

@@ -1,0 +1,94 @@
+"""Tests for structural net validation."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.spn import Severity, StochasticPetriNet, validate
+
+from tests.spn.nets import guarded_failover, simple_component
+
+
+class TestValidNets:
+    def test_simple_component_is_clean(self):
+        assert validate(simple_component("X")) == []
+
+    def test_guarded_failover_is_clean(self):
+        assert validate(guarded_failover()) == []
+
+
+class TestErrors:
+    def test_guard_referencing_unknown_place(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 1)
+        net.add_place("Q", 0)
+        net.add_immediate_transition("T", guard="#MISSING > 0")
+        net.add_input_arc("P", "T")
+        net.add_output_arc("T", "Q")
+        with pytest.raises(ModelError):
+            validate(net)
+        issues = validate(net, raise_on_error=False)
+        assert any(issue.severity is Severity.ERROR for issue in issues)
+
+    def test_guard_with_unresolved_identifier(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 1)
+        net.add_place("Q", 0)
+        net.add_immediate_transition("T", guard="#P > threshold")
+        net.add_input_arc("P", "T")
+        net.add_output_arc("T", "Q")
+        issues = validate(net, raise_on_error=False)
+        assert any("identifier" in issue.message for issue in issues)
+
+    def test_disconnected_transition(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 1)
+        net.add_timed_transition("T", delay=1.0)
+        issues = validate(net, raise_on_error=False)
+        assert any(issue.subject == "T" and issue.severity is Severity.ERROR for issue in issues)
+
+    def test_unguarded_immediate_source(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 0)
+        net.add_immediate_transition("T")
+        net.add_output_arc("T", "P")
+        with pytest.raises(ModelError):
+            validate(net)
+
+
+class TestWarnings:
+    def test_timed_source_transition_warns(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 0)
+        net.add_place("Q", 1)
+        net.add_timed_transition("SOURCE", delay=1.0)
+        net.add_output_arc("SOURCE", "P")
+        net.add_timed_transition("DRAIN", delay=1.0)
+        net.add_input_arc("P", "DRAIN")
+        net.add_input_arc("Q", "DRAIN")
+        issues = validate(net, raise_on_error=False)
+        warnings = [issue for issue in issues if issue.severity is Severity.WARNING]
+        assert any("unbounded" in issue.message for issue in warnings)
+
+    def test_isolated_place_warns(self):
+        net = simple_component("X")
+        net.add_place("UNUSED", 0)
+        issues = validate(net, raise_on_error=False)
+        assert any(issue.subject == "UNUSED" for issue in issues)
+
+    def test_place_only_used_in_guard_is_not_isolated(self):
+        net = simple_component("X")
+        net.add_place("FLAG", 1)
+        net.add_immediate_transition("NOOP", guard="#FLAG = 0 AND #X_OFF > 0")
+        net.add_input_arc("X_OFF", "NOOP")
+        net.add_output_arc("NOOP", "X_OFF")
+        issues = validate(net, raise_on_error=False)
+        assert not any(issue.subject == "FLAG" for issue in issues)
+
+    def test_errors_sorted_before_warnings(self):
+        net = StochasticPetriNet("n")
+        net.add_place("P", 0)
+        net.add_place("LONELY", 0)
+        net.add_timed_transition("T", delay=1.0)  # disconnected -> error
+        issues = validate(net, raise_on_error=False)
+        severities = [issue.severity for issue in issues]
+        assert severities == sorted(severities, key=lambda s: 0 if s is Severity.ERROR else 1)

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_availability_defaults(self):
+        arguments = build_parser().parse_args(["availability"])
+        assert arguments.first == "Rio de Janeiro"
+        assert arguments.second == "Brasilia"
+        assert arguments.alpha == 0.35
+        assert not arguments.full
+
+    def test_figure7_pair_limit(self):
+        arguments = build_parser().parse_args(["figure7", "--pairs", "2"])
+        assert arguments.pairs == 2
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_availability_command(self, capsys):
+        exit_code = main(
+            ["availability", "--second", "Brasilia", "--alpha", "0.40", "--disaster-years", "200"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "availability" in output
+        assert "nines" in output
+        assert "Brasilia" in output
+
+    def test_availability_rejects_unknown_city(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["availability", "--second", "Atlantis"])
+
+    def test_table7_command_prints_every_row(self, capsys):
+        assert main(["table7"]) == 0
+        output = capsys.readouterr().out
+        assert "Cloud system with one machine" in output
+        assert "Tokyo" in output
+
+    def test_figure7_command_restricted_to_one_pair(self, capsys):
+        assert main(["figure7", "--pairs", "1"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("Brasilia") == 9
+        assert "Tokyo" not in output
+
+    def test_ablations_command(self, capsys):
+        assert main(["ablations"]) == 0
+        output = capsys.readouterr().out
+        assert "no_backup_server" in output
+
+    def test_sensitivity_command(self, capsys):
+        assert main(["sensitivity", "--factor", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "physical_machine" in output
