@@ -11,12 +11,70 @@ The benchmark evaluates the nearest and the farthest pair (Brasília and
 Tokyo); ``scripts/run_full_casestudy.py`` produces all five pairs.
 """
 
+import time
+
 import pytest
 
 from repro.casestudy import best_configuration, render_figure7, reproduce_figure7
+from repro.casestudy.figure7 import figure7_grid
 from repro.core.scenarios import CITY_PAIRS
+from repro.spn import solve_steady_state, with_transition_delays
 
 BENCH_PAIRS = (CITY_PAIRS[0], CITY_PAIRS[4])  # Rio-Brasilia and Rio-Tokyo
+
+
+def seed_style_loop(runner, scenarios):
+    """The seed code path: per-scenario re-rate + cold steady-state solve.
+
+    This is what the pipeline did before the batch engine: every scenario
+    re-rates the shared graph and then solves the CTMC from scratch — no
+    symbolic system reuse, no factorisation reuse, no warm starts.  Kept
+    here as the reference both for the speedup measurement and for the
+    numerical-equivalence check.
+    """
+    graph = runner.graph()
+    expression = runner.reference_model().availability_expression()
+    availabilities = []
+    for scenario in scenarios:
+        re_rated = with_transition_delays(graph, runner.scenario_delays(scenario))
+        availabilities.append(
+            solve_steady_state(re_rated, method=runner.method).probability(expression)
+        )
+    return availabilities
+
+
+def bench_batch_engine_vs_seed_loop(benchmark, sweep_runner):
+    """Acceptance benchmark: the batch engine must beat the seed loop.
+
+    Same state space (generated once, outside both timed sections), same
+    scenarios; the engine path re-fills one symbolic system and reuses the
+    factorisation / warm start, the seed path cold-solves every scenario.
+    Per-scenario availabilities must agree to 1e-10.
+    """
+    scenarios = figure7_grid(city_pairs=(CITY_PAIRS[0],))  # 9-point grid
+    sweep_runner.graph()  # one-off generation outside the timed sections
+
+    started = time.perf_counter()
+    seed_values = seed_style_loop(sweep_runner, scenarios)
+    seed_seconds = time.perf_counter() - started
+
+    def engine_batch():
+        return sweep_runner.evaluate_many(scenarios)
+
+    evaluations = benchmark.pedantic(engine_batch, rounds=1, iterations=1)
+    engine_seconds = sum(e.solve_seconds for e in evaluations)
+
+    worst = max(
+        abs(evaluation.availability.availability - seed_value)
+        for evaluation, seed_value in zip(evaluations, seed_values)
+    )
+    print()
+    print(
+        f"engine batch: {engine_seconds:.2f}s, seed-style loop: {seed_seconds:.2f}s "
+        f"({seed_seconds / engine_seconds:.1f}x), max |Δavailability| = {worst:.2e}"
+    )
+    assert worst < 1e-10
+    assert engine_seconds < seed_seconds
 
 
 def bench_figure7_two_pairs(benchmark, sweep_runner):
@@ -104,3 +162,67 @@ def bench_single_scenario_re_rate_and_solve(benchmark, sweep_runner):
         sweep_runner.evaluate, args=(scenario,), rounds=1, iterations=1
     )
     assert 0.99 < evaluation.availability.availability < 1.0
+
+
+def _quick_smoke() -> int:
+    """Stand-alone smoke run used by CI: reduced config, one city pair.
+
+    Exercises the whole stack — generation, vectorized re-rating, symbolic
+    refill, factorisation reuse, parallel fan-out — and verifies the batch
+    engine against the seed-style loop without needing pytest-benchmark.
+    """
+    from repro.casestudy import DistributedSweepRunner
+    from repro.core import CaseStudyParameters
+
+    runner = DistributedSweepRunner(
+        parameters=CaseStudyParameters(required_running_vms=1),
+        machines_per_datacenter=1,
+    )
+    scenarios = figure7_grid(city_pairs=(CITY_PAIRS[0],))
+    graph = runner.graph()
+    print(f"shared state space: {graph.number_of_states} tangible markings")
+
+    started = time.perf_counter()
+    seed_values = seed_style_loop(runner, scenarios)
+    seed_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sequential = runner.evaluate_many(scenarios)
+    engine_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = runner.evaluate_many(scenarios, max_workers=4)
+    parallel_seconds = time.perf_counter() - started
+
+    worst_engine = max(
+        abs(e.availability.availability - s) for e, s in zip(sequential, seed_values)
+    )
+    worst_parallel = max(
+        abs(a.availability.availability - b.availability.availability)
+        for a, b in zip(sequential, parallel)
+    )
+    print(
+        f"seed-style loop : {seed_seconds:6.2f}s\n"
+        f"engine batch    : {engine_seconds:6.2f}s ({seed_seconds / engine_seconds:.1f}x)\n"
+        f"engine parallel : {parallel_seconds:6.2f}s\n"
+        f"max |Δ| engine vs seed     : {worst_engine:.2e}\n"
+        f"max |Δ| parallel vs serial : {worst_parallel:.2e}"
+    )
+    if worst_engine >= 1e-10:
+        print("FAIL: engine deviates from the seed path")
+        return 1
+    if engine_seconds >= seed_seconds:
+        print("FAIL: engine batch is not faster than the seed-style loop")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--quick" in sys.argv:
+        raise SystemExit(_quick_smoke())
+    raise SystemExit(
+        "run under pytest (pytest benchmarks/ --benchmark-only) or pass --quick"
+    )

@@ -12,6 +12,8 @@ The package is organised as a small stack:
 * :mod:`repro.network` — geography, latency, throughput and migration times,
 * :mod:`repro.core` — the paper's models (SIMPLE_COMPONENT, VM_BEHAVIOR,
   TRANSMISSION_COMPONENT, hierarchical RBD→SPN flow, CloudSystemModel),
+* :mod:`repro.engine` — the sparse-native scenario-batch engine (one state
+  space, many parameter points),
 * :mod:`repro.casestudy` — the Table VII / Figure 7 experiment harness.
 
 Quickstart::
@@ -26,10 +28,11 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import core, expressions, markov, metrics, network, rbd, spn
+from repro import core, engine, expressions, markov, metrics, network, rbd, spn
 
 __all__ = [
     "core",
+    "engine",
     "expressions",
     "markov",
     "metrics",

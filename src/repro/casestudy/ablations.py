@@ -12,11 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.casestudy.sensitivity import timed_transition_rates
 from repro.core.cloud_model import CloudSystemModel
 from repro.core.datacenter import two_datacenter_spec
 from repro.core.parameters import CaseStudyParameters, DEFAULT_PARAMETERS
+from repro.engine import ScenarioBatchEngine
 from repro.metrics import AvailabilityResult, Duration
 from repro.network.geo import BRASILIA, RIO_DE_JANEIRO, SAO_PAULO, City
+from repro.spn.analysis import SteadyStateSolution
 
 
 @dataclass(frozen=True)
@@ -49,6 +52,8 @@ class AblationStudy:
     machines_per_datacenter: int = 1
     required_running_vms: int = 1
     parameters: CaseStudyParameters = field(default_factory=lambda: DEFAULT_PARAMETERS)
+    _engines: dict = field(default_factory=dict, repr=False)
+    _base_solutions: dict = field(default_factory=dict, repr=False)
 
     def _model(
         self,
@@ -71,47 +76,97 @@ class AblationStudy:
             spec = replace(spec, has_backup_server=False)
         return CloudSystemModel(spec=spec, parameters=parameters, alpha=self.alpha)
 
+    # --- engine plumbing --------------------------------------------------
+    #
+    # Ablations fall into three classes: structural changes (warm pool,
+    # backup removal) get their own engine/state space; rate-only changes
+    # (VM start time) re-rate the reference state space; expression-only
+    # changes (threshold k) re-use the reference *solution* outright.
+
+    def _engine_and_model(
+        self, warm_machines: int = 0, has_backup: bool = True
+    ) -> tuple[ScenarioBatchEngine, CloudSystemModel]:
+        key = (warm_machines, has_backup)
+        if key not in self._engines:
+            model = self._model(warm_machines=warm_machines, has_backup=has_backup)
+            self._engines[key] = (ScenarioBatchEngine(model.build()), model)
+        return self._engines[key]
+
+    def _base_solution(
+        self, warm_machines: int = 0, has_backup: bool = True
+    ) -> tuple[SteadyStateSolution, CloudSystemModel]:
+        key = (warm_machines, has_backup)
+        if key not in self._base_solutions:
+            engine, model = self._engine_and_model(warm_machines, has_backup)
+            self._base_solutions[key] = (engine.solve(), model)
+        return self._base_solutions[key]
+
     def reference(self) -> AblationResult:
         """The un-ablated reference configuration."""
+        solution, model = self._base_solution()
         return AblationResult(
             name="reference",
             description="backup server present, no warm pool, default threshold",
-            availability=self._model().availability(),
+            availability=model.availability(solution=solution),
         )
 
     def without_backup_server(self) -> AblationResult:
         """Remove the backup server (disasters can only be absorbed by direct migration)."""
+        solution, model = self._base_solution(has_backup=False)
         return AblationResult(
             name="no_backup_server",
             description="backup server removed",
-            availability=self._model(has_backup=False).availability(),
+            availability=model.availability(solution=solution),
         )
 
     def with_warm_pool(self, warm_machines: int = 1) -> AblationResult:
         """Add warm (idle but powered) machines to every data center."""
+        solution, model = self._base_solution(warm_machines=warm_machines)
         return AblationResult(
             name=f"warm_pool_{warm_machines}",
             description=f"{warm_machines} warm machine(s) added per data center",
-            availability=self._model(warm_machines=warm_machines).availability(),
+            availability=model.availability(solution=solution),
         )
 
     def with_threshold(self, required_running_vms: int) -> AblationResult:
-        """Change the availability threshold k."""
+        """Change the availability threshold k.
+
+        The threshold only appears in the availability *expression*, not in
+        the net, so the reference solution is re-used as-is and only the
+        measure is re-evaluated.
+        """
+        # Assemble the ablated spec purely for its validation (it raises on
+        # thresholds the deployment cannot satisfy); the solution is shared.
+        self._model(required=required_running_vms)
+        solution, model = self._base_solution()
+        value = solution.probability(
+            model.availability_expression(required_running_vms=required_running_vms)
+        )
         return AblationResult(
             name=f"threshold_k{required_running_vms}",
             description=f"system requires k={required_running_vms} running VMs",
-            availability=self._model(required=required_running_vms).availability(),
+            availability=AvailabilityResult(
+                min(1.0, max(0.0, value)),
+                label=f"k={required_running_vms}",
+            ),
         )
 
     def with_vm_start_time(self, minutes: float) -> AblationResult:
-        """Change the VM start time (the paper uses five minutes)."""
+        """Change the VM start time (the paper uses five minutes).
+
+        A pure rate change: the perturbed net is assembled only to read off
+        its rate assignment, which re-rates the reference state space.
+        """
         parameters = replace(
             self.parameters, vm_start_time=Duration.from_minutes(minutes)
         )
+        engine, model = self._engine_and_model()
+        perturbed = self._model(parameters=parameters)
+        solution = engine.solve(rates=timed_transition_rates(perturbed.build()))
         return AblationResult(
             name=f"vm_start_{minutes:g}min",
             description=f"VM start time of {minutes:g} minutes",
-            availability=self._model(parameters=parameters).availability(),
+            availability=model.availability(solution=solution),
         )
 
     def run_default_suite(self) -> list[AblationResult]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from repro.casestudy.runner import DistributedSweepRunner, SweepEvaluation
+from repro.casestudy.runner import DistributedSweepRunner
 from repro.core.parameters import ALPHA_VALUES, DISASTER_MEAN_TIME_YEARS
 from repro.core.scenarios import (
     BASELINE_ALPHA,
@@ -67,40 +67,44 @@ def reproduce_figure7(
     city_pairs=CITY_PAIRS,
     alphas: Sequence[float] = ALPHA_VALUES,
     disaster_years: Sequence[float] = DISASTER_MEAN_TIME_YEARS,
+    max_workers: Optional[int] = None,
 ) -> list[Figure7Point]:
     """Evaluate the Figure 7 sweep and report improvements over each baseline.
 
     The baseline of a city pair (α = 0.35, 100-year disasters) is always
     evaluated, even if excluded from ``alphas`` / ``disaster_years``, because
     the figure reports improvements relative to it.
+
+    The whole grid is submitted to the sweep runner as **one batch**, so the
+    shared state space is generated once and every point is a re-rate +
+    re-fill + warm-started re-solve; ``max_workers`` additionally fans the
+    batch out over the engine's thread pool.
     """
     runner = runner or DistributedSweepRunner()
+    grid: dict[tuple[str, float, float], DistributedScenario] = {}
+    for first, second in city_pairs:
+        pair_label = f"{first.name} - {second.name}"
+        keys = {(BASELINE_ALPHA, BASELINE_DISASTER_YEARS)}
+        keys.update((alpha, years) for alpha in alphas for years in disaster_years)
+        for alpha, years in sorted(keys):
+            grid[(pair_label, alpha, years)] = DistributedScenario(
+                first=first,
+                second=second,
+                alpha=alpha,
+                disaster_mean_time_years=years,
+            )
+
+    evaluations = dict(
+        zip(grid, runner.evaluate_many(grid.values(), max_workers=max_workers))
+    )
+
     points: list[Figure7Point] = []
     for first, second in city_pairs:
         pair_label = f"{first.name} - {second.name}"
-        baseline_scenario = DistributedScenario(
-            first=first,
-            second=second,
-            alpha=BASELINE_ALPHA,
-            disaster_mean_time_years=BASELINE_DISASTER_YEARS,
-        )
-        baseline = runner.evaluate(baseline_scenario)
-        evaluations: dict[tuple[float, float], SweepEvaluation] = {
-            (BASELINE_ALPHA, BASELINE_DISASTER_YEARS): baseline
-        }
-        for alpha in alphas:
-            for years in disaster_years:
-                key = (alpha, years)
-                if key not in evaluations:
-                    evaluations[key] = runner.evaluate(
-                        DistributedScenario(
-                            first=first,
-                            second=second,
-                            alpha=alpha,
-                            disaster_mean_time_years=years,
-                        )
-                    )
-        for (alpha, years), evaluation in sorted(evaluations.items()):
+        baseline = evaluations[(pair_label, BASELINE_ALPHA, BASELINE_DISASTER_YEARS)]
+        for (label, alpha, years), evaluation in sorted(evaluations.items()):
+            if label != pair_label:
+                continue
             points.append(
                 Figure7Point(
                     city_pair=pair_label,

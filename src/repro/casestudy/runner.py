@@ -4,32 +4,32 @@ All distributed configurations of Section V share one and the same net
 *structure* — two data centers, two PMs each, a backup server and the
 transmission component; the scenarios only differ in transition delays
 (disaster mean time, and the three MTT values derived from distance and α).
-``DistributedSweepRunner`` therefore generates the tangible reachability
-graph once and re-rates it per scenario via
-:func:`repro.spn.parametric.with_transition_delays`, which reduces the
-Figure 7 sweep from 45 state-space generations to one.
+``DistributedSweepRunner`` is a thin case-study adapter over the generic
+:class:`repro.engine.ScenarioBatchEngine`: the tangible reachability graph is
+generated once, each scenario is a vectorized re-rating of it, the
+constrained balance system is re-filled (never re-assembled) per scenario and
+the factorisation/warm-start state is reused across the sweep — which
+reduces the Figure 7 sweep from 45 state-space generations plus 45 cold
+solves to one generation, one factorisation and 45 cheap re-solves.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Optional
-
-import numpy as np
-from scipy.sparse import linalg as sparse_linalg
+from typing import Iterable, Optional, Sequence
 
 from repro.core.cloud_model import CloudSystemModel
 from repro.core.parameters import CaseStudyParameters, DEFAULT_PARAMETERS
 from repro.core.scenarios import DistributedScenario
+from repro.engine import ScenarioBatchEngine, ScenarioResult, ScenarioSpec
 from repro.exceptions import ConfigurationError
-from repro.markov import solvers
 from repro.metrics import AvailabilityResult
 from repro.network.migration import MigrationPlanner
-from repro.spn import solve_steady_state, with_transition_delays
-from repro.spn.analysis import SteadyStateSolution
-from repro.spn.ctmc_export import generator_matrix
-from repro.spn.reachability import TangibleReachabilityGraph, generate_tangible_reachability_graph
+from repro.spn.reachability import TangibleReachabilityGraph
+from repro.spn.rewards import ProbabilityMeasure
+
+#: Name of the availability measure evaluated for every scenario.
+AVAILABILITY_MEASURE = "availability"
 
 
 @dataclass
@@ -55,7 +55,7 @@ class DistributedSweepRunner:
             MTTF/MTTR, VM counts, threshold k).  Disaster mean time and
             migration delays are overridden per scenario.
         machines_per_datacenter: hot PMs per data center (2 in the paper).
-        method: stationary solver passed to the CTMC layer.
+        method: stationary solver passed to the batch engine.
         max_states: state-space limit for the one-off generation.
     """
 
@@ -64,10 +64,8 @@ class DistributedSweepRunner:
     method: str = "auto"
     max_states: int = 500_000
     symmetry_reduction: bool = True
-    _graph: Optional[TangibleReachabilityGraph] = field(default=None, repr=False)
+    _engine: Optional[ScenarioBatchEngine] = field(default=None, repr=False)
     _reference_model: Optional[CloudSystemModel] = field(default=None, repr=False)
-    _preconditioner: object = field(default=None, repr=False)
-    _warm_start: Optional[np.ndarray] = field(default=None, repr=False)
 
     def reference_model(self) -> CloudSystemModel:
         """The model whose structure is shared by every scenario of the sweep."""
@@ -95,23 +93,31 @@ class DistributedSweepRunner:
             self._reference_model = spec_model
         return self._reference_model
 
-    def graph(self) -> TangibleReachabilityGraph:
-        """Generate (once) and return the shared tangible reachability graph.
+    def engine(self) -> ScenarioBatchEngine:
+        """The (lazily constructed) batch engine sharing one state space.
 
-        With ``symmetry_reduction`` (the default) the graph is the exactly
-        lumped CTMC obtained from the exchangeability of the PMs within each
-        data center — the availability metric is symmetric under those
-        permutations, so the lumping is exact for every sweep evaluation.
+        With ``symmetry_reduction`` (the default) the engine's graph is the
+        exactly lumped CTMC obtained from the exchangeability of the PMs
+        within each data center — the availability metric is symmetric under
+        those permutations, so the lumping is exact for every sweep
+        evaluation.
         """
-        if self._graph is None:
+        if self._engine is None:
             model = self.reference_model()
             canonicalize = (
                 model.symmetry_canonicalizer() if self.symmetry_reduction else None
             )
-            self._graph = generate_tangible_reachability_graph(
-                model.build(), max_states=self.max_states, canonicalize=canonicalize
+            self._engine = ScenarioBatchEngine(
+                model.build(),
+                method=self.method,
+                max_states=self.max_states,
+                canonicalize=canonicalize,
             )
-        return self._graph
+        return self._engine
+
+    def graph(self) -> TangibleReachabilityGraph:
+        """Generate (once) and return the shared tangible reachability graph."""
+        return self.engine().graph()
 
     def scenario_delays(self, scenario: DistributedScenario) -> dict[str, float]:
         """Transition delays (hours) that distinguish ``scenario`` from the reference."""
@@ -131,62 +137,57 @@ class DistributedSweepRunner:
             "TBE_21": times.backup_to_first.hours,
         }
 
-    def _solve(self, graph: TangibleReachabilityGraph) -> SteadyStateSolution:
-        """Stationary solution of a (re-rated) graph.
-
-        For small graphs this simply delegates to the generic solver.  For
-        large graphs it uses ILU-preconditioned GMRES and — because the
-        scenarios of a sweep differ only in a handful of rates — reuses the
-        preconditioner and the previous solution as a warm start, which makes
-        every solve after the first one much cheaper.
-        """
-        if graph.number_of_states <= 20_000:
-            return solve_steady_state(graph, method=self.method)
-
-        system, rhs = solvers.constrained_balance_system(generator_matrix(graph))
-        for attempt in ("reuse", "rebuild"):
-            if self._preconditioner is None or attempt == "rebuild":
-                self._preconditioner = sparse_linalg.spilu(
-                    system, drop_tol=1e-6, fill_factor=20.0
-                )
-            operator = sparse_linalg.LinearOperator(
-                system.shape, self._preconditioner.solve
-            )
-            x0 = None
-            if self._warm_start is not None and self._warm_start.shape == rhs.shape:
-                x0 = self._warm_start
-            solution, info = sparse_linalg.gmres(
-                system, rhs, M=operator, x0=x0, rtol=1e-10, atol=0.0,
-                restart=60, maxiter=2000,
-            )
-            if info == 0 and np.all(np.isfinite(solution)):
-                probabilities = np.clip(solution, 0.0, None)
-                probabilities /= probabilities.sum()
-                self._warm_start = probabilities
-                return SteadyStateSolution(graph=graph, probabilities=probabilities)
-        # Preconditioned GMRES failed twice: fall back to the generic solver.
-        return solve_steady_state(graph, method=self.method)
-
-    def evaluate(self, scenario: DistributedScenario) -> SweepEvaluation:
-        """Availability of one scenario, reusing the shared state space."""
+    def scenario_spec(self, scenario: DistributedScenario) -> ScenarioSpec:
+        """The engine-level spec (delay overrides) of one case-study scenario."""
         if scenario.disaster_mean_time_years <= 0.0:
             raise ConfigurationError("the disaster mean time must be positive")
-        graph = self.graph()
-        started = time.perf_counter()
-        re_rated = with_transition_delays(graph, self.scenario_delays(scenario))
-        solution = self._solve(re_rated)
-        model = self.reference_model()
-        value = solution.probability(model.availability_expression())
-        elapsed = time.perf_counter() - started
+        return ScenarioSpec(
+            name=scenario.label, delays=self.scenario_delays(scenario)
+        )
+
+    def _availability_measure(self) -> ProbabilityMeasure:
+        return ProbabilityMeasure(
+            AVAILABILITY_MEASURE, self.reference_model().availability_expression()
+        )
+
+    def _to_evaluation(
+        self, scenario: DistributedScenario, result: ScenarioResult
+    ) -> SweepEvaluation:
+        value = result.value(AVAILABILITY_MEASURE)
         return SweepEvaluation(
             scenario=scenario,
             availability=AvailabilityResult(
                 min(1.0, max(0.0, value)), label=scenario.label
             ),
-            number_of_states=graph.number_of_states,
-            solve_seconds=elapsed,
+            number_of_states=result.number_of_states,
+            solve_seconds=result.solve_seconds,
         )
 
-    def evaluate_many(self, scenarios) -> list[SweepEvaluation]:
-        """Evaluate a list of scenarios sharing this runner's structure."""
-        return [self.evaluate(scenario) for scenario in scenarios]
+    def evaluate(self, scenario: DistributedScenario) -> SweepEvaluation:
+        """Availability of one scenario, reusing the shared state space."""
+        result = self.engine().evaluate(
+            self.scenario_spec(scenario), [self._availability_measure()]
+        )
+        return self._to_evaluation(scenario, result)
+
+    def evaluate_many(
+        self,
+        scenarios: Iterable[DistributedScenario],
+        max_workers: Optional[int] = None,
+    ) -> list[SweepEvaluation]:
+        """Evaluate a batch of scenarios sharing this runner's structure.
+
+        With ``max_workers`` the batch fans out over the engine's thread
+        pool (each worker keeps its own factorisation / warm-start state);
+        results always come back in input order.
+        """
+        scenarios = list(scenarios)
+        results = self.engine().run(
+            [self.scenario_spec(scenario) for scenario in scenarios],
+            [self._availability_measure()],
+            max_workers=max_workers,
+        )
+        return [
+            self._to_evaluation(scenario, result)
+            for scenario, result in zip(scenarios, results)
+        ]

@@ -21,8 +21,26 @@ from repro.core.parameters import (
     DEFAULT_PARAMETERS,
     FailureRepairPair,
 )
+from repro.engine import ScenarioBatchEngine, ScenarioSpec
 from repro.exceptions import ConfigurationError
 from repro.metrics import AvailabilityResult
+from repro.spn.model import StochasticPetriNet
+from repro.spn.rewards import ProbabilityMeasure
+
+
+def timed_transition_rates(net: StochasticPetriNet) -> dict[str, float]:
+    """``{transition_name: rate}`` of every timed transition of a net.
+
+    Assembling a net is cheap (no state-space exploration); extracting its
+    rate assignment lets a whole parameter study run as re-ratings of one
+    shared reachability graph whenever the perturbations leave the structure
+    unchanged.
+    """
+    return {
+        transition.name: transition.rate
+        for transition in net.transitions
+        if not transition.immediate
+    }
 
 #: The Table VI components that can be perturbed.
 COMPONENT_NAMES: tuple[str, ...] = (
@@ -112,35 +130,69 @@ class SensitivityAnalysis:
         """Availability of the unperturbed model."""
         return self.model_factory(self.parameters).availability()
 
-    def run(self) -> list[SensitivityEntry]:
+    def _perturbed_parameters(self, component: str) -> CaseStudyParameters:
+        perturbed_components = _perturbed(
+            self.parameters.components, component, self.perturb, self.factor
+        )
+        return CaseStudyParameters(
+            components=perturbed_components,
+            disaster=self.parameters.disaster,
+            vm_image_size=self.parameters.vm_image_size,
+            vm_start_time=self.parameters.vm_start_time,
+            required_running_vms=self.parameters.required_running_vms,
+            vms_per_physical_machine=self.parameters.vms_per_physical_machine,
+        )
+
+    def run(self, max_workers: Optional[int] = None) -> list[SensitivityEntry]:
         """Evaluate every requested component perturbation.
+
+        A component perturbation only rescales transition rates — the net
+        structure (places, arcs, guards) is identical across the whole
+        one-at-a-time sweep — so the state space is generated once and every
+        perturbation is evaluated by the batch engine as a re-rating of the
+        shared graph.  Perturbations whose model structure *does* differ
+        (a custom ``model_factory`` may change the spec) transparently fall
+        back to a full per-model solve.
 
         Entries are sorted by decreasing absolute availability impact so the
         most influential parameter comes first.
         """
-        baseline = self.baseline().availability
-        entries = []
+        reference = self.model_factory(self.parameters)
+        engine = ScenarioBatchEngine(reference.build())
+        measure = ProbabilityMeasure(
+            "availability", reference.availability_expression()
+        )
+        reference_names = set(timed_transition_rates(reference.build()))
+
+        baseline = float(
+            engine.solve().probability(reference.availability_expression())
+        )
+        specs: list[ScenarioSpec] = []
+        fallback: dict[str, CloudSystemModel] = {}
         for component in self.components:
-            perturbed_components = _perturbed(
-                self.parameters.components, component, self.perturb, self.factor
+            perturbed_model = self.model_factory(self._perturbed_parameters(component))
+            rates = timed_transition_rates(perturbed_model.build())
+            if set(rates) == reference_names:
+                specs.append(ScenarioSpec(name=component, rates=rates))
+            else:
+                fallback[component] = perturbed_model
+
+        availabilities: dict[str, float] = {
+            result.name: result.value("availability")
+            for result in engine.run(specs, [measure], max_workers=max_workers)
+        }
+        for component, model in fallback.items():
+            availabilities[component] = model.availability().availability
+
+        entries = [
+            SensitivityEntry(
+                component=component,
+                parameter=self.perturb,
+                factor=self.factor,
+                baseline_availability=baseline,
+                perturbed_availability=availabilities[component],
             )
-            perturbed_parameters = CaseStudyParameters(
-                components=perturbed_components,
-                disaster=self.parameters.disaster,
-                vm_image_size=self.parameters.vm_image_size,
-                vm_start_time=self.parameters.vm_start_time,
-                required_running_vms=self.parameters.required_running_vms,
-                vms_per_physical_machine=self.parameters.vms_per_physical_machine,
-            )
-            result = self.model_factory(perturbed_parameters).availability()
-            entries.append(
-                SensitivityEntry(
-                    component=component,
-                    parameter=self.perturb,
-                    factor=self.factor,
-                    baseline_availability=baseline,
-                    perturbed_availability=result.availability,
-                )
-            )
+            for component in self.components
+        ]
         entries.sort(key=lambda entry: abs(entry.availability_delta), reverse=True)
         return entries

@@ -10,7 +10,9 @@ any Python:
 * ``sensitivity``  — one-at-a-time sensitivity of the Table VI parameters.
 
 Every command accepts ``--full`` to run the faithful two-PM-per-data-center
-configuration instead of the fast reduced one.
+configuration instead of the fast reduced one.  The batch commands
+(``table7``, ``figure7``, ``sensitivity``) also accept ``--jobs N`` to fan
+their scenario batch out over the engine's worker threads.
 """
 
 from __future__ import annotations
@@ -51,6 +53,16 @@ def _add_full_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan the scenario batch out over N engine worker threads",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -72,12 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     table7 = commands.add_parser("table7", help="reproduce Table VII")
     _add_full_flag(table7)
+    _add_jobs_flag(table7)
 
     figure7 = commands.add_parser("figure7", help="reproduce the Figure 7 sweep")
     figure7.add_argument(
         "--pairs", type=int, default=len(CITY_PAIRS), help="number of city pairs to evaluate"
     )
     _add_full_flag(figure7)
+    _add_jobs_flag(figure7)
 
     ablations = commands.add_parser("ablations", help="design-knob ablations")
     _add_full_flag(ablations)
@@ -88,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument(
         "--factor", type=float, default=2.0, help="multiplicative MTTF perturbation factor"
     )
+    _add_jobs_flag(sensitivity)
 
     return parser
 
@@ -114,12 +129,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if arguments.command == "table7":
-        print(render_table7(reproduce_table7(_runner(arguments.full))))
+        print(
+            render_table7(
+                reproduce_table7(_runner(arguments.full), max_workers=arguments.jobs)
+            )
+        )
         return 0
 
     if arguments.command == "figure7":
         points = reproduce_figure7(
-            _runner(arguments.full), city_pairs=CITY_PAIRS[: max(1, arguments.pairs)]
+            _runner(arguments.full),
+            city_pairs=CITY_PAIRS[: max(1, arguments.pairs)],
+            max_workers=arguments.jobs,
         )
         print(render_figure7(points))
         return 0
@@ -131,7 +152,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.command == "sensitivity":
         analysis = SensitivityAnalysis(factor=arguments.factor)
-        print(render_sensitivity(analysis.run()))
+        print(render_sensitivity(analysis.run(max_workers=arguments.jobs)))
         return 0
 
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover

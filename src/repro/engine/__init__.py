@@ -1,0 +1,22 @@
+"""Sparse-native scenario-batch engine.
+
+One tangible state space, many parameter points: the engine generates the
+reachability graph once, re-rates it per scenario with vectorized sparse
+operations, re-fills one symbolically pre-assembled linear system, reuses
+ILU preconditioners / warm starts across neighbouring sweep points and can
+fan a batch out over a thread pool.
+"""
+
+from repro.engine.batch import (
+    ScenarioBatchEngine,
+    ScenarioResult,
+    ScenarioSpec,
+)
+from repro.engine.system import ConstrainedSystemTemplate
+
+__all__ = [
+    "ScenarioBatchEngine",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ConstrainedSystemTemplate",
+]

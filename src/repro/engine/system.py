@@ -1,0 +1,89 @@
+"""Reusable symbolic structure of the constrained balance equations.
+
+Every scenario of a batch shares the tangible reachability graph's *sparsity
+structure*: the edge list never changes, only the numeric rates do.  The
+linear system solved for the stationary vector — ``A x = b`` with
+``A = Qᵀ`` whose last balance equation is replaced by the normalisation
+constraint ``Σ x = 1`` — therefore also has a fixed sparsity pattern across
+the whole batch.
+
+:class:`ConstrainedSystemTemplate` performs the symbolic assembly exactly
+once: it lays out the CSC index structure of ``A`` and records, for every
+stored nonzero, which entry of the per-scenario value vector it takes its
+value from.  Re-rating a scenario then only *re-fills the numeric values* of
+an existing CSC matrix (two ``np.concatenate`` calls and one fancy-indexed
+assignment) instead of re-running transpose/`tolil` row surgery per scenario.
+
+The value vector of a scenario is laid out as::
+
+    [ masked edge rates | negated exit rates of states 0..n-2 | ones row ]
+
+where the mask drops edges whose *target* is the last state (their balance
+row is the one replaced by the normalisation constraint).  All three groups
+address disjoint matrix positions — edges are never self-loops — so the
+COO→CSC conversion used to discover the layout is a pure permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+
+class ConstrainedSystemTemplate:
+    """Symbolic (structure-only) form of the constrained balance system.
+
+    The template itself is immutable and safely shared between worker
+    threads; each worker materialises its own CSC matrix with
+    :meth:`fresh_system` and then re-fills it in place with :meth:`refill`.
+    """
+
+    def __init__(self, edge_sources: np.ndarray, edge_targets: np.ndarray, n: int):
+        if n < 2:
+            raise ValueError("the constrained system needs at least two states")
+        self.n = n
+        last = n - 1
+        self.edge_sources = np.asarray(edge_sources, dtype=np.int64)
+        edge_targets = np.asarray(edge_targets, dtype=np.int64)
+        #: Edges whose balance row survives (target != last state).
+        self.edge_mask = edge_targets != last
+        interior = np.arange(last, dtype=np.int64)
+        rows = np.concatenate(
+            [edge_targets[self.edge_mask], interior, np.full(n, last, dtype=np.int64)]
+        )
+        cols = np.concatenate(
+            [self.edge_sources[self.edge_mask], interior, np.arange(n, dtype=np.int64)]
+        )
+        slots = rows.size
+        # Build the CSC structure with 1-based slot ids as data: after the
+        # conversion, each stored value tells which entry of the value
+        # vector lands at that CSC position.  (1-based so that no slot id is
+        # a zero that sparse construction could silently drop.)
+        indexed = sparse.coo_matrix(
+            (np.arange(1, slots + 1, dtype=np.float64), (rows, cols)), shape=(n, n)
+        ).tocsc()
+        if indexed.nnz != slots:
+            raise AssertionError(
+                "constrained-system template has colliding entries; the edge "
+                "list must be unique and self-loop free"
+            )
+        self._pattern = indexed
+        self._positions = indexed.data.astype(np.int64) - 1
+        self.rhs = np.zeros(n)
+        self.rhs[last] = 1.0
+
+    def _values(self, edge_rates: np.ndarray) -> np.ndarray:
+        exit_rates = np.bincount(self.edge_sources, weights=edge_rates, minlength=self.n)
+        return np.concatenate(
+            [edge_rates[self.edge_mask], -exit_rates[: self.n - 1], np.ones(self.n)]
+        )
+
+    def fresh_system(self, edge_rates: np.ndarray) -> sparse.csc_matrix:
+        """A new CSC matrix with this structure, filled for ``edge_rates``."""
+        system = self._pattern.copy()
+        self.refill(system, edge_rates)
+        return system
+
+    def refill(self, system: sparse.csc_matrix, edge_rates: np.ndarray) -> None:
+        """Overwrite the numeric values of ``system`` in place for a new scenario."""
+        system.data[:] = self._values(edge_rates)[self._positions]

@@ -108,13 +108,21 @@ def steady_state(
     raise AnalysisError(f"unknown steady-state method {method!r}")
 
 
-def _normalise(vector: np.ndarray) -> np.ndarray:
+def normalize_distribution(vector: np.ndarray) -> np.ndarray:
+    """Clip tiny negative round-off and rescale ``vector`` to sum to one.
+
+    Raises:
+        AnalysisError: if the vector has no positive mass or is non-finite.
+    """
     vector = np.where(np.abs(vector) < 1e-300, 0.0, vector)
     vector = np.clip(vector, 0.0, None)
     total = vector.sum()
     if total <= 0.0 or not np.isfinite(total):
         raise AnalysisError("steady-state solver produced a non-normalisable vector")
     return vector / total
+
+
+_normalise = normalize_distribution
 
 
 def constrained_balance_system(
@@ -171,14 +179,9 @@ def _steady_state_gmres_ilu(
 
 
 def _steady_state_direct(matrix: sparse.csr_matrix) -> np.ndarray:
-    n = matrix.shape[0]
-    # Solve Q^T pi = 0 with the last balance equation replaced by sum(pi) = 1.
-    transposed = matrix.transpose().tolil()
-    transposed[n - 1, :] = np.ones(n)
-    rhs = np.zeros(n)
-    rhs[n - 1] = 1.0
+    system, rhs = constrained_balance_system(matrix)
     try:
-        solution = sparse_linalg.spsolve(transposed.tocsc(), rhs)
+        solution = sparse_linalg.spsolve(system, rhs)
     except Exception as error:  # pragma: no cover - scipy-specific failures
         raise AnalysisError(f"sparse direct steady-state solve failed: {error}") from error
     if not np.all(np.isfinite(solution)):
@@ -199,9 +202,9 @@ def _steady_state_gth(q: np.ndarray) -> np.ndarray:
             matrix[k, :k] = 0.0
             continue
         matrix[:k, k] /= scale
-        for j in range(k):
-            if matrix[k, j] != 0.0:
-                matrix[:k, j] += matrix[:k, k] * matrix[k, j]
+        # Rank-1 update: fold state k's outgoing mass back into the leading
+        # k×k block in one outer product instead of a per-column Python loop.
+        matrix[:k, :k] += np.outer(matrix[:k, k], matrix[k, :k])
     # Back substitution.
     pi = np.zeros(n)
     pi[0] = 1.0

@@ -64,16 +64,13 @@ class _SolutionBase:
         return np.asarray([float(value(marking)) for marking in self.graph.markings])
 
     def _throughput_vector(self, transition_name: str) -> np.ndarray:
-        contributions = self.graph.throughput_contributions.get(transition_name)
-        if contributions is None:
+        try:
+            return self.graph.throughput_vector(transition_name)
+        except KeyError:
             raise ModelError(
                 f"unknown timed transition {transition_name!r}; throughput is only "
                 "defined for timed transitions"
-            )
-        vector = np.zeros(self.graph.number_of_states)
-        for state_id, rate in contributions.items():
-            vector[state_id] = rate
-        return vector
+            ) from None
 
 
 @dataclass

@@ -11,20 +11,21 @@ from repro.spn.reachability import TangibleReachabilityGraph
 
 
 def generator_matrix(graph: TangibleReachabilityGraph) -> sparse.csr_matrix:
-    """Sparse CTMC generator matrix over the tangible markings of ``graph``."""
+    """Sparse CTMC generator matrix over the tangible markings of ``graph``.
+
+    Assembled directly from the graph's edge arrays: the off-diagonal entries
+    are the edge rates and the diagonal holds the negated per-state exit
+    rates, concatenated into one COO triple and converted to CSR in a single
+    pass (the edge list excludes self-loops, so the triples never collide).
+    """
     n = graph.number_of_states
     if n == 0:
         raise StateSpaceError("reachability graph has no tangible markings")
-    if graph.transitions:
-        rows, cols, data = zip(
-            *((source, target, rate) for (source, target), rate in graph.transitions.items())
-        )
-    else:
-        rows, cols, data = (), (), ()
-    matrix = sparse.coo_matrix((data, (rows, cols)), shape=(n, n)).tolil()
-    exit_rates = np.asarray(matrix.sum(axis=1)).ravel()
-    matrix.setdiag(-exit_rates)
-    return matrix.tocsr()
+    diagonal = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([graph.edge_sources, diagonal])
+    cols = np.concatenate([graph.edge_targets, diagonal])
+    data = np.concatenate([graph.edge_rates, -graph.exit_rates()])
+    return sparse.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
 
 
 def initial_distribution_vector(graph: TangibleReachabilityGraph) -> np.ndarray:
@@ -48,6 +49,8 @@ def to_markov_chain(graph: TangibleReachabilityGraph) -> ContinuousTimeMarkovCha
     ``{place: tokens}`` views.
     """
     chain = ContinuousTimeMarkovChain(list(range(graph.number_of_states)))
-    for (source, target), rate in graph.transitions.items():
-        chain.add_transition(source, target, rate)
+    for source, target, rate in zip(
+        graph.edge_sources, graph.edge_targets, graph.edge_rates
+    ):
+        chain.add_transition(int(source), int(target), float(rate))
     return chain

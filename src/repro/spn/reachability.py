@@ -13,8 +13,10 @@ race (priority first, then relative weights).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
 
 from repro.exceptions import StateSpaceError
 from repro.spn.enabling import CompiledNet
@@ -28,39 +30,140 @@ DEFAULT_MAX_TANGIBLE_MARKINGS = 500_000
 DEFAULT_MAX_VANISHING_DEPTH = 10_000
 
 
-@dataclass
 class TangibleReachabilityGraph:
-    """The tangible state space of a net.
+    """The tangible state space of a net, stored sparse-natively.
 
-    Attributes:
-        net: the compiled net the graph was generated from.
-        markings: tangible markings in discovery order (index = state id).
-        initial_distribution: probability of starting in each tangible
-            marking (the initial marking itself may be vanishing).
-        transitions: ``{(source_id, target_id): rate}`` aggregated rates.
-        throughput_contributions: ``{transition_name: {state_id: rate}}`` —
-            the effective firing rate of each *timed* transition in each
-            tangible state, used for throughput measures.
-        edge_contributions: ``{transition_name: {(source_id, target_id): c}}``
-            where ``c`` is the *rate-independent* coefficient (enabling degree
-            × switching probability through vanishing markings) such that the
-            edge rate equals ``Σ_t base_rate(t) · c``.  Because the graph
-            structure itself never depends on the delays, these coefficients
-            let :mod:`repro.spn.parametric` re-rate the same graph for a whole
-            family of parameter values (the Figure 7 sweep) without
-            regenerating the state space.
-        throughput_coefficients: ``{transition_name: {state_id: degree}}`` —
-            the rate-independent part of ``throughput_contributions``.
+    The edge list and the per-transition coefficient matrices are held as
+    flat numpy / scipy.sparse arrays so that re-rating the graph for a new
+    parameter point (:mod:`repro.spn.parametric`) and assembling the CTMC
+    generator (:mod:`repro.spn.ctmc_export`) are a handful of vectorized
+    array operations instead of Python dict walks.
+
+    Sparse-native attributes:
+        edge_sources / edge_targets: ``int64`` arrays of length ``E`` — the
+            unique (source_id, target_id) pairs of the aggregated tangible
+            edges, self-loops excluded.
+        edge_rates: ``float64`` array of length ``E`` — current edge rates,
+            aligned with ``edge_sources`` / ``edge_targets``.
+        transition_names: names of the timed transitions carrying coefficient
+            data (all timed transitions of the net for generated graphs).
+        rate_vector: ``float64`` array of length ``T`` — current base rate of
+            each timed transition, aligned with ``transition_names``.
+        edge_coefficient_matrix: CSR matrix of shape ``(T, E)``; entry
+            ``(t, e)`` is the rate-independent coefficient (enabling degree ×
+            switching probability through vanishing markings) of transition
+            ``t`` on edge ``e``, so that
+            ``edge_rates = edge_coefficient_matrix.T @ rate_vector``.
+        state_coefficient_matrix: CSR matrix of shape ``(T, N)``; entry
+            ``(t, s)`` is the enabling degree of transition ``t`` in state
+            ``s`` (the rate-independent part of the throughput).
+
+    The historical dict-shaped views (``transitions``,
+    ``edge_contributions``, ``throughput_contributions``,
+    ``throughput_coefficients``, ``base_rates``) remain available as
+    read-only properties that materialise fresh dicts on access; hot paths
+    should use the array attributes directly.
     """
 
-    net: CompiledNet
-    markings: list[tuple[int, ...]]
-    initial_distribution: dict[int, float]
-    transitions: dict[tuple[int, int], float]
-    throughput_contributions: dict[str, dict[int, float]] = field(default_factory=dict)
-    edge_contributions: dict[str, dict[tuple[int, int], float]] = field(default_factory=dict)
-    throughput_coefficients: dict[str, dict[int, float]] = field(default_factory=dict)
-    base_rates: dict[str, float] = field(default_factory=dict)
+    def __init__(
+        self,
+        net: CompiledNet,
+        markings: list[tuple[int, ...]],
+        initial_distribution: dict[int, float],
+        transitions: Optional[Mapping[tuple[int, int], float]] = None,
+        throughput_contributions: Optional[Mapping[str, Mapping[int, float]]] = None,
+        edge_contributions: Optional[Mapping[str, Mapping[tuple[int, int], float]]] = None,
+        throughput_coefficients: Optional[Mapping[str, Mapping[int, float]]] = None,
+        base_rates: Optional[Mapping[str, float]] = None,
+        *,
+        edge_sources: Optional[np.ndarray] = None,
+        edge_targets: Optional[np.ndarray] = None,
+        edge_rates: Optional[np.ndarray] = None,
+        transition_names: Optional[tuple[str, ...]] = None,
+        rate_vector: Optional[np.ndarray] = None,
+        edge_coefficient_matrix: Optional[sparse.csr_matrix] = None,
+        state_coefficient_matrix: Optional[sparse.csr_matrix] = None,
+    ) -> None:
+        self.net = net
+        self.markings = markings
+        self.initial_distribution = initial_distribution
+        if edge_sources is not None:
+            self.edge_sources = np.asarray(edge_sources, dtype=np.int64)
+            self.edge_targets = np.asarray(edge_targets, dtype=np.int64)
+            self.edge_rates = np.asarray(edge_rates, dtype=np.float64)
+            self.transition_names = tuple(transition_names or ())
+            self.rate_vector = (
+                np.asarray(rate_vector, dtype=np.float64)
+                if rate_vector is not None
+                else np.zeros(len(self.transition_names))
+            )
+            self.edge_coefficient_matrix = edge_coefficient_matrix
+            self.state_coefficient_matrix = state_coefficient_matrix
+            self._explicit_throughput = None
+        else:
+            self._init_from_dicts(
+                dict(transitions or {}),
+                throughput_contributions,
+                edge_contributions,
+                throughput_coefficients,
+                base_rates,
+            )
+        self.transition_index = {
+            name: i for i, name in enumerate(self.transition_names)
+        }
+
+    def _init_from_dicts(
+        self,
+        transitions: dict[tuple[int, int], float],
+        throughput_contributions,
+        edge_contributions,
+        throughput_coefficients,
+        base_rates,
+    ) -> None:
+        """Back-compat construction from the historical dict representation."""
+        edges = list(transitions.items())
+        self.edge_sources = np.fromiter(
+            (source for (source, _), _ in edges), dtype=np.int64, count=len(edges)
+        )
+        self.edge_targets = np.fromiter(
+            (target for (_, target), _ in edges), dtype=np.int64, count=len(edges)
+        )
+        self.edge_rates = np.fromiter(
+            (rate for _, rate in edges), dtype=np.float64, count=len(edges)
+        )
+        if base_rates:
+            self.transition_names = tuple(base_rates)
+            self.rate_vector = np.asarray(
+                [base_rates[name] for name in self.transition_names], dtype=np.float64
+            )
+            edge_index = {edge: i for i, (edge, _) in enumerate(edges)}
+            self.edge_coefficient_matrix = _coefficients_to_csr(
+                self.transition_names,
+                edge_contributions or {},
+                edge_index,
+                len(edges),
+            )
+            self.state_coefficient_matrix = _coefficients_to_csr(
+                self.transition_names,
+                throughput_coefficients or {},
+                None,
+                len(self.markings),
+            )
+            self._explicit_throughput = None
+        else:
+            self.transition_names = ()
+            self.rate_vector = np.zeros(0)
+            self.edge_coefficient_matrix = None
+            self.state_coefficient_matrix = None
+            # Without coefficient data the throughput cannot be derived from
+            # rate × degree; keep any explicitly provided dict as-is.
+            self._explicit_throughput = (
+                {name: dict(values) for name, values in throughput_contributions.items()}
+                if throughput_contributions
+                else None
+            )
+
+    # --- shape ------------------------------------------------------------
 
     @property
     def number_of_states(self) -> int:
@@ -68,11 +171,166 @@ class TangibleReachabilityGraph:
 
     @property
     def number_of_transitions(self) -> int:
-        return len(self.transitions)
+        return int(self.edge_rates.size)
+
+    @property
+    def has_coefficients(self) -> bool:
+        """Whether the graph carries the data needed for parametric re-rating."""
+        return bool(self.transition_names) and self.edge_coefficient_matrix is not None
 
     def marking_view(self, state_id: int) -> MarkingView:
         """Dict-like view of one tangible marking."""
         return MarkingView(self.markings[state_id], self.net.place_index)
+
+    # --- vectorized operations --------------------------------------------
+
+    def with_rate_vector(self, rate_vector: np.ndarray) -> "TangibleReachabilityGraph":
+        """A re-rated copy sharing this graph's structure.
+
+        The new edge rates are a single sparse mat-vec
+        ``Q-entries(θ) = Σ_t rate_t(θ) · C_t`` over the stacked coefficient
+        matrix; markings, edge index arrays and coefficient matrices are
+        shared (they are rate-independent).
+        """
+        rate_vector = np.asarray(rate_vector, dtype=np.float64)
+        edge_rates = self.edge_coefficient_matrix.T.dot(rate_vector)
+        return TangibleReachabilityGraph(
+            net=self.net,
+            markings=self.markings,
+            initial_distribution=self.initial_distribution,
+            edge_sources=self.edge_sources,
+            edge_targets=self.edge_targets,
+            edge_rates=np.asarray(edge_rates, dtype=np.float64).ravel(),
+            transition_names=self.transition_names,
+            rate_vector=rate_vector,
+            edge_coefficient_matrix=self.edge_coefficient_matrix,
+            state_coefficient_matrix=self.state_coefficient_matrix,
+        )
+
+    def exit_rates(self) -> np.ndarray:
+        """Total outgoing rate of every tangible state (dense, length ``N``)."""
+        return np.bincount(
+            self.edge_sources, weights=self.edge_rates, minlength=self.number_of_states
+        )
+
+    def throughput_vector(self, transition_name: str) -> np.ndarray:
+        """Dense per-state effective firing rate of one timed transition.
+
+        Raises:
+            KeyError: if the transition is unknown (callers translate this
+                into their layer's error type).
+        """
+        index = self.transition_index.get(transition_name)
+        if index is None:
+            if (
+                self._explicit_throughput is not None
+                and transition_name in self._explicit_throughput
+            ):
+                vector = np.zeros(self.number_of_states)
+                for state_id, rate in self._explicit_throughput[transition_name].items():
+                    vector[state_id] = rate
+                return vector
+            raise KeyError(transition_name)
+        row = self.state_coefficient_matrix.getrow(index)
+        vector = np.zeros(self.number_of_states)
+        vector[row.indices] = row.data * self.rate_vector[index]
+        return vector
+
+    # --- back-compat dict views -------------------------------------------
+
+    @property
+    def transitions(self) -> dict[tuple[int, int], float]:
+        """``{(source_id, target_id): rate}`` built fresh from the edge arrays."""
+        return {
+            (int(source), int(target)): float(rate)
+            for source, target, rate in zip(
+                self.edge_sources, self.edge_targets, self.edge_rates
+            )
+        }
+
+    @property
+    def base_rates(self) -> dict[str, float]:
+        """``{transition_name: current_rate}`` view of ``rate_vector``."""
+        return {
+            name: float(rate)
+            for name, rate in zip(self.transition_names, self.rate_vector)
+        }
+
+    @property
+    def edge_contributions(self) -> dict[str, dict[tuple[int, int], float]]:
+        """``{transition_name: {(source, target): coefficient}}`` dict view."""
+        if self.edge_coefficient_matrix is None:
+            return {}
+        result: dict[str, dict[tuple[int, int], float]] = {}
+        matrix = self.edge_coefficient_matrix
+        for index, name in enumerate(self.transition_names):
+            start, end = matrix.indptr[index], matrix.indptr[index + 1]
+            result[name] = {
+                (int(self.edge_sources[e]), int(self.edge_targets[e])): float(c)
+                for e, c in zip(matrix.indices[start:end], matrix.data[start:end])
+            }
+        return result
+
+    @property
+    def throughput_coefficients(self) -> dict[str, dict[int, float]]:
+        """``{transition_name: {state_id: degree}}`` dict view."""
+        if self.state_coefficient_matrix is None:
+            return {}
+        result: dict[str, dict[int, float]] = {}
+        matrix = self.state_coefficient_matrix
+        for index, name in enumerate(self.transition_names):
+            start, end = matrix.indptr[index], matrix.indptr[index + 1]
+            result[name] = {
+                int(state): float(degree)
+                for state, degree in zip(
+                    matrix.indices[start:end], matrix.data[start:end]
+                )
+            }
+        return result
+
+    @property
+    def throughput_contributions(self) -> dict[str, dict[int, float]]:
+        """``{transition_name: {state_id: rate × degree}}`` dict view."""
+        if self._explicit_throughput is not None:
+            return {name: dict(values) for name, values in self._explicit_throughput.items()}
+        if self.state_coefficient_matrix is None:
+            return {}
+        result: dict[str, dict[int, float]] = {}
+        matrix = self.state_coefficient_matrix
+        for index, name in enumerate(self.transition_names):
+            start, end = matrix.indptr[index], matrix.indptr[index + 1]
+            rate = float(self.rate_vector[index])
+            result[name] = {
+                int(state): rate * float(degree)
+                for state, degree in zip(
+                    matrix.indices[start:end], matrix.data[start:end]
+                )
+            }
+        return result
+
+
+def _coefficients_to_csr(
+    names: Sequence[str],
+    coefficients: Mapping[str, Mapping],
+    edge_index: Optional[dict[tuple[int, int], int]],
+    width: int,
+) -> sparse.csr_matrix:
+    """Stack per-transition coefficient dicts into one ``(T, width)`` CSR matrix.
+
+    ``edge_index`` maps edge keys to column ids; when ``None`` the dict keys
+    are state ids used as columns directly.
+    """
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for row, name in enumerate(names):
+        for key, value in (coefficients.get(name) or {}).items():
+            rows.append(row)
+            cols.append(edge_index[key] if edge_index is not None else key)
+            data.append(value)
+    return sparse.csr_matrix(
+        (data, (rows, cols)), shape=(len(names), width), dtype=np.float64
+    )
 
 
 def _immediate_branching(

@@ -1,0 +1,153 @@
+"""Tests for the scenario-batch engine."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ConstrainedSystemTemplate, ScenarioBatchEngine, ScenarioSpec
+from repro.exceptions import AnalysisError
+from repro.markov import solvers
+from repro.spn import (
+    ProbabilityMeasure,
+    ThroughputMeasure,
+    generate_tangible_reachability_graph,
+    generator_matrix,
+    solve_steady_state,
+    with_transition_delays,
+)
+
+from tests.spn.nets import machine_repair, simple_component
+
+
+def component_graph(mttf=100.0, mttr=2.0):
+    return generate_tangible_reachability_graph(simple_component("X", mttf, mttr))
+
+
+class TestConstrainedSystemTemplate:
+    def _graph(self):
+        return generate_tangible_reachability_graph(
+            machine_repair(machines=6, mttf=10.0, mttr=1.0)
+        )
+
+    def test_fresh_system_matches_reference_builder(self):
+        graph = self._graph()
+        template = ConstrainedSystemTemplate(
+            graph.edge_sources, graph.edge_targets, graph.number_of_states
+        )
+        system = template.fresh_system(graph.edge_rates)
+        reference, rhs = solvers.constrained_balance_system(generator_matrix(graph))
+        np.testing.assert_allclose(system.toarray(), reference.toarray(), atol=1e-14)
+        np.testing.assert_allclose(template.rhs, rhs)
+
+    def test_refill_matches_fresh_assembly(self):
+        graph = self._graph()
+        template = ConstrainedSystemTemplate(
+            graph.edge_sources, graph.edge_targets, graph.number_of_states
+        )
+        system = template.fresh_system(graph.edge_rates)
+        re_rated = with_transition_delays(graph, {"FAIL": 25.0, "REPAIR": 0.5})
+        template.refill(system, re_rated.edge_rates)
+        reference, _ = solvers.constrained_balance_system(generator_matrix(re_rated))
+        np.testing.assert_allclose(system.toarray(), reference.toarray(), atol=1e-14)
+
+    def test_single_state_rejected(self):
+        with pytest.raises(ValueError):
+            ConstrainedSystemTemplate(
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 1
+            )
+
+
+class TestScenarioSpec:
+    def test_delays_are_inverted(self):
+        spec = ScenarioSpec(name="s", delays={"T": 4.0})
+        assert spec.resolved_rates() == {"T": 0.25}
+
+    def test_rates_take_precedence_over_delays(self):
+        spec = ScenarioSpec(name="s", delays={"T": 4.0}, rates={"T": 9.0})
+        assert spec.resolved_rates() == {"T": 9.0}
+
+    def test_non_positive_delay_rejected(self):
+        with pytest.raises(AnalysisError):
+            ScenarioSpec(name="s", delays={"T": 0.0}).resolved_rates()
+
+
+class TestEngineSolve:
+    def test_tiny_chain_matches_generic_solver(self):
+        graph = component_graph()
+        engine = ScenarioBatchEngine(graph)
+        availability = engine.solve().probability("#X_ON > 0")
+        expected = solve_steady_state(graph).probability("#X_ON > 0")
+        assert availability == pytest.approx(expected, rel=1e-12)
+
+    def test_mid_size_uses_template_and_matches_direct(self):
+        graph = generate_tangible_reachability_graph(
+            machine_repair(machines=500, mttf=10.0, mttr=1.0)
+        )
+        assert graph.number_of_states == 501  # above the GTH threshold
+        engine = ScenarioBatchEngine(graph)
+        solution = engine.solve(delays={"FAIL": 20.0})
+        re_rated = with_transition_delays(graph, {"FAIL": 20.0})
+        expected = solve_steady_state(re_rated, method="direct")
+        np.testing.assert_allclose(
+            solution.probabilities, expected.probabilities, atol=1e-12
+        )
+
+    def test_unknown_transition_rejected(self):
+        engine = ScenarioBatchEngine(component_graph())
+        with pytest.raises(AnalysisError):
+            engine.solve(rates={"missing": 1.0})
+
+    def test_accepts_declarative_net(self):
+        engine = ScenarioBatchEngine(simple_component("X", 100.0, 2.0))
+        assert engine.number_of_states == 2
+        assert engine.graph() is engine.graph()
+
+
+class TestEngineBatch:
+    def make_engine(self):
+        return ScenarioBatchEngine(
+            generate_tangible_reachability_graph(
+                machine_repair(machines=400, mttf=10.0, mttr=1.0)
+            )
+        )
+
+    def specs(self):
+        return [
+            ScenarioSpec(name=f"mttf={mttf}", delays={"FAIL": mttf})
+            for mttf in (5.0, 10.0, 20.0, 40.0)
+        ]
+
+    def measures(self):
+        return [
+            ProbabilityMeasure("all_up", "#BROKEN == 0"),
+            ThroughputMeasure("repairs", "REPAIR"),
+        ]
+
+    def test_batch_matches_per_scenario_seed_loop(self):
+        engine = self.make_engine()
+        results = engine.run(self.specs(), self.measures())
+        graph = engine.graph()
+        for spec, result in zip(self.specs(), results):
+            re_rated = with_transition_delays(graph, dict(spec.delays))
+            solution = solve_steady_state(re_rated)
+            assert result.value("all_up") == pytest.approx(
+                solution.probability("#BROKEN == 0"), abs=1e-10
+            )
+            assert result.value("repairs") == pytest.approx(
+                solution.throughput("REPAIR"), abs=1e-10
+            )
+
+    def test_parallel_matches_sequential(self):
+        engine = self.make_engine()
+        sequential = engine.run(self.specs(), self.measures())
+        parallel = engine.run(self.specs(), self.measures(), max_workers=3)
+        assert [r.name for r in parallel] == [r.name for r in sequential]
+        for a, b in zip(sequential, parallel):
+            assert b.value("all_up") == pytest.approx(a.value("all_up"), abs=1e-10)
+
+    def test_solutions_dropped_unless_requested(self):
+        engine = self.make_engine()
+        specs = self.specs()[:2]
+        without = engine.run(specs, self.measures())
+        with_solutions = engine.run(specs, self.measures(), keep_solutions=True)
+        assert all(result.solution is None for result in without)
+        assert all(result.solution is not None for result in with_solutions)

@@ -1,10 +1,12 @@
 """Tests for parametric re-rating of reachability graphs."""
 
+import numpy as np
 import pytest
 
 from repro.exceptions import AnalysisError
 from repro.spn import (
     generate_tangible_reachability_graph,
+    generator_matrix,
     solve_steady_state,
     with_transition_delays,
     with_transition_rates,
@@ -73,6 +75,82 @@ class TestWithTransitionRates:
         )
         with pytest.raises(AnalysisError):
             with_transition_rates(stripped, {"X_Failure": 1.0})
+
+
+class TestGeneratorEquivalence:
+    """A re-rated graph's generator must equal a freshly generated one.
+
+    Stronger than comparing solved measures: every matrix entry has to
+    match, for several distinct rate vectors, on both single-server and
+    infinite-server nets.  (State discovery order does not depend on rates,
+    so the state ids of the fresh graph line up with the re-rated one.)
+    """
+
+    RATE_VECTORS = ((50.0, 5.0), (400.0, 0.25))
+
+    def test_simple_component_entry_for_entry(self):
+        base = graph_for(mttf=100.0, mttr=2.0)
+        for mttf, mttr in self.RATE_VECTORS:
+            re_rated = with_transition_delays(
+                base, {"X_Failure": mttf, "X_Repair": mttr}
+            )
+            fresh = graph_for(mttf=mttf, mttr=mttr)
+            np.testing.assert_allclose(
+                generator_matrix(re_rated).toarray(),
+                generator_matrix(fresh).toarray(),
+                atol=1e-12,
+            )
+
+    def test_infinite_server_entry_for_entry(self):
+        base = generate_tangible_reachability_graph(
+            machine_repair(machines=4, mttf=10.0, mttr=1.0)
+        )
+        for mttf, mttr in self.RATE_VECTORS:
+            re_rated = with_transition_delays(base, {"FAIL": mttf, "REPAIR": mttr})
+            fresh = generate_tangible_reachability_graph(
+                machine_repair(machines=4, mttf=mttf, mttr=mttr)
+            )
+            assert re_rated.markings == fresh.markings
+            np.testing.assert_allclose(
+                generator_matrix(re_rated).toarray(),
+                generator_matrix(fresh).toarray(),
+                atol=1e-12,
+            )
+
+
+class TestSparseNativeRepresentation:
+    def test_edge_arrays_match_dict_view(self):
+        graph = graph_for()
+        assert graph.transitions == {
+            (int(s), int(t)): float(r)
+            for s, t, r in zip(
+                graph.edge_sources, graph.edge_targets, graph.edge_rates
+            )
+        }
+
+    def test_edge_rates_are_coefficient_matvec(self):
+        graph = generate_tangible_reachability_graph(
+            machine_repair(machines=3, mttf=10.0, mttr=1.0)
+        )
+        reconstructed = graph.edge_coefficient_matrix.T.dot(graph.rate_vector)
+        np.testing.assert_allclose(reconstructed, graph.edge_rates, atol=1e-12)
+
+    def test_throughput_vector_matches_dict_view(self):
+        graph = generate_tangible_reachability_graph(
+            machine_repair(machines=3, mttf=10.0, mttr=1.0)
+        )
+        for name, contributions in graph.throughput_contributions.items():
+            vector = graph.throughput_vector(name)
+            for state_id, rate in contributions.items():
+                assert vector[state_id] == pytest.approx(rate)
+
+    def test_re_rated_graph_shares_structure_arrays(self):
+        base = graph_for()
+        re_rated = with_transition_rates(base, {"X_Failure": 0.5})
+        assert re_rated.edge_sources is base.edge_sources
+        assert re_rated.edge_targets is base.edge_targets
+        assert re_rated.edge_coefficient_matrix is base.edge_coefficient_matrix
+        assert re_rated.markings is base.markings
 
 
 class TestWithTransitionDelays:
