@@ -1,0 +1,190 @@
+"""Benchmark E3 — state-space generation: incidence kernel vs scalar explorer.
+
+Measures tangible-reachability-graph generation throughput (states/second)
+of the vectorized incidence-matrix kernel
+(:func:`repro.spn.generate_tangible_reachability_graph`) against the
+retained scalar reference
+(:func:`repro.spn.generate_tangible_reachability_graph_scalar`) on the
+case-study nets:
+
+* the reduced configuration (one PM per data center, ~3k tangible states),
+* the faithful configuration (two PMs per data center with symmetry
+  lumping, ~5.7 × 10⁴ tangible states).
+
+Every measurement also verifies that the two explorers produce equivalent
+graphs (same markings, edges and coefficients up to state reordering, with
+deviation below 1e-12).  Stand-alone runs write the measurements to
+``BENCH_statespace.json`` next to this file, seeding the perf trajectory.
+
+Run ``python benchmarks/bench_statespace.py`` for the full measurement,
+``--quick`` for the CI smoke (reduced configuration only, relaxed speedup
+floor), or under pytest (``pytest benchmarks/ --benchmark-only``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.casestudy import DistributedSweepRunner
+from repro.core import CaseStudyParameters
+from repro.spn import (
+    CompiledNet,
+    generate_tangible_reachability_graph,
+    generate_tangible_reachability_graph_scalar,
+    graph_deviation,
+)
+
+#: Equivalence tolerance between the two explorers.
+MAX_DEVIATION = 1e-12
+
+#: Required kernel speedup at the full case-study configuration.
+FULL_SPEEDUP_FLOOR = 5.0
+
+
+def _reduced_runner() -> DistributedSweepRunner:
+    return DistributedSweepRunner(
+        parameters=CaseStudyParameters(required_running_vms=1),
+        machines_per_datacenter=1,
+        use_cache=False,
+    )
+
+
+def _case(name: str, runner: DistributedSweepRunner):
+    model = runner.reference_model()
+    net = CompiledNet(model.build())
+    canonicalize = (
+        model.symmetry_canonicalizer() if runner.symmetry_reduction else None
+    )
+    return name, net, canonicalize
+
+
+def measure_case(name, net, canonicalize, repeats: int = 1) -> dict:
+    """Time both explorers on one net, verify equivalence, report throughput."""
+    net.kernel()  # exclude the one-off incidence-array build from the timings
+
+    def timed(generate):
+        best, graph = float("inf"), None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            graph = generate(net, canonicalize=canonicalize)
+            best = min(best, time.perf_counter() - started)
+        return best, graph
+
+    scalar_seconds, scalar_graph = timed(generate_tangible_reachability_graph_scalar)
+    kernel_seconds, kernel_graph = timed(generate_tangible_reachability_graph)
+    deviation = graph_deviation(scalar_graph, kernel_graph)
+    states = kernel_graph.number_of_states
+    result = {
+        "case": name,
+        "states": states,
+        "edges": kernel_graph.number_of_transitions,
+        "scalar_seconds": round(scalar_seconds, 4),
+        "kernel_seconds": round(kernel_seconds, 4),
+        "scalar_states_per_second": round(states / scalar_seconds, 1),
+        "kernel_states_per_second": round(states / kernel_seconds, 1),
+        "speedup": round(scalar_seconds / kernel_seconds, 2),
+        "max_deviation": deviation,
+    }
+    print(
+        f"{name:24s} {states:7d} states | scalar {scalar_seconds:7.2f}s "
+        f"({result['scalar_states_per_second']:9.0f} st/s) | kernel "
+        f"{kernel_seconds:6.2f}s ({result['kernel_states_per_second']:9.0f} st/s) "
+        f"| {result['speedup']:5.1f}x | dev {deviation:.2e}"
+    )
+    if deviation >= MAX_DEVIATION:
+        raise AssertionError(
+            f"{name}: kernel explorer deviates from the scalar reference "
+            f"({deviation:.2e} >= {MAX_DEVIATION:.0e})"
+        )
+    return result
+
+
+def run(quick: bool) -> int:
+    cases = [_case("reduced (1 PM/DC)", _reduced_runner())]
+    if not quick:
+        cases.append(_case("full (2 PM/DC, lumped)", DistributedSweepRunner(use_cache=False)))
+
+    # Best-of-2 on both explorers so one scheduling hiccup cannot skew the
+    # ratio; the full scalar pass dominates the benchmark's runtime.
+    results = [
+        measure_case(name, net, canonicalize, repeats=2)
+        for name, net, canonicalize in cases
+    ]
+
+    output = Path(__file__).resolve().parent.parent / "BENCH_statespace.json"
+    output.write_text(json.dumps({"results": results}, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    for result in results:
+        # The quick (CI) case is small enough that constant overheads eat
+        # into the win; the kernel only has to beat the scalar explorer
+        # there, while the full configuration must hit the 5x floor.
+        floor = 1.0 if result["states"] < 10_000 else FULL_SPEEDUP_FLOOR
+        if result["speedup"] < floor:
+            print(
+                f"FAIL: {result['case']} speedup {result['speedup']}x "
+                f"is below the {floor}x floor"
+            )
+            return 1
+    print("OK")
+    return 0
+
+
+# --- pytest-benchmark entry points ------------------------------------------
+
+
+def bench_kernel_generation_reduced(benchmark):
+    name, net, canonicalize = _case("reduced (1 PM/DC)", _reduced_runner())
+    net.kernel()
+    graph = benchmark.pedantic(
+        generate_tangible_reachability_graph,
+        args=(net,),
+        kwargs={"canonicalize": canonicalize},
+        rounds=3,
+        iterations=1,
+    )
+    assert graph.number_of_states > 1000
+
+
+def bench_kernel_vs_scalar_full(benchmark, sweep_runner):
+    """Acceptance benchmark: ≥5x at the full case-study configuration."""
+    from benchmarks.conftest import full_scale
+
+    name = "full" if full_scale() else "reduced"
+    model = sweep_runner.reference_model()
+    net = CompiledNet(model.build())
+    canonicalize = (
+        model.symmetry_canonicalizer() if sweep_runner.symmetry_reduction else None
+    )
+    net.kernel()
+
+    started = time.perf_counter()
+    scalar_graph = generate_tangible_reachability_graph_scalar(
+        net, canonicalize=canonicalize
+    )
+    scalar_seconds = time.perf_counter() - started
+
+    kernel_graph = benchmark.pedantic(
+        generate_tangible_reachability_graph,
+        args=(net,),
+        kwargs={"canonicalize": canonicalize},
+        rounds=1,
+        iterations=1,
+    )
+    kernel_seconds = benchmark.stats.stats.min
+    deviation = graph_deviation(scalar_graph, kernel_graph)
+    speedup = scalar_seconds / kernel_seconds
+    print()
+    print(
+        f"[{name}] scalar {scalar_seconds:.2f}s, kernel {kernel_seconds:.2f}s "
+        f"({speedup:.1f}x), dev {deviation:.2e}"
+    )
+    assert deviation < MAX_DEVIATION
+    if full_scale():
+        assert speedup >= FULL_SPEEDUP_FLOOR
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(run(quick="--quick" in sys.argv))

@@ -16,7 +16,7 @@ from repro.casestudy.sensitivity import timed_transition_rates
 from repro.core.cloud_model import CloudSystemModel
 from repro.core.datacenter import two_datacenter_spec
 from repro.core.parameters import CaseStudyParameters, DEFAULT_PARAMETERS
-from repro.engine import ScenarioBatchEngine
+from repro.engine import ScenarioBatchEngine, TRGCache
 from repro.metrics import AvailabilityResult, Duration
 from repro.network.geo import BRASILIA, RIO_DE_JANEIRO, SAO_PAULO, City
 from repro.spn.analysis import SteadyStateSolution
@@ -52,6 +52,7 @@ class AblationStudy:
     machines_per_datacenter: int = 1
     required_running_vms: int = 1
     parameters: CaseStudyParameters = field(default_factory=lambda: DEFAULT_PARAMETERS)
+    use_cache: bool = True
     _engines: dict = field(default_factory=dict, repr=False)
     _base_solutions: dict = field(default_factory=dict, repr=False)
 
@@ -89,7 +90,10 @@ class AblationStudy:
         key = (warm_machines, has_backup)
         if key not in self._engines:
             model = self._model(warm_machines=warm_machines, has_backup=has_backup)
-            self._engines[key] = (ScenarioBatchEngine(model.build()), model)
+            engine = ScenarioBatchEngine(
+                model.build(), cache=TRGCache() if self.use_cache else None
+            )
+            self._engines[key] = (engine, model)
         return self._engines[key]
 
     def _base_solution(

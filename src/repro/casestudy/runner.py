@@ -21,7 +21,7 @@ from typing import Iterable, Optional, Sequence
 from repro.core.cloud_model import CloudSystemModel
 from repro.core.parameters import CaseStudyParameters, DEFAULT_PARAMETERS
 from repro.core.scenarios import DistributedScenario
-from repro.engine import ScenarioBatchEngine, ScenarioResult, ScenarioSpec
+from repro.engine import ScenarioBatchEngine, ScenarioResult, ScenarioSpec, TRGCache
 from repro.exceptions import ConfigurationError
 from repro.metrics import AvailabilityResult
 from repro.network.migration import MigrationPlanner
@@ -57,6 +57,11 @@ class DistributedSweepRunner:
         machines_per_datacenter: hot PMs per data center (2 in the paper).
         method: stationary solver passed to the batch engine.
         max_states: state-space limit for the one-off generation.
+        use_cache: consult / populate the persistent on-disk reachability
+            cache (:class:`repro.engine.TRGCache`) so repeat runs over the
+            same configuration skip state-space generation entirely.
+        cache_dir: cache location override (default: ``$REPRO_CACHE_DIR``
+            or ``~/.cache/repro/trg``).
     """
 
     parameters: CaseStudyParameters = field(default_factory=lambda: DEFAULT_PARAMETERS)
@@ -64,6 +69,8 @@ class DistributedSweepRunner:
     method: str = "auto"
     max_states: int = 500_000
     symmetry_reduction: bool = True
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
     _engine: Optional[ScenarioBatchEngine] = field(default=None, repr=False)
     _reference_model: Optional[CloudSystemModel] = field(default=None, repr=False)
 
@@ -112,6 +119,7 @@ class DistributedSweepRunner:
                 method=self.method,
                 max_states=self.max_states,
                 canonicalize=canonicalize,
+                cache=TRGCache(self.cache_dir) if self.use_cache else None,
             )
         return self._engine
 

@@ -21,7 +21,7 @@ from repro.core.parameters import (
     DEFAULT_PARAMETERS,
     FailureRepairPair,
 )
-from repro.engine import ScenarioBatchEngine, ScenarioSpec
+from repro.engine import ScenarioBatchEngine, ScenarioSpec, TRGCache
 from repro.exceptions import ConfigurationError
 from repro.metrics import AvailabilityResult
 from repro.spn.model import StochasticPetriNet
@@ -114,6 +114,7 @@ class SensitivityAnalysis:
     factor: float = 2.0
     components: Sequence[str] = COMPONENT_NAMES
     perturb: str = "mttf"
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.factor <= 0.0 or self.factor == 1.0:
@@ -158,7 +159,9 @@ class SensitivityAnalysis:
         most influential parameter comes first.
         """
         reference = self.model_factory(self.parameters)
-        engine = ScenarioBatchEngine(reference.build())
+        engine = ScenarioBatchEngine(
+            reference.build(), cache=TRGCache() if self.use_cache else None
+        )
         measure = ProbabilityMeasure(
             "availability", reference.availability_expression()
         )

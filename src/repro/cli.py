@@ -7,17 +7,22 @@ any Python:
 * ``table7``       — reproduce Table VII,
 * ``figure7``      — reproduce (a subset of) the Figure 7 sweep,
 * ``ablations``    — the Section III design-knob ablations,
-* ``sensitivity``  — one-at-a-time sensitivity of the Table VI parameters.
+* ``sensitivity``  — one-at-a-time sensitivity of the Table VI parameters,
+* ``cache``        — inspect / clear the persistent reachability-graph cache.
 
 Every command accepts ``--full`` to run the faithful two-PM-per-data-center
 configuration instead of the fast reduced one.  The batch commands
 (``table7``, ``figure7``, ``sensitivity``) also accept ``--jobs N`` to fan
-their scenario batch out over the engine's worker threads.
+their scenario batch out over the engine's worker threads.  The runner-based
+commands consult the on-disk reachability cache by default so repeat
+invocations skip state-space generation; pass ``--no-cache`` to force a
+fresh exploration.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 from typing import Optional, Sequence
 
 from repro.casestudy import (
@@ -36,12 +41,13 @@ from repro.core.scenarios import CITY_PAIRS
 from repro.network import city_named
 
 
-def _runner(full: bool) -> DistributedSweepRunner:
+def _runner(full: bool, use_cache: bool = True) -> DistributedSweepRunner:
     if full:
-        return DistributedSweepRunner()
+        return DistributedSweepRunner(use_cache=use_cache)
     return DistributedSweepRunner(
         parameters=CaseStudyParameters(required_running_vms=1),
         machines_per_datacenter=1,
+        use_cache=use_cache,
     )
 
 
@@ -50,6 +56,14 @@ def _add_full_flag(parser: argparse.ArgumentParser) -> None:
         "--full",
         action="store_true",
         help="use the faithful case-study configuration (two PMs per data center)",
+    )
+
+
+def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent reachability-graph cache",
     )
 
 
@@ -81,10 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--disaster-years", type=float, default=100.0, help="disaster mean time in years"
     )
     _add_full_flag(availability)
+    _add_cache_flag(availability)
 
     table7 = commands.add_parser("table7", help="reproduce Table VII")
     _add_full_flag(table7)
     _add_jobs_flag(table7)
+    _add_cache_flag(table7)
 
     figure7 = commands.add_parser("figure7", help="reproduce the Figure 7 sweep")
     figure7.add_argument(
@@ -92,9 +108,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_full_flag(figure7)
     _add_jobs_flag(figure7)
+    _add_cache_flag(figure7)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the persistent reachability-graph cache"
+    )
+    cache.add_argument(
+        "action",
+        nargs="?",
+        choices=("show", "clear"),
+        default="show",
+        help="show entries (default) or delete them all",
+    )
+    cache.add_argument(
+        "--dir", default=None, metavar="PATH", help="cache directory override"
+    )
 
     ablations = commands.add_parser("ablations", help="design-knob ablations")
     _add_full_flag(ablations)
+    _add_cache_flag(ablations)
 
     sensitivity = commands.add_parser(
         "sensitivity", help="one-at-a-time sensitivity of the Table VI parameters"
@@ -103,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--factor", type=float, default=2.0, help="multiplicative MTTF perturbation factor"
     )
     _add_jobs_flag(sensitivity)
+    _add_cache_flag(sensitivity)
 
     return parser
 
@@ -111,8 +144,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     arguments = build_parser().parse_args(argv)
 
+    if arguments.command == "cache":
+        from repro.engine import TRGCache
+
+        cache = TRGCache(arguments.dir)
+        if arguments.action == "clear":
+            removed = cache.clear()
+            print(f"removed {removed} cached reachability graph(s) from {cache.directory}")
+            return 0
+        entries = cache.entries()
+        print(f"cache directory : {cache.directory}")
+        print(f"entries         : {len(entries)}")
+        for entry in entries:
+            age_hours = (time.time() - entry.modified) / 3600.0
+            print(
+                f"  {entry.key[:16]}…  {entry.size_bytes / 1024:8.1f} KiB  "
+                f"{age_hours:6.1f} h old"
+            )
+        return 0
+
     if arguments.command == "availability":
-        runner = _runner(arguments.full)
+        runner = _runner(arguments.full, use_cache=not arguments.no_cache)
         scenario = DistributedScenario(
             first=city_named(arguments.first),
             second=city_named(arguments.second),
@@ -126,19 +178,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"nines         : {result.nines:.2f}")
         print(f"downtime      : {result.downtime_hours_per_year:.1f} hours/year")
         print(f"state space   : {evaluation.number_of_states} tangible markings")
+        print(f"graph source  : {runner.engine().graph_source}")
         return 0
 
     if arguments.command == "table7":
         print(
             render_table7(
-                reproduce_table7(_runner(arguments.full), max_workers=arguments.jobs)
+                reproduce_table7(
+                    _runner(arguments.full, use_cache=not arguments.no_cache),
+                    max_workers=arguments.jobs,
+                )
             )
         )
         return 0
 
     if arguments.command == "figure7":
         points = reproduce_figure7(
-            _runner(arguments.full),
+            _runner(arguments.full, use_cache=not arguments.no_cache),
             city_pairs=CITY_PAIRS[: max(1, arguments.pairs)],
             max_workers=arguments.jobs,
         )
@@ -146,12 +202,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if arguments.command == "ablations":
-        study = AblationStudy(machines_per_datacenter=2 if arguments.full else 1)
+        study = AblationStudy(
+            machines_per_datacenter=2 if arguments.full else 1,
+            use_cache=not arguments.no_cache,
+        )
         print(render_ablations(study.run_default_suite()))
         return 0
 
     if arguments.command == "sensitivity":
-        analysis = SensitivityAnalysis(factor=arguments.factor)
+        analysis = SensitivityAnalysis(
+            factor=arguments.factor, use_cache=not arguments.no_cache
+        )
         print(render_sensitivity(analysis.run(max_workers=arguments.jobs)))
         return 0
 

@@ -19,8 +19,11 @@ simulation.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
+
+import numpy as np
 
 from repro.core.components import build_simple_component
 from repro.core.datacenter import CloudSystemSpec
@@ -261,6 +264,31 @@ class CloudSystemModel:
                         values[index] = token
             return tuple(values)
 
+        index_groups = [np.asarray(profiles, dtype=np.int64) for profiles in groups]
+
+        def canonicalize_batch(block: np.ndarray) -> np.ndarray:
+            """Vectorized companion: canonicalize a whole ``(N, P)`` block.
+
+            Per group, the per-PM state vectors of every marking are sorted
+            lexicographically with one ``np.lexsort`` (stable, ascending —
+            the same order as the tuple sort above) instead of a Python
+            sort per marking.
+            """
+            values = np.array(block, dtype=np.int64, copy=True)
+            for indices in index_groups:
+                sub = values[:, indices]  # (N, machines, places_per_machine)
+                keys = tuple(
+                    sub[:, :, column]
+                    for column in range(indices.shape[1] - 1, -1, -1)
+                )
+                order = np.lexsort(keys)
+                values[:, indices] = np.take_along_axis(sub, order[:, :, None], axis=1)
+            return values
+
+        canonicalize.batch = canonicalize_batch
+        canonicalize.cache_id = "pm-symmetry:" + hashlib.sha256(
+            repr(groups).encode()
+        ).hexdigest()[:16]
         return canonicalize
 
     def solve(

@@ -12,11 +12,16 @@ from repro.engine.batch import (
     ScenarioResult,
     ScenarioSpec,
 )
+from repro.engine.cache import CacheEntry, TRGCache, cache_key, default_cache_directory
 from repro.engine.system import ConstrainedSystemTemplate
 
 __all__ = [
     "ScenarioBatchEngine",
     "ScenarioResult",
     "ScenarioSpec",
+    "CacheEntry",
+    "TRGCache",
+    "cache_key",
+    "default_cache_directory",
     "ConstrainedSystemTemplate",
 ]

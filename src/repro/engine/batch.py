@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
@@ -30,6 +31,7 @@ from typing import Mapping, Optional, Sequence, Union
 import numpy as np
 from scipy.sparse import linalg as sparse_linalg
 
+from repro.engine.cache import TRGCache
 from repro.engine.system import ConstrainedSystemTemplate
 from repro.exceptions import AnalysisError
 from repro.markov import solvers
@@ -110,6 +112,14 @@ class ScenarioBatchEngine:
         max_states: tangible state-space limit for the one-off generation.
         canonicalize: optional marking canonicalizer (symmetry lumping)
             forwarded to the reachability generator.
+        cache: optional :class:`~repro.engine.cache.TRGCache`; when given,
+            the one-off generation is first looked up on disk and stored
+            after a miss, so repeat runs over an unchanged net skip
+            exploration entirely.  With a canonicalizer the cache is only
+            consulted when the canonicalizer identity is known (an explicit
+            ``canonicalize_id`` or a ``cache_id`` attribute on the callable).
+        canonicalize_id: stable identity of ``canonicalize`` for cache
+            keying; defaults to its ``cache_id`` attribute when present.
     """
 
     def __init__(
@@ -119,6 +129,8 @@ class ScenarioBatchEngine:
         method: str = "auto",
         max_states: int = DEFAULT_MAX_TANGIBLE_MARKINGS,
         canonicalize=None,
+        cache: Optional["TRGCache"] = None,
+        canonicalize_id: Optional[str] = None,
         gth_threshold: int = 200,
         direct_threshold: int = 20_000,
         ilu_drop_tolerance: float = 1e-6,
@@ -131,6 +143,17 @@ class ScenarioBatchEngine:
         self.method = method
         self.max_states = max_states
         self.canonicalize = canonicalize
+        self.cache = cache
+        self.canonicalize_id = (
+            canonicalize_id
+            if canonicalize_id is not None
+            else getattr(canonicalize, "cache_id", None)
+        )
+        #: How the shared graph was obtained: None until built, then
+        #: "provided", "cache" or "generated".
+        self.graph_source: Optional[str] = (
+            "provided" if isinstance(net, TangibleReachabilityGraph) else None
+        )
         self.gth_threshold = gth_threshold
         self.direct_threshold = direct_threshold
         self.ilu_drop_tolerance = ilu_drop_tolerance
@@ -150,16 +173,58 @@ class ScenarioBatchEngine:
     # --- shared structure -------------------------------------------------
 
     def graph(self) -> TangibleReachabilityGraph:
-        """Generate (once) and return the shared tangible reachability graph."""
+        """Generate (once) and return the shared tangible reachability graph.
+
+        With a configured cache the graph is loaded from disk when an entry
+        for this exact net structure / ``max_states`` / canonicalizer exists
+        and stored after generation otherwise.
+        """
         if self._graph is None:
             with self._setup_lock:
                 if self._graph is None:
-                    self._graph = generate_tangible_reachability_graph(
-                        self._net,
-                        max_states=self.max_states,
-                        canonicalize=self.canonicalize,
+                    compiled = (
+                        self._net
+                        if isinstance(self._net, CompiledNet)
+                        else CompiledNet(self._net)
                     )
+                    cache = self._usable_cache()
+                    graph = None
+                    if cache is not None:
+                        graph = cache.load(
+                            compiled, self.max_states, self.canonicalize_id
+                        )
+                    if graph is not None:
+                        self.graph_source = "cache"
+                    else:
+                        graph = generate_tangible_reachability_graph(
+                            compiled,
+                            max_states=self.max_states,
+                            canonicalize=self.canonicalize,
+                        )
+                        self.graph_source = "generated"
+                        if cache is not None:
+                            try:
+                                cache.store(
+                                    graph, self.max_states, self.canonicalize_id
+                                )
+                            except (OSError, ValueError) as error:
+                                # An unwritable cache must never fail a run
+                                # whose generation already succeeded.
+                                warnings.warn(
+                                    f"could not persist the reachability graph "
+                                    f"to {cache.directory}: {error}",
+                                    stacklevel=2,
+                                )
+                    self._graph = graph
         return self._graph
+
+    def _usable_cache(self) -> Optional["TRGCache"]:
+        """The cache, unless an anonymous canonicalizer makes keying unsafe."""
+        if self.cache is None:
+            return None
+        if self.canonicalize is not None and self.canonicalize_id is None:
+            return None
+        return self.cache
 
     def template(self) -> ConstrainedSystemTemplate:
         """Build (once) the symbolic constrained-balance-system structure."""

@@ -1,0 +1,248 @@
+"""Persistent on-disk cache of tangible reachability graphs.
+
+The structure of a net's tangible reachability graph depends only on the net
+itself (places, arcs, guards, immediate race data), the exploration limit and
+the optional symmetry canonicalizer — not on the timed rates, which the
+sweep machinery re-rates per scenario anyway.  Repeat invocations of the
+case-study runner, the CLI or any :class:`~repro.engine.batch.ScenarioBatchEngine`
+over an unchanged net therefore never need to re-explore: :class:`TRGCache`
+stores the graph's sparse-native arrays as one ``.npz`` file keyed by a
+content hash of the compiled net structure, ``max_states`` and the
+canonicalizer identity.
+
+Cache location: ``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro/trg``.
+
+Canonicalizers are opaque callables, so a graph generated with one is only
+cacheable when the canonicalizer declares a stable identity via a
+``cache_id`` attribute (the cloud model's symmetry canonicalizer does);
+otherwise the cache is bypassed rather than risking a stale hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.spn.enabling import CompiledNet
+from repro.spn.reachability import TangibleReachabilityGraph
+
+#: Bump when the stored array layout changes; part of every cache key.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_directory() -> Path:
+    """Resolve the cache directory (``$REPRO_CACHE_DIR`` or the user cache)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "trg"
+
+
+def structure_fingerprint(net: CompiledNet) -> str:
+    """Canonical JSON description of everything the TRG structure depends on.
+
+    Timed rates are included as well: the cached graph carries a rate vector
+    and edge rates, so two nets differing only in rates are stored (cheaply)
+    as separate entries instead of being re-rated on load.
+    """
+    description = {
+        "format": CACHE_FORMAT_VERSION,
+        "name": net.name,
+        "places": list(net.place_names),
+        "initial_marking": list(net.initial_marking),
+        "transitions": [
+            {
+                "name": t.name,
+                "immediate": t.immediate,
+                "rate": t.rate,
+                "infinite_server": t.infinite_server,
+                "weight": t.weight,
+                "priority": t.priority,
+                "inputs": sorted(t.inputs),
+                "outputs": sorted(t.outputs),
+                "inhibitors": sorted(t.inhibitors),
+                "guard": t.guard_source,
+            }
+            for t in net.transitions
+        ],
+    }
+    return json.dumps(description, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(
+    net: CompiledNet, max_states: int, canonicalize_id: Optional[str]
+) -> str:
+    """SHA-256 key of one (net structure, max_states, canonicalizer) triple."""
+    digest = hashlib.sha256()
+    digest.update(structure_fingerprint(net).encode())
+    digest.update(f"|max_states={max_states}".encode())
+    digest.update(f"|canonicalize={canonicalize_id or ''}".encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one stored graph (for ``repro cache show``)."""
+
+    path: Path
+    key: str
+    size_bytes: int
+    modified: float
+
+
+class TRGCache:
+    """File-per-graph cache of :class:`TangibleReachabilityGraph` arrays."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_directory()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"trg-{key}.npz"
+
+    # --- lookup -------------------------------------------------------------
+
+    def load(
+        self,
+        net: CompiledNet,
+        max_states: int,
+        canonicalize_id: Optional[str] = None,
+    ) -> Optional[TangibleReachabilityGraph]:
+        """The cached graph for this configuration, or ``None`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss (and callers will
+        simply regenerate and overwrite it).
+        """
+        path = self._path(cache_key(net, max_states, canonicalize_id))
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return self._graph_from_arrays(net, data)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile, zlib.error):
+            return None
+
+    def store(
+        self,
+        graph: TangibleReachabilityGraph,
+        max_states: int,
+        canonicalize_id: Optional[str] = None,
+    ) -> Path:
+        """Persist ``graph`` atomically; returns the entry path."""
+        if not graph.has_coefficients:
+            raise ValueError(
+                "only graphs generated with coefficient tracking can be cached"
+            )
+        key = cache_key(graph.net, max_states, canonicalize_id)
+        path = self._path(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        arrays = {
+            "markings": np.asarray(graph.markings, dtype=np.int64).reshape(
+                graph.number_of_states, -1
+            ),
+            "edge_sources": graph.edge_sources,
+            "edge_targets": graph.edge_targets,
+            "edge_rates": graph.edge_rates,
+            "transition_names": np.asarray(graph.transition_names, dtype=np.str_),
+            "rate_vector": graph.rate_vector,
+            "initial_ids": np.asarray(
+                list(graph.initial_distribution), dtype=np.int64
+            ),
+            "initial_probabilities": np.asarray(
+                list(graph.initial_distribution.values()), dtype=np.float64
+            ),
+            "ecm_data": graph.edge_coefficient_matrix.data,
+            "ecm_indices": graph.edge_coefficient_matrix.indices,
+            "ecm_indptr": graph.edge_coefficient_matrix.indptr,
+            "ecm_shape": np.asarray(graph.edge_coefficient_matrix.shape, dtype=np.int64),
+            "scm_data": graph.state_coefficient_matrix.data,
+            "scm_indices": graph.state_coefficient_matrix.indices,
+            "scm_indptr": graph.state_coefficient_matrix.indptr,
+            "scm_shape": np.asarray(graph.state_coefficient_matrix.shape, dtype=np.int64),
+        }
+        # Write-to-temporary + rename so concurrent readers never see a
+        # partially written entry.
+        descriptor, temporary = tempfile.mkstemp(
+            dir=self.directory, prefix=f".trg-{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            os.replace(temporary, path)
+        except BaseException:
+            if os.path.exists(temporary):
+                os.unlink(temporary)
+            raise
+        return path
+
+    @staticmethod
+    def _graph_from_arrays(net: CompiledNet, data) -> TangibleReachabilityGraph:
+        markings_array = data["markings"]
+        if markings_array.shape[1] != len(net.place_names):
+            raise ValueError("cached marking width does not match the net")
+        markings = [tuple(row) for row in markings_array.tolist()]
+        initial_distribution = {
+            int(state): float(probability)
+            for state, probability in zip(
+                data["initial_ids"], data["initial_probabilities"]
+            )
+        }
+        edge_coefficient_matrix = sparse.csr_matrix(
+            (data["ecm_data"], data["ecm_indices"], data["ecm_indptr"]),
+            shape=tuple(data["ecm_shape"]),
+        )
+        state_coefficient_matrix = sparse.csr_matrix(
+            (data["scm_data"], data["scm_indices"], data["scm_indptr"]),
+            shape=tuple(data["scm_shape"]),
+        )
+        return TangibleReachabilityGraph(
+            net=net,
+            markings=markings,
+            initial_distribution=initial_distribution,
+            edge_sources=data["edge_sources"],
+            edge_targets=data["edge_targets"],
+            edge_rates=data["edge_rates"],
+            transition_names=tuple(str(name) for name in data["transition_names"]),
+            rate_vector=data["rate_vector"],
+            edge_coefficient_matrix=edge_coefficient_matrix,
+            state_coefficient_matrix=state_coefficient_matrix,
+        )
+
+    # --- maintenance --------------------------------------------------------
+
+    def entries(self) -> list[CacheEntry]:
+        """Stored graphs, newest first."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for path in self.directory.glob("trg-*.npz"):
+            stat = path.stat()
+            found.append(
+                CacheEntry(
+                    path=path,
+                    key=path.stem.removeprefix("trg-"),
+                    size_bytes=stat.st_size,
+                    modified=stat.st_mtime,
+                )
+            )
+        return sorted(found, key=lambda entry: entry.modified, reverse=True)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for entry in self.entries():
+            try:
+                entry.path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

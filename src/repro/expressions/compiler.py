@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Sequence, Union
 
+import numpy as np
+
 from repro.exceptions import ExpressionError
 from repro.expressions.ast import (
     ArithmeticOp,
@@ -240,4 +242,141 @@ def compile_expression(
     if isinstance(expression, Not):
         operand = compile_expression(expression.operand, place_index, environment)
         return lambda marking: not _as_bool(operand(marking))
+    raise ExpressionError(f"unsupported expression node {type(expression)!r}")
+
+
+# --- vectorized compilation --------------------------------------------------
+
+#: A closure over an ``(F, P)`` int block of markings, returning a value (or
+#: boolean mask) per row; scalars stand for row-independent constants.
+VectorizedExpression = Callable[[np.ndarray], Union[np.ndarray, bool, float]]
+
+
+def _as_number_block(value):
+    if isinstance(value, np.ndarray):
+        return value.astype(np.float64) if value.dtype != np.float64 else value
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    return float(value)
+
+
+def _as_bool_block(value):
+    if isinstance(value, np.ndarray):
+        return value if value.dtype == bool else value != 0.0
+    if isinstance(value, bool):
+        return value
+    return value != 0.0
+
+
+def compile_expression_vector(
+    expression: Union[Expression, str],
+    place_index: Mapping[str, int],
+    environment: Mapping[str, float] | None = None,
+) -> VectorizedExpression:
+    """Compile ``expression`` into a closure over an ``(F, P)`` marking block.
+
+    The returned callable evaluates the expression for every row of a 2-D
+    int array of markings at once and returns a per-row result (a numpy
+    array, or a scalar when the expression is marking-independent).  It is
+    the batch counterpart of :func:`compile_expression` and follows the same
+    semantics; the only divergence is that ``AND`` / ``OR`` evaluate both
+    operands instead of short-circuiting (guard expressions are pure, so
+    this is observable only through evaluation errors such as division by
+    zero in a dead branch).
+
+    Raises:
+        ExpressionError: if the expression references a place not present in
+            ``place_index`` or an identifier not present in ``environment``.
+    """
+    if isinstance(expression, str):
+        expression = parse(expression)
+    environment = environment or {}
+
+    if isinstance(expression, NumberLiteral):
+        constant = float(expression.value)
+        return lambda block: constant
+    if isinstance(expression, BooleanLiteral):
+        literal = expression.value
+        return lambda block: literal
+    if isinstance(expression, TokenCount):
+        if expression.place not in place_index:
+            raise ExpressionError(
+                f"expression references unknown place {expression.place!r}; "
+                f"known places: {sorted(place_index)}"
+            )
+        index = place_index[expression.place]
+        return lambda block: block[:, index].astype(np.float64)
+    if isinstance(expression, Identifier):
+        if expression.name not in environment:
+            raise ExpressionError(
+                f"expression references unknown identifier {expression.name!r}"
+            )
+        constant = float(environment[expression.name])
+        return lambda block: constant
+    if isinstance(expression, Negate):
+        operand = compile_expression_vector(expression.operand, place_index, environment)
+        return lambda block: -_as_number_block(operand(block))
+    if isinstance(expression, ArithmeticOp):
+        left = compile_expression_vector(expression.left, place_index, environment)
+        right = compile_expression_vector(expression.right, place_index, environment)
+        operator = expression.operator
+        if operator == "+":
+            return lambda block: _as_number_block(left(block)) + _as_number_block(right(block))
+        if operator == "-":
+            return lambda block: _as_number_block(left(block)) - _as_number_block(right(block))
+        if operator == "*":
+            return lambda block: _as_number_block(left(block)) * _as_number_block(right(block))
+        if operator == "/":
+
+            def divide(block):
+                numerator = _as_number_block(left(block))
+                denominator = _as_number_block(right(block))
+                if np.any(np.asarray(denominator) == 0.0):
+                    raise ExpressionError("division by zero while evaluating expression")
+                return numerator / denominator
+
+            return divide
+        raise ExpressionError(f"unknown arithmetic operator {operator!r}")
+    if isinstance(expression, Comparison):
+        left = compile_expression_vector(expression.left, place_index, environment)
+        right = compile_expression_vector(expression.right, place_index, environment)
+        operator = expression.operator
+        if operator == "=":
+            return (
+                lambda block: np.abs(
+                    _as_number_block(left(block)) - _as_number_block(right(block))
+                )
+                <= _EQUALITY_TOLERANCE
+            )
+        if operator == "<>":
+            return (
+                lambda block: np.abs(
+                    _as_number_block(left(block)) - _as_number_block(right(block))
+                )
+                > _EQUALITY_TOLERANCE
+            )
+        if operator == "<":
+            return lambda block: _as_number_block(left(block)) < _as_number_block(right(block))
+        if operator == "<=":
+            return lambda block: _as_number_block(left(block)) <= _as_number_block(right(block))
+        if operator == ">":
+            return lambda block: _as_number_block(left(block)) > _as_number_block(right(block))
+        if operator == ">=":
+            return lambda block: _as_number_block(left(block)) >= _as_number_block(right(block))
+        raise ExpressionError(f"unknown comparison operator {operator!r}")
+    if isinstance(expression, BooleanOp):
+        left = compile_expression_vector(expression.left, place_index, environment)
+        right = compile_expression_vector(expression.right, place_index, environment)
+        if expression.operator == "AND":
+            return lambda block: np.logical_and(
+                _as_bool_block(left(block)), _as_bool_block(right(block))
+            )
+        if expression.operator == "OR":
+            return lambda block: np.logical_or(
+                _as_bool_block(left(block)), _as_bool_block(right(block))
+            )
+        raise ExpressionError(f"unknown boolean operator {expression.operator!r}")
+    if isinstance(expression, Not):
+        operand = compile_expression_vector(expression.operand, place_index, environment)
+        return lambda block: np.logical_not(_as_bool_block(operand(block)))
     raise ExpressionError(f"unsupported expression node {type(expression)!r}")

@@ -6,9 +6,11 @@ from repro.spn.analysis import (
     solve_steady_state,
     solve_transient,
 )
+from repro.spn.compare import graph_deviation
 from repro.spn.composition import merge, relabel
 from repro.spn.ctmc_export import generator_matrix, initial_distribution_vector, to_markov_chain
 from repro.spn.enabling import CompiledNet, CompiledTransition
+from repro.spn.kernel import IncidenceKernel
 from repro.spn.marking import MarkingView, marking_vector
 from repro.spn.model import (
     Arc,
@@ -22,6 +24,7 @@ from repro.spn.parametric import with_transition_delays, with_transition_rates
 from repro.spn.reachability import (
     TangibleReachabilityGraph,
     generate_tangible_reachability_graph,
+    generate_tangible_reachability_graph_scalar,
     resolve_vanishing,
 )
 from repro.spn.rewards import (
@@ -48,6 +51,7 @@ __all__ = [
     "to_markov_chain",
     "CompiledNet",
     "CompiledTransition",
+    "IncidenceKernel",
     "MarkingView",
     "marking_vector",
     "Arc",
@@ -60,6 +64,8 @@ __all__ = [
     "with_transition_rates",
     "TangibleReachabilityGraph",
     "generate_tangible_reachability_graph",
+    "generate_tangible_reachability_graph_scalar",
+    "graph_deviation",
     "resolve_vanishing",
     "ExpectedTokensMeasure",
     "Measure",

@@ -1,0 +1,93 @@
+"""Equivalence checking between tangible reachability graphs.
+
+Used by the property tests, the state-space benchmark and the cache
+round-trip check to verify that two independently produced graphs describe
+the same CTMC: same tangible markings, same edges and the same
+rate-independent coefficient data, up to a permutation of the state ids.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import StateSpaceError
+from repro.spn.reachability import TangibleReachabilityGraph
+
+
+def graph_deviation(
+    first: TangibleReachabilityGraph, second: TangibleReachabilityGraph
+) -> float:
+    """Largest absolute numeric deviation between two equivalent graphs.
+
+    States are aligned by marking (the graphs may number them differently),
+    and the initial distributions, edge rates, base rates, per-state
+    enabling-degree coefficients and per-edge coefficients are compared
+    entry by entry.
+
+    Returns:
+        The maximum absolute difference over all compared quantities.
+
+    Raises:
+        StateSpaceError: if the graphs are structurally different (marking
+            sets, edge sets, transition names or sparsity patterns differ).
+    """
+    if first.number_of_states != second.number_of_states:
+        raise StateSpaceError(
+            f"state counts differ: {first.number_of_states} vs {second.number_of_states}"
+        )
+    second_ids = {marking: i for i, marking in enumerate(second.markings)}
+    if len(second_ids) != second.number_of_states:
+        raise StateSpaceError("second graph contains duplicate markings")
+    try:
+        to_second = [second_ids[marking] for marking in first.markings]
+    except KeyError as missing:
+        raise StateSpaceError(f"marking {missing} missing from second graph") from None
+
+    deviation = 0.0
+
+    def compare_dicts(a: dict, b: dict, label: str) -> None:
+        nonlocal deviation
+        if set(a) != set(b):
+            raise StateSpaceError(f"{label}: key sets differ")
+        for key, value in a.items():
+            deviation = max(deviation, abs(value - b[key]))
+
+    compare_dicts(
+        {to_second[state]: p for state, p in first.initial_distribution.items()},
+        dict(second.initial_distribution),
+        "initial distribution",
+    )
+    compare_dicts(
+        {
+            (to_second[source], to_second[target]): rate
+            for (source, target), rate in first.transitions.items()
+        },
+        second.transitions,
+        "edges",
+    )
+    if set(first.transition_names) != set(second.transition_names):
+        raise StateSpaceError("transition name sets differ")
+    compare_dicts(first.base_rates, second.base_rates, "base rates")
+
+    first_state_coefficients = first.throughput_coefficients
+    second_state_coefficients = second.throughput_coefficients
+    first_edge_coefficients = first.edge_contributions
+    second_edge_coefficients = second.edge_contributions
+    for name in first.transition_names:
+        compare_dicts(
+            {
+                to_second[state]: degree
+                for state, degree in first_state_coefficients.get(name, {}).items()
+            },
+            second_state_coefficients.get(name, {}),
+            f"state coefficients of {name!r}",
+        )
+        compare_dicts(
+            {
+                (to_second[source], to_second[target]): coefficient
+                for (source, target), coefficient in first_edge_coefficients.get(
+                    name, {}
+                ).items()
+            },
+            second_edge_coefficients.get(name, {}),
+            f"edge coefficients of {name!r}",
+        )
+    return deviation

@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from repro.exceptions import ModelError
 from repro.expressions import CompiledExpression, compile_expression
+from repro.expressions.compiler import VectorizedExpression, compile_expression_vector
 from repro.spn.model import ArcKind, ServerSemantics, StochasticPetriNet, Transition
 
 
@@ -30,6 +31,11 @@ class CompiledTransition:
         weight / priority: race resolution for immediate transitions.
         inputs / outputs / inhibitors: ``(place_index, multiplicity)`` pairs.
         guard: compiled guard closure or ``None``.
+        guard_vector: batch-compiled guard evaluating a whole ``(F, P)``
+            marking block at once (used by the incidence kernel).
+        guard_source: canonical text of the guard AST (``None`` without a
+            guard) — kept so net structures can be fingerprinted for the
+            persistent reachability cache.
     """
 
     name: str
@@ -42,6 +48,8 @@ class CompiledTransition:
     outputs: tuple[tuple[int, int], ...]
     inhibitors: tuple[tuple[int, int], ...]
     guard: Optional[CompiledExpression]
+    guard_vector: Optional[VectorizedExpression] = None
+    guard_source: Optional[str] = None
 
     def is_enabled(self, marking: Sequence[int]) -> bool:
         """Whether the transition may fire in ``marking``."""
@@ -111,6 +119,16 @@ class CompiledNet:
         self.transition_index: dict[str, int] = {
             t.name: i for i, t in enumerate(self.transitions)
         }
+        # Immediate transitions grouped by priority, highest class first:
+        # the enabled-immediate query walks the classes top-down instead of
+        # recomputing max(priority) over the enabled set on every marking.
+        by_priority: dict[int, list[CompiledTransition]] = {}
+        for t in self.immediate_transitions:
+            by_priority.setdefault(t.priority, []).append(t)
+        self.immediate_priority_classes: tuple[tuple[CompiledTransition, ...], ...] = tuple(
+            tuple(by_priority[priority]) for priority in sorted(by_priority, reverse=True)
+        )
+        self._kernel = None
 
     def _compile_transition(
         self, net: StochasticPetriNet, transition: Transition
@@ -127,8 +145,12 @@ class CompiledNet:
             else:
                 inhibitors.append(entry)
         guard = None
+        guard_vector = None
+        guard_source = None
         if transition.guard is not None:
             guard = compile_expression(transition.guard, self.place_index)
+            guard_vector = compile_expression_vector(transition.guard, self.place_index)
+            guard_source = repr(transition.guard)
         return CompiledTransition(
             name=transition.name,
             immediate=transition.immediate,
@@ -143,17 +165,27 @@ class CompiledNet:
             outputs=tuple(outputs),
             inhibitors=tuple(inhibitors),
             guard=guard,
+            guard_vector=guard_vector,
+            guard_source=guard_source,
         )
+
+    def kernel(self):
+        """The (lazily built, cached) incidence-matrix kernel of this net."""
+        if self._kernel is None:
+            from repro.spn.kernel import IncidenceKernel
+
+            self._kernel = IncidenceKernel(self)
+        return self._kernel
 
     # --- marking-level queries ----------------------------------------------
 
     def enabled_immediate(self, marking: Sequence[int]) -> list[CompiledTransition]:
         """Enabled immediate transitions of the highest enabled priority."""
-        enabled = [t for t in self.immediate_transitions if t.is_enabled(marking)]
-        if not enabled:
-            return []
-        top_priority = max(t.priority for t in enabled)
-        return [t for t in enabled if t.priority == top_priority]
+        for transitions in self.immediate_priority_classes:
+            enabled = [t for t in transitions if t.is_enabled(marking)]
+            if enabled:
+                return enabled
+        return []
 
     def enabled_timed(self, marking: Sequence[int]) -> list[CompiledTransition]:
         """Enabled timed transitions (regardless of immediate enabling)."""

@@ -24,8 +24,8 @@ from typing import Mapping, Optional, Sequence, Union
 import numpy as np
 from scipy import stats
 
-from repro.exceptions import SimulationError
-from repro.spn.enabling import CompiledNet, CompiledTransition
+from repro.exceptions import ModelError, SimulationError
+from repro.spn.enabling import CompiledNet
 from repro.spn.model import StochasticPetriNet
 from repro.spn.rewards import (
     ExpectedTokensMeasure,
@@ -200,13 +200,14 @@ def _summarise(
     )
 
 
-def _choose_immediate(
-    enabled: Sequence[CompiledTransition], rng: np.random.Generator
-) -> CompiledTransition:
-    weights = np.asarray([t.weight for t in enabled], dtype=float)
-    probabilities = weights / weights.sum()
-    index = int(rng.choice(len(enabled), p=probabilities))
-    return enabled[index]
+def _check_marking(net: CompiledNet, kernel, marking: np.ndarray) -> None:
+    """Reject negative markings, which only duplicate input arcs can produce
+    (enabled by the max multiplicity, consuming the sum)."""
+    if kernel.firing_can_go_negative and (marking < 0).any():
+        raise ModelError(
+            f"net {net.name!r}: firing a transition with duplicate input arcs "
+            "made a place marking negative"
+        )
 
 
 def _run_replication(
@@ -218,7 +219,9 @@ def _run_replication(
     rng: np.random.Generator,
     max_immediate_chain: int = 100_000,
 ) -> dict[str, float]:
-    marking = start_marking
+    kernel = net.kernel()
+    timed_names = tuple(t.name for t in net.timed_transitions)
+    marking = np.asarray(start_marking, dtype=np.int64)
     clock = 0.0
     warmup_end = horizon * warmup_fraction
     observed_time = 0.0
@@ -226,30 +229,43 @@ def _run_replication(
     firing_counts = {m.name: 0 for m in measures if m.transition_name is not None}
 
     while clock < horizon:
-        # Resolve immediate transitions first (zero-time firings).
+        # Resolve immediate transitions first (zero-time firings).  The
+        # enabled set of each step is one vectorized pass over the incidence
+        # arrays instead of a Python scan of all immediate transitions.
         chain_length = 0
-        enabled_immediate = net.enabled_immediate(marking)
-        while enabled_immediate:
-            transition = _choose_immediate(enabled_immediate, rng)
-            marking = transition.fire(marking)
+        while True:
+            candidates = kernel.enabled_immediate_indices(marking)
+            if candidates.size == 0:
+                break
+            weights = kernel.immediate_weights[candidates]
+            index = int(rng.choice(candidates.size, p=weights / weights.sum()))
+            marking = marking + kernel.delta[kernel.immediate_indices[candidates[index]]]
+            _check_marking(net, kernel, marking)
             chain_length += 1
             if chain_length > max_immediate_chain:
                 raise SimulationError(
                     f"net {net.name!r}: more than {max_immediate_chain} chained "
                     "immediate firings; the net contains an immediate loop"
                 )
-            enabled_immediate = net.enabled_immediate(marking)
 
-        enabled_timed = net.enabled_timed(marking)
-        if not enabled_timed:
+        enabled, rates = kernel.timed_effective_rates(marking)
+        if not enabled.any():
             # Absorbing tangible marking: the state persists until the horizon.
             remaining = horizon - clock
             _accumulate(measures, accumulators, marking, clock, remaining, warmup_end)
             clock = horizon
             break
 
-        rates = np.asarray([t.effective_rate(marking) for t in enabled_timed])
         total_rate = float(rates.sum())
+        if total_rate <= 0.0:
+            # Zero-rate transitions take part in no race; with none left the
+            # net can never advance, which is a modelling error rather than
+            # an absorbing state.
+            raise SimulationError(
+                f"net {net.name!r}: the enabled timed transitions all have "
+                "zero rate; the simulation cannot advance past marking "
+                f"{tuple(int(tokens) for tokens in marking)}"
+            )
         sojourn = float(rng.exponential(1.0 / total_rate))
         dwell = min(sojourn, horizon - clock)
         _accumulate(measures, accumulators, marking, clock, dwell, warmup_end)
@@ -257,13 +273,17 @@ def _run_replication(
             clock = horizon
             break
         clock += sojourn
-        index = int(rng.choice(len(enabled_timed), p=rates / total_rate))
-        chosen = enabled_timed[index]
+        positive = np.nonzero(rates > 0.0)[0]
+        winner = positive[
+            int(rng.choice(positive.size, p=rates[positive] / total_rate))
+        ]
         if clock > warmup_end:
+            chosen_name = timed_names[winner]
             for measure in measures:
-                if measure.transition_name == chosen.name:
+                if measure.transition_name == chosen_name:
                     firing_counts[measure.name] += 1
-        marking = chosen.fire(marking)
+        marking = marking + kernel.delta[kernel.timed_indices[winner]]
+        _check_marking(net, kernel, marking)
 
     observed_time = horizon - warmup_end
     if observed_time <= 0.0:
@@ -280,7 +300,7 @@ def _run_replication(
 def _accumulate(
     measures: Sequence[_CompiledMeasure],
     accumulators: dict[str, float],
-    marking: tuple[int, ...],
+    marking: Sequence[int],
     clock: float,
     dwell: float,
     warmup_end: float,

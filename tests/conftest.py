@@ -1,0 +1,22 @@
+"""Shared test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_trg_cache(tmp_path_factory):
+    """Point the persistent reachability cache at a per-session directory.
+
+    Keeps the suite hermetic: tests never read entries produced by earlier
+    runs or other tools, and never write into the user's real cache.
+    """
+    import os
+
+    directory = tmp_path_factory.mktemp("trg-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(directory)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous

@@ -1,0 +1,193 @@
+"""Tests for the persistent reachability-graph cache."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ScenarioBatchEngine, TRGCache, cache_key
+from repro.spn import (
+    CompiledNet,
+    generate_tangible_reachability_graph,
+    graph_deviation,
+)
+
+from tests.spn.nets import guarded_failover, machine_repair, mm1k_queue
+
+
+def graph_of(net):
+    return generate_tangible_reachability_graph(CompiledNet(net))
+
+
+class TestCacheKey:
+    def test_key_is_deterministic(self):
+        a = CompiledNet(mm1k_queue())
+        b = CompiledNet(mm1k_queue())
+        assert cache_key(a, 100, None) == cache_key(b, 100, None)
+
+    def test_key_depends_on_structure(self):
+        a = CompiledNet(mm1k_queue(capacity=3))
+        b = CompiledNet(mm1k_queue(capacity=4))
+        assert cache_key(a, 100, None) != cache_key(b, 100, None)
+
+    def test_key_depends_on_rates_and_limits(self):
+        a = CompiledNet(mm1k_queue(arrival_mean=2.0))
+        b = CompiledNet(mm1k_queue(arrival_mean=3.0))
+        assert cache_key(a, 100, None) != cache_key(b, 100, None)
+        assert cache_key(a, 100, None) != cache_key(a, 200, None)
+        assert cache_key(a, 100, None) != cache_key(a, 100, "sym")
+
+    def test_key_depends_on_guards(self):
+        a = CompiledNet(guarded_failover())
+        b = CompiledNet(guarded_failover(primary_mttf=11.0))
+        assert cache_key(a, 100, None) != cache_key(b, 100, None)
+
+
+class TestRoundTrip:
+    def test_store_then_load_is_equivalent(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(machine_repair(machines=5))
+        graph = generate_tangible_reachability_graph(net)
+        cache.store(graph, 500_000)
+        loaded = cache.load(net, 500_000)
+        assert loaded is not None
+        assert graph_deviation(graph, loaded) == 0.0
+        assert loaded.markings == graph.markings
+        np.testing.assert_array_equal(loaded.edge_sources, graph.edge_sources)
+        np.testing.assert_array_equal(loaded.edge_rates, graph.edge_rates)
+        assert loaded.transition_names == graph.transition_names
+        assert loaded.initial_distribution == graph.initial_distribution
+
+    def test_guarded_net_round_trip(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(guarded_failover())
+        graph = generate_tangible_reachability_graph(net)
+        cache.store(graph, 100)
+        assert cache.load(net, 100) is not None
+        assert cache.load(net, 101) is None  # different limit, different key
+
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        assert cache.load(CompiledNet(mm1k_queue()), 100) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(mm1k_queue())
+        graph = generate_tangible_reachability_graph(net)
+        path = cache.store(graph, 100)
+        path.write_bytes(b"not an npz file")
+        assert cache.load(net, 100) is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        """Regression: a half-written zip raises BadZipFile, not OSError."""
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(mm1k_queue())
+        graph = generate_tangible_reachability_graph(net)
+        path = cache.store(graph, 100)
+        content = path.read_bytes()
+        path.write_bytes(content[: len(content) // 2])
+        assert cache.load(net, 100) is None
+
+    def test_unwritable_cache_does_not_fail_the_run(self, tmp_path):
+        # A regular file as path parent makes mkdir fail with an OSError
+        # (permission tricks don't work when the suite runs as root).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way")
+        engine = ScenarioBatchEngine(mm1k_queue(), cache=TRGCache(blocker / "sub"))
+        with pytest.warns(UserWarning, match="could not persist"):
+            graph = engine.graph()
+        assert engine.graph_source == "generated"
+        assert graph.number_of_states == 4
+
+
+class TestMaintenance:
+    def test_entries_and_clear(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        cache.store(graph_of(mm1k_queue()), 100)
+        cache.store(graph_of(machine_repair()), 100)
+        entries = cache.entries()
+        assert len(entries) == 2
+        assert all(entry.size_bytes > 0 for entry in entries)
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+
+class TestEngineIntegration:
+    def test_second_engine_hits_the_cache(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        first = ScenarioBatchEngine(mm1k_queue(), cache=cache)
+        first.graph()
+        assert first.graph_source == "generated"
+        second = ScenarioBatchEngine(mm1k_queue(), cache=cache)
+        graph = second.graph()
+        assert second.graph_source == "cache"
+        assert graph_deviation(first.graph(), graph) == 0.0
+
+    def test_cached_graph_solves_bit_identically(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        generated = ScenarioBatchEngine(machine_repair(machines=30), cache=cache)
+        from_cache = ScenarioBatchEngine(machine_repair(machines=30), cache=cache)
+        a = generated.solve(delays={"FAIL": 25.0}).probabilities
+        b = from_cache.solve(delays={"FAIL": 25.0}).probabilities
+        assert from_cache.graph_source == "cache"
+        np.testing.assert_array_equal(a, b)
+
+    def test_anonymous_canonicalizer_bypasses_cache(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        engine = ScenarioBatchEngine(
+            machine_repair(machines=3),
+            cache=cache,
+            canonicalize=lambda marking: marking,
+        )
+        engine.graph()
+        assert engine.graph_source == "generated"
+        assert cache.entries() == []
+
+    def test_identified_canonicalizer_uses_cache(self, tmp_path):
+        cache = TRGCache(tmp_path)
+
+        def canonicalize(marking):
+            return marking
+
+        canonicalize.cache_id = "identity"
+        first = ScenarioBatchEngine(
+            machine_repair(machines=3), cache=cache, canonicalize=canonicalize
+        )
+        first.graph()
+        assert len(cache.entries()) == 1
+        second = ScenarioBatchEngine(
+            machine_repair(machines=3), cache=cache, canonicalize=canonicalize
+        )
+        second.graph()
+        assert second.graph_source == "cache"
+
+    def test_no_cache_by_default(self):
+        engine = ScenarioBatchEngine(mm1k_queue())
+        engine.graph()
+        assert engine.graph_source == "generated"
+
+
+class TestRunnerIntegration:
+    def _runner(self, tmp_path, **overrides):
+        from repro.casestudy import DistributedSweepRunner
+        from repro.core import CaseStudyParameters
+
+        return DistributedSweepRunner(
+            parameters=CaseStudyParameters(required_running_vms=1),
+            machines_per_datacenter=1,
+            cache_dir=str(tmp_path),
+            **overrides,
+        )
+
+    def test_repeat_runner_loads_from_cache(self, tmp_path):
+        first = self._runner(tmp_path)
+        first.graph()
+        assert first.engine().graph_source == "generated"
+        second = self._runner(tmp_path)
+        second.graph()
+        assert second.engine().graph_source == "cache"
+        assert second.graph().markings == first.graph().markings
+
+    def test_use_cache_false_bypasses(self, tmp_path):
+        runner = self._runner(tmp_path, use_cache=False)
+        runner.graph()
+        assert runner.engine().graph_source == "generated"
+        assert TRGCache(tmp_path).entries() == []

@@ -4,10 +4,14 @@ import hypothesis.strategies as st
 import pytest
 from hypothesis import given, settings
 
+from repro.exceptions import StateSpaceError
 from repro.metrics import availability_from_mttf_mttr
 from repro.spn import (
     CompiledNet,
+    StochasticPetriNet,
     generate_tangible_reachability_graph,
+    generate_tangible_reachability_graph_scalar,
+    graph_deviation,
     solve_steady_state,
 )
 
@@ -82,3 +86,108 @@ def test_expected_tokens_matches_weighted_sum(mttf, mttr):
         for marking, probability in zip(solution.graph.markings, solution.probabilities)
     )
     assert solution.expected_tokens("#X_ON") == pytest.approx(manual)
+
+
+# --- random-net equivalence of the vectorized and scalar explorers ----------
+
+
+@st.composite
+def random_gspn(draw):
+    """A small random GSPN with inputs, outputs, inhibitors, guards and
+    immediate transitions — the whole feature surface of the explorers."""
+    n_places = draw(st.integers(min_value=2, max_value=4))
+    net = StochasticPetriNet("RANDOM")
+    for p in range(n_places):
+        net.add_place(f"P{p}", initial_tokens=draw(st.integers(0, 2)))
+
+    def attach_arcs(name, conserve_tokens=False):
+        # Immediate transitions are kept token-non-increasing so that random
+        # nets cannot grow markings through zero-time firings (which neither
+        # explorer bounds by ``max_states``); immediate *cycles* remain
+        # possible and must be reported by both explorers.
+        n_inputs = draw(st.integers(1, 2))
+        for place in draw(
+            st.lists(
+                st.integers(0, n_places - 1),
+                min_size=n_inputs,
+                max_size=n_inputs,
+                unique=True,
+            )
+        ):
+            net.add_input_arc(f"P{place}", name, multiplicity=draw(st.integers(1, 2)))
+        n_outputs = 1 if conserve_tokens else draw(st.integers(1, 2))
+        for place in draw(
+            st.lists(
+                st.integers(0, n_places - 1),
+                min_size=n_outputs,
+                max_size=n_outputs,
+                unique=True,
+            )
+        ):
+            net.add_output_arc(
+                name,
+                f"P{place}",
+                multiplicity=1 if conserve_tokens else draw(st.integers(1, 2)),
+            )
+        if draw(st.booleans()):
+            place = draw(st.integers(0, n_places - 1))
+            net.add_inhibitor_arc(f"P{place}", name, multiplicity=draw(st.integers(1, 3)))
+
+    def maybe_guard():
+        if not draw(st.booleans()):
+            return None
+        place = draw(st.integers(0, n_places - 1))
+        operator = draw(st.sampled_from(["<", "<=", ">", ">=", "="]))
+        level = draw(st.integers(0, 3))
+        return f"#P{place} {operator} {level}"
+
+    n_timed = draw(st.integers(1, 3))
+    for t in range(n_timed):
+        net.add_timed_transition(
+            f"T{t}",
+            delay=draw(st.floats(0.1, 100.0)),
+            semantics=draw(st.sampled_from(["ss", "is"])),
+            guard=maybe_guard(),
+        )
+        attach_arcs(f"T{t}")
+    n_immediate = draw(st.integers(0, 2))
+    for i in range(n_immediate):
+        net.add_immediate_transition(
+            f"I{i}",
+            weight=draw(st.floats(0.5, 4.0)),
+            priority=draw(st.integers(1, 2)),
+            guard=maybe_guard(),
+        )
+        attach_arcs(f"I{i}", conserve_tokens=True)
+    return net
+
+
+@given(net=random_gspn())
+@settings(max_examples=120, deadline=None)
+def test_vectorized_explorer_matches_scalar_reference(net):
+    """Both explorers agree on markings, edges and coefficients (Δ < 1e-12)
+    — or fail identically (state-space limit, immediate cycle)."""
+    try:
+        scalar = generate_tangible_reachability_graph_scalar(net, max_states=300)
+    except StateSpaceError:
+        with pytest.raises(StateSpaceError):
+            generate_tangible_reachability_graph(net, max_states=300)
+        return
+    vectorized = generate_tangible_reachability_graph(net, max_states=300)
+    assert graph_deviation(scalar, vectorized) < 1e-12
+    assert sorted(scalar.markings) == sorted(vectorized.markings)
+    assert scalar.base_rates == vectorized.base_rates
+
+
+@given(net=random_gspn(), chunk_size=st.integers(min_value=1, max_value=7))
+@settings(max_examples=40, deadline=None)
+def test_vectorized_explorer_chunk_size_invariance(net, chunk_size):
+    """The wave size never changes the produced graph."""
+    try:
+        reference = generate_tangible_reachability_graph(net, max_states=300)
+    except StateSpaceError:
+        return
+    chunked = generate_tangible_reachability_graph(
+        net, max_states=300, chunk_size=chunk_size
+    )
+    assert graph_deviation(reference, chunked) < 1e-12

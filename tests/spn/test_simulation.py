@@ -100,6 +100,71 @@ class TestEstimates:
         ]
         assert estimate.half_width == 0.0
 
+    def test_zero_rate_transition_excluded_from_race(self):
+        """A zero-rate timed transition must not poison the exponential race."""
+        import math
+
+        net = StochasticPetriNet("zero-rate")
+        net.add_place("ON", 1)
+        net.add_place("OFF", 0)
+        net.add_timed_transition("NEVER", delay=math.inf)  # rate 0
+        net.add_timed_transition("FLIP", delay=1.0)
+        net.add_timed_transition("FLOP", delay=1.0)
+        net.add_input_arc("ON", "NEVER")
+        net.add_input_arc("ON", "FLIP")
+        net.add_output_arc("FLIP", "OFF")
+        net.add_input_arc("OFF", "FLOP")
+        net.add_output_arc("FLOP", "ON")
+        result = simulate(
+            net,
+            [ProbabilityMeasure("on", "#ON = 1")],
+            horizon=2_000.0,
+            replications=3,
+            seed=4,
+        )
+        assert result.value("on") == pytest.approx(0.5, abs=0.05)
+
+    def test_only_zero_rate_transitions_enabled_raises(self):
+        """Regression: this used to divide by a zero total rate."""
+        import math
+
+        net = StochasticPetriNet("stuck")
+        net.add_place("ON", 1)
+        net.add_place("OFF", 0)
+        net.add_timed_transition("NEVER", delay=math.inf)
+        net.add_input_arc("ON", "NEVER")
+        net.add_output_arc("NEVER", "OFF")
+        with pytest.raises(SimulationError, match="zero rate"):
+            simulate(
+                net,
+                [ProbabilityMeasure("on", "#ON = 1")],
+                horizon=10.0,
+                replications=1,
+                seed=1,
+            )
+
+    def test_duplicate_input_arcs_cannot_go_negative_silently(self):
+        """Regression: the kernel-based event loop must keep the scalar
+        fire() guard against duplicate-input-arc nets (enabled by the max
+        multiplicity, consuming the sum)."""
+        from repro.exceptions import ModelError
+
+        net = StochasticPetriNet("dup")
+        net.add_place("P", 1)
+        net.add_place("Q", 0)
+        net.add_timed_transition("T", delay=1.0)
+        net.add_input_arc("P", "T", multiplicity=1)
+        net.add_input_arc("P", "T", multiplicity=1)  # consumes 2, requires 1
+        net.add_output_arc("T", "Q")
+        with pytest.raises(ModelError, match="negative"):
+            simulate(
+                net,
+                [ProbabilityMeasure("q", "#Q > 0")],
+                horizon=100.0,
+                replications=1,
+                seed=0,
+            )
+
     def test_absorbing_net_spends_remaining_time_in_final_state(self):
         net = StochasticPetriNet("absorbing")
         net.add_place("RUN", 1)

@@ -25,6 +25,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_no_cache_flag(self):
+        arguments = build_parser().parse_args(["availability", "--no-cache"])
+        assert arguments.no_cache
+
+    def test_cache_defaults_to_show(self):
+        arguments = build_parser().parse_args(["cache"])
+        assert arguments.action == "show"
+        assert arguments.dir is None
+
+    def test_cache_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "frobnicate"])
+
 
 class TestCommands:
     def test_availability_command(self, capsys):
@@ -64,3 +77,19 @@ class TestCommands:
         assert main(["sensitivity", "--factor", "2"]) == 0
         output = capsys.readouterr().out
         assert "physical_machine" in output
+
+    def test_cache_show_and_clear(self, capsys, tmp_path):
+        assert main(["cache", "--dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "entries         : 0" in output
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_availability_populates_and_reuses_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["availability"]) == 0
+        assert "graph source  : generated" in capsys.readouterr().out
+        assert main(["availability"]) == 0
+        assert "graph source  : cache" in capsys.readouterr().out
+        assert main(["availability", "--no-cache"]) == 0
+        assert "graph source  : generated" in capsys.readouterr().out
