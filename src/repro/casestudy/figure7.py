@@ -68,6 +68,7 @@ def reproduce_figure7(
     alphas: Sequence[float] = ALPHA_VALUES,
     disaster_years: Sequence[float] = DISASTER_MEAN_TIME_YEARS,
     max_workers: Optional[int] = None,
+    backend: str = "auto",
 ) -> list[Figure7Point]:
     """Evaluate the Figure 7 sweep and report improvements over each baseline.
 
@@ -78,7 +79,8 @@ def reproduce_figure7(
     The whole grid is submitted to the sweep runner as **one batch**, so the
     shared state space is generated once and every point is a re-rate +
     re-fill + warm-started re-solve; ``max_workers`` additionally fans the
-    batch out over the engine's thread pool.
+    batch out over the engine's workers (``backend`` selects the zero-copy
+    multiprocess scheduler, threads or the serial path).
     """
     runner = runner or DistributedSweepRunner()
     grid: dict[tuple[str, float, float], DistributedScenario] = {}
@@ -95,7 +97,12 @@ def reproduce_figure7(
             )
 
     evaluations = dict(
-        zip(grid, runner.evaluate_many(grid.values(), max_workers=max_workers))
+        zip(
+            grid,
+            runner.evaluate_many(
+                grid.values(), max_workers=max_workers, backend=backend
+            ),
+        )
     )
 
     points: list[Figure7Point] = []

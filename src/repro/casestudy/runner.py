@@ -182,18 +182,22 @@ class DistributedSweepRunner:
         self,
         scenarios: Iterable[DistributedScenario],
         max_workers: Optional[int] = None,
+        backend: str = "auto",
     ) -> list[SweepEvaluation]:
         """Evaluate a batch of scenarios sharing this runner's structure.
 
-        With ``max_workers`` the batch fans out over the engine's thread
-        pool (each worker keeps its own factorisation / warm-start state);
-        results always come back in input order.
+        With ``max_workers`` the batch fans out over the engine's workers —
+        by default the zero-copy multiprocess scheduler, or threads with
+        ``backend="thread"`` (each worker chains warm starts across a
+        contiguous chunk of the sweep); results always come back in input
+        order.
         """
         scenarios = list(scenarios)
         results = self.engine().run(
             [self.scenario_spec(scenario) for scenario in scenarios],
             [self._availability_measure()],
             max_workers=max_workers,
+            backend=backend,
         )
         return [
             self._to_evaluation(scenario, result)

@@ -144,7 +144,9 @@ class SensitivityAnalysis:
             vms_per_physical_machine=self.parameters.vms_per_physical_machine,
         )
 
-    def run(self, max_workers: Optional[int] = None) -> list[SensitivityEntry]:
+    def run(
+        self, max_workers: Optional[int] = None, backend: str = "auto"
+    ) -> list[SensitivityEntry]:
         """Evaluate every requested component perturbation.
 
         A component perturbation only rescales transition rates — the net
@@ -182,7 +184,9 @@ class SensitivityAnalysis:
 
         availabilities: dict[str, float] = {
             result.name: result.value("availability")
-            for result in engine.run(specs, [measure], max_workers=max_workers)
+            for result in engine.run(
+                specs, [measure], max_workers=max_workers, backend=backend
+            )
         }
         for component, model in fallback.items():
             availabilities[component] = model.availability().availability

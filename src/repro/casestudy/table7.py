@@ -79,15 +79,19 @@ def single_site_rows(
 def distributed_rows(
     runner: Optional[DistributedSweepRunner] = None,
     max_workers: Optional[int] = None,
+    backend: str = "auto",
 ) -> list[Table7Row]:
     """The five distributed baseline rows of Table VII (α = 0.35, 100-year disasters).
 
     All five rows are evaluated as one batch on the runner's shared state
-    space (one generation, one factorisation, five warm-started re-solves).
+    space (one generation, one factorisation, five warm-started re-solves;
+    ``max_workers``/``backend`` fan the batch out over engine workers).
     """
     runner = runner or DistributedSweepRunner()
     scenarios = list(baseline_distributed_scenarios())
-    evaluations = runner.evaluate_many(scenarios, max_workers=max_workers)
+    evaluations = runner.evaluate_many(
+        scenarios, max_workers=max_workers, backend=backend
+    )
     rows = []
     for scenario, evaluation in zip(scenarios, evaluations):
         label = f"Baseline architecture: {scenario.first.name} - {scenario.second.name}"
@@ -107,9 +111,10 @@ def reproduce_table7(
     runner: Optional[DistributedSweepRunner] = None,
     include_distributed: bool = True,
     max_workers: Optional[int] = None,
+    backend: str = "auto",
 ) -> list[Table7Row]:
     """Every row of Table VII (optionally skipping the expensive distributed rows)."""
     rows = single_site_rows()
     if include_distributed:
-        rows.extend(distributed_rows(runner, max_workers=max_workers))
+        rows.extend(distributed_rows(runner, max_workers=max_workers, backend=backend))
     return rows

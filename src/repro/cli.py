@@ -12,11 +12,13 @@ any Python:
 
 Every command accepts ``--full`` to run the faithful two-PM-per-data-center
 configuration instead of the fast reduced one.  The batch commands
-(``table7``, ``figure7``, ``sensitivity``) also accept ``--jobs N`` to fan
-their scenario batch out over the engine's worker threads.  The runner-based
-commands consult the on-disk reachability cache by default so repeat
-invocations skip state-space generation; pass ``--no-cache`` to force a
-fresh exploration.
+(``table7``, ``figure7``, ``sensitivity``, ``ablations``) also accept
+``--jobs N`` to fan their scenario batch out over N engine workers and
+``--backend serial|thread|process`` to pick how (``process`` — the default
+for ``--jobs > 1`` — runs the zero-copy shared-memory sweep scheduler).
+The runner-based commands consult the on-disk reachability cache by default
+so repeat invocations skip state-space generation; pass ``--no-cache`` to
+force a fresh exploration.
 """
 
 from __future__ import annotations
@@ -73,7 +75,14 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         metavar="N",
-        help="fan the scenario batch out over N engine worker threads",
+        help="fan the scenario batch out over N engine workers",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="batch backend: zero-copy worker processes (default with "
+        "--jobs > 1), threads, or the serial sweep",
     )
 
 
@@ -126,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ablations = commands.add_parser("ablations", help="design-knob ablations")
     _add_full_flag(ablations)
+    _add_jobs_flag(ablations)
     _add_cache_flag(ablations)
 
     sensitivity = commands.add_parser(
@@ -187,6 +197,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 reproduce_table7(
                     _runner(arguments.full, use_cache=not arguments.no_cache),
                     max_workers=arguments.jobs,
+                    backend=arguments.backend,
                 )
             )
         )
@@ -197,6 +208,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _runner(arguments.full, use_cache=not arguments.no_cache),
             city_pairs=CITY_PAIRS[: max(1, arguments.pairs)],
             max_workers=arguments.jobs,
+            backend=arguments.backend,
         )
         print(render_figure7(points))
         return 0
@@ -205,6 +217,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         study = AblationStudy(
             machines_per_datacenter=2 if arguments.full else 1,
             use_cache=not arguments.no_cache,
+            jobs=arguments.jobs,
+            backend=arguments.backend,
         )
         print(render_ablations(study.run_default_suite()))
         return 0
@@ -213,7 +227,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         analysis = SensitivityAnalysis(
             factor=arguments.factor, use_cache=not arguments.no_cache
         )
-        print(render_sensitivity(analysis.run(max_workers=arguments.jobs)))
+        print(
+            render_sensitivity(
+                analysis.run(max_workers=arguments.jobs, backend=arguments.backend)
+            )
+        )
         return 0
 
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover

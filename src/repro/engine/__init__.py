@@ -3,19 +3,31 @@
 One tangible state space, many parameter points: the engine generates the
 reachability graph once, re-rates it per scenario with vectorized sparse
 operations, re-fills one symbolically pre-assembled linear system, reuses
-ILU preconditioners / warm starts across neighbouring sweep points and can
-fan a batch out over a thread pool.
+ILU preconditioners / warm starts across neighbouring sweep points, fans a
+batch out over threads or over the zero-copy shared-memory process
+scheduler (:mod:`repro.engine.parallel`), and evaluates all reward measures
+of a batch with one GEMM (:mod:`repro.engine.measures`).
 """
 
 from repro.engine.batch import (
+    BACKENDS,
     ScenarioBatchEngine,
     ScenarioResult,
     ScenarioSpec,
 )
 from repro.engine.cache import CacheEntry, TRGCache, cache_key, default_cache_directory
+from repro.engine.krylov import KrylovSettings, ReusableSolver
+from repro.engine.measures import RewardMatrix, UnsupportedMeasure
+from repro.engine.parallel import (
+    SharedMemoryUnavailable,
+    SweepScheduler,
+    contiguous_chunks,
+    shared_memory_available,
+)
 from repro.engine.system import ConstrainedSystemTemplate
 
 __all__ = [
+    "BACKENDS",
     "ScenarioBatchEngine",
     "ScenarioResult",
     "ScenarioSpec",
@@ -24,4 +36,12 @@ __all__ = [
     "cache_key",
     "default_cache_directory",
     "ConstrainedSystemTemplate",
+    "KrylovSettings",
+    "ReusableSolver",
+    "RewardMatrix",
+    "UnsupportedMeasure",
+    "SharedMemoryUnavailable",
+    "SweepScheduler",
+    "contiguous_chunks",
+    "shared_memory_available",
 ]

@@ -14,9 +14,16 @@ baselines, and of any sensitivity or capacity sweep):
 * for large state spaces the ILU preconditioner is reused across scenarios
   and each solve warm-starts from the previous solution — neighbouring sweep
   points have nearly identical stationary vectors;
-* batches can optionally fan out over a thread pool (``max_workers``); the
-  underlying scipy factorisations and mat-vecs release the GIL, and every
-  worker thread keeps its own filled system / preconditioner / warm start.
+* batches fan out over one of three interchangeable backends
+  (``backend="serial"|"thread"|"process"``): the serial path chains solver
+  state across the whole sweep, the thread path hands each worker thread a
+  *contiguous* chunk of sweep points (scipy factorisations and mat-vecs
+  release the GIL), and the process path — the default for
+  ``max_workers > 1`` — runs the zero-copy shared-memory scheduler of
+  :mod:`repro.engine.parallel`, sidestepping the GIL entirely;
+* the reward measures of a whole batch are evaluated with one
+  ``(S, n) @ (n, m)`` GEMM (:mod:`repro.engine.measures`) instead of
+  ``S × m`` Python-level dot products, on every backend.
 """
 
 from __future__ import annotations
@@ -29,9 +36,15 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
-from scipy.sparse import linalg as sparse_linalg
 
 from repro.engine.cache import TRGCache
+from repro.engine.krylov import KrylovSettings, ReusableSolver
+from repro.engine.measures import RewardMatrix, UnsupportedMeasure
+from repro.engine.parallel import (
+    SharedMemoryUnavailable,
+    SweepScheduler,
+    contiguous_chunks,
+)
 from repro.engine.system import ConstrainedSystemTemplate
 from repro.exceptions import AnalysisError
 from repro.markov import solvers
@@ -48,6 +61,15 @@ from repro.spn.reachability import (
 from repro.spn.rewards import Measure, validate_measures
 
 NetLike = Union[StochasticPetriNet, CompiledNet, TangibleReachabilityGraph]
+
+#: Recognised values of the ``backend`` argument of :meth:`ScenarioBatchEngine.run`.
+BACKENDS = ("auto", "serial", "thread", "process")
+
+#: Upper bound on the stacked ``(S, n)`` solution block a single dispatch may
+#: allocate (2 GiB).  Larger batches are evaluated as consecutive sub-batches
+#: of contiguous sweep order, so arbitrarily long sweeps run in bounded
+#: memory instead of materialising one enormous block.
+MAX_SOLUTION_BLOCK_BYTES = 2 << 30
 
 
 @dataclass(frozen=True)
@@ -89,12 +111,10 @@ class ScenarioResult:
 
 
 class _WorkerState(threading.local):
-    """Per-thread numeric solver state (filled system, ILU, warm start)."""
+    """Per-thread :class:`ReusableSolver` (filled system, ILU, warm start)."""
 
     def __init__(self) -> None:
-        self.system = None
-        self.preconditioner = None
-        self.warm_start: Optional[np.ndarray] = None
+        self.solver: Optional[ReusableSolver] = None
 
 
 class ScenarioBatchEngine:
@@ -135,7 +155,10 @@ class ScenarioBatchEngine:
         direct_threshold: int = 20_000,
         ilu_drop_tolerance: float = 1e-6,
         ilu_fill_factor: float = 20.0,
-        gmres_tolerance: float = 1e-10,
+        # Tight enough that independently warm-started worker chains agree
+        # below 1e-12 on measure values; the warm-started re-solves absorb
+        # the extra iterations at no measurable cost.
+        gmres_tolerance: float = 1e-13,
         lu_gmres_tolerance: float = 1e-12,
         gmres_restart: int = 60,
         gmres_max_iterations: int = 2000,
@@ -155,13 +178,19 @@ class ScenarioBatchEngine:
             "provided" if isinstance(net, TangibleReachabilityGraph) else None
         )
         self.gth_threshold = gth_threshold
+        self.krylov_settings = KrylovSettings(
+            direct_threshold=direct_threshold,
+            ilu_drop_tolerance=ilu_drop_tolerance,
+            ilu_fill_factor=ilu_fill_factor,
+            gmres_tolerance=gmres_tolerance,
+            lu_gmres_tolerance=lu_gmres_tolerance,
+            gmres_restart=gmres_restart,
+            gmres_max_iterations=gmres_max_iterations,
+        )
         self.direct_threshold = direct_threshold
-        self.ilu_drop_tolerance = ilu_drop_tolerance
-        self.ilu_fill_factor = ilu_fill_factor
-        self.gmres_tolerance = gmres_tolerance
-        self.lu_gmres_tolerance = lu_gmres_tolerance
-        self.gmres_restart = gmres_restart
-        self.gmres_max_iterations = gmres_max_iterations
+        #: Backend actually used by the most recent :meth:`run` call
+        #: (``None`` until the first batch).
+        self.last_run_backend: Optional[str] = None
         self._net: Optional[NetLike] = net
         self._graph: Optional[TangibleReachabilityGraph] = (
             net if isinstance(net, TangibleReachabilityGraph) else None
@@ -294,28 +323,242 @@ class ScenarioBatchEngine:
         measures: Sequence[Measure],
         max_workers: Optional[int] = None,
         keep_solutions: bool = False,
+        backend: str = "auto",
     ) -> list[ScenarioResult]:
-        """Evaluate a whole batch, optionally fanning out over a thread pool.
+        """Evaluate a whole batch over the selected backend.
 
-        Results are returned in the order of ``specs``.  Sequential runs
-        chain warm starts from scenario to scenario (neighbouring sweep
-        points converge in a handful of GMRES iterations); parallel runs
-        give every worker thread its own solver state.
+        Results are returned in the order of ``specs``.  The serial backend
+        chains warm starts from scenario to scenario; the thread and process
+        backends hand every worker a *contiguous* chunk of sweep points so
+        per-worker warm starts and preconditioners see neighbouring points.
+        ``backend="auto"`` (the default) picks the zero-copy multiprocess
+        scheduler whenever ``max_workers > 1`` and the batch supports it,
+        and degrades gracefully to threads (shared memory unavailable) and
+        to the serial path (single worker or single scenario).  The backend
+        actually used is recorded in :attr:`last_run_backend`.
         """
         specs = list(specs)
-        if max_workers is not None and max_workers > 1 and len(specs) > 1:
-            # Generate the shared structure before fanning out so the
-            # expensive one-off work is not raced (it is lock-protected
-            # anyway, but this keeps worker timings meaningful).
-            self.graph()
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                return list(
-                    pool.map(
-                        lambda spec: self.evaluate(spec, measures, keep_solutions),
-                        specs,
+        validate_measures(measures)
+        if not specs:
+            self.last_run_backend = "serial"
+            return []
+        workers = int(max_workers) if max_workers is not None else 1
+        choice = self._resolve_backend(backend, workers, len(specs))
+        self.graph()
+        block_rows = self._max_block_rows(workers)
+        if len(specs) > block_rows and not keep_solutions:
+            # Bounded-memory dispatch: consecutive contiguous sub-batches
+            # (order preserved, so per-worker warm-start locality survives).
+            results: list[ScenarioResult] = []
+            for start in range(0, len(specs), block_rows):
+                results.extend(
+                    self.run(
+                        specs[start : start + block_rows],
+                        measures,
+                        max_workers=max_workers,
+                        keep_solutions=False,
+                        backend=backend,
                     )
                 )
-        return [self.evaluate(spec, measures, keep_solutions) for spec in specs]
+            return results
+        if choice == "process":
+            try:
+                results = self._run_process(specs, measures, workers, keep_solutions)
+                self.last_run_backend = "process"
+                return results
+            except SharedMemoryUnavailable as error:
+                if backend == "process":
+                    warnings.warn(
+                        f"process backend unavailable ({error}); falling back "
+                        f"to the thread backend",
+                        stacklevel=2,
+                    )
+                choice = "thread"
+        if choice == "thread":
+            results = self._run_threads(specs, measures, workers, keep_solutions)
+        else:
+            results = self._run_serial(specs, measures, keep_solutions)
+        self.last_run_backend = choice
+        return results
+
+    def _resolve_backend(self, backend: str, workers: int, scenarios: int) -> str:
+        """Map the requested backend onto what this batch can actually use."""
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if backend == "auto":
+            if workers <= 1 or scenarios <= 1:
+                return "serial"
+            return "process" if self._process_backend_supported() else "thread"
+        if backend == "process" and not self._process_backend_supported():
+            warnings.warn(
+                "the process backend needs method='auto', a coefficient-carrying "
+                "graph and a state space above the GTH cutoff; using the thread "
+                "backend instead",
+                stacklevel=3,
+            )
+            return "thread"
+        return backend
+
+    def _max_block_rows(self, workers: int) -> int:
+        """Scenarios per dispatch under the solution-block memory bound."""
+        bytes_per_row = max(1, self.number_of_states * 8)
+        return max(workers, MAX_SOLUTION_BLOCK_BYTES // bytes_per_row)
+
+    def _process_backend_supported(self) -> bool:
+        """Whether the multiprocess scheduler can reproduce this batch.
+
+        The process workers run the Krylov reuse path exclusively, so the
+        batch must be in the regime the serial path would also solve that
+        way: ``method="auto"``, above the GTH cutoff, and a graph carrying
+        the coefficient matrices needed for zero-copy re-rating.
+        """
+        graph = self.graph()
+        return (
+            self.method == "auto"
+            and graph.has_coefficients
+            and graph.number_of_states > self.gth_threshold
+        )
+
+    # --- backend drivers --------------------------------------------------
+
+    def _timed_solve(self, spec: ScenarioSpec) -> tuple[np.ndarray, float]:
+        """Solve one scenario on the calling thread's solver state."""
+        started = time.perf_counter()
+        solution = self.solve(rates=spec.resolved_rates())
+        return solution.probabilities, time.perf_counter() - started
+
+    def _run_serial(
+        self,
+        specs: Sequence[ScenarioSpec],
+        measures: Sequence[Measure],
+        keep_solutions: bool,
+    ) -> list[ScenarioResult]:
+        solutions = np.empty((len(specs), self.number_of_states))
+        seconds = np.empty(len(specs))
+        for index, spec in enumerate(specs):
+            solutions[index], seconds[index] = self._timed_solve(spec)
+        return self._assemble_results(specs, measures, solutions, seconds, keep_solutions)
+
+    def _run_threads(
+        self,
+        specs: Sequence[ScenarioSpec],
+        measures: Sequence[Measure],
+        workers: int,
+        keep_solutions: bool,
+    ) -> list[ScenarioResult]:
+        """Thread fan-out over contiguous sweep-order chunks.
+
+        Each chunk runs on one pool thread whose thread-local solver state
+        chains warm starts across the chunk's neighbouring sweep points — an
+        interleaved per-scenario submission would scatter unrelated points
+        across the workers and forfeit that locality.
+        """
+        solutions = np.empty((len(specs), self.number_of_states))
+        seconds = np.empty(len(specs))
+
+        def run_chunk(chunk: Sequence[int]) -> None:
+            for index in chunk:
+                solutions[index], seconds[index] = self._timed_solve(specs[index])
+
+        chunks = contiguous_chunks(len(specs), workers)
+        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            for _ in pool.map(run_chunk, chunks):
+                pass
+        return self._assemble_results(specs, measures, solutions, seconds, keep_solutions)
+
+    def _run_process(
+        self,
+        specs: Sequence[ScenarioSpec],
+        measures: Sequence[Measure],
+        workers: int,
+        keep_solutions: bool,
+    ) -> list[ScenarioResult]:
+        """Zero-copy multiprocess fan-out (see :mod:`repro.engine.parallel`)."""
+        scheduler = SweepScheduler(
+            self.graph(), self.template(), self.krylov_settings, max_workers=workers
+        )
+        rate_matrix = self._rate_matrix(specs)
+        outcome = scheduler.run(rate_matrix)
+        return self._assemble_results(
+            specs,
+            measures,
+            outcome.solutions,
+            outcome.solve_seconds,
+            keep_solutions,
+            rate_matrix=rate_matrix,
+        )
+
+    # --- shared post-processing -------------------------------------------
+
+    def _rate_matrix(self, specs: Sequence[ScenarioSpec]) -> np.ndarray:
+        """Stacked ``(S, T)`` rate vectors of the batch (validated)."""
+        graph = self.graph()
+        matrix = np.empty((len(specs), graph.rate_vector.size))
+        for index, spec in enumerate(specs):
+            overrides = spec.resolved_rates()
+            matrix[index] = (
+                rate_vector_with_overrides(graph, overrides)
+                if overrides
+                else graph.rate_vector
+            )
+        return matrix
+
+    def _assemble_results(
+        self,
+        specs: Sequence[ScenarioSpec],
+        measures: Sequence[Measure],
+        solutions: np.ndarray,
+        solve_seconds: np.ndarray,
+        keep_solutions: bool,
+        rate_matrix: Optional[np.ndarray] = None,
+    ) -> list[ScenarioResult]:
+        """Batched (GEMM) measure evaluation and result packaging.
+
+        All backends meet here, so a batch's measure values are computed by
+        identical floating-point operations regardless of how its stationary
+        vectors were produced.
+        """
+        graph = self.graph()
+        if rate_matrix is None and graph.has_coefficients:
+            rate_matrix = self._rate_matrix(specs)
+        kept: list[Optional[SteadyStateSolution]] = [None] * len(specs)
+        if keep_solutions:
+            for index, spec in enumerate(specs):
+                scenario_graph = (
+                    graph.with_rate_vector(rate_matrix[index])
+                    if rate_matrix is not None and spec.resolved_rates()
+                    else graph
+                )
+                kept[index] = SteadyStateSolution(
+                    graph=scenario_graph, probabilities=solutions[index]
+                )
+        try:
+            reward_matrix = RewardMatrix.from_measures(graph, measures)
+            values = reward_matrix.evaluate(solutions, rate_matrix)
+            measure_rows = reward_matrix.as_dicts(values)
+        except UnsupportedMeasure:
+            # Rare non-parametric graphs (e.g. explicit throughput dicts):
+            # evaluate scalar measures on per-scenario solution objects.
+            measure_rows = []
+            for index, spec in enumerate(specs):
+                solution = kept[index] or SteadyStateSolution(
+                    graph=graph, probabilities=solutions[index]
+                )
+                measure_rows.append(
+                    {measure.name: solution.measure(measure) for measure in measures}
+                )
+        return [
+            ScenarioResult(
+                spec=spec,
+                measures=measure_rows[index],
+                number_of_states=graph.number_of_states,
+                solve_seconds=float(solve_seconds[index]),
+                solution=kept[index],
+            )
+            for index, spec in enumerate(specs)
+        ]
 
     # --- internal solver --------------------------------------------------
 
@@ -330,83 +573,8 @@ class ScenarioBatchEngine:
 
         template = self.template()
         state = self._worker_state
-        if state.system is None:
-            state.system = template.fresh_system(graph.edge_rates)
-        else:
-            template.refill(state.system, graph.edge_rates)
-        return self._solve_factorized(graph, state, template)
-
-    def _factorize(self, system) -> object:
-        """Factor the current system into a preconditioner.
-
-        Up to ``direct_threshold`` states a *complete* sparse LU is cheap
-        (with the AMD-style ``MMD_AT_PLUS_A`` ordering, which produces far
-        less fill than the default on these nearly-structurally-symmetric
-        CTMC systems) and makes the first GMRES iteration exact; beyond that
-        an incomplete LU keeps memory bounded.
-        """
-        try:
-            if system.shape[0] <= self.direct_threshold:
-                return sparse_linalg.splu(system, permc_spec="MMD_AT_PLUS_A")
-            return sparse_linalg.spilu(
-                system,
-                drop_tol=self.ilu_drop_tolerance,
-                fill_factor=self.ilu_fill_factor,
-            )
-        except Exception as error:
-            raise AnalysisError(
-                f"sparse factorisation of the balance system failed: {error}"
-            ) from error
-
-    def _solve_factorized(
-        self,
-        graph: TangibleReachabilityGraph,
-        state: _WorkerState,
-        template: ConstrainedSystemTemplate,
-    ) -> np.ndarray:
-        """Factorisation-reusing, warm-started GMRES on the re-filled system.
-
-        The LU (or ILU) factors of a neighbouring scenario remain an
-        excellent preconditioner because only a handful of rates change
-        between sweep points, so each subsequent solve converges in a few
-        Krylov iterations instead of paying a fresh factorisation.  If reuse
-        ever stalls, the factorisation is rebuilt from the current values and
-        the solve retried once before falling back to the generic solver
-        stack.
-        """
-        rhs = template.rhs
-        rtol = (
-            self.lu_gmres_tolerance
-            if state.system.shape[0] <= self.direct_threshold
-            else self.gmres_tolerance
+        if state.solver is None:
+            state.solver = ReusableSolver(template, self.krylov_settings)
+        return state.solver.solve(
+            graph.edge_rates, lambda: generator_matrix(graph)
         )
-        for attempt in ("reuse", "rebuild"):
-            if state.preconditioner is None or attempt == "rebuild":
-                state.preconditioner = self._factorize(state.system)
-            operator = sparse_linalg.LinearOperator(
-                state.system.shape, state.preconditioner.solve
-            )
-            x0 = None
-            if state.warm_start is not None and state.warm_start.shape == rhs.shape:
-                x0 = state.warm_start
-            solution, info = sparse_linalg.gmres(
-                state.system,
-                rhs,
-                M=operator,
-                x0=x0,
-                rtol=rtol,
-                atol=0.0,
-                restart=self.gmres_restart,
-                maxiter=self.gmres_max_iterations,
-            )
-            if info == 0 and np.all(np.isfinite(solution)):
-                probabilities = solvers.normalize_distribution(
-                    np.asarray(solution).ravel()
-                )
-                state.warm_start = probabilities
-                return probabilities
-        # Preconditioned GMRES failed twice: fall back to the generic solver
-        # stack on a freshly assembled generator (no state reuse).
-        state.preconditioner = None
-        state.warm_start = None
-        return solvers.steady_state(generator_matrix(graph), method="auto")

@@ -1,0 +1,551 @@
+"""Zero-copy multiprocess sweep scheduler.
+
+``SweepScheduler`` fans a rate-parameter sweep out over worker *processes*
+without copying the shared state space: the tangible reachability graph's
+edge arrays, the stacked CSR coefficient matrix, the symbolic structure of
+the constrained balance system and the per-scenario rate vectors are packed
+into **one** :mod:`multiprocessing.shared_memory` segment that every worker
+attaches read-only (zero-copy); the stationary vectors are written straight
+into a shared ``(S, n)`` output block of the same segment, so the parent can
+evaluate every reward measure of the whole batch with a single
+``(S, n) @ (n, m)`` GEMM (:mod:`repro.engine.measures`).
+
+Scenarios are scheduled in **contiguous sweep-order chunks** — one chunk per
+worker — so each worker chains warm starts and reuses its LU/ILU
+preconditioner across neighbouring sweep points, restoring the locality the
+sequential path was designed around (an interleaved assignment would hand
+every worker a stride of unrelated points and forfeit the reuse).
+
+Workers cap their BLAS pools at one thread (pinning ``OMP_NUM_THREADS=1``
+and friends, and calling the ``set_num_threads`` entry points of
+already-loaded BLAS libraries, which a forked child inherits pre-sized) so
+``max_workers`` solver processes do not oversubscribe the machine with
+nested thread pools, and rebuild their solver state lazily from the shared
+arrays on first touch.
+
+The segment is unlinked by the parent as soon as the batch completes (or
+fails); a run leaves no ``/dev/shm`` entries behind.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.engine.krylov import KrylovSettings, ReusableSolver
+from repro.engine.system import ConstrainedSystemTemplate
+from repro.spn.reachability import TangibleReachabilityGraph
+
+try:  # pragma: no cover - exercised indirectly via availability checks
+    from multiprocessing import get_context, shared_memory
+except ImportError:  # pragma: no cover - platforms without _multiprocessing
+    shared_memory = None  # type: ignore[assignment]
+    get_context = None  # type: ignore[assignment]
+
+#: Prefix of every shared-memory segment created by the scheduler; tests and
+#: the benchmark use it to prove no segment outlives its batch.
+SEGMENT_PREFIX = "repro_sweep_"
+
+#: Environment variables pinned to ``1`` in every worker so that
+#: ``max_workers`` solver processes do not multiply into ``max_workers × B``
+#: BLAS threads.
+BLAS_PIN_VARIABLES = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+#: Worker status codes recorded per scenario in the shared status block.
+STATUS_PENDING = 0
+STATUS_SOLVED = 1
+STATUS_FALLBACK = 2
+
+
+class SharedMemoryUnavailable(RuntimeError):
+    """Shared-memory segments cannot be created on this platform/sandbox."""
+
+
+def shared_memory_available() -> bool:
+    """Whether a shared-memory segment can actually be created right now.
+
+    Probes with a one-page segment: importability of the module does not
+    guarantee ``shm_open`` works (locked-down sandboxes, full ``/dev/shm``).
+    """
+    if shared_memory is None:
+        return False
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=1)
+    except OSError:
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+def leaked_segments() -> set[str]:
+    """Names of scheduler-created segments currently present in ``/dev/shm``.
+
+    Empty on platforms without a ``/dev/shm``.  Tests and the benchmark
+    compare snapshots of this around a batch to prove the parent unlinked
+    its segment.
+    """
+    directory = "/dev/shm"
+    if not os.path.isdir(directory):
+        return set()
+    return {
+        name for name in os.listdir(directory) if name.startswith(SEGMENT_PREFIX)
+    }
+
+
+def contiguous_chunks(count: int, workers: int) -> list[tuple[int, ...]]:
+    """Split ``range(count)`` into at most ``workers`` contiguous runs.
+
+    Neighbouring sweep points have nearly identical stationary vectors, so
+    each worker must receive an unbroken run of them (warm starts and stale
+    factorisations are only useful between neighbours).  Sizes differ by at
+    most one.
+    """
+    if count <= 0:
+        return []
+    return [
+        tuple(int(i) for i in chunk)
+        for chunk in np.array_split(np.arange(count), max(1, min(workers, count)))
+        if chunk.size
+    ]
+
+
+def _align(offset: int, boundary: int = 64) -> int:
+    return (offset + boundary - 1) // boundary * boundary
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Location of one array inside the shared segment."""
+
+    offset: int
+    dtype: str
+    shape: tuple[int, ...]
+
+
+class SweepPlan:
+    """Parent-side owner of the one shared segment backing a sweep.
+
+    Packs the read-only inputs (graph arrays, template structure, rate
+    matrix) and the writable outputs (solution block, per-scenario times and
+    status) into a single named segment, and exposes a picklable
+    ``manifest`` from which workers attach views.  The parent must call
+    :meth:`destroy` (or use the plan as a context manager) so the segment is
+    unlinked even when the batch fails.
+    """
+
+    def __init__(
+        self,
+        graph: TangibleReachabilityGraph,
+        template: ConstrainedSystemTemplate,
+        rate_matrix: np.ndarray,
+    ) -> None:
+        if shared_memory is None:
+            raise SharedMemoryUnavailable(
+                "multiprocessing.shared_memory is not importable on this platform"
+            )
+        rate_matrix = np.ascontiguousarray(rate_matrix, dtype=np.float64)
+        scenarios = rate_matrix.shape[0]
+        n = graph.number_of_states
+        coefficients = graph.edge_coefficient_matrix.tocsr()
+        template_arrays = template.shared_arrays()
+
+        inputs: dict[str, np.ndarray] = {
+            "edge_sources": np.ascontiguousarray(graph.edge_sources),
+            "edge_targets": np.ascontiguousarray(graph.edge_targets),
+            "coeff_data": np.ascontiguousarray(coefficients.data, dtype=np.float64),
+            "coeff_indices": np.ascontiguousarray(coefficients.indices),
+            "coeff_indptr": np.ascontiguousarray(coefficients.indptr),
+            "tpl_edge_sources": np.ascontiguousarray(template_arrays["edge_sources"]),
+            "tpl_edge_mask": np.ascontiguousarray(template_arrays["edge_mask"]),
+            "tpl_positions": np.ascontiguousarray(template_arrays["positions"]),
+            "tpl_csc_indices": np.ascontiguousarray(template_arrays["csc_indices"]),
+            "tpl_csc_indptr": np.ascontiguousarray(template_arrays["csc_indptr"]),
+            "rates": rate_matrix,
+        }
+        outputs: dict[str, tuple[tuple[int, ...], np.dtype]] = {
+            "solutions": ((scenarios, n), np.dtype(np.float64)),
+            "times": ((scenarios,), np.dtype(np.float64)),
+            "status": ((scenarios,), np.dtype(np.int8)),
+        }
+
+        specs: dict[str, _ArraySpec] = {}
+        offset = 0
+        for name, array in inputs.items():
+            offset = _align(offset)
+            specs[name] = _ArraySpec(offset, array.dtype.str, array.shape)
+            offset += array.nbytes
+        for name, (shape, dtype) in outputs.items():
+            offset = _align(offset)
+            specs[name] = _ArraySpec(offset, dtype.str, shape)
+            offset += int(np.prod(shape)) * dtype.itemsize
+
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+        try:
+            self._segment = shared_memory.SharedMemory(
+                create=True, size=max(1, offset), name=name
+            )
+        except OSError as error:
+            raise SharedMemoryUnavailable(
+                f"could not create a {offset}-byte shared-memory segment: {error}"
+            ) from error
+        self._specs = specs
+        self.coefficient_shape = tuple(coefficients.shape)
+        self.number_of_states = n
+        self.scenarios = scenarios
+        try:
+            for name, array in inputs.items():
+                self._view(name)[...] = array
+            self.solutions = self._view("solutions")
+            self.solutions.fill(0.0)
+            self.times = self._view("times")
+            self.times.fill(0.0)
+            self.status = self._view("status")
+            self.status.fill(STATUS_PENDING)
+        except BaseException:
+            self.destroy()
+            raise
+
+    def _view(self, name: str) -> np.ndarray:
+        spec = self._specs[name]
+        return np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=self._segment.buf,
+            offset=spec.offset,
+        )
+
+    @property
+    def segment_name(self) -> str:
+        return self._segment.name
+
+    def manifest(self) -> dict:
+        """Everything a worker needs to attach: segment name and layout."""
+        return {
+            "segment": self._segment.name,
+            "specs": self._specs,
+            "coefficient_shape": self.coefficient_shape,
+            "number_of_states": self.number_of_states,
+        }
+
+    def destroy(self) -> None:
+        """Release and unlink the segment (idempotent).
+
+        The writable views (``solutions``/``times``/``status``) die with the
+        segment — read them (or copy what you need) beforehand, as
+        :meth:`SweepScheduler.run` does inside its ``with`` block.
+        """
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        # Views into the buffer must be dropped before close() or the
+        # exported-pointer check in BufferWrapper raises.
+        for attribute in ("solutions", "times", "status"):
+            if hasattr(self, attribute):
+                setattr(self, attribute, None)
+        try:
+            segment.close()
+        finally:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SweepPlan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.destroy()
+
+
+# --- worker side ----------------------------------------------------------
+
+_WORKER: Optional["_WorkerContext"] = None
+
+
+def _attach_untracked(name: str):
+    """Attach to the parent's segment without resource-tracker registration.
+
+    On Python ≤ 3.12 merely attaching registers the segment with a resource
+    tracker, which then wrongly unlinks it (or warns about "leaks") when a
+    worker exits while the parent and its siblings still use it.  Ownership
+    stays with the parent, which unlinks exactly once in
+    :meth:`SweepPlan.destroy`; workers therefore attach with registration
+    suppressed (the standard workaround until the ``track=False`` parameter
+    of Python 3.13).
+    """
+    try:  # pragma: no cover - tracker internals vary by version
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+    except Exception:
+        return shared_memory.SharedMemory(name=name)
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class _WorkerContext:
+    """Per-process solver state rebuilt lazily from the shared segment."""
+
+    def __init__(self, manifest: dict, settings: KrylovSettings) -> None:
+        self.segment = _attach_untracked(manifest["segment"])
+        self.n = int(manifest["number_of_states"])
+        arrays: dict[str, np.ndarray] = {}
+        for name, spec in manifest["specs"].items():
+            view = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=self.segment.buf,
+                offset=spec.offset,
+            )
+            if name not in ("solutions", "times", "status"):
+                view.flags.writeable = False
+            arrays[name] = view
+        self.edge_sources = arrays["edge_sources"]
+        self.edge_targets = arrays["edge_targets"]
+        self.rates = arrays["rates"]
+        self.solutions = arrays["solutions"]
+        self.times = arrays["times"]
+        self.status = arrays["status"]
+        # C.T as a CSC matrix, built once: edge_rates(θ) = Cᵀ · rate_vector(θ).
+        self.coefficients_T = sparse.csr_matrix(
+            (arrays["coeff_data"], arrays["coeff_indices"], arrays["coeff_indptr"]),
+            shape=manifest["coefficient_shape"],
+        ).T
+        template = ConstrainedSystemTemplate.from_shared_arrays(
+            {
+                "edge_sources": arrays["tpl_edge_sources"],
+                "edge_mask": arrays["tpl_edge_mask"],
+                "positions": arrays["tpl_positions"],
+                "csc_indices": arrays["tpl_csc_indices"],
+                "csc_indptr": arrays["tpl_csc_indptr"],
+            },
+            self.n,
+        )
+        self.solver = ReusableSolver(template, settings)
+
+    def _fallback_generator(self, edge_rates: np.ndarray) -> sparse.csr_matrix:
+        """Fresh CTMC generator for the rare reuse-failure fallback path.
+
+        Mirrors :func:`repro.spn.ctmc_export.generator_matrix` from the
+        shared edge arrays (the worker holds no graph object).
+        """
+        diagonal = np.arange(self.n, dtype=np.int64)
+        exit_rates = np.bincount(
+            self.edge_sources, weights=edge_rates, minlength=self.n
+        )
+        rows = np.concatenate([self.edge_sources, diagonal])
+        cols = np.concatenate([self.edge_targets, diagonal])
+        data = np.concatenate([edge_rates, -exit_rates])
+        return sparse.coo_matrix(
+            (data, (rows, cols)), shape=(self.n, self.n)
+        ).tocsr()
+
+    def run_chunk(self, indices: Sequence[int]) -> None:
+        for index in indices:
+            started = perf_counter()
+            edge_rates = np.asarray(
+                self.coefficients_T.dot(self.rates[index]), dtype=np.float64
+            ).ravel()
+            probabilities = self.solver.solve(
+                edge_rates, lambda: self._fallback_generator(edge_rates)
+            )
+            self.solutions[index, :] = probabilities
+            self.times[index] = perf_counter() - started
+            self.status[index] = (
+                STATUS_FALLBACK if self.solver.last_solve_used_fallback else STATUS_SOLVED
+            )
+
+
+#: ``set_num_threads``-style entry points probed on loaded BLAS libraries
+#: (stock OpenBLAS, the renamed scipy/numpy wheel builds, MKL, BLIS).
+_BLAS_LIMIT_SYMBOLS = (
+    "openblas_set_num_threads",
+    "openblas_set_num_threads64_",
+    "scipy_openblas_set_num_threads",
+    "scipy_openblas_set_num_threads64_",
+    "MKL_Set_Num_Threads",
+    "bli_thread_set_num_threads",
+)
+
+
+def _limit_blas_threads() -> None:
+    """Cap every loaded BLAS pool at one thread in this worker.
+
+    Environment pinning alone is not enough under the default ``fork``
+    start method: the child inherits a parent whose OpenBLAS/MKL pools were
+    already sized when the library loaded, and ``OMP_NUM_THREADS`` is only
+    read at load time.  So, mirroring what ``threadpoolctl`` does (used
+    when installed), the worker walks its memory map for loaded BLAS
+    libraries and calls their ``set_num_threads`` entry points directly.
+    Best-effort: an exotic BLAS without a recognised entry point merely
+    keeps its inherited pool.
+    """
+    try:  # pragma: no cover - optional dependency
+        import threadpoolctl
+
+        threadpoolctl.threadpool_limits(1)
+        return
+    except Exception:
+        pass
+    try:
+        import ctypes
+
+        libraries = []
+        with open("/proc/self/maps") as maps:
+            for line in maps:
+                fields = line.split(" ", 5)
+                path = fields[-1].strip() if len(fields) >= 6 else ""
+                basename = os.path.basename(path).lower()
+                if not path.startswith("/"):
+                    continue
+                if any(k in basename for k in ("openblas", "mkl_rt", "blis")):
+                    if path not in libraries:
+                        libraries.append(path)
+        for path in libraries:
+            try:
+                library = ctypes.CDLL(path)  # dlopen of a loaded path: same handle
+            except OSError:
+                continue
+            for symbol in _BLAS_LIMIT_SYMBOLS:
+                entry_point = getattr(library, symbol, None)
+                if entry_point is not None:
+                    try:
+                        entry_point(1)
+                    except Exception:
+                        pass
+    except Exception:  # pragma: no cover - /proc-less platforms
+        pass
+
+
+def _worker_initializer(manifest: dict, settings: KrylovSettings) -> None:
+    # The environment pins cover libraries loaded after this point (and the
+    # whole process under "spawn"); the runtime cap covers pools the worker
+    # inherited from an already-initialised parent under "fork".
+    for variable in BLAS_PIN_VARIABLES:
+        os.environ[variable] = "1"
+    _limit_blas_threads()
+    global _WORKER
+    _WORKER = _WorkerContext(manifest, settings)
+
+
+def _worker_run_chunk(indices: tuple[int, ...]) -> tuple[int, ...]:
+    _WORKER.run_chunk(indices)
+    return indices
+
+
+# --- scheduler ------------------------------------------------------------
+
+
+def _pool_context():
+    """The multiprocessing start method used for worker pools.
+
+    ``fork`` (when available) attaches workers in microseconds and is the
+    default on Linux; set ``REPRO_MP_START=spawn`` to force the portable
+    method.  Either way the state space travels through the shared segment,
+    never through pickles.
+    """
+    import multiprocessing
+
+    requested = os.environ.get("REPRO_MP_START")
+    if requested:
+        return get_context(requested)
+    methods = multiprocessing.get_all_start_methods()
+    return get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class SweepOutcome:
+    """Raw per-scenario outputs of one scheduled sweep."""
+
+    solutions: np.ndarray  # (S, n) stationary vectors
+    solve_seconds: np.ndarray  # (S,) per-scenario solve time
+    status: np.ndarray  # (S,) STATUS_* codes
+
+
+class SweepScheduler:
+    """Process-based executor of one rate sweep over one shared state space.
+
+    Args:
+        graph: the shared tangible reachability graph (must carry the
+            per-transition coefficient matrices).
+        template: the symbolic constrained-system structure of ``graph``.
+        settings: Krylov solver policy replicated in every worker.
+        max_workers: number of worker processes.
+    """
+
+    def __init__(
+        self,
+        graph: TangibleReachabilityGraph,
+        template: ConstrainedSystemTemplate,
+        settings: KrylovSettings,
+        max_workers: int,
+    ) -> None:
+        if not graph.has_coefficients:
+            raise ValueError(
+                "the process scheduler needs a graph with per-transition "
+                "coefficient matrices"
+            )
+        if not shared_memory_available():
+            raise SharedMemoryUnavailable(
+                "shared-memory segments cannot be created in this environment"
+            )
+        self.graph = graph
+        self.template = template
+        self.settings = settings
+        self.max_workers = max(1, int(max_workers))
+
+    def run(self, rate_matrix: np.ndarray) -> SweepOutcome:
+        """Solve every row of the ``(S, T)`` rate matrix; returns all outputs.
+
+        Rows are split into contiguous chunks, one per worker; the solution
+        block is copied out of the shared segment before it is unlinked.
+        """
+        rate_matrix = np.ascontiguousarray(rate_matrix, dtype=np.float64)
+        scenarios = rate_matrix.shape[0]
+        chunks = contiguous_chunks(scenarios, self.max_workers)
+        if not chunks:
+            n = self.graph.number_of_states
+            return SweepOutcome(
+                solutions=np.zeros((0, n)),
+                solve_seconds=np.zeros(0),
+                status=np.zeros(0, dtype=np.int8),
+            )
+        with SweepPlan(self.graph, self.template, rate_matrix) as plan:
+            with ProcessPoolExecutor(
+                max_workers=len(chunks),
+                mp_context=_pool_context(),
+                initializer=_worker_initializer,
+                initargs=(plan.manifest(), self.settings),
+            ) as pool:
+                futures = [pool.submit(_worker_run_chunk, chunk) for chunk in chunks]
+                for future in futures:
+                    future.result()
+            solutions = np.array(plan.solutions)
+            solve_seconds = np.array(plan.times)
+            status = np.array(plan.status)
+        if np.any(status == STATUS_PENDING):
+            unsolved = np.flatnonzero(status == STATUS_PENDING)
+            raise RuntimeError(
+                f"{unsolved.size} scenario(s) came back unsolved from the "
+                f"worker pool (first: {int(unsolved[0])})"
+            )
+        return SweepOutcome(
+            solutions=solutions, solve_seconds=solve_seconds, status=status
+        )

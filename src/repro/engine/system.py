@@ -26,6 +26,8 @@ COO→CSC conversion used to discover the layout is a pure permutation.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 from scipy import sparse
 
@@ -36,6 +38,13 @@ class ConstrainedSystemTemplate:
     The template itself is immutable and safely shared between worker
     threads; each worker materialises its own CSC matrix with
     :meth:`fresh_system` and then re-fills it in place with :meth:`refill`.
+
+    For *process* workers the symbolic assembly does not have to be redone
+    either: :meth:`shared_arrays` exports the five structure arrays (edge
+    sources, surviving-edge mask, CSC index structure and the value-vector
+    permutation) and :meth:`from_shared_arrays` reconstitutes a fully
+    functional template around read-only views of them — e.g. zero-copy
+    attachments of a :mod:`multiprocessing.shared_memory` block.
     """
 
     def __init__(self, edge_sources: np.ndarray, edge_targets: np.ndarray, n: int):
@@ -79,11 +88,69 @@ class ConstrainedSystemTemplate:
         )
 
     def fresh_system(self, edge_rates: np.ndarray) -> sparse.csc_matrix:
-        """A new CSC matrix with this structure, filled for ``edge_rates``."""
-        system = self._pattern.copy()
+        """A new CSC matrix with this structure, filled for ``edge_rates``.
+
+        Only the value array is freshly allocated; the index structure is
+        the template's own (it is identical for every scenario and must not
+        be mutated by callers).
+        """
+        data = np.empty(self._positions.size, dtype=np.float64)
+        system = sparse.csc_matrix(
+            (data, self._pattern.indices, self._pattern.indptr),
+            shape=(self.n, self.n),
+        )
+        # The structure came out of a COO→CSC conversion, so it is already
+        # canonical; declaring it keeps scipy from ever re-verifying (or,
+        # on non-canonical input, mutating) the shared index arrays.
+        system.has_sorted_indices = True
+        system.has_canonical_format = True
         self.refill(system, edge_rates)
         return system
 
     def refill(self, system: sparse.csc_matrix, edge_rates: np.ndarray) -> None:
         """Overwrite the numeric values of ``system`` in place for a new scenario."""
         system.data[:] = self._values(edge_rates)[self._positions]
+
+    # --- zero-copy transport ----------------------------------------------
+
+    def shared_arrays(self) -> dict[str, np.ndarray]:
+        """The structure arrays a worker needs to rebuild this template.
+
+        All five arrays are scenario-independent; placing them in shared
+        memory lets every worker process attach read-only views instead of
+        re-running (or re-pickling) the symbolic assembly.
+        """
+        return {
+            "edge_sources": self.edge_sources,
+            "edge_mask": self.edge_mask,
+            "positions": self._positions,
+            "csc_indices": self._pattern.indices,
+            "csc_indptr": self._pattern.indptr,
+        }
+
+    @classmethod
+    def from_shared_arrays(
+        cls, arrays: Mapping[str, np.ndarray], n: int
+    ) -> "ConstrainedSystemTemplate":
+        """Reconstitute a template around pre-assembled structure arrays.
+
+        ``arrays`` must hold the keys produced by :meth:`shared_arrays`.
+        The arrays are adopted as-is (typically read-only shared-memory
+        views); no symbolic assembly is performed.
+        """
+        template = cls.__new__(cls)
+        template.n = int(n)
+        template.edge_sources = arrays["edge_sources"]
+        template.edge_mask = arrays["edge_mask"]
+        template._positions = arrays["positions"]
+        template._pattern = sparse.csc_matrix(
+            (
+                np.zeros(template._positions.size, dtype=np.float64),
+                arrays["csc_indices"],
+                arrays["csc_indptr"],
+            ),
+            shape=(template.n, template.n),
+        )
+        template.rhs = np.zeros(template.n)
+        template.rhs[template.n - 1] = 1.0
+        return template

@@ -4,13 +4,23 @@ A reward structure attaches a real-valued rate reward to every state of a
 chain.  Availability is the special case of a 0/1 reward (1 on operational
 states); expected capacity (how many VMs are up on average) is a general
 rate reward.
+
+Evaluation is vectorized: a structure compiles to a dense reward vector over
+the chain's states, a report stacks those vectors column-wise, and a whole
+batch of probability vectors (one per scenario, stacked into an ``(S, n)``
+block) is evaluated with a single ``(S, n) @ (n, m)`` GEMM.  The scalar API
+delegates to the batch path with a one-row block, so single evaluations run
+through the same code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Mapping
+from typing import Callable, Hashable, Mapping, Sequence
 
+import numpy as np
+
+from repro.exceptions import AnalysisError
 from repro.markov.ctmc import ContinuousTimeMarkovChain
 
 
@@ -40,9 +50,30 @@ class RewardStructure:
         """0/1 reward structure from a predicate over states."""
         return cls(name, lambda state: 1.0 if predicate(state) else 0.0)
 
+    def reward_vector(self, states: Sequence[Hashable]) -> np.ndarray:
+        """Dense reward vector over ``states`` (one walk of the state list)."""
+        return np.fromiter(
+            (float(self.reward_of(state)) for state in states),
+            dtype=np.float64,
+            count=len(states),
+        )
+
+    def evaluate_batch(
+        self, states: Sequence[Hashable], solutions: np.ndarray
+    ) -> np.ndarray:
+        """Expected reward of each row of an ``(S, n)`` probability block."""
+        solutions = np.atleast_2d(np.asarray(solutions, dtype=np.float64))
+        if solutions.shape[1] != len(states):
+            raise AnalysisError(
+                f"solution block has {solutions.shape[1]} columns, expected "
+                f"{len(states)} (one per state)"
+            )
+        return solutions @ self.reward_vector(states)
+
     def steady_state_value(self, chain: ContinuousTimeMarkovChain) -> float:
         """Expected steady-state reward on ``chain``."""
-        return chain.expected_reward(self.reward_of)
+        pi = chain.steady_state_vector()
+        return float(self.evaluate_batch(chain.states, pi[np.newaxis, :])[0])
 
 
 @dataclass
@@ -56,13 +87,35 @@ class RewardReport:
         self.structures.append(structure)
         return self
 
+    def reward_matrix(self) -> np.ndarray:
+        """Column-stacked ``(n, m)`` reward vectors of every structure."""
+        states = self.chain.states
+        if not self.structures:
+            return np.zeros((len(states), 0))
+        return np.column_stack(
+            [structure.reward_vector(states) for structure in self.structures]
+        )
+
+    def evaluate_batch(self, solutions: np.ndarray) -> np.ndarray:
+        """``(S, m)`` expected rewards of an ``(S, n)`` probability block.
+
+        One GEMM evaluates every structure for every solution row — the
+        batched counterpart of :meth:`evaluate` used when many scenarios
+        share one chain structure (e.g. the sweep engine's solution block).
+        """
+        solutions = np.atleast_2d(np.asarray(solutions, dtype=np.float64))
+        if solutions.shape[1] != self.chain.number_of_states:
+            raise AnalysisError(
+                f"solution block has {solutions.shape[1]} columns, expected "
+                f"{self.chain.number_of_states} (one per state)"
+            )
+        return solutions @ self.reward_matrix()
+
     def evaluate(self) -> dict[str, float]:
         """Evaluate every registered structure once, reusing the steady state."""
         pi = self.chain.steady_state_vector()
-        states = self.chain.states
-        values: dict[str, float] = {}
-        for structure in self.structures:
-            values[structure.name] = float(
-                sum(pi[i] * structure.reward_of(state) for i, state in enumerate(states))
-            )
-        return values
+        values = self.evaluate_batch(pi[np.newaxis, :])[0]
+        return {
+            structure.name: float(value)
+            for structure, value in zip(self.structures, values)
+        }

@@ -1,0 +1,328 @@
+"""Tests for the zero-copy multiprocess sweep scheduler and backend parity."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    KrylovSettings,
+    RewardMatrix,
+    ScenarioBatchEngine,
+    ScenarioSpec,
+    SweepScheduler,
+    UnsupportedMeasure,
+    contiguous_chunks,
+    shared_memory_available,
+)
+from repro.engine.parallel import STATUS_SOLVED, SweepPlan, leaked_segments
+from repro.spn import (
+    ExpectedTokensMeasure,
+    ProbabilityMeasure,
+    ThroughputMeasure,
+    generate_tangible_reachability_graph,
+)
+
+from tests.spn.nets import machine_repair
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="shared-memory segments are unavailable in this environment",
+)
+
+#: Cross-backend agreement demanded of every measure value: Δ < 1e-12,
+#: absolute for probability-scale values and relative for unbounded measures
+#: (expected token counts scale the same solver-level deltas by their
+#: magnitude).
+TOLERANCE = 1e-12
+
+
+def agree(value: float, reference: float) -> bool:
+    return value == pytest.approx(reference, rel=TOLERANCE, abs=TOLERANCE)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_tangible_reachability_graph(
+        machine_repair(machines=400, mttf=10.0, mttr=1.0)
+    )
+
+
+def sweep_specs():
+    """A seeded sweep: neighbouring points differ in one delay."""
+    return [
+        ScenarioSpec(name=f"mttf={mttf:g}", delays={"FAIL": mttf})
+        for mttf in (5.0, 6.5, 8.0, 10.0, 14.0, 20.0, 28.0, 40.0)
+    ]
+
+
+def sweep_measures():
+    return [
+        ProbabilityMeasure("mostly_up", "#BROKEN <= 390"),
+        ExpectedTokensMeasure("broken", "#BROKEN"),
+        ThroughputMeasure("repairs", "REPAIR"),
+    ]
+
+
+class TestContiguousChunks:
+    def test_chunks_are_contiguous_and_cover_the_range(self):
+        chunks = contiguous_chunks(10, 3)
+        assert len(chunks) == 3
+        flattened = [index for chunk in chunks for index in chunk]
+        assert flattened == list(range(10))
+        for chunk in chunks:
+            assert list(chunk) == list(range(chunk[0], chunk[-1] + 1))
+
+    def test_never_more_chunks_than_items(self):
+        assert len(contiguous_chunks(2, 8)) == 2
+        assert contiguous_chunks(0, 4) == []
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [len(chunk) for chunk in contiguous_chunks(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestCrossBackendDeterminism:
+    @pytest.fixture(scope="class")
+    def reference(self, graph):
+        engine = ScenarioBatchEngine(graph)
+        results = engine.run(sweep_specs(), sweep_measures(), backend="serial")
+        assert engine.last_run_backend == "serial"
+        return results
+
+    @pytest.mark.parametrize(
+        "backend,workers", [("serial", 1), ("thread", 3), ("process", 3)]
+    )
+    def test_backends_agree_with_serial_reference(
+        self, graph, reference, backend, workers
+    ):
+        engine = ScenarioBatchEngine(graph)
+        results = engine.run(
+            sweep_specs(), sweep_measures(), max_workers=workers, backend=backend
+        )
+        assert engine.last_run_backend == backend
+        assert [r.name for r in results] == [r.name for r in reference]
+        for ours, ref in zip(results, reference):
+            for measure in sweep_measures():
+                assert agree(ours.value(measure.name), ref.value(measure.name))
+
+    def test_thread_and_process_chunking_is_identical(self, graph):
+        """Same contiguous chunks -> same warm-start chains -> same floats."""
+        thread_engine = ScenarioBatchEngine(graph)
+        thread = thread_engine.run(
+            sweep_specs(), sweep_measures(), max_workers=2, backend="thread"
+        )
+        process_engine = ScenarioBatchEngine(graph)
+        process = process_engine.run(
+            sweep_specs(), sweep_measures(), max_workers=2, backend="process"
+        )
+        for a, b in zip(thread, process):
+            for measure in sweep_measures():
+                assert agree(a.value(measure.name), b.value(measure.name))
+
+    def test_keep_solutions_across_backends(self, graph):
+        specs, measures = sweep_specs()[:4], sweep_measures()
+        for backend, workers in (("serial", 1), ("thread", 2), ("process", 2)):
+            engine = ScenarioBatchEngine(graph)
+            results = engine.run(
+                specs,
+                measures,
+                max_workers=workers,
+                backend=backend,
+                keep_solutions=True,
+            )
+            for spec, result in zip(specs, results):
+                solution = result.solution
+                assert solution is not None
+                assert solution.probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+                # The kept solution's graph is re-rated to the scenario, so
+                # re-evaluating the measures reproduces the batch values.
+                assert solution.graph.base_rates["FAIL"] == pytest.approx(
+                    1.0 / spec.delays["FAIL"]
+                )
+                for measure in measures:
+                    assert agree(solution.measure(measure), result.value(measure.name))
+
+    def test_auto_prefers_process_backend(self, graph):
+        engine = ScenarioBatchEngine(graph)
+        engine.run(sweep_specs()[:3], sweep_measures()[:1], max_workers=2)
+        assert engine.last_run_backend == "process"
+
+    def test_results_keep_spec_order_and_metadata(self, graph):
+        engine = ScenarioBatchEngine(graph)
+        specs = sweep_specs()
+        results = engine.run(specs, sweep_measures()[:1], max_workers=3)
+        assert [r.spec for r in results] == specs
+        assert all(r.number_of_states == graph.number_of_states for r in results)
+        assert all(r.solve_seconds >= 0.0 for r in results)
+
+
+class TestGracefulDegradation:
+    def test_unknown_backend_rejected(self, graph):
+        engine = ScenarioBatchEngine(graph)
+        with pytest.raises(ValueError):
+            engine.run(sweep_specs()[:2], sweep_measures()[:1], backend="gpu")
+
+    def test_empty_batch(self, graph):
+        assert ScenarioBatchEngine(graph).run([], sweep_measures()[:1]) == []
+
+    def test_fallback_when_shared_memory_unavailable(self, graph, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.parallel.shared_memory_available", lambda: False
+        )
+        engine = ScenarioBatchEngine(graph)
+        with pytest.warns(UserWarning, match="falling back"):
+            results = engine.run(
+                sweep_specs()[:3],
+                sweep_measures(),
+                max_workers=2,
+                backend="process",
+            )
+        assert engine.last_run_backend == "thread"
+        reference = ScenarioBatchEngine(graph).run(
+            sweep_specs()[:3], sweep_measures(), backend="serial"
+        )
+        for ours, ref in zip(results, reference):
+            assert agree(ours.value("broken"), ref.value("broken"))
+
+    def test_auto_degrades_silently_without_shared_memory(self, graph, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.parallel.shared_memory_available", lambda: False
+        )
+        engine = ScenarioBatchEngine(graph)
+        engine.run(sweep_specs()[:3], sweep_measures()[:1], max_workers=2)
+        assert engine.last_run_backend == "thread"
+
+    def test_bounded_memory_sub_batching(self, graph, monkeypatch):
+        """A tiny block bound splits the sweep into sub-batches that still
+        produce the unsplit serial results (contiguous order preserved)."""
+        reference = ScenarioBatchEngine(graph).run(
+            sweep_specs(), sweep_measures(), backend="serial"
+        )
+        monkeypatch.setattr(
+            "repro.engine.batch.MAX_SOLUTION_BLOCK_BYTES",
+            graph.number_of_states * 8 * 2,  # two scenarios per dispatch
+        )
+        engine = ScenarioBatchEngine(graph)
+        results = engine.run(sweep_specs(), sweep_measures(), backend="serial")
+        assert [r.name for r in results] == [r.name for r in reference]
+        for ours, ref in zip(results, reference):
+            for measure in sweep_measures():
+                assert agree(ours.value(measure.name), ref.value(measure.name))
+
+    def test_tiny_chain_uses_threads_instead_of_processes(self):
+        tiny = generate_tangible_reachability_graph(
+            machine_repair(machines=3, mttf=10.0, mttr=1.0)
+        )
+        engine = ScenarioBatchEngine(tiny)
+        specs = [
+            ScenarioSpec(name=f"m{m}", delays={"FAIL": m}) for m in (5.0, 10.0, 20.0)
+        ]
+        with pytest.warns(UserWarning, match="thread backend"):
+            engine.run(
+                specs,
+                [ProbabilityMeasure("all_up", "#BROKEN == 0")],
+                max_workers=2,
+                backend="process",
+            )
+        assert engine.last_run_backend == "thread"
+
+
+class TestSharedMemoryHygiene:
+    def test_no_leaked_segments_after_a_run(self, graph):
+        before = leaked_segments()
+        engine = ScenarioBatchEngine(graph)
+        engine.run(
+            sweep_specs(), sweep_measures(), max_workers=2, backend="process"
+        )
+        assert leaked_segments() == before
+
+    def test_segment_released_when_a_worker_raises(self, graph, monkeypatch):
+        before = leaked_segments()
+        monkeypatch.setattr(
+            "repro.engine.parallel._worker_run_chunk",
+            _exploding_chunk,
+        )
+        engine = ScenarioBatchEngine(graph)
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run(
+                sweep_specs()[:3],
+                sweep_measures()[:1],
+                max_workers=2,
+                backend="process",
+            )
+        assert leaked_segments() == before
+
+    def test_plan_destroy_is_idempotent(self, graph):
+        engine = ScenarioBatchEngine(graph)
+        plan = SweepPlan(
+            engine.graph(), engine.template(), engine._rate_matrix(sweep_specs()[:2])
+        )
+        assert any(plan.segment_name.lstrip("/") in entry for entry in leaked_segments())
+        plan.destroy()
+        plan.destroy()
+        assert not any(
+            plan.segment_name.lstrip("/") in entry for entry in leaked_segments()
+        )
+
+
+def _exploding_chunk(indices):
+    raise RuntimeError("boom")
+
+
+class TestSweepScheduler:
+    def test_direct_scheduler_run(self, graph):
+        engine = ScenarioBatchEngine(graph)
+        rate_matrix = engine._rate_matrix(sweep_specs()[:4])
+        scheduler = SweepScheduler(
+            graph, engine.template(), KrylovSettings(), max_workers=2
+        )
+        outcome = scheduler.run(rate_matrix)
+        assert outcome.solutions.shape == (4, graph.number_of_states)
+        np.testing.assert_allclose(outcome.solutions.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(outcome.status == STATUS_SOLVED)
+        assert np.all(outcome.solve_seconds >= 0.0)
+
+    def test_rejects_graph_without_coefficients(self, graph):
+        from repro.spn.reachability import TangibleReachabilityGraph
+
+        stripped = TangibleReachabilityGraph(
+            net=graph.net,
+            markings=graph.markings,
+            initial_distribution=graph.initial_distribution,
+            transitions=graph.transitions,
+        )
+        engine = ScenarioBatchEngine(graph)
+        with pytest.raises(ValueError, match="coefficient"):
+            SweepScheduler(
+                stripped, engine.template(), KrylovSettings(), max_workers=2
+            )
+
+
+class TestRewardMatrix:
+    def test_matches_scalar_measure_evaluation(self, graph):
+        from repro.spn import solve_steady_state
+
+        solution = solve_steady_state(graph)
+        matrix = RewardMatrix.from_measures(graph, sweep_measures())
+        values = matrix.evaluate(
+            solution.probabilities[np.newaxis, :],
+            graph.rate_vector[np.newaxis, :],
+        )
+        for column, measure in enumerate(sweep_measures()):
+            assert agree(values[0, column], solution.measure(measure))
+
+    def test_throughput_without_coefficients_unsupported(self, graph):
+        from repro.spn.reachability import TangibleReachabilityGraph
+
+        stripped = TangibleReachabilityGraph(
+            net=graph.net,
+            markings=graph.markings,
+            initial_distribution=graph.initial_distribution,
+            transitions=graph.transitions,
+        )
+        with pytest.raises(UnsupportedMeasure):
+            RewardMatrix.from_measures(stripped, [ThroughputMeasure("r", "REPAIR")])
+
+    def test_solution_block_shape_validated(self, graph):
+        matrix = RewardMatrix.from_measures(graph, sweep_measures()[:1])
+        with pytest.raises(ValueError):
+            matrix.evaluate(np.zeros((2, 3)))

@@ -65,6 +65,72 @@ class TestTransientDistribution:
             transient_distribution(generator(), [1.0, 0.0], -1.0)
 
 
+def stiff_generator(scale=1e4):
+    """Three-state chain with rates spanning eight orders of magnitude.
+
+    A fast failure/repair pair (rates ~scale) coexists with a slow disaster
+    path (rates ~1/scale): the uniformization rate is driven by the fast
+    pair, so accuracy on the slow dynamics is exactly what Jensen's method
+    must not lose.
+    """
+    q = np.array(
+        [
+            [0.0, scale, 1.0 / scale],
+            [scale, 0.0, 0.0],
+            [1.0 / scale, 0.0, 0.0],
+        ]
+    )
+    np.fill_diagonal(q, -q.sum(axis=1))
+    return q
+
+
+class TestStiffChainsAgainstExpm:
+    """Uniformization vs a dense matrix-exponential reference (satellite)."""
+
+    @pytest.mark.parametrize("scale", [1e2, 1e3, 1e4])
+    @pytest.mark.parametrize("time", [1e-3, 0.1, 1.0])
+    def test_stiff_three_state_chain(self, scale, time):
+        q = stiff_generator(scale)
+        pi0 = np.array([1.0, 0.0, 0.0])
+        expected = pi0 @ expm(q * time)
+        computed = transient_distribution(q, pi0, time)
+        assert np.allclose(computed, expected, atol=1e-9)
+
+    def test_random_stiff_generator(self):
+        rng = np.random.default_rng(7)
+        n = 6
+        rates = rng.uniform(0.5, 1.5, size=(n, n))
+        # Stretch the rows across five orders of magnitude to make the
+        # chain stiff while keeping a valid generator.
+        rates *= np.logspace(-2, 3, n)[:, np.newaxis]
+        np.fill_diagonal(rates, 0.0)
+        q = rates.copy()
+        np.fill_diagonal(q, -rates.sum(axis=1))
+        pi0 = np.full(n, 1.0 / n)
+        for time in (0.01, 0.5, 2.0):
+            expected = pi0 @ expm(q * time)
+            computed = transient_distribution(q, pi0, time)
+            assert np.allclose(computed, expected, atol=1e-9)
+
+    def test_sparse_generator_matches_dense(self):
+        from scipy import sparse
+
+        q = stiff_generator(1e3)
+        pi0 = np.array([0.0, 0.5, 0.5])
+        dense = transient_distribution(q, pi0, 0.25)
+        sparse_result = transient_distribution(sparse.csr_matrix(q), pi0, 0.25)
+        assert np.allclose(dense, sparse_result, atol=1e-12)
+
+    def test_stiff_rewards_match_expm_reference(self):
+        q = stiff_generator(1e3)
+        pi0 = np.array([1.0, 0.0, 0.0])
+        rewards = np.array([1.0, 0.25, 0.0])
+        times = [1e-3, 0.1, 1.0, 10.0]
+        expected = [float((pi0 @ expm(q * t)) @ rewards) for t in times]
+        computed = transient_rewards(q, pi0, rewards, times)
+        assert np.allclose(computed, expected, atol=1e-9)
+
+
 class TestTransientRewards:
     def test_instantaneous_availability_curve(self):
         q = generator(0.1, 1.0)
