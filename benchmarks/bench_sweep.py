@@ -10,16 +10,22 @@ Times the full Figure 7 sweep (all five city pairs x 9 (α, disaster) points,
   :mod:`repro.engine.parallel` (one worker process per chunk, solutions
   returned through a shared ``(S, n)`` block, rewards in one GEMM),
 
-at 1/2/4/8 workers, asserting that every backend agrees with the serial
-reference below 1e-12 and that no ``/dev/shm`` segment survives the run.
-Stand-alone runs write the measurements to ``BENCH_sweep.json`` next to the
-repo root, seeding the perf trajectory.
+at every worker count the machine can actually host (the engine clamps
+workers to the *effective* cores — ``os.sched_getaffinity``, which honours
+container CPU masks — so oversubscribed counts are not measured separately),
+plus one ``backend="auto"`` run whose cost-aware dispatcher decision is
+recorded verbatim.  Every backend must agree with the serial reference
+below 1e-12 and no ``/dev/shm`` segment may survive the run.  Stand-alone
+runs write the measurements to ``BENCH_sweep.json`` next to the repo root,
+seeding the perf trajectory.
 
 Process-backend speedups are only physical when the machine actually has
-the cores: the ≥ 2.5x floor at 4 workers is asserted when
-``os.cpu_count() >= 4`` and recorded as unmet (with the CPU count) on
-smaller machines, where worker processes time-share one core and the extra
-per-worker ILU factorisations dominate.
+the cores: the ≥ 2.5x floor at 4 workers is asserted when the *effective*
+core count (not the host's ``os.cpu_count``, which lies inside cgroup-
+limited containers) is at least 4, and recorded as unmet otherwise.  On a
+single effective core the dispatcher must keep ``auto`` within a few
+percent of serial — the regression this PR fixes (0.06–0.08x of serial with
+8 dispatched workers).
 
 Run ``python benchmarks/bench_sweep.py`` for the full measurement,
 ``--quick`` for the CI smoke (reduced configuration, 2 workers, process
@@ -27,7 +33,6 @@ backend only), or under pytest (``pytest benchmarks/ --benchmark-only``).
 """
 
 import json
-import os
 import time
 from pathlib import Path
 
@@ -35,6 +40,7 @@ from repro.casestudy import DistributedSweepRunner
 from repro.casestudy.figure7 import figure7_grid
 from repro.core import CaseStudyParameters
 from repro.core.scenarios import CITY_PAIRS
+from repro.engine.dispatch import effective_cpu_count
 from repro.engine.parallel import leaked_segments, shared_memory_available
 
 #: Cross-backend agreement demanded of every availability value.
@@ -44,8 +50,20 @@ MAX_DELTA = 1e-12
 SPEEDUP_FLOOR = 2.5
 SPEEDUP_WORKERS = 4
 
-#: Worker counts measured for the thread and process backends.
-WORKER_COUNTS = (1, 2, 4, 8)
+#: Worker counts of interest; counts above the effective cores are dropped
+#: (the engine would clamp them to the same dispatch anyway).
+REQUESTED_WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Allowed auto-vs-serial slowdown when the dispatcher resolves to serial
+#: (timing noise only; the dispatch itself costs two probe solves that are
+#: kept as results).
+AUTO_SERIAL_RATIO = 1.05
+AUTO_SERIAL_SLACK_SECONDS = 2.0
+
+
+def measured_worker_counts() -> tuple[int, ...]:
+    cores = effective_cpu_count()
+    return tuple(sorted({min(count, cores) for count in REQUESTED_WORKER_COUNTS}))
 
 
 def _reduced_runner() -> DistributedSweepRunner:
@@ -75,8 +93,10 @@ def _max_delta(reference, values):
     return max(abs(a - b) for a, b in zip(reference, values))
 
 
-def run_backend_matrix(runner, scenarios, worker_counts=WORKER_COUNTS):
+def run_backend_matrix(runner, scenarios, worker_counts=None):
     """Measure every backend/worker combination against the serial reference."""
+    if worker_counts is None:
+        worker_counts = measured_worker_counts()
     leftovers_before = leaked_segments()
     runner.graph()  # one-off generation outside every timed section
 
@@ -110,11 +130,53 @@ def run_backend_matrix(runner, scenarios, worker_counts=WORKER_COUNTS):
                 f"({serial_seconds / seconds:5.2f}x vs serial, "
                 f"max |Δavailability| = {delta:.2e})"
             )
+
+    # One cost-aware dispatch at the largest requested worker count: the
+    # dispatcher's choice (and its predictions) is recorded verbatim.
+    auto_workers = max(REQUESTED_WORKER_COUNTS)
+    values, auto_seconds = _timed_sweep(runner, scenarios, "auto", auto_workers)
+    delta = _max_delta(reference, values)
+    worst_delta = max(worst_delta, delta)
+    engine = runner.engine()
+    dispatch_record = {
+        "requested_workers": auto_workers,
+        "chosen_backend": engine.last_run_backend,
+        "decision": (
+            engine.last_dispatch.as_dict()
+            if engine.last_dispatch is not None
+            else f"short-circuited before the cost model "
+            f"({effective_cpu_count()} effective core(s))"
+        ),
+        "note": (
+            "the auto sweep runs last, so its serial chain warm-starts from "
+            "the preceding backend matrix; the serial reference above ran "
+            "cold — compare trends, not absolute auto-vs-serial seconds"
+        ),
+    }
+    runs.append(
+        {
+            "backend": "auto",
+            "workers": auto_workers,
+            "seconds": round(auto_seconds, 3),
+            "speedup_vs_serial": round(serial_seconds / auto_seconds, 3),
+            "max_delta_vs_serial": delta,
+            "resolved_to": engine.last_run_backend,
+        }
+    )
+    print(
+        f"   auto x{auto_workers}: {auto_seconds:7.2f}s "
+        f"({serial_seconds / auto_seconds:5.2f}x vs serial, resolved to "
+        f"{engine.last_run_backend!r})"
+    )
+
     leaked = leaked_segments() - leftovers_before
     return {
         "scenarios": len(scenarios),
         "states": runner.graph().number_of_states,
         "serial_seconds": round(serial_seconds, 3),
+        "auto_seconds": round(auto_seconds, 3),
+        "auto_vs_serial_ratio": round(auto_seconds / serial_seconds, 3),
+        "dispatcher": dispatch_record,
         "runs": runs,
         "max_cross_backend_delta": worst_delta,
         "shm_leak_free": not leaked,
@@ -124,7 +186,7 @@ def run_backend_matrix(runner, scenarios, worker_counts=WORKER_COUNTS):
 
 def _speedup_summary(report):
     """Evaluate the ≥ 2.5x-at-4-workers target against the measurements."""
-    cores = os.cpu_count() or 1
+    cores = effective_cpu_count()
     at_target = [
         run
         for run in report["runs"]
@@ -136,15 +198,15 @@ def _speedup_summary(report):
         "required": SPEEDUP_FLOOR,
         "workers": SPEEDUP_WORKERS,
         "measured": speedup,
-        "cpu_count": cores,
+        "effective_cores": cores,
         "met": met,
     }
     if cores < SPEEDUP_WORKERS:
         summary["note"] = (
-            f"machine exposes {cores} core(s); {SPEEDUP_WORKERS} worker "
-            f"processes time-share them, so the parallel speedup target is "
-            f"not physically reachable here and is only asserted on "
-            f">= {SPEEDUP_WORKERS}-core machines"
+            f"machine exposes {cores} effective core(s); worker counts are "
+            f"clamped there, so the {SPEEDUP_WORKERS}-worker speedup target "
+            f"is not physically reachable here and is only asserted on "
+            f">= {SPEEDUP_WORKERS}-effective-core machines"
         )
     return summary
 
@@ -157,14 +219,16 @@ def run(quick: bool = False) -> int:
     if quick:
         runner = _reduced_runner()
         scenarios = figure7_grid(city_pairs=(CITY_PAIRS[0],))
-        report = run_backend_matrix(runner, scenarios, worker_counts=(2,))
+        report = run_backend_matrix(
+            runner, scenarios, worker_counts=(min(2, effective_cpu_count()),)
+        )
         report["config"] = "reduced (1 PM/DC, 9 scenarios)"
     else:
         runner = DistributedSweepRunner()
         scenarios = figure7_grid()
         report = run_backend_matrix(runner, scenarios)
         report["config"] = "full (2 PM/DC, lumped, 45 scenarios)"
-    report["cpu_count"] = os.cpu_count()
+    report["effective_cores"] = effective_cpu_count()
     report["speedup_target"] = _speedup_summary(report)
 
     failures = []
@@ -178,14 +242,24 @@ def run(quick: bool = False) -> int:
     target = report["speedup_target"]
     if (
         not quick
-        and target["cpu_count"] >= SPEEDUP_WORKERS
+        and target["effective_cores"] >= SPEEDUP_WORKERS
         and not target["met"]
     ):
         failures.append(
             f"process backend reached only {target['measured']}x at "
             f"{SPEEDUP_WORKERS} workers (required {SPEEDUP_FLOOR}x on a "
-            f"{target['cpu_count']}-core machine)"
+            f"{target['effective_cores']}-effective-core machine)"
         )
+    if report["dispatcher"]["chosen_backend"] == "serial":
+        bound = max(
+            AUTO_SERIAL_RATIO * report["serial_seconds"],
+            report["serial_seconds"] + AUTO_SERIAL_SLACK_SECONDS,
+        )
+        if report["auto_seconds"] > bound:
+            failures.append(
+                f"auto resolved to serial but took {report['auto_seconds']}s vs "
+                f"{report['serial_seconds']}s serial (allowed {bound:.2f}s)"
+            )
 
     if not quick:
         output = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"

@@ -1,5 +1,6 @@
-"""Run the full-scale case study (Table VII + Figure 7 + ablations) and write
-the results to ``results/`` for inclusion in EXPERIMENTS.md.
+"""Run the full-scale case study (Table VII + Figure 7 + transient +
+ablations) and write the results to ``results/`` for inclusion in
+EXPERIMENTS.md.
 
 Usage::
 
@@ -23,8 +24,10 @@ from repro.casestudy import (
     render_figure7,
     render_sensitivity,
     render_table7,
+    render_transient,
     reproduce_figure7,
     reproduce_table7,
+    reproduce_transient,
 )
 
 output_directory = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
@@ -75,6 +78,26 @@ print(render_figure7(figure7), flush=True)
     )
 )
 print(f"[figure7 done at {time.time() - started:.0f}s]", flush=True)
+
+print("== Mission-window transient (E8) ==", flush=True)
+transient = reproduce_transient(runner)
+print(render_transient(transient), flush=True)
+(output_directory / "transient.txt").write_text(render_transient(transient) + "\n")
+(output_directory / "transient.json").write_text(
+    json.dumps(
+        [
+            {
+                "vm_start_minutes": curve.vm_start_minutes,
+                "times_hours": curve.times_hours.tolist(),
+                "point_availability": curve.point_availability.tolist(),
+                "interval_availability": curve.interval_availability.tolist(),
+            }
+            for curve in transient
+        ],
+        indent=2,
+    )
+)
+print(f"[transient done at {time.time() - started:.0f}s]", flush=True)
 
 print("== Sensitivity (E3) ==", flush=True)
 sensitivity = SensitivityAnalysis().run()

@@ -12,6 +12,7 @@ from repro.casestudy.report import (
     render_figure7,
     render_sensitivity,
     render_table7,
+    render_transient,
 )
 from repro.casestudy.runner import DistributedSweepRunner, SweepEvaluation
 from repro.casestudy.sensitivity import (
@@ -26,6 +27,13 @@ from repro.casestudy.table7 import (
     reproduce_table7,
     single_site_rows,
 )
+from repro.casestudy.transient import (
+    DEFAULT_VM_START_MINUTES,
+    TransientCurve,
+    mission_grid,
+    reproduce_transient,
+    vm_start_specs,
+)
 
 __all__ = [
     "AblationResult",
@@ -38,6 +46,12 @@ __all__ = [
     "render_figure7",
     "render_sensitivity",
     "render_table7",
+    "render_transient",
+    "DEFAULT_VM_START_MINUTES",
+    "TransientCurve",
+    "mission_grid",
+    "reproduce_transient",
+    "vm_start_specs",
     "DistributedSweepRunner",
     "SweepEvaluation",
     "COMPONENT_NAMES",

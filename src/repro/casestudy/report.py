@@ -13,6 +13,7 @@ from repro.casestudy.ablations import AblationResult
 from repro.casestudy.figure7 import Figure7Point
 from repro.casestudy.sensitivity import SensitivityEntry
 from repro.casestudy.table7 import Table7Row
+from repro.casestudy.transient import TransientCurve
 
 
 def _format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
@@ -85,6 +86,38 @@ def render_sensitivity(entries: Iterable[SensitivityEntry]) -> str:
         ["Component", "Parameter", "Factor", "Baseline", "Perturbed", "Δ availability"],
         body,
     )
+
+
+def render_transient(curves: Iterable[TransientCurve]) -> str:
+    """Render mission-window availability curves (one block per VM start time).
+
+    Each curve lists the point availability ``A(t)`` and the interval
+    availability ``(1/t)∫₀ᵗ A`` at every mission time of the grid.
+    """
+    blocks = []
+    for curve in curves:
+        body = [
+            (
+                f"{float(t):8.2f}",
+                f"{float(point):.7f}",
+                f"{float(interval):.7f}",
+            )
+            for t, point, interval in zip(
+                curve.times_hours,
+                curve.point_availability,
+                curve.interval_availability,
+            )
+        ]
+        table = _format_table(
+            ["Mission t (h)", "Point avail. A(t)", "Interval avail. [0,t]"], body
+        )
+        blocks.append(
+            f"VM start time: {curve.vm_start_minutes:g} min  "
+            f"(mission interval availability "
+            f"{curve.mission_interval_availability:.7f}, "
+            f"{curve.number_of_states} states)\n{table}"
+        )
+    return "\n\n".join(blocks)
 
 
 def render_ablations(results: Iterable[AblationResult]) -> str:

@@ -153,7 +153,12 @@ class DistributedSweepRunner:
             name=scenario.label, delays=self.scenario_delays(scenario)
         )
 
-    def _availability_measure(self) -> ProbabilityMeasure:
+    def availability_measure(self) -> ProbabilityMeasure:
+        """The engine-level availability measure of the reference structure.
+
+        Shared by the steady-state sweeps and the transient mission-window
+        workload (:mod:`repro.casestudy.transient`).
+        """
         return ProbabilityMeasure(
             AVAILABILITY_MEASURE, self.reference_model().availability_expression()
         )
@@ -174,7 +179,7 @@ class DistributedSweepRunner:
     def evaluate(self, scenario: DistributedScenario) -> SweepEvaluation:
         """Availability of one scenario, reusing the shared state space."""
         result = self.engine().evaluate(
-            self.scenario_spec(scenario), [self._availability_measure()]
+            self.scenario_spec(scenario), [self.availability_measure()]
         )
         return self._to_evaluation(scenario, result)
 
@@ -195,7 +200,7 @@ class DistributedSweepRunner:
         scenarios = list(scenarios)
         results = self.engine().run(
             [self.scenario_spec(scenario) for scenario in scenarios],
-            [self._availability_measure()],
+            [self.availability_measure()],
             max_workers=max_workers,
             backend=backend,
         )

@@ -6,19 +6,22 @@ any Python:
 * ``availability`` — availability of one two-data-center configuration,
 * ``table7``       — reproduce Table VII,
 * ``figure7``      — reproduce (a subset of) the Figure 7 sweep,
+* ``transient``    — mission-window (interval) availability vs VM start time,
 * ``ablations``    — the Section III design-knob ablations,
 * ``sensitivity``  — one-at-a-time sensitivity of the Table VI parameters,
 * ``cache``        — inspect / clear the persistent reachability-graph cache.
 
 Every command accepts ``--full`` to run the faithful two-PM-per-data-center
 configuration instead of the fast reduced one.  The batch commands
-(``table7``, ``figure7``, ``sensitivity``, ``ablations``) also accept
-``--jobs N`` to fan their scenario batch out over N engine workers and
-``--backend serial|thread|process`` to pick how (``process`` — the default
-for ``--jobs > 1`` — runs the zero-copy shared-memory sweep scheduler).
-The runner-based commands consult the on-disk reachability cache by default
-so repeat invocations skip state-space generation; pass ``--no-cache`` to
-force a fresh exploration.
+(``table7``, ``figure7``, ``transient``, ``sensitivity``, ``ablations``)
+also accept ``--jobs N`` to fan their scenario batch out over up to N
+engine workers (always clamped to the effective CPU cores) and
+``--backend serial|thread|process`` to force a backend; the default
+``auto`` picks the cheapest plan from a calibrated cost model — serial on
+one core, threads or the zero-copy shared-memory sweep scheduler when the
+cores and the batch justify them.  The runner-based commands consult the
+on-disk reachability cache by default so repeat invocations skip
+state-space generation; pass ``--no-cache`` to force a fresh exploration.
 """
 
 from __future__ import annotations
@@ -35,8 +38,15 @@ from repro.casestudy import (
     render_figure7,
     render_sensitivity,
     render_table7,
+    render_transient,
     reproduce_figure7,
     reproduce_table7,
+    reproduce_transient,
+)
+from repro.casestudy.transient import (
+    DEFAULT_GRID_POINTS,
+    DEFAULT_VM_START_MINUTES,
+    DEFAULT_WINDOW_HOURS,
 )
 from repro.core import CaseStudyParameters, DistributedScenario
 from repro.core.scenarios import CITY_PAIRS
@@ -75,14 +85,17 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         metavar="N",
-        help="fan the scenario batch out over N engine workers",
+        help="fan the scenario batch out over up to N engine workers "
+        "(always clamped to the effective CPU cores)",
     )
     parser.add_argument(
         "--backend",
         choices=("auto", "serial", "thread", "process"),
         default="auto",
-        help="batch backend: zero-copy worker processes (default with "
-        "--jobs > 1), threads, or the serial sweep",
+        help="batch backend: 'auto' (default) picks the cheapest of the "
+        "serial sweep, threads, or the zero-copy worker processes from a "
+        "calibrated cost model — serial on a single core; the other values "
+        "force a backend",
     )
 
 
@@ -118,6 +131,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_full_flag(figure7)
     _add_jobs_flag(figure7)
     _add_cache_flag(figure7)
+
+    transient = commands.add_parser(
+        "transient",
+        help="mission-window (interval) availability vs VM start time",
+    )
+    transient.add_argument(
+        "--minutes",
+        default=",".join(f"{m:g}" for m in DEFAULT_VM_START_MINUTES),
+        metavar="M1,M2,...",
+        help="comma-separated VM start times in minutes",
+    )
+    transient.add_argument(
+        "--window",
+        type=float,
+        default=DEFAULT_WINDOW_HOURS,
+        metavar="HOURS",
+        help="mission window length in hours",
+    )
+    transient.add_argument(
+        "--points",
+        type=int,
+        default=DEFAULT_GRID_POINTS,
+        metavar="N",
+        help="number of mission-time grid points (including t=0)",
+    )
+    _add_full_flag(transient)
+    _add_jobs_flag(transient)
+    _add_cache_flag(transient)
 
     cache = commands.add_parser(
         "cache", help="inspect or clear the persistent reachability-graph cache"
@@ -211,6 +252,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backend=arguments.backend,
         )
         print(render_figure7(points))
+        return 0
+
+    if arguments.command == "transient":
+        try:
+            minutes = [float(value) for value in arguments.minutes.split(",") if value]
+        except ValueError:
+            raise SystemExit(
+                f"--minutes expects comma-separated numbers, got {arguments.minutes!r}"
+            )
+        curves = reproduce_transient(
+            _runner(arguments.full, use_cache=not arguments.no_cache),
+            minutes=minutes,
+            window_hours=arguments.window,
+            points=arguments.points,
+            max_workers=arguments.jobs,
+            backend=arguments.backend,
+        )
+        print(render_transient(curves))
         return 0
 
     if arguments.command == "ablations":

@@ -14,8 +14,16 @@ from repro.engine.batch import (
     ScenarioBatchEngine,
     ScenarioResult,
     ScenarioSpec,
+    TransientScenarioResult,
 )
 from repro.engine.cache import CacheEntry, TRGCache, cache_key, default_cache_directory
+from repro.engine.dispatch import (
+    CostObservations,
+    DispatchDecision,
+    choose_backend,
+    effective_cpu_count,
+    resolve_worker_count,
+)
 from repro.engine.krylov import KrylovSettings, ReusableSolver
 from repro.engine.measures import RewardMatrix, UnsupportedMeasure
 from repro.engine.parallel import (
@@ -23,6 +31,7 @@ from repro.engine.parallel import (
     SweepScheduler,
     contiguous_chunks,
     shared_memory_available,
+    shutdown_shared_pool,
 )
 from repro.engine.system import ConstrainedSystemTemplate
 
@@ -31,6 +40,13 @@ __all__ = [
     "ScenarioBatchEngine",
     "ScenarioResult",
     "ScenarioSpec",
+    "TransientScenarioResult",
+    "CostObservations",
+    "DispatchDecision",
+    "choose_backend",
+    "effective_cpu_count",
+    "resolve_worker_count",
+    "shutdown_shared_pool",
     "CacheEntry",
     "TRGCache",
     "cache_key",

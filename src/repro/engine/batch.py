@@ -18,12 +18,21 @@ baselines, and of any sensitivity or capacity sweep):
   (``backend="serial"|"thread"|"process"``): the serial path chains solver
   state across the whole sweep, the thread path hands each worker thread a
   *contiguous* chunk of sweep points (scipy factorisations and mat-vecs
-  release the GIL), and the process path — the default for
-  ``max_workers > 1`` — runs the zero-copy shared-memory scheduler of
-  :mod:`repro.engine.parallel`, sidestepping the GIL entirely;
+  release the GIL), and the process path runs the zero-copy shared-memory
+  scheduler of :mod:`repro.engine.parallel`, sidestepping the GIL entirely;
+* ``backend="auto"`` is **cost-aware** (:mod:`repro.engine.dispatch`): the
+  requested worker count is clamped to the effective CPU cores, a one/two-
+  scenario probe (or recorded history) calibrates cold/warm solve times,
+  and the backend + worker count with the lowest *predicted* wall-clock is
+  chosen — on a single effective core that is always the serial path, so
+  ``--jobs 8`` can no longer make a sweep slower than ``--jobs 1``;
 * the reward measures of a whole batch are evaluated with one
   ``(S, n) @ (n, m)`` GEMM (:mod:`repro.engine.measures`) instead of
-  ``S × m`` Python-level dot products, on every backend.
+  ``S × m`` Python-level dot products, on every backend;
+* :meth:`ScenarioBatchEngine.run_transient` runs the same scenario block
+  through batched uniformization (:func:`repro.markov.transient.
+  transient_reward_block`), returning point and interval (mission-window)
+  measure values over a time grid.
 """
 
 from __future__ import annotations
@@ -37,14 +46,19 @@ from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.engine import dispatch
 from repro.engine.cache import TRGCache
+from repro.engine.dispatch import CostObservations, DispatchDecision
 from repro.engine.krylov import KrylovSettings, ReusableSolver
 from repro.engine.measures import RewardMatrix, UnsupportedMeasure
 from repro.engine.parallel import (
     SharedMemoryUnavailable,
     SweepScheduler,
     contiguous_chunks,
+    shared_pool,
+    start_method,
 )
+from repro.markov.transient import transient_reward_block
 from repro.engine.system import ConstrainedSystemTemplate
 from repro.exceptions import AnalysisError
 from repro.markov import solvers
@@ -108,6 +122,33 @@ class ScenarioResult:
 
     def value(self, measure_name: str) -> float:
         return self.measures[measure_name]
+
+
+@dataclass
+class TransientScenarioResult:
+    """Transient measure curves of one scenario over a shared time grid.
+
+    Attributes:
+        spec: the evaluated scenario.
+        times: the ``(T,)`` evaluation times (hours, like every rate).
+        point: per measure, the ``(T,)`` instantaneous expected values
+            ``E[r(X_t)]`` (point availability for a 0/1 availability
+            measure).
+        interval: per measure, the ``(T,)`` interval values
+            ``(1/t) ∫₀ᵗ E[r(X_u)] du`` (interval availability over the
+            mission window ``[0, t]``); at ``t = 0`` the point value.
+    """
+
+    spec: ScenarioSpec
+    times: np.ndarray
+    point: dict[str, np.ndarray]
+    interval: dict[str, np.ndarray]
+    number_of_states: int
+    solve_seconds: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
 
 
 class _WorkerState(threading.local):
@@ -191,6 +232,11 @@ class ScenarioBatchEngine:
         #: Backend actually used by the most recent :meth:`run` call
         #: (``None`` until the first batch).
         self.last_run_backend: Optional[str] = None
+        #: Cost-model decision of the most recent ``backend="auto"``
+        #: dispatch that actually consulted the model (``None`` before).
+        self.last_dispatch: Optional[DispatchDecision] = None
+        #: Calibrated cold/warm solve times reused across batches.
+        self._cost_observations: Optional[CostObservations] = None
         self._net: Optional[NetLike] = net
         self._graph: Optional[TangibleReachabilityGraph] = (
             net if isinstance(net, TangibleReachabilityGraph) else None
@@ -331,19 +377,34 @@ class ScenarioBatchEngine:
         chains warm starts from scenario to scenario; the thread and process
         backends hand every worker a *contiguous* chunk of sweep points so
         per-worker warm starts and preconditioners see neighbouring points.
-        ``backend="auto"`` (the default) picks the zero-copy multiprocess
-        scheduler whenever ``max_workers > 1`` and the batch supports it,
-        and degrades gracefully to threads (shared memory unavailable) and
-        to the serial path (single worker or single scenario).  The backend
-        actually used is recorded in :attr:`last_run_backend`.
+
+        ``max_workers`` is always clamped to the effective CPU cores
+        (container-aware affinity; a warning names the clamp), so more
+        workers than cores can never be dispatched.  ``backend="auto"`` (the
+        default) is **cost-aware**: with a single effective core — or a
+        single worker/scenario — it stays serial; otherwise a two-scenario
+        probe (or this engine's recorded solve-time history) calibrates a
+        cost model and the backend + worker count with the lowest predicted
+        wall-clock wins (see :mod:`repro.engine.dispatch`; the decision is
+        kept in :attr:`last_dispatch`).  Explicit backends are honoured,
+        degrading gracefully to threads when shared memory is unavailable.
+        The backend actually used is recorded in :attr:`last_run_backend`.
         """
         specs = list(specs)
         validate_measures(measures)
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         if not specs:
             self.last_run_backend = "serial"
             return []
-        workers = int(max_workers) if max_workers is not None else 1
-        choice = self._resolve_backend(backend, workers, len(specs))
+        requested = int(max_workers) if max_workers is not None else 1
+        workers = (
+            dispatch.resolve_worker_count(requested, stacklevel=3)
+            if requested > 1
+            else max(1, requested)
+        )
         self.graph()
         block_rows = self._max_block_rows(workers)
         if len(specs) > block_rows and not keep_solutions:
@@ -361,11 +422,23 @@ class ScenarioBatchEngine:
                     )
                 )
             return results
-        if choice == "process":
+        solutions = np.empty((len(specs), self.number_of_states))
+        seconds = np.empty(len(specs))
+        choice, workers, solved = self._choose_backend(
+            backend, workers, specs, solutions, seconds
+        )
+        remaining = specs[solved:]
+        rate_matrix: Optional[np.ndarray] = None
+        if remaining and choice == "process":
+            # Resolved once, shared between the scheduler (rows of the
+            # remaining specs) and the measure GEMM (all rows).
+            rate_matrix = self.rate_matrix(specs)
             try:
-                results = self._run_process(specs, measures, workers, keep_solutions)
-                self.last_run_backend = "process"
-                return results
+                block, block_seconds = self._solve_process(
+                    rate_matrix[solved:], workers
+                )
+                solutions[solved:] = block
+                seconds[solved:] = block_seconds
             except SharedMemoryUnavailable as error:
                 if backend == "process":
                     warnings.warn(
@@ -374,32 +447,245 @@ class ScenarioBatchEngine:
                         stacklevel=2,
                     )
                 choice = "thread"
-        if choice == "thread":
-            results = self._run_threads(specs, measures, workers, keep_solutions)
-        else:
-            results = self._run_serial(specs, measures, keep_solutions)
+                self._solve_threads(
+                    remaining, workers, solutions[solved:], seconds[solved:]
+                )
+        elif remaining and choice == "thread":
+            self._solve_threads(
+                remaining, workers, solutions[solved:], seconds[solved:]
+            )
+        elif remaining:
+            self._solve_serial(remaining, solutions[solved:], seconds[solved:])
         self.last_run_backend = choice
-        return results
+        self._record_history(choice, solved, seconds)
+        return self._assemble_results(
+            specs, measures, solutions, seconds, keep_solutions,
+            rate_matrix=rate_matrix,
+        )
 
-    def _resolve_backend(self, backend: str, workers: int, scenarios: int) -> str:
-        """Map the requested backend onto what this batch can actually use."""
+    def _choose_backend(
+        self,
+        backend: str,
+        workers: int,
+        specs: Sequence[ScenarioSpec],
+        solutions: np.ndarray,
+        seconds: np.ndarray,
+    ) -> tuple[str, int, int]:
+        """Resolve the backend, probing for the cost model when needed.
+
+        Returns ``(choice, workers, solved)`` where ``solved`` is the number
+        of leading scenarios already solved serially by the calibration
+        probe (their rows of ``solutions``/``seconds`` are filled in).
+        """
+        scenarios = len(specs)
+        if backend == "serial":
+            return "serial", 1, 0
+        if backend == "thread":
+            return "thread", workers, 0
+        if backend == "process":
+            if not self._process_backend_supported():
+                warnings.warn(
+                    "the process backend needs method='auto', a "
+                    "coefficient-carrying graph and a state space above the "
+                    "GTH cutoff; using the thread backend instead",
+                    stacklevel=4,
+                )
+                return "thread", workers, 0
+            return "process", workers, 0
+        # backend == "auto"
+        if workers <= 1 or scenarios <= 1:
+            return "serial", 1, 0
+        observations = self._cost_observations
+        solved = 0
+        if observations is None:
+            # Calibration probe: solve the first two sweep points serially
+            # (they are real results, nothing is thrown away) — the first is
+            # a cold solve including the factorisation, the second a warm
+            # re-solve.
+            solved = min(2, scenarios)
+            for index in range(solved):
+                solutions[index], seconds[index] = self._timed_solve(specs[index])
+            cold = float(seconds[0])
+            warm = float(min(seconds[:solved]))
+            observations = CostObservations(cold, warm, source="probe")
+            self._cost_observations = observations
+        remaining = scenarios - solved
+        if remaining <= 1:
+            return "serial", 1, solved
+        decision = dispatch.choose_backend(
+            observations,
+            remaining,
+            workers,
+            process_supported=self._process_backend_supported(),
+            pool_is_warm=shared_pool.is_warm(workers),
+            segment_bytes=self._estimated_segment_bytes(remaining),
+            start_method=start_method(),
+        )
+        self.last_dispatch = decision
+        return decision.backend, decision.workers, solved
+
+    def _record_history(
+        self, choice: str, solved: int, seconds: np.ndarray
+    ) -> None:
+        """Keep cold/warm solve times from a first serial batch for later
+        ``auto`` dispatches (the probe is skipped when history exists)."""
+        if (
+            self._cost_observations is None
+            and choice == "serial"
+            and solved == 0
+            and seconds.size
+        ):
+            cold = float(seconds[0])
+            warm = (
+                float(np.median(seconds[1:])) if seconds.size > 1 else cold
+            )
+            self._cost_observations = CostObservations(
+                cold, min(cold, warm), source="history"
+            )
+
+    def _estimated_segment_bytes(self, scenarios: int) -> int:
+        """Rough size of the shared segment a process dispatch would pack."""
+        graph = self.graph()
+        coefficients = graph.edge_coefficient_matrix
+        nnz = int(coefficients.nnz) if coefficients is not None else 0
+        return int(
+            2 * graph.edge_sources.nbytes
+            + 12 * nnz
+            + 8 * scenarios * max(1, graph.rate_vector.size)
+            + 8 * scenarios * self.number_of_states
+            + 32 * self.number_of_states
+        )
+
+    def run_transient(
+        self,
+        specs: Sequence[ScenarioSpec],
+        measures: Sequence[Measure],
+        times: Sequence[float],
+        max_workers: Optional[int] = None,
+        backend: str = "auto",
+        tolerance: float = 1e-12,
+    ) -> list[TransientScenarioResult]:
+        """Batched transient (uniformization) evaluation of the scenario block.
+
+        For every scenario the instantaneous expected value ``E[r(X_t)]``
+        and the interval value ``(1/t) ∫₀ᵗ E[r(X_u)] du`` of every measure
+        are computed on the grid ``times``, starting from the net's initial
+        marking distribution.  The whole batch shares one state space; the
+        uniformization power iteration is vectorized over scenario groups of
+        similar rate regime (one block-diagonal sparse mat-vec per Poisson
+        term, measure projection through the :class:`RewardMatrix` GEMM —
+        see :func:`repro.markov.transient.transient_reward_block`).
+
+        ``backend`` accepts the same names as :meth:`run`; the transient
+        kernel runs in-process (its sparse mat-vecs release the GIL), so
+        ``"process"`` is mapped to the thread backend with a warning and
+        ``"auto"`` picks threads over contiguous scenario chunks whenever
+        more than one effective core and scenario are available.
+        """
+        specs = list(specs)
+        validate_measures(measures)
+        times = np.asarray(times, dtype=np.float64).ravel()
+        if not specs:
+            self.last_run_backend = "serial"
+            return []
+        graph = self.graph()
+        if not graph.has_coefficients:
+            raise AnalysisError(
+                "transient batches need a graph carrying per-transition "
+                "coefficient matrices (generated graphs always do)"
+            )
+        reward = RewardMatrix.from_measures(graph, measures)
+        rate_matrix = self.rate_matrix(specs)
+        edge_block = np.asarray(
+            graph.edge_coefficient_matrix.T.dot(rate_matrix.T)
+        ).T
+        pi0 = self.initial_vector()
+        requested = int(max_workers) if max_workers is not None else 1
+        workers = (
+            dispatch.resolve_worker_count(requested, stacklevel=3)
+            if requested > 1
+            else max(1, requested)
+        )
+        choice = self._resolve_transient_backend(backend, workers, len(specs))
+
+        n = self.number_of_states
+        point = np.zeros((len(specs), times.size, reward.number_of_measures))
+        interval = np.zeros_like(point)
+        seconds = np.zeros(len(specs))
+
+        def run_block(indices: np.ndarray) -> None:
+            def evaluate(block: np.ndarray, local: np.ndarray) -> np.ndarray:
+                return reward.evaluate(block, rate_matrix[indices[local]])
+
+            point[indices], interval[indices], seconds[indices] = (
+                transient_reward_block(
+                    graph.edge_sources,
+                    graph.edge_targets,
+                    n,
+                    edge_block[indices],
+                    pi0,
+                    times,
+                    evaluate,
+                    reward.number_of_measures,
+                    tolerance=tolerance,
+                )
+            )
+
+        if choice == "thread" and workers > 1 and len(specs) > 1:
+            chunks = contiguous_chunks(len(specs), workers)
+            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+                for _ in pool.map(
+                    run_block,
+                    [np.asarray(chunk, dtype=np.int64) for chunk in chunks],
+                ):
+                    pass
+        else:
+            run_block(np.arange(len(specs), dtype=np.int64))
+        self.last_run_backend = choice
+        return [
+            TransientScenarioResult(
+                spec=spec,
+                times=times.copy(),
+                point={
+                    name: point[index, :, column].copy()
+                    for column, name in enumerate(reward.names)
+                },
+                interval={
+                    name: interval[index, :, column].copy()
+                    for column, name in enumerate(reward.names)
+                },
+                number_of_states=n,
+                solve_seconds=float(seconds[index]),
+            )
+            for index, spec in enumerate(specs)
+        ]
+
+    def _resolve_transient_backend(
+        self, backend: str, workers: int, scenarios: int
+    ) -> str:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
-        if backend == "auto":
-            if workers <= 1 or scenarios <= 1:
-                return "serial"
-            return "process" if self._process_backend_supported() else "thread"
-        if backend == "process" and not self._process_backend_supported():
+        if backend == "process":
             warnings.warn(
-                "the process backend needs method='auto', a coefficient-carrying "
-                "graph and a state space above the GTH cutoff; using the thread "
-                "backend instead",
+                "the transient workload runs in-process (its sparse mat-vecs "
+                "release the GIL and there is no per-scenario factorisation "
+                "to replicate); using the thread backend instead",
                 stacklevel=3,
             )
-            return "thread"
+            backend = "thread"
+        if backend == "auto":
+            return "thread" if workers > 1 and scenarios > 1 else "serial"
         return backend
+
+    def initial_vector(self) -> np.ndarray:
+        """Dense initial tangible-marking distribution of the shared graph."""
+        graph = self.graph()
+        vector = np.zeros(self.number_of_states)
+        for state, probability in graph.initial_distribution.items():
+            vector[int(state)] = float(probability)
+        return vector
 
     def _max_block_rows(self, workers: int) -> int:
         """Scenarios per dispatch under the solution-block memory bound."""
@@ -429,25 +715,22 @@ class ScenarioBatchEngine:
         solution = self.solve(rates=spec.resolved_rates())
         return solution.probabilities, time.perf_counter() - started
 
-    def _run_serial(
+    def _solve_serial(
         self,
         specs: Sequence[ScenarioSpec],
-        measures: Sequence[Measure],
-        keep_solutions: bool,
-    ) -> list[ScenarioResult]:
-        solutions = np.empty((len(specs), self.number_of_states))
-        seconds = np.empty(len(specs))
+        solutions: np.ndarray,
+        seconds: np.ndarray,
+    ) -> None:
         for index, spec in enumerate(specs):
             solutions[index], seconds[index] = self._timed_solve(spec)
-        return self._assemble_results(specs, measures, solutions, seconds, keep_solutions)
 
-    def _run_threads(
+    def _solve_threads(
         self,
         specs: Sequence[ScenarioSpec],
-        measures: Sequence[Measure],
         workers: int,
-        keep_solutions: bool,
-    ) -> list[ScenarioResult]:
+        solutions: np.ndarray,
+        seconds: np.ndarray,
+    ) -> None:
         """Thread fan-out over contiguous sweep-order chunks.
 
         Each chunk runs on one pool thread whose thread-local solver state
@@ -455,8 +738,6 @@ class ScenarioBatchEngine:
         interleaved per-scenario submission would scatter unrelated points
         across the workers and forfeit that locality.
         """
-        solutions = np.empty((len(specs), self.number_of_states))
-        seconds = np.empty(len(specs))
 
         def run_chunk(chunk: Sequence[int]) -> None:
             for index in chunk:
@@ -466,33 +747,20 @@ class ScenarioBatchEngine:
         with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
             for _ in pool.map(run_chunk, chunks):
                 pass
-        return self._assemble_results(specs, measures, solutions, seconds, keep_solutions)
 
-    def _run_process(
-        self,
-        specs: Sequence[ScenarioSpec],
-        measures: Sequence[Measure],
-        workers: int,
-        keep_solutions: bool,
-    ) -> list[ScenarioResult]:
+    def _solve_process(
+        self, rate_matrix: np.ndarray, workers: int
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Zero-copy multiprocess fan-out (see :mod:`repro.engine.parallel`)."""
         scheduler = SweepScheduler(
             self.graph(), self.template(), self.krylov_settings, max_workers=workers
         )
-        rate_matrix = self._rate_matrix(specs)
         outcome = scheduler.run(rate_matrix)
-        return self._assemble_results(
-            specs,
-            measures,
-            outcome.solutions,
-            outcome.solve_seconds,
-            keep_solutions,
-            rate_matrix=rate_matrix,
-        )
+        return outcome.solutions, outcome.solve_seconds
 
     # --- shared post-processing -------------------------------------------
 
-    def _rate_matrix(self, specs: Sequence[ScenarioSpec]) -> np.ndarray:
+    def rate_matrix(self, specs: Sequence[ScenarioSpec]) -> np.ndarray:
         """Stacked ``(S, T)`` rate vectors of the batch (validated)."""
         graph = self.graph()
         matrix = np.empty((len(specs), graph.rate_vector.size))
@@ -522,7 +790,7 @@ class ScenarioBatchEngine:
         """
         graph = self.graph()
         if rate_matrix is None and graph.has_coefficients:
-            rate_matrix = self._rate_matrix(specs)
+            rate_matrix = self.rate_matrix(specs)
         kept: list[Optional[SteadyStateSolution]] = [None] * len(specs)
         if keep_solutions:
             for index, spec in enumerate(specs):

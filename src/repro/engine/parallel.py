@@ -23,15 +23,26 @@ already-loaded BLAS libraries, which a forked child inherits pre-sized) so
 nested thread pools, and rebuild their solver state lazily from the shared
 arrays on first touch.
 
+The worker pool itself is **persistent**: one module-level pool survives
+across :meth:`SweepScheduler.run` calls (growing when a later batch asks for
+more workers), so repeated sweeps — sensitivity studies, ablation suites,
+back-to-back Figure 7 runs — amortise the fork/spawn cost instead of paying
+it per batch.  Each task carries the segment manifest; the worker attaches
+for exactly the duration of its chunk (holding the mapping between batches
+would pin the unlinked segment's memory in idle workers).  The pool is shut
+down at interpreter exit (or explicitly via :func:`shutdown_shared_pool`).
+
 The segment is unlinked by the parent as soon as the batch completes (or
 fails); a run leaves no ``/dev/shm`` entries behind.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import secrets
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Optional, Sequence
@@ -273,8 +284,6 @@ class SweepPlan:
 
 # --- worker side ----------------------------------------------------------
 
-_WORKER: Optional["_WorkerContext"] = None
-
 
 def _attach_untracked(name: str):
     """Attach to the parent's segment without resource-tracker registration.
@@ -305,6 +314,7 @@ class _WorkerContext:
 
     def __init__(self, manifest: dict, settings: KrylovSettings) -> None:
         self.segment = _attach_untracked(manifest["segment"])
+        self.settings = settings
         self.n = int(manifest["number_of_states"])
         arrays: dict[str, np.ndarray] = {}
         for name, spec in manifest["specs"].items():
@@ -338,7 +348,27 @@ class _WorkerContext:
             },
             self.n,
         )
+        self._arrays = arrays
         self.solver = ReusableSolver(template, settings)
+
+    def close(self) -> None:
+        """Drop every view into the segment and detach from it.
+
+        Called when a later task arrives with a *different* segment (the
+        previous batch's plan is gone; its segment was already unlinked by
+        the parent, so this close releases the last mapping).
+        """
+        self.solver = None
+        self.coefficients_T = None
+        self.edge_sources = self.edge_targets = self.rates = None
+        self.solutions = self.times = self.status = None
+        self._arrays = None
+        segment, self.segment = self.segment, None
+        if segment is not None:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - lingering view; freed at exit
+                pass
 
     def _fallback_generator(self, edge_rates: np.ndarray) -> sparse.csr_matrix:
         """Fresh CTMC generator for the rare reuse-failure fallback path.
@@ -434,19 +464,35 @@ def _limit_blas_threads() -> None:
         pass
 
 
-def _worker_initializer(manifest: dict, settings: KrylovSettings) -> None:
+def _worker_initializer() -> None:
     # The environment pins cover libraries loaded after this point (and the
     # whole process under "spawn"); the runtime cap covers pools the worker
-    # inherited from an already-initialised parent under "fork".
+    # inherited from an already-initialised parent under "fork".  The worker
+    # always pins to ONE BLAS thread: the scheduler never runs more workers
+    # than effective cores (clamped upstream via repro.engine.dispatch), so
+    # per-worker BLAS pools would only multiply into oversubscription.
     for variable in BLAS_PIN_VARIABLES:
         os.environ[variable] = "1"
     _limit_blas_threads()
-    global _WORKER
-    _WORKER = _WorkerContext(manifest, settings)
 
 
-def _worker_run_chunk(indices: tuple[int, ...]) -> tuple[int, ...]:
-    _WORKER.run_chunk(indices)
+def _worker_run_chunk(
+    manifest: dict, settings: KrylovSettings, indices: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Solve one contiguous chunk of the manifested segment.
+
+    The manifest travels with every task (it is a few hundred bytes) so the
+    worker can outlive the batch that created it.  The context — segment
+    mapping, rebuilt template, solver state — lives exactly as long as the
+    chunk: attaching to a segment costs microseconds, whereas holding the
+    mapping after the parent unlinks the segment would pin the whole
+    (S, n) block's physical memory in an idle worker indefinitely.
+    """
+    context = _WorkerContext(manifest, settings)
+    try:
+        context.run_chunk(indices)
+    finally:
+        context.close()
     return indices
 
 
@@ -470,6 +516,80 @@ def _pool_context():
     return get_context("fork" if "fork" in methods else "spawn")
 
 
+def start_method() -> str:
+    """Name of the start method worker pools will use (``fork``/``spawn``)."""
+    if get_context is None:
+        return "spawn"
+    return _pool_context().get_start_method()
+
+
+class PersistentWorkerPool:
+    """A process pool kept alive across sweep batches.
+
+    Fork/spawn cost is paid once per session instead of once per batch:
+    repeated sweeps (sensitivity, ablations, consecutive Figure 7 runs)
+    reuse the same worker processes, which merely re-attach to each batch's
+    fresh shared segment.  The pool grows (is replaced) when a batch asks
+    for more workers than it holds and is torn down at interpreter exit.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._workers = 0
+        self._method: Optional[str] = None
+
+    def is_warm(self, workers: int) -> bool:
+        """Whether a pool with at least ``workers`` workers is already alive."""
+        return self._pool is not None and self._workers >= workers
+
+    def executor(self, workers: int) -> ProcessPoolExecutor:
+        """The shared executor, (re)built to hold at least ``workers`` workers.
+
+        A pool that is too small (or uses a stale start method) is *retired*,
+        not killed: its already-submitted chunks run to completion and its
+        workers exit afterwards, so a concurrent batch on the old pool is
+        never cancelled by a bigger batch arriving.
+        """
+        context = _pool_context()
+        method = context.get_start_method()
+        if (
+            self._pool is None
+            or self._workers < workers
+            or self._method != method
+        ):
+            retired, self._pool = self._pool, None
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_worker_initializer,
+            )
+            self._workers = workers
+            self._method = method
+            if retired is not None:
+                retired.shutdown(wait=False, cancel_futures=False)
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Terminate the pooled workers (idempotent)."""
+        pool, self._pool = self._pool, None
+        self._workers = 0
+        self._method = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+#: The module-level pool shared by every :class:`SweepScheduler`.
+shared_pool = PersistentWorkerPool()
+
+
+def shutdown_shared_pool() -> None:
+    """Shut down the persistent worker pool (it restarts on next use)."""
+    shared_pool.shutdown()
+
+
+atexit.register(shutdown_shared_pool)
+
+
 @dataclass
 class SweepOutcome:
     """Raw per-scenario outputs of one scheduled sweep."""
@@ -488,6 +608,8 @@ class SweepScheduler:
         template: the symbolic constrained-system structure of ``graph``.
         settings: Krylov solver policy replicated in every worker.
         max_workers: number of worker processes.
+        reuse_pool: run batches on the module's persistent worker pool
+            (the default) instead of a throwaway per-batch pool.
     """
 
     def __init__(
@@ -496,6 +618,7 @@ class SweepScheduler:
         template: ConstrainedSystemTemplate,
         settings: KrylovSettings,
         max_workers: int,
+        reuse_pool: bool = True,
     ) -> None:
         if not graph.has_coefficients:
             raise ValueError(
@@ -510,12 +633,38 @@ class SweepScheduler:
         self.template = template
         self.settings = settings
         self.max_workers = max(1, int(max_workers))
+        self.reuse_pool = reuse_pool
+
+    def _submit_chunks(self, manifest: dict, chunks) -> None:
+        """Run every chunk to completion on the (persistent or fresh) pool."""
+        if self.reuse_pool:
+            pool = shared_pool.executor(len(chunks))
+            futures = [
+                pool.submit(_worker_run_chunk, manifest, self.settings, chunk)
+                for chunk in chunks
+            ]
+            for future in futures:
+                future.result()
+            return
+        with ProcessPoolExecutor(
+            max_workers=len(chunks),
+            mp_context=_pool_context(),
+            initializer=_worker_initializer,
+        ) as pool:
+            futures = [
+                pool.submit(_worker_run_chunk, manifest, self.settings, chunk)
+                for chunk in chunks
+            ]
+            for future in futures:
+                future.result()
 
     def run(self, rate_matrix: np.ndarray) -> SweepOutcome:
         """Solve every row of the ``(S, T)`` rate matrix; returns all outputs.
 
         Rows are split into contiguous chunks, one per worker; the solution
         block is copied out of the shared segment before it is unlinked.
+        A persistent pool whose workers died (e.g. OOM-killed) is rebuilt
+        once and the batch retried before the failure propagates.
         """
         rate_matrix = np.ascontiguousarray(rate_matrix, dtype=np.float64)
         scenarios = rate_matrix.shape[0]
@@ -528,15 +677,14 @@ class SweepScheduler:
                 status=np.zeros(0, dtype=np.int8),
             )
         with SweepPlan(self.graph, self.template, rate_matrix) as plan:
-            with ProcessPoolExecutor(
-                max_workers=len(chunks),
-                mp_context=_pool_context(),
-                initializer=_worker_initializer,
-                initargs=(plan.manifest(), self.settings),
-            ) as pool:
-                futures = [pool.submit(_worker_run_chunk, chunk) for chunk in chunks]
-                for future in futures:
-                    future.result()
+            manifest = plan.manifest()
+            try:
+                self._submit_chunks(manifest, chunks)
+            except BrokenProcessPool:
+                if not self.reuse_pool:
+                    raise
+                shutdown_shared_pool()
+                self._submit_chunks(manifest, chunks)
             solutions = np.array(plan.solutions)
             solve_seconds = np.array(plan.times)
             status = np.array(plan.status)

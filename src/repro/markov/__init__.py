@@ -4,7 +4,11 @@ from repro.markov.ctmc import ContinuousTimeMarkovChain, two_state_availability_
 from repro.markov.dtmc import DiscreteTimeMarkovChain
 from repro.markov.rewards import RewardReport, RewardStructure
 from repro.markov.solvers import steady_state, validate_generator
-from repro.markov.transient import transient_distribution, transient_rewards
+from repro.markov.transient import (
+    transient_distribution,
+    transient_reward_block,
+    transient_rewards,
+)
 
 __all__ = [
     "ContinuousTimeMarkovChain",
@@ -15,5 +19,6 @@ __all__ = [
     "steady_state",
     "validate_generator",
     "transient_distribution",
+    "transient_reward_block",
     "transient_rewards",
 ]

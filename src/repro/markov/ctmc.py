@@ -10,6 +10,7 @@ two-state and birth-death results.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -169,6 +170,15 @@ class ContinuousTimeMarkovChain:
 
         Used for MTTF-style analyses: make every failure state absorbing and
         ask for the expected hitting time from the fully-working state.
+
+        Raises:
+            AnalysisError: when no absorbing state is given, or when some
+                transient state cannot reach the absorbing set (the expected
+                hitting time is infinite and the restricted generator is
+                singular).  The unreachability is detected *before* the
+                solve, so scipy's ``MatrixRankWarning`` never fires; any
+                residual singular solve is converted to the same clean error
+                with warnings suppressed.
         """
         absorbing = {self.index_of(state) for state in absorbing_states}
         if not absorbing:
@@ -176,20 +186,49 @@ class ContinuousTimeMarkovChain:
         transient_states = [i for i in range(self.number_of_states) if i not in absorbing]
         if not transient_states:
             return 0.0
+        stranded = self._states_not_reaching(absorbing)
+        if stranded:
+            labels = sorted(str(self._states[i]) for i in stranded)
+            preview = ", ".join(labels[:5]) + ("…" if len(labels) > 5 else "")
+            raise AnalysisError(
+                f"mean time to absorption is infinite: {len(stranded)} state(s) "
+                f"cannot reach any absorbing state ({preview})"
+            )
         generator = self.generator_matrix().tocsc()
         sub_generator = generator[transient_states, :][:, transient_states]
         pi0 = self._initial_vector(initial_state)
         pi0_transient = pi0[transient_states]
         ones = np.ones(len(transient_states))
         try:
-            expected_times = sparse.linalg.spsolve(sub_generator.tocsc(), -ones)
-        except Exception as error:  # pragma: no cover - scipy-specific failures
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", sparse.linalg.MatrixRankWarning)
+                expected_times = sparse.linalg.spsolve(sub_generator.tocsc(), -ones)
+        except Exception as error:
             raise AnalysisError(f"mean time to absorption solve failed: {error}") from error
         if not np.all(np.isfinite(expected_times)):
             raise AnalysisError(
                 "mean time to absorption is infinite (absorbing states unreachable)"
             )
         return float(pi0_transient @ expected_times)
+
+    def _states_not_reaching(self, targets: set[int]) -> set[int]:
+        """Indices of states with no directed path into ``targets``.
+
+        One reverse breadth-first sweep over the transition structure (rates
+        are irrelevant, only the adjacency matters).
+        """
+        predecessors: dict[int, list[int]] = {}
+        for (i, j) in self._rates:
+            predecessors.setdefault(j, []).append(i)
+        reached = set(targets)
+        frontier = list(targets)
+        while frontier:
+            state = frontier.pop()
+            for predecessor in predecessors.get(state, ()):
+                if predecessor not in reached:
+                    reached.add(predecessor)
+                    frontier.append(predecessor)
+        return set(range(self.number_of_states)) - reached
 
     # --- helpers -------------------------------------------------------------
 

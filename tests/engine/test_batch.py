@@ -136,7 +136,10 @@ class TestEngineBatch:
                 solution.throughput("REPAIR"), abs=1e-10
             )
 
-    def test_parallel_matches_sequential(self):
+    def test_parallel_matches_sequential(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.dispatch.effective_cpu_count", lambda: 4
+        )
         engine = self.make_engine()
         sequential = engine.run(self.specs(), self.measures())
         parallel = engine.run(self.specs(), self.measures(), max_workers=3)

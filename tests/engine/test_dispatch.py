@@ -1,0 +1,167 @@
+"""Tests for the cost-aware dispatch layer (clamping + backend choice)."""
+
+import warnings
+
+import pytest
+
+from repro.engine import ScenarioBatchEngine, ScenarioSpec
+from repro.engine.dispatch import (
+    CostObservations,
+    choose_backend,
+    effective_cpu_count,
+    predict_process,
+    predict_serial,
+    predict_thread,
+    resolve_worker_count,
+)
+from repro.spn import ProbabilityMeasure, generate_tangible_reachability_graph
+
+from tests.spn.nets import machine_repair
+
+
+def sweep_engine(machines=400):
+    return ScenarioBatchEngine(
+        generate_tangible_reachability_graph(
+            machine_repair(machines=machines, mttf=10.0, mttr=1.0)
+        )
+    )
+
+
+def sweep_specs(count=6):
+    return [
+        ScenarioSpec(name=f"mttf={mttf}", delays={"FAIL": mttf})
+        for mttf in (5.0, 8.0, 12.0, 18.0, 27.0, 40.0)[:count]
+    ]
+
+
+def availability():
+    return [ProbabilityMeasure("all_up", "#BROKEN == 0")]
+
+
+class TestEffectiveCores:
+    def test_reports_at_least_one_core(self):
+        assert effective_cpu_count() >= 1
+
+    def test_honours_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr("os.sched_getaffinity", lambda pid: {0, 3}, raising=False)
+        assert effective_cpu_count() == 2
+
+
+class TestWorkerClamp:
+    def test_requests_within_cores_pass_through_silently(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.dispatch.effective_cpu_count", lambda: 8
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_worker_count(4) == 4
+
+    def test_requests_above_cores_are_clamped_with_warning(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.dispatch.effective_cpu_count", lambda: 2
+        )
+        with pytest.warns(UserWarning, match="clamping max_workers to 2"):
+            assert resolve_worker_count(8) == 2
+
+    def test_non_positive_requests_become_one_worker(self):
+        assert resolve_worker_count(0) == 1
+        assert resolve_worker_count(-3) == 1
+
+
+class TestAutoOnOneCore:
+    """The headline regression: auto must never parallelise on one core."""
+
+    @pytest.fixture(autouse=True)
+    def _single_core(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.dispatch.effective_cpu_count", lambda: 1
+        )
+
+    def test_auto_resolves_to_serial(self):
+        engine = sweep_engine()
+        with pytest.warns(UserWarning, match="clamping max_workers to 1"):
+            engine.run(sweep_specs(), availability(), max_workers=8, backend="auto")
+        assert engine.last_run_backend == "serial"
+
+    def test_explicit_jobs_above_core_count_are_clamped(self):
+        engine = sweep_engine()
+        with pytest.warns(UserWarning, match="clamping max_workers to 1"):
+            engine.run(sweep_specs(), availability(), max_workers=8, backend="thread")
+        # An explicit backend is honoured, but with a single clamped worker
+        # (one contiguous chunk — the serial chain on a pool thread).
+        assert engine.last_run_backend == "thread"
+
+    def test_auto_matches_serial_results_exactly(self):
+        auto_engine = sweep_engine()
+        with pytest.warns(UserWarning, match="clamping"):
+            auto = auto_engine.run(
+                sweep_specs(), availability(), max_workers=8, backend="auto"
+            )
+        serial = sweep_engine().run(sweep_specs(), availability(), backend="serial")
+        for ours, ref in zip(auto, serial):
+            assert ours.value("all_up") == ref.value("all_up")
+
+
+class TestCostModel:
+    def observations(self, cold=2.0, warm=1.0):
+        return CostObservations(cold, warm, source="history")
+
+    def test_setup_seconds_never_negative(self):
+        assert CostObservations(0.5, 1.0).setup_seconds == 0.0
+
+    def test_serial_prediction_scales_with_scenarios(self):
+        obs = self.observations()
+        assert predict_serial(obs, 10) == pytest.approx(10.0)
+
+    def test_parallel_predictions_include_setup_and_spinup(self):
+        obs = self.observations()
+        assert predict_thread(obs, 10, 2) > 5 * obs.warm_solve_seconds
+        cold_pool = predict_process(obs, 10, 2, pool_is_warm=False)
+        warm_pool = predict_process(obs, 10, 2, pool_is_warm=True)
+        assert cold_pool > warm_pool
+
+    def test_large_warm_times_pick_a_parallel_backend(self):
+        decision = choose_backend(self.observations(), scenarios=40, max_workers=4)
+        assert decision.backend in ("thread", "process")
+        assert decision.workers > 1
+        assert decision.predictions["serial"] == pytest.approx(40.0)
+
+    def test_tiny_batches_stay_serial(self):
+        decision = choose_backend(
+            CostObservations(5e-4, 1e-4), scenarios=3, max_workers=4
+        )
+        assert decision.backend == "serial"
+        assert decision.workers == 1
+
+    def test_process_unsupported_falls_back_to_thread_pricing(self):
+        decision = choose_backend(
+            self.observations(), scenarios=40, max_workers=4, process_supported=False
+        )
+        assert decision.backend in ("serial", "thread")
+        assert not any(label.startswith("process") for label in decision.predictions)
+
+    def test_decision_serialises_for_benchmarks(self):
+        decision = choose_backend(self.observations(), scenarios=40, max_workers=2)
+        payload = decision.as_dict()
+        assert payload["backend"] == decision.backend
+        assert payload["observations"]["source"] == "history"
+        assert "serial" in payload["predictions"]
+
+
+class TestEngineHistory:
+    def test_serial_run_records_history_for_later_auto_dispatch(self):
+        engine = sweep_engine()
+        engine.run(sweep_specs(), availability(), backend="serial")
+        assert engine._cost_observations is not None
+        assert engine._cost_observations.source == "history"
+
+    def test_probe_history_not_overwritten(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.dispatch.effective_cpu_count", lambda: 4
+        )
+        engine = sweep_engine()
+        engine.run(sweep_specs(), availability(), max_workers=2, backend="auto")
+        first = engine._cost_observations
+        assert first is not None
+        engine.run(sweep_specs(), availability(), backend="serial")
+        assert engine._cost_observations is first

@@ -28,6 +28,20 @@ pytestmark = pytest.mark.skipif(
     reason="shared-memory segments are unavailable in this environment",
 )
 
+
+@pytest.fixture(autouse=True)
+def _four_effective_cores(monkeypatch):
+    """Pretend the machine has four effective cores.
+
+    The engine clamps worker counts to the effective cores (and ``auto``
+    refuses to parallelise on one core), so on a single-core CI box the
+    multi-chunk code paths these tests exist for would silently degenerate
+    to one worker.  Pinning the reported core count keeps the chunking,
+    warm-start and shared-memory machinery genuinely exercised (the workers
+    merely time-share the physical core).
+    """
+    monkeypatch.setattr("repro.engine.dispatch.effective_cpu_count", lambda: 4)
+
 #: Cross-backend agreement demanded of every measure value: Δ < 1e-12,
 #: absolute for probability-scale values and relative for unbounded measures
 #: (expected token counts scale the same solver-level deltas by their
@@ -141,10 +155,43 @@ class TestCrossBackendDeterminism:
                 for measure in measures:
                     assert agree(solution.measure(measure), result.value(measure.name))
 
-    def test_auto_prefers_process_backend(self, graph):
+    def test_auto_picks_process_when_the_model_predicts_a_win(self, graph):
+        """With solve times that dwarf the spin-up cost, auto goes parallel."""
+        from repro.engine.dispatch import CostObservations
+
         engine = ScenarioBatchEngine(graph)
-        engine.run(sweep_specs()[:3], sweep_measures()[:1], max_workers=2)
+        engine._cost_observations = CostObservations(
+            cold_solve_seconds=1.5, warm_solve_seconds=1.0, source="history"
+        )
+        engine.run(sweep_specs(), sweep_measures()[:1], max_workers=2)
         assert engine.last_run_backend == "process"
+        assert engine.last_dispatch is not None
+        assert engine.last_dispatch.backend == "process"
+        assert "predicted" in engine.last_dispatch.reason
+
+    def test_auto_stays_serial_when_overhead_dominates(self, graph):
+        """A fast small batch cannot amortise fork + factorisation: serial."""
+        from repro.engine.dispatch import CostObservations
+
+        engine = ScenarioBatchEngine(graph)
+        engine._cost_observations = CostObservations(
+            cold_solve_seconds=5e-4, warm_solve_seconds=1e-4, source="history"
+        )
+        engine.run(sweep_specs()[:3], sweep_measures()[:1], max_workers=2)
+        assert engine.last_run_backend == "serial"
+
+    def test_auto_probe_calibrates_and_solves_real_scenarios(self, graph):
+        """The two probe solves are returned as results, not thrown away."""
+        engine = ScenarioBatchEngine(graph)
+        results = engine.run(sweep_specs(), sweep_measures(), max_workers=2)
+        assert engine._cost_observations is not None
+        assert engine._cost_observations.source == "probe"
+        reference = ScenarioBatchEngine(graph).run(
+            sweep_specs(), sweep_measures(), backend="serial"
+        )
+        for ours, ref in zip(results, reference):
+            for measure in sweep_measures():
+                assert agree(ours.value(measure.name), ref.value(measure.name))
 
     def test_results_keep_spec_order_and_metadata(self, graph):
         engine = ScenarioBatchEngine(graph)
@@ -184,10 +231,17 @@ class TestGracefulDegradation:
             assert agree(ours.value("broken"), ref.value("broken"))
 
     def test_auto_degrades_silently_without_shared_memory(self, graph, monkeypatch):
+        from repro.engine.dispatch import CostObservations
+
         monkeypatch.setattr(
             "repro.engine.parallel.shared_memory_available", lambda: False
         )
         engine = ScenarioBatchEngine(graph)
+        # Make the model pick the process backend; its shared-memory probe
+        # then fails and auto must fall back to threads without warning.
+        engine._cost_observations = CostObservations(
+            cold_solve_seconds=1.5, warm_solve_seconds=1.0, source="history"
+        )
         engine.run(sweep_specs()[:3], sweep_measures()[:1], max_workers=2)
         assert engine.last_run_backend == "thread"
 
@@ -236,7 +290,13 @@ class TestSharedMemoryHygiene:
         assert leaked_segments() == before
 
     def test_segment_released_when_a_worker_raises(self, graph, monkeypatch):
+        from repro.engine.parallel import shutdown_shared_pool
+
         before = leaked_segments()
+        # The persistent pool forks lazily on first use; shutting it down
+        # makes the next batch fork fresh workers that inherit the patched
+        # module (a pre-existing pool would keep the original function).
+        shutdown_shared_pool()
         monkeypatch.setattr(
             "repro.engine.parallel._worker_run_chunk",
             _exploding_chunk,
@@ -249,12 +309,13 @@ class TestSharedMemoryHygiene:
                 max_workers=2,
                 backend="process",
             )
+        shutdown_shared_pool()
         assert leaked_segments() == before
 
     def test_plan_destroy_is_idempotent(self, graph):
         engine = ScenarioBatchEngine(graph)
         plan = SweepPlan(
-            engine.graph(), engine.template(), engine._rate_matrix(sweep_specs()[:2])
+            engine.graph(), engine.template(), engine.rate_matrix(sweep_specs()[:2])
         )
         assert any(plan.segment_name.lstrip("/") in entry for entry in leaked_segments())
         plan.destroy()
@@ -264,14 +325,62 @@ class TestSharedMemoryHygiene:
         )
 
 
-def _exploding_chunk(indices):
+def _exploding_chunk(manifest, settings, indices):
     raise RuntimeError("boom")
+
+
+class TestPersistentPool:
+    def test_workers_survive_across_batches(self, graph):
+        """Consecutive process batches reuse the same worker processes."""
+        from repro.engine.parallel import shared_pool
+
+        engine = ScenarioBatchEngine(graph)
+        engine.run(
+            sweep_specs()[:4], sweep_measures()[:1], max_workers=2, backend="process"
+        )
+        assert shared_pool.is_warm(2)
+        pool = shared_pool._pool
+        pids = set(pool._processes)
+        results = engine.run(
+            sweep_specs()[4:], sweep_measures()[:1], max_workers=2, backend="process"
+        )
+        assert shared_pool._pool is pool
+        assert set(pool._processes) == pids
+        reference = ScenarioBatchEngine(graph).run(
+            sweep_specs()[4:], sweep_measures()[:1], backend="serial"
+        )
+        for ours, ref in zip(results, reference):
+            assert agree(ours.value("mostly_up"), ref.value("mostly_up"))
+
+    def test_pool_grows_for_larger_batches(self, graph):
+        from repro.engine.parallel import shared_pool
+
+        engine = ScenarioBatchEngine(graph)
+        engine.run(
+            sweep_specs()[:4], sweep_measures()[:1], max_workers=2, backend="process"
+        )
+        engine.run(
+            sweep_specs(), sweep_measures()[:1], max_workers=3, backend="process"
+        )
+        assert shared_pool.is_warm(3)
+
+    def test_shutdown_is_idempotent_and_pool_restarts(self, graph):
+        from repro.engine.parallel import shared_pool, shutdown_shared_pool
+
+        shutdown_shared_pool()
+        shutdown_shared_pool()
+        assert not shared_pool.is_warm(1)
+        engine = ScenarioBatchEngine(graph)
+        engine.run(
+            sweep_specs()[:3], sweep_measures()[:1], max_workers=2, backend="process"
+        )
+        assert shared_pool.is_warm(2)
 
 
 class TestSweepScheduler:
     def test_direct_scheduler_run(self, graph):
         engine = ScenarioBatchEngine(graph)
-        rate_matrix = engine._rate_matrix(sweep_specs()[:4])
+        rate_matrix = engine.rate_matrix(sweep_specs()[:4])
         scheduler = SweepScheduler(
             graph, engine.template(), KrylovSettings(), max_workers=2
         )

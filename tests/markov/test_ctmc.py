@@ -156,3 +156,40 @@ class TestMeanTimeToAbsorption:
         chain.add_transition("B", "A", 1.0)
         with pytest.raises(AnalysisError):
             chain.mean_time_to_absorption(["C"], "A")
+
+    def test_unreachable_absorbing_state_emits_no_scipy_warning(self):
+        """The singularity is detected up front: no MatrixRankWarning leaks
+        into the caller (the pyproject filter would turn one into an error,
+        but the check here is independent of pytest configuration)."""
+        import warnings
+
+        chain = ContinuousTimeMarkovChain(["A", "B", "C"])
+        chain.add_transition("A", "B", 1.0)
+        chain.add_transition("B", "A", 1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(AnalysisError, match="cannot reach"):
+                chain.mean_time_to_absorption(["C"], "A")
+
+    def test_partially_stranded_chain_raises_cleanly(self):
+        """Only one branch can reach absorption: the expected hitting time
+        is still infinite and must be reported without a scipy warning."""
+        import warnings
+
+        chain = ContinuousTimeMarkovChain(["START", "GOOD", "STUCK", "END"])
+        chain.add_transition("START", "GOOD", 1.0)
+        chain.add_transition("START", "STUCK", 1.0)
+        chain.add_transition("GOOD", "END", 2.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(AnalysisError, match="STUCK"):
+                chain.mean_time_to_absorption(["END"], "START")
+
+    def test_reachable_chain_with_cycles_still_solves(self):
+        chain = ContinuousTimeMarkovChain(["UP", "DEGRADED", "FAILED"])
+        chain.add_transition("UP", "DEGRADED", 0.1)
+        chain.add_transition("DEGRADED", "UP", 1.0)
+        chain.add_transition("DEGRADED", "FAILED", 0.5)
+        value = chain.mean_time_to_absorption(["FAILED"], "UP")
+        # First-step analysis: E[UP] = 10 + E[DEG], E[DEG] = 2/3 + (2/3)E[UP].
+        assert value == pytest.approx(32.0, rel=1e-12)

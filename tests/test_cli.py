@@ -38,6 +38,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "frobnicate"])
 
+    def test_transient_defaults(self):
+        arguments = build_parser().parse_args(["transient"])
+        assert arguments.minutes == "5,30,60"
+        assert arguments.window == 72.0
+        assert arguments.points == 13
+        assert arguments.backend == "auto"
+        assert arguments.jobs is None
+
+    def test_transient_accepts_custom_grid(self):
+        arguments = build_parser().parse_args(
+            ["transient", "--minutes", "5,120", "--window", "24", "--points", "5"]
+        )
+        assert arguments.minutes == "5,120"
+        assert arguments.window == 24.0
+        assert arguments.points == 5
+
 
 class TestCommands:
     def test_availability_command(self, capsys):
@@ -67,6 +83,30 @@ class TestCommands:
         output = capsys.readouterr().out
         assert output.count("Brasilia") == 9
         assert "Tokyo" not in output
+
+    def test_transient_command_prints_every_curve(self, capsys):
+        assert (
+            main(
+                [
+                    "transient",
+                    "--minutes",
+                    "5,60",
+                    "--window",
+                    "12",
+                    "--points",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert output.count("VM start time:") == 2
+        assert "Interval avail." in output
+        assert "mission interval availability" in output
+
+    def test_transient_rejects_malformed_minutes(self):
+        with pytest.raises(SystemExit):
+            main(["transient", "--minutes", "five"])
 
     def test_ablations_command(self, capsys):
         assert main(["ablations"]) == 0
