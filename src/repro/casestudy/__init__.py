@@ -7,9 +7,15 @@ from repro.casestudy.figure7 import (
     figure7_grid,
     reproduce_figure7,
 )
+from repro.casestudy.grid import (
+    CaseStudyGrid,
+    evaluate_grid,
+    scenario_case,
+)
 from repro.casestudy.report import (
     render_ablations,
     render_figure7,
+    render_grid,
     render_sensitivity,
     render_table7,
     render_transient,
@@ -42,8 +48,12 @@ __all__ = [
     "best_configuration",
     "figure7_grid",
     "reproduce_figure7",
+    "CaseStudyGrid",
+    "evaluate_grid",
+    "scenario_case",
     "render_ablations",
     "render_figure7",
+    "render_grid",
     "render_sensitivity",
     "render_table7",
     "render_transient",

@@ -23,6 +23,38 @@ from repro.spn.analysis import SteadyStateSolution
 from repro.spn.rewards import ProbabilityMeasure
 
 
+#: Names / descriptions shared by the single-ablation methods and the
+#: orchestrated default suite, so the two can never drift apart.
+REFERENCE_NAME = "reference"
+REFERENCE_DESCRIPTION = "backup server present, no warm pool, default threshold"
+NO_BACKUP_NAME = "no_backup_server"
+NO_BACKUP_DESCRIPTION = "backup server removed"
+
+
+def warm_pool_name(warm_machines: int) -> str:
+    return f"warm_pool_{warm_machines}"
+
+
+def warm_pool_description(warm_machines: int) -> str:
+    return f"{warm_machines} warm machine(s) added per data center"
+
+
+def vm_start_name(minutes: float) -> str:
+    return f"vm_start_{minutes:g}min"
+
+
+def vm_start_description(minutes: float) -> str:
+    return f"VM start time of {minutes:g} minutes"
+
+
+def threshold_name(required_running_vms: int) -> str:
+    return f"threshold_k{required_running_vms}"
+
+
+def threshold_description(required_running_vms: int) -> str:
+    return f"system requires k={required_running_vms} running VMs"
+
+
 @dataclass(frozen=True)
 class AblationResult:
     """Availability of one ablated configuration."""
@@ -114,8 +146,8 @@ class AblationStudy:
         """The un-ablated reference configuration."""
         solution, model = self._base_solution()
         return AblationResult(
-            name="reference",
-            description="backup server present, no warm pool, default threshold",
+            name=REFERENCE_NAME,
+            description=REFERENCE_DESCRIPTION,
             availability=model.availability(solution=solution),
         )
 
@@ -123,8 +155,8 @@ class AblationStudy:
         """Remove the backup server (disasters can only be absorbed by direct migration)."""
         solution, model = self._base_solution(has_backup=False)
         return AblationResult(
-            name="no_backup_server",
-            description="backup server removed",
+            name=NO_BACKUP_NAME,
+            description=NO_BACKUP_DESCRIPTION,
             availability=model.availability(solution=solution),
         )
 
@@ -132,8 +164,8 @@ class AblationStudy:
         """Add warm (idle but powered) machines to every data center."""
         solution, model = self._base_solution(warm_machines=warm_machines)
         return AblationResult(
-            name=f"warm_pool_{warm_machines}",
-            description=f"{warm_machines} warm machine(s) added per data center",
+            name=warm_pool_name(warm_machines),
+            description=warm_pool_description(warm_machines),
             availability=model.availability(solution=solution),
         )
 
@@ -152,8 +184,8 @@ class AblationStudy:
             model.availability_expression(required_running_vms=required_running_vms)
         )
         return AblationResult(
-            name=f"threshold_k{required_running_vms}",
-            description=f"system requires k={required_running_vms} running VMs",
+            name=threshold_name(required_running_vms),
+            description=threshold_description(required_running_vms),
             availability=AvailabilityResult(
                 min(1.0, max(0.0, value)),
                 label=f"k={required_running_vms}",
@@ -202,8 +234,8 @@ class AblationStudy:
         return [
             AblationResult(
                 name=result.name,
-                description=(
-                    f"VM start time of {result.spec.metadata['minutes']:g} minutes"
+                description=vm_start_description(
+                    float(result.spec.metadata["minutes"])
                 ),
                 availability=AvailabilityResult(
                     min(1.0, max(0.0, result.value("availability"))),
@@ -216,17 +248,56 @@ class AblationStudy:
     def run_default_suite(self) -> list[AblationResult]:
         """The standard set of ablations used by the benchmark and EXPERIMENTS.md.
 
-        The VM-start-time points are pure rate changes of the reference
-        structure and run as **one** engine batch (fanning out over
-        :attr:`jobs` workers when configured); the structural ablations
-        necessarily solve their own state spaces.
+        The whole suite runs as **one** orchestrated scenario grid
+        (:mod:`repro.engine.grid`): the reference, the VM-start-time points
+        (pure rate changes) and the threshold ablation (an expression-only
+        change) share one structure group — one generation or cache hit,
+        warm-started re-solves — while the backup-removal and warm-pool
+        ablations generate their own structures concurrently.  Batches fan
+        out over :attr:`jobs` workers of :attr:`backend`.
         """
-        results = [
-            self.reference(),
-            self.without_backup_server(),
-            self.with_warm_pool(1),
-            *self.with_vm_start_times((5.0, 30.0, 60.0)),
+        from repro.engine.grid import GridCase, ScenarioGridOrchestrator
+
+        reference_model = self._model()
+        reference_expression = reference_model.availability_expression()
+
+        def grid_case(name, model, description, expression=None, rates=None):
+            return GridCase(
+                name=name,
+                net=model.build(),
+                measures=(
+                    ProbabilityMeasure(
+                        "availability", expression or model.availability_expression()
+                    ),
+                ),
+                rates=rates or {},
+                metadata={"description": description},
+            )
+
+        cases = [
+            grid_case(REFERENCE_NAME, reference_model, REFERENCE_DESCRIPTION),
+            grid_case(
+                NO_BACKUP_NAME, self._model(has_backup=False), NO_BACKUP_DESCRIPTION
+            ),
+            grid_case(
+                warm_pool_name(1), self._model(warm_machines=1), warm_pool_description(1)
+            ),
         ]
+        for minutes in (5.0, 30.0, 60.0):
+            perturbed = self._model(
+                parameters=replace(
+                    self.parameters, vm_start_time=Duration.from_minutes(minutes)
+                )
+            )
+            cases.append(
+                grid_case(
+                    vm_start_name(minutes),
+                    reference_model,
+                    vm_start_description(minutes),
+                    expression=reference_expression,
+                    rates=timed_transition_rates(perturbed.build()),
+                )
+            )
         maximum_vms = (
             self.machines_per_datacenter
             * 2
@@ -234,5 +305,34 @@ class AblationStudy:
         )
         stricter = self.required_running_vms + 1
         if stricter <= maximum_vms:
-            results.append(self.with_threshold(stricter))
-        return results
+            # Assemble the stricter spec purely for its validation; the
+            # threshold only changes the availability *expression*.
+            self._model(required=stricter)
+            cases.append(
+                grid_case(
+                    threshold_name(stricter),
+                    reference_model,
+                    threshold_description(stricter),
+                    expression=reference_model.availability_expression(
+                        required_running_vms=stricter
+                    ),
+                )
+            )
+
+        orchestrator = ScenarioGridOrchestrator(
+            cache=TRGCache() if self.use_cache else None,
+            jobs=self.jobs,
+            backend=self.backend,
+            generation_workers=self.jobs,
+        )
+        outcome = orchestrator.run(cases)
+        return [
+            AblationResult(
+                name=row.name,
+                description=str(row.metadata["description"]),
+                availability=AvailabilityResult(
+                    min(1.0, max(0.0, row.value("availability"))), label=row.name
+                ),
+            )
+            for row in outcome.results
+        ]

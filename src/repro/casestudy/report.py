@@ -120,6 +120,55 @@ def render_transient(curves: Iterable[TransientCurve]) -> str:
     return "\n\n".join(blocks)
 
 
+def render_grid(outcome) -> str:
+    """Render a grid outcome: one row per scenario plus group provenance.
+
+    ``outcome`` is a :class:`repro.engine.grid.GridOutcome`; the second
+    table summarises each structure group (states, cache hit, backend and
+    generate/solve seconds).
+    """
+    from repro.metrics import number_of_nines
+
+    body = []
+    for row in outcome.results:
+        availability = row.value("availability")
+        body.append(
+            (
+                row.name,
+                f"{availability:.7f}",
+                f"{number_of_nines(min(1.0, max(0.0, availability))):.2f}",
+                str(row.number_of_states),
+                row.group[:8],
+                row.graph_source,
+            )
+        )
+    scenario_table = _format_table(
+        ["Scenario", "Availability", "Nines", "States", "Group", "Graph"], body
+    )
+    group_table = _format_table(
+        ["Group", "Cases", "States", "Graph", "Backend", "Generate s", "Solve s"],
+        [
+            (
+                group.key[:8],
+                str(group.cases),
+                str(group.number_of_states),
+                group.graph_source,
+                group.backend,
+                f"{group.generate_seconds:.2f}",
+                f"{group.solve_seconds:.2f}",
+            )
+            for group in outcome.groups
+        ],
+    )
+    summary = (
+        f"{len(outcome.results)} scenario(s) over {len(outcome.groups)} structure "
+        f"group(s) in {outcome.total_seconds:.2f}s"
+    )
+    if outcome.shard_paths:
+        summary += f"; {len(outcome.shard_paths)} shard file(s) written"
+    return f"{scenario_table}\n\n{group_table}\n\n{summary}"
+
+
 def render_ablations(results: Iterable[AblationResult]) -> str:
     """Render an ablation suite."""
     body = [

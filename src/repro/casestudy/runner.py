@@ -80,24 +80,10 @@ class DistributedSweepRunner:
             from repro.core.scenarios import CITY_PAIRS
 
             first, second = CITY_PAIRS[0]
-            scenario = DistributedScenario(first, second)
-            base = self.parameters
-            spec_model = scenario.build_model(base)
-            if self.machines_per_datacenter != 2:
-                from repro.core.datacenter import two_datacenter_spec
-
-                spec = two_datacenter_spec(
-                    first_location=first,
-                    second_location=second,
-                    backup_location=scenario.backup,
-                    machines_per_datacenter=self.machines_per_datacenter,
-                    vms_per_machine=base.vms_per_physical_machine,
-                    required_running_vms=base.required_running_vms,
-                )
-                spec_model = CloudSystemModel(
-                    spec=spec, parameters=base, alpha=scenario.alpha
-                )
-            self._reference_model = spec_model
+            scenario = DistributedScenario(
+                first, second, machines_per_datacenter=self.machines_per_datacenter
+            )
+            self._reference_model = scenario.build_model(self.parameters)
         return self._reference_model
 
     def engine(self) -> ScenarioBatchEngine:
@@ -146,9 +132,26 @@ class DistributedSweepRunner:
         }
 
     def scenario_spec(self, scenario: DistributedScenario) -> ScenarioSpec:
-        """The engine-level spec (delay overrides) of one case-study scenario."""
+        """The engine-level spec (delay overrides) of one case-study scenario.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` when the
+        scenario pins a machine count different from this runner's — the
+        runner's shared state space would otherwise silently evaluate a
+        mismatched structure.
+        """
         if scenario.disaster_mean_time_years <= 0.0:
             raise ConfigurationError("the disaster mean time must be positive")
+        if (
+            scenario.machines_per_datacenter is not None
+            and scenario.machines_per_datacenter != self.machines_per_datacenter
+        ):
+            raise ConfigurationError(
+                f"scenario {scenario.label!r} asks for "
+                f"{scenario.machines_per_datacenter} machine(s) per data center "
+                f"but this runner's shared structure has "
+                f"{self.machines_per_datacenter}; configure the runner (or drop "
+                f"the scenario's machine count) so they agree"
+            )
         return ScenarioSpec(
             name=scenario.label, delays=self.scenario_delays(scenario)
         )

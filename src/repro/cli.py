@@ -32,10 +32,13 @@ from typing import Optional, Sequence
 
 from repro.casestudy import (
     AblationStudy,
+    CaseStudyGrid,
     DistributedSweepRunner,
     SensitivityAnalysis,
+    evaluate_grid,
     render_ablations,
     render_figure7,
+    render_grid,
     render_sensitivity,
     render_table7,
     render_transient,
@@ -174,6 +177,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", default=None, metavar="PATH", help="cache directory override"
     )
 
+    grid = commands.add_parser(
+        "grid",
+        help="sweep a mixed-structure scenario grid through the orchestrator",
+    )
+    grid.add_argument(
+        "--cities",
+        default="Rio de Janeiro+Brasilia;Rio de Janeiro",
+        metavar="A+B;C",
+        help="';'-separated deployment city sets ('+' joins the data centers "
+        "of one deployment; a single city is a non-distributed baseline; "
+        "three or more cities form an N-data-center topology)",
+    )
+    grid.add_argument(
+        "--alphas", default="0.35", metavar="A1,A2,...",
+        help="comma-separated network-speed coefficients",
+    )
+    grid.add_argument(
+        "--disaster-years", default="100", metavar="Y1,Y2,...",
+        help="comma-separated disaster mean times in years",
+    )
+    grid.add_argument(
+        "--machines", default="1", metavar="M1,M2,...",
+        help="comma-separated machines-per-data-center counts",
+    )
+    grid.add_argument(
+        "--l-thresholds", default="1", metavar="L1,L2,...",
+        help="comma-separated migration thresholds l (paper: 1)",
+    )
+    grid.add_argument(
+        "--backup", choices=("on", "off", "both"), default="on",
+        help="backup-server axis of the distributed scenarios",
+    )
+    grid.add_argument(
+        "--topology", choices=("mesh", "ring"), default="mesh",
+        help="migration topology for deployments with three or more data centers",
+    )
+    grid.add_argument(
+        "--required-vms", type=int, default=1, metavar="K",
+        help="availability threshold k (running VMs required)",
+    )
+    grid.add_argument(
+        "--shard-dir", default=None, metavar="PATH",
+        help="stream result rows to JSONL shards in this directory; the "
+        "directory holds one grid's shards — existing grid-shard-*.jsonl "
+        "files are removed at the start of a run",
+    )
+    _add_jobs_flag(grid)
+    _add_cache_flag(grid)
+
     ablations = commands.add_parser("ablations", help="design-knob ablations")
     _add_full_flag(ablations)
     _add_jobs_flag(ablations)
@@ -270,6 +322,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backend=arguments.backend,
         )
         print(render_transient(curves))
+        return 0
+
+    if arguments.command == "grid":
+        def parse_values(text: str, convert, flag: str):
+            try:
+                values = tuple(convert(part) for part in text.split(",") if part.strip())
+            except ValueError:
+                raise SystemExit(f"{flag} expects comma-separated values, got {text!r}")
+            if not values:
+                raise SystemExit(f"{flag} needs at least one value")
+            return values
+
+        city_sets = tuple(
+            tuple(city_named(name.strip()) for name in part.split("+") if name.strip())
+            for part in arguments.cities.split(";")
+            if part.strip()
+        )
+        if not city_sets:
+            raise SystemExit("--cities needs at least one city set")
+        backup_axis = {"on": (True,), "off": (False,), "both": (True, False)}
+        grid = CaseStudyGrid(
+            city_sets=city_sets,
+            alphas=parse_values(arguments.alphas, float, "--alphas"),
+            disaster_years=parse_values(
+                arguments.disaster_years, float, "--disaster-years"
+            ),
+            machines_per_datacenter=parse_values(
+                arguments.machines, int, "--machines"
+            ),
+            l_thresholds=parse_values(arguments.l_thresholds, int, "--l-thresholds"),
+            backup=backup_axis[arguments.backup],
+            topology=arguments.topology,
+        )
+        outcome = evaluate_grid(
+            grid.scenarios(),
+            parameters=CaseStudyParameters(
+                required_running_vms=arguments.required_vms
+            ),
+            jobs=arguments.jobs,
+            backend=arguments.backend,
+            use_cache=not arguments.no_cache,
+            shard_directory=arguments.shard_dir,
+            generation_workers=arguments.jobs,
+        )
+        print(render_grid(outcome))
         return 0
 
     if arguments.command == "ablations":

@@ -11,6 +11,7 @@ from repro.core.datacenter import (
     CloudSystemSpec,
     DataCenterSpec,
     PhysicalMachineSpec,
+    multi_datacenter_spec,
     single_datacenter_spec,
     two_datacenter_spec,
 )
@@ -34,12 +35,19 @@ from repro.core.scenarios import (
     BASELINE_DISASTER_YEARS,
     CITY_PAIRS,
     DistributedScenario,
+    MultiDataCenterScenario,
     SingleDataCenterScenario,
     baseline_distributed_scenarios,
     figure7_scenarios,
     single_datacenter_baselines,
 )
-from repro.core.transmission import TransmissionParameters, build_transmission_component
+from repro.core.transmission import (
+    TOPOLOGIES,
+    TransmissionParameters,
+    build_transmission_component,
+    build_transmission_network,
+    topology_pairs,
+)
 from repro.core.vm_behavior import (
     VmBehaviorParameters,
     build_vm_behavior,
@@ -56,6 +64,7 @@ __all__ = [
     "CloudSystemSpec",
     "DataCenterSpec",
     "PhysicalMachineSpec",
+    "multi_datacenter_spec",
     "single_datacenter_spec",
     "two_datacenter_spec",
     "HierarchicalParameters",
@@ -73,12 +82,16 @@ __all__ = [
     "BASELINE_DISASTER_YEARS",
     "CITY_PAIRS",
     "DistributedScenario",
+    "MultiDataCenterScenario",
     "SingleDataCenterScenario",
     "baseline_distributed_scenarios",
     "figure7_scenarios",
     "single_datacenter_baselines",
+    "TOPOLOGIES",
     "TransmissionParameters",
     "build_transmission_component",
+    "build_transmission_network",
+    "topology_pairs",
     "VmBehaviorParameters",
     "build_vm_behavior",
     "failed_pool_place",

@@ -29,7 +29,7 @@ from repro.core.components import build_simple_component
 from repro.core.datacenter import CloudSystemSpec
 from repro.core.hierarchical import HierarchicalParameters
 from repro.core.parameters import CaseStudyParameters, DEFAULT_PARAMETERS
-from repro.core.transmission import TransmissionParameters, build_transmission_component
+from repro.core.transmission import build_transmission_network, topology_pairs
 from repro.core.vm_behavior import VmBehaviorParameters, build_vm_behavior, vm_up_place
 from repro.exceptions import ConfigurationError
 from repro.metrics import AvailabilityResult
@@ -67,12 +67,17 @@ class CloudSystemModel:
     migration_times: Optional[MigrationTimes] = None
     minimum_operational_pms: int = 1
     throughput_model: ThroughputModel = field(default_factory=ThroughputModel)
+    #: Migration topology for deployments with more than two data centers
+    #: (``"mesh"`` or ``"ring"``); two data centers always form the paper's
+    #: symmetric pair of paths.
+    topology: str = "mesh"
 
     def __post_init__(self) -> None:
-        if len(self.spec.datacenters) > 2:
+        if len(self.spec.datacenters) > 2 and self.migration_times is not None:
             raise ConfigurationError(
-                "the transmission component is defined for at most two data centers; "
-                f"got {len(self.spec.datacenters)}"
+                "explicit MigrationTimes describe a two-data-center deployment; "
+                f"deployments with {len(self.spec.datacenters)} data centers "
+                "derive per-pair times from locations and alpha"
             )
         if self.spec.is_distributed and self.migration_times is None:
             self._require_locations()
@@ -111,6 +116,52 @@ class CloudSystemModel:
             backup_to_first=direct,
             backup_to_second=direct,
         )
+
+    def resolved_transmission_times(
+        self,
+    ) -> tuple[dict[tuple[int, int], float], dict[int, float]]:
+        """Per-pair direct and per-destination backup MTTs (hours).
+
+        For two data centers this is :meth:`resolved_migration_times` (so
+        explicit ``migration_times`` keep working); for N > 2 every
+        topology pair gets its own distance/α-derived transfer time and
+        every data center its own backup restoration time.
+        """
+        datacenters = self.spec.datacenters
+        if len(datacenters) == 2:
+            times = self.resolved_migration_times()
+            first, second = datacenters
+            direct = times.datacenter_to_datacenter.hours
+            return (
+                {
+                    (first.index, second.index): direct,
+                    (second.index, first.index): direct,
+                },
+                {
+                    first.index: times.backup_to_first.hours,
+                    second.index: times.backup_to_second.hours,
+                },
+            )
+        planner = MigrationPlanner(
+            vm_image_size=self.parameters.vm_image_size,
+            throughput_model=self.throughput_model,
+        )
+        by_index = {dc.index: dc for dc in datacenters}
+        direct_times = {
+            (i, j): planner.transfer_time(
+                by_index[i].location, by_index[j].location, self.alpha
+            ).hours
+            for i, j in topology_pairs(len(datacenters), self.topology)
+        }
+        if not self.spec.has_backup_server:
+            return direct_times, {}
+        backup_times = {
+            dc.index: planner.transfer_time(
+                self.spec.backup_location, dc.location, self.alpha
+            ).hours
+            for dc in datacenters
+        }
+        return direct_times, backup_times
 
     def build(self) -> StochasticPetriNet:
         """Assemble (and cache) the full SPN of the deployment."""
@@ -157,19 +208,17 @@ class CloudSystemModel:
                         mttr=self.parameters.components.backup_server.mttr_hours,
                     )
                 )
-            times = self.resolved_migration_times()
-            first, second = self.spec.datacenters
+            direct_times, backup_times = self.resolved_transmission_times()
             blocks.append(
-                build_transmission_component(
-                    first,
-                    second,
-                    self.spec.machines_of(first.index),
-                    self.spec.machines_of(second.index),
-                    TransmissionParameters(
-                        datacenter_to_datacenter=times.datacenter_to_datacenter.hours,
-                        backup_to_first=times.backup_to_first.hours,
-                        backup_to_second=times.backup_to_second.hours,
-                    ),
+                build_transmission_network(
+                    self.spec.datacenters,
+                    {
+                        dc.index: self.spec.machines_of(dc.index)
+                        for dc in self.spec.datacenters
+                    },
+                    direct_times,
+                    backup_times,
+                    topology=self.topology,
                     has_backup_server=self.spec.has_backup_server,
                     minimum_operational_pms=self.minimum_operational_pms,
                 )
@@ -216,18 +265,14 @@ class CloudSystemModel:
         """Availability as a measure object (usable by analysis and simulation)."""
         return ProbabilityMeasure(name, self.availability_expression())
 
-    def symmetry_canonicalizer(self):
-        """Marking canonicalizer exploiting the exchangeability of PMs in a DC.
+    def symmetry_groups(self) -> list[list[list[int]]]:
+        """Per-data-center groups of exchangeable per-PM place indices.
 
-        Physical machines of the same data center are stochastically
-        identical (same OS_PM parameters, same VM capacity), so the model is
-        invariant under permuting a PM's places together with its VM places.
-        The returned function maps a marking to the representative of its
-        orbit (per-PM state vectors sorted within each data center), which
-        lets the reachability generator build the exactly lumped — and much
-        smaller — CTMC.  All metrics exposed by this class (availability,
-        expected running VMs) are symmetric under those permutations and
-        therefore unaffected by the lumping.
+        One group per data center with ≥ 2 machines; each group holds one
+        place-index profile per machine (OSPM up/down plus the four VM
+        places).  The groups fully determine the symmetry canonicalizer and
+        are plain nested lists, so they travel through pickle to worker
+        processes (see :func:`pm_symmetry_canonicalizer`).
         """
         net = self.build()
         place_index = {name: i for i, name in enumerate(net.place_names)}
@@ -250,46 +295,25 @@ class CloudSystemModel:
                     ]
                 )
             groups.append(profiles)
+        return groups
+
+    def symmetry_canonicalizer(self):
+        """Marking canonicalizer exploiting the exchangeability of PMs in a DC.
+
+        Physical machines of the same data center are stochastically
+        identical (same OS_PM parameters, same VM capacity), so the model is
+        invariant under permuting a PM's places together with its VM places.
+        The returned function maps a marking to the representative of its
+        orbit (per-PM state vectors sorted within each data center), which
+        lets the reachability generator build the exactly lumped — and much
+        smaller — CTMC.  All metrics exposed by this class (availability,
+        expected running VMs) are symmetric under those permutations and
+        therefore unaffected by the lumping.
+        """
+        groups = self.symmetry_groups()
         if not groups:
             return None
-
-        def canonicalize(marking: tuple[int, ...]) -> tuple[int, ...]:
-            values = list(marking)
-            for profiles in groups:
-                states = sorted(
-                    tuple(values[index] for index in profile) for profile in profiles
-                )
-                for profile, state in zip(profiles, states):
-                    for index, token in zip(profile, state):
-                        values[index] = token
-            return tuple(values)
-
-        index_groups = [np.asarray(profiles, dtype=np.int64) for profiles in groups]
-
-        def canonicalize_batch(block: np.ndarray) -> np.ndarray:
-            """Vectorized companion: canonicalize a whole ``(N, P)`` block.
-
-            Per group, the per-PM state vectors of every marking are sorted
-            lexicographically with one ``np.lexsort`` (stable, ascending —
-            the same order as the tuple sort above) instead of a Python
-            sort per marking.
-            """
-            values = np.array(block, dtype=np.int64, copy=True)
-            for indices in index_groups:
-                sub = values[:, indices]  # (N, machines, places_per_machine)
-                keys = tuple(
-                    sub[:, :, column]
-                    for column in range(indices.shape[1] - 1, -1, -1)
-                )
-                order = np.lexsort(keys)
-                values[:, indices] = np.take_along_axis(sub, order[:, :, None], axis=1)
-            return values
-
-        canonicalize.batch = canonicalize_batch
-        canonicalize.cache_id = "pm-symmetry:" + hashlib.sha256(
-            repr(groups).encode()
-        ).hexdigest()[:16]
-        return canonicalize
+        return pm_symmetry_canonicalizer(groups)
 
     def solve(
         self,
@@ -351,3 +375,56 @@ class CloudSystemModel:
             replications=replications,
             seed=seed,
         )
+
+
+def pm_symmetry_canonicalizer(groups):
+    """Build the PM-exchange canonicalizer from precomputed index groups.
+
+    ``groups`` is the nested list produced by
+    :meth:`CloudSystemModel.symmetry_groups` (one profile of place indices
+    per machine, grouped per data center).  Module-level so worker processes
+    can rebuild the canonicalizer from pickled groups (the closure itself
+    does not pickle); the ``cache_id`` is derived from the normalised groups,
+    so every construction path yields the same cache identity.
+    """
+    groups = [[list(profile) for profile in profiles] for profiles in groups]
+    if not groups:
+        return None
+
+    def canonicalize(marking: tuple[int, ...]) -> tuple[int, ...]:
+        values = list(marking)
+        for profiles in groups:
+            states = sorted(
+                tuple(values[index] for index in profile) for profile in profiles
+            )
+            for profile, state in zip(profiles, states):
+                for index, token in zip(profile, state):
+                    values[index] = token
+        return tuple(values)
+
+    index_groups = [np.asarray(profiles, dtype=np.int64) for profiles in groups]
+
+    def canonicalize_batch(block: np.ndarray) -> np.ndarray:
+        """Vectorized companion: canonicalize a whole ``(N, P)`` block.
+
+        Per group, the per-PM state vectors of every marking are sorted
+        lexicographically with one ``np.lexsort`` (stable, ascending —
+        the same order as the tuple sort above) instead of a Python
+        sort per marking.
+        """
+        values = np.array(block, dtype=np.int64, copy=True)
+        for indices in index_groups:
+            sub = values[:, indices]  # (N, machines, places_per_machine)
+            keys = tuple(
+                sub[:, :, column]
+                for column in range(indices.shape[1] - 1, -1, -1)
+            )
+            order = np.lexsort(keys)
+            values[:, indices] = np.take_along_axis(sub, order[:, :, None], axis=1)
+        return values
+
+    canonicalize.batch = canonicalize_batch
+    canonicalize.cache_id = "pm-symmetry:" + hashlib.sha256(
+        repr(groups).encode()
+    ).hexdigest()[:16]
+    return canonicalize

@@ -13,7 +13,7 @@ shared by the SPN blocks (``OSPM_i``, ``NAS_NET_d``, ``DC_d``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.network.geo import City
@@ -208,6 +208,45 @@ def single_datacenter_spec(
             ),
         ),
         backup_location=None,
+        has_backup_server=has_backup_server,
+        required_running_vms=required_running_vms,
+    )
+
+
+def multi_datacenter_spec(
+    locations: Sequence[Optional[City]],
+    backup_location: Optional[City] = None,
+    machines_per_datacenter: int = 2,
+    vms_per_machine: int = 2,
+    initial_vms_per_hot_machine: int = 1,
+    required_running_vms: int = 2,
+    warm_machines_per_datacenter: int = 0,
+    has_backup_server: bool = True,
+) -> CloudSystemSpec:
+    """A geo-distributed deployment over N ≥ 2 data centers.
+
+    One :class:`DataCenterSpec` per entry of ``locations`` (1-based indices
+    in order), all sharing the same pool sizes and VM capacity; the
+    two-data-center case is exactly :func:`two_datacenter_spec`.
+    """
+    if len(locations) < 2:
+        raise ConfigurationError(
+            f"a multi-data-center deployment needs at least two data centers, "
+            f"got {len(locations)}"
+        )
+    return CloudSystemSpec(
+        datacenters=tuple(
+            DataCenterSpec(
+                index=position + 1,
+                location=location,
+                hot_physical_machines=machines_per_datacenter,
+                warm_physical_machines=warm_machines_per_datacenter,
+                vms_per_machine=vms_per_machine,
+                initial_vms_per_hot_machine=initial_vms_per_hot_machine,
+            )
+            for position, location in enumerate(locations)
+        ),
+        backup_location=backup_location if has_backup_server else None,
         has_backup_server=has_backup_server,
         required_running_vms=required_running_vms,
     )

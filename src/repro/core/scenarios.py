@@ -19,7 +19,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.cloud_model import CloudSystemModel
-from repro.core.datacenter import single_datacenter_spec, two_datacenter_spec
+from repro.core.datacenter import (
+    multi_datacenter_spec,
+    single_datacenter_spec,
+    two_datacenter_spec,
+)
 from repro.core.parameters import (
     ALPHA_VALUES,
     DISASTER_MEAN_TIME_YEARS,
@@ -55,6 +59,17 @@ BASELINE_ALPHA = 0.35
 BASELINE_DISASTER_YEARS = 100.0
 
 
+def _axis_value(value: float) -> str:
+    """Label formatting of a numeric axis value.
+
+    The paper's values render as before (``0.35``, ``100``), but arbitrary
+    sweep points keep their full precision — labels double as unique grid
+    case names, so rounding two distinct values onto one string (``0.351``
+    and ``0.352`` both to ``0.35``) must not happen.
+    """
+    return f"{value:g}"
+
+
 @dataclass(frozen=True)
 class DistributedScenario:
     """One two-data-center configuration of the case study.
@@ -64,6 +79,13 @@ class DistributedScenario:
         alpha: network-speed coefficient.
         disaster_mean_time_years: mean time between disasters per data center.
         backup: backup-server location.
+        machines_per_datacenter: hot PMs per data center; ``None`` (the
+            default) means "whatever the evaluating runner is configured
+            for" and falls back to the paper's 2 when the scenario is built
+            stand-alone.  An explicit value is validated by
+            :class:`~repro.casestudy.runner.DistributedSweepRunner` against
+            its own machine count, so a scenario can never silently evaluate
+            on a structure with a different machine count.
     """
 
     first: City
@@ -71,14 +93,28 @@ class DistributedScenario:
     alpha: float = BASELINE_ALPHA
     disaster_mean_time_years: float = BASELINE_DISASTER_YEARS
     backup: City = BACKUP_LOCATION
+    machines_per_datacenter: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.machines_per_datacenter is not None
+            and self.machines_per_datacenter < 1
+        ):
+            raise ConfigurationError(
+                f"a data center needs at least one machine, got "
+                f"{self.machines_per_datacenter!r}"
+            )
 
     @property
     def label(self) -> str:
         """Human-readable identifier used in result tables."""
-        return (
-            f"{self.first.name} - {self.second.name} "
-            f"(alpha={self.alpha:.2f}, disaster={self.disaster_mean_time_years:.0f}y)"
-        )
+        extras = [
+            f"alpha={_axis_value(self.alpha)}",
+            f"disaster={_axis_value(self.disaster_mean_time_years)}y",
+        ]
+        if self.machines_per_datacenter is not None:
+            extras.append(f"machines={self.machines_per_datacenter}")
+        return f"{self.first.name} - {self.second.name} ({', '.join(extras)})"
 
     def build_model(
         self, parameters: Optional[CaseStudyParameters] = None
@@ -90,7 +126,11 @@ class DistributedScenario:
             first_location=self.first,
             second_location=self.second,
             backup_location=self.backup,
-            machines_per_datacenter=2,
+            machines_per_datacenter=(
+                self.machines_per_datacenter
+                if self.machines_per_datacenter is not None
+                else 2
+            ),
             vms_per_machine=base.vms_per_physical_machine,
             required_running_vms=base.required_running_vms,
         )
@@ -121,23 +161,121 @@ def figure7_scenarios() -> list[DistributedScenario]:
 
 @dataclass(frozen=True)
 class SingleDataCenterScenario:
-    """A non-distributed baseline of Table VII."""
+    """A non-distributed baseline of Table VII.
+
+    ``disaster_mean_time_years`` (when set) overrides the disaster mean time
+    of ``parameters`` — a single site still suffers disasters, so the grid
+    sweeps this axis for baselines too.  ``location`` only labels the site
+    (a single site has no migration paths).
+    """
 
     machines: int
     label: str
     include_disasters: bool = True
     parameters: CaseStudyParameters = field(default_factory=lambda: DEFAULT_PARAMETERS)
+    disaster_mean_time_years: Optional[float] = None
+    location: City = RIO_DE_JANEIRO
 
     def build_model(self) -> CloudSystemModel:
         if self.machines < 1:
             raise ConfigurationError("a baseline needs at least one machine")
+        parameters = self.parameters
+        if self.disaster_mean_time_years is not None:
+            parameters = parameters.with_disaster_mean_time(
+                self.disaster_mean_time_years
+            )
         spec = single_datacenter_spec(
             machines=self.machines,
-            vms_per_machine=self.parameters.vms_per_physical_machine,
-            required_running_vms=self.parameters.required_running_vms,
-            location=RIO_DE_JANEIRO,
+            vms_per_machine=parameters.vms_per_physical_machine,
+            required_running_vms=parameters.required_running_vms,
+            location=self.location,
         )
-        return CloudSystemModel(spec=spec, parameters=self.parameters)
+        return CloudSystemModel(spec=spec, parameters=parameters)
+
+
+@dataclass(frozen=True)
+class MultiDataCenterScenario:
+    """A geo-distributed deployment over N ≥ 2 data centers.
+
+    Generalises :class:`DistributedScenario` beyond the paper's city pairs:
+    any number of locations, a configurable migration topology (full mesh
+    or ring), an optional backup server, a per-scenario machine count and
+    the paper's ``l`` migration threshold.
+
+    Attributes:
+        locations: data-center cities (1-based indices in order).
+        alpha: network-speed coefficient.
+        disaster_mean_time_years: mean time between disasters per data center.
+        backup: backup-server location (ignored when ``has_backup_server``
+            is false).
+        machines_per_datacenter: hot PMs per data center.
+        topology: ``"mesh"`` or ``"ring"`` migration paths.
+        minimum_operational_pms: the paper's ``l`` threshold for migrating
+            VMs out of a data center.
+        has_backup_server: include the backup server and its restoration
+            paths.
+    """
+
+    locations: tuple[City, ...]
+    alpha: float = BASELINE_ALPHA
+    disaster_mean_time_years: float = BASELINE_DISASTER_YEARS
+    backup: Optional[City] = BACKUP_LOCATION
+    machines_per_datacenter: int = 2
+    topology: str = "mesh"
+    minimum_operational_pms: int = 1
+    has_backup_server: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.locations) < 2:
+            raise ConfigurationError(
+                "a multi-data-center scenario needs at least two locations; "
+                "use SingleDataCenterScenario for one site"
+            )
+        if self.machines_per_datacenter < 1:
+            raise ConfigurationError("each data center needs at least one machine")
+        if self.has_backup_server and self.backup is None:
+            raise ConfigurationError(
+                "a scenario with a backup server needs a backup location"
+            )
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier used in result tables."""
+        cities = " - ".join(city.name for city in self.locations)
+        extras = [
+            f"alpha={_axis_value(self.alpha)}",
+            f"disaster={_axis_value(self.disaster_mean_time_years)}y",
+            f"machines={self.machines_per_datacenter}",
+        ]
+        if len(self.locations) > 2:
+            extras.append(f"topology={self.topology}")
+        if self.minimum_operational_pms != 1:
+            extras.append(f"l={self.minimum_operational_pms}")
+        if not self.has_backup_server:
+            extras.append("no-backup")
+        return f"{cities} ({', '.join(extras)})"
+
+    def build_model(
+        self, parameters: Optional[CaseStudyParameters] = None
+    ) -> CloudSystemModel:
+        """Instantiate the CloudSystemModel for this scenario."""
+        base = parameters or DEFAULT_PARAMETERS
+        base = base.with_disaster_mean_time(self.disaster_mean_time_years)
+        spec = multi_datacenter_spec(
+            locations=self.locations,
+            backup_location=self.backup if self.has_backup_server else None,
+            machines_per_datacenter=self.machines_per_datacenter,
+            vms_per_machine=base.vms_per_physical_machine,
+            required_running_vms=base.required_running_vms,
+            has_backup_server=self.has_backup_server,
+        )
+        return CloudSystemModel(
+            spec=spec,
+            parameters=base,
+            alpha=self.alpha,
+            topology=self.topology,
+            minimum_operational_pms=self.minimum_operational_pms,
+        )
 
 
 def single_datacenter_baselines() -> list[SingleDataCenterScenario]:

@@ -24,12 +24,44 @@ TBI_21); we use the symmetric forms, as documented in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.datacenter import DataCenterSpec, PhysicalMachineSpec
 from repro.core.vm_behavior import failed_pool_place
 from repro.exceptions import ModelError
 from repro.spn import StochasticPetriNet
+
+#: Recognised migration topologies of :func:`build_transmission_network`.
+TOPOLOGIES = ("mesh", "ring")
+
+
+def topology_pairs(count: int, topology: str = "mesh") -> tuple[tuple[int, int], ...]:
+    """Ordered data-center index pairs connected by a migration path.
+
+    ``mesh`` connects every ordered pair; ``ring`` only neighbours on the
+    cycle ``1 → 2 → … → count → 1`` (both directions).  Indices are the
+    1-based data-center indices of :class:`~repro.core.datacenter.
+    DataCenterSpec`.  For two data centers both topologies reduce to the
+    paper's pair of direct paths.
+    """
+    if count < 2:
+        raise ModelError(f"a migration topology needs at least two data centers, got {count}")
+    if topology == "mesh":
+        return tuple(
+            (i, j)
+            for i in range(1, count + 1)
+            for j in range(1, count + 1)
+            if i != j
+        )
+    if topology == "ring":
+        pairs: list[tuple[int, int]] = []
+        for i in range(1, count + 1):
+            j = i % count + 1
+            for pair in ((i, j), (j, i)):
+                if pair not in pairs:
+                    pairs.append(pair)
+        return tuple(pairs)
+    raise ModelError(f"unknown topology {topology!r}; expected one of {TOPOLOGIES}")
 
 
 @dataclass(frozen=True)
@@ -114,30 +146,106 @@ def build_transmission_component(
     """
     if first.index == second.index:
         raise ModelError("a transmission component connects two distinct data centers")
+    direct = parameters.datacenter_to_datacenter
+    return build_transmission_network(
+        datacenters=(first, second),
+        machines={first.index: first_machines, second.index: second_machines},
+        direct_times={
+            (first.index, second.index): direct,
+            (second.index, first.index): direct,
+        },
+        backup_times={
+            first.index: parameters.backup_to_first,
+            second.index: parameters.backup_to_second,
+        },
+        has_backup_server=has_backup_server,
+        minimum_operational_pms=minimum_operational_pms,
+    )
+
+
+def build_transmission_network(
+    datacenters: Sequence[DataCenterSpec],
+    machines: Mapping[int, Sequence[PhysicalMachineSpec]],
+    direct_times: Mapping[tuple[int, int], float],
+    backup_times: Mapping[int, float],
+    topology: str = "mesh",
+    has_backup_server: bool = True,
+    minimum_operational_pms: int = 1,
+) -> StochasticPetriNet:
+    """Build the migration network of an N-data-center deployment (N ≥ 2).
+
+    Generalises the paper's two-data-center TRANSMISSION_COMPONENT: one
+    direct migration path (``TRI_ij``/``TRE_ij``) per ordered data-center
+    pair of the ``topology`` (full mesh or ring), and — with a backup
+    server — one restoration path (``TBI_ij``/``TBE_ij``) per ordered pair
+    of *all* data centers, enabled when data center ``i`` suffered a
+    disaster and ``j`` is healthy.  Restoration always spans every pair
+    because it flows over the backup server's own links (a star), not the
+    inter-data-center migration links the ``topology`` restricts.
+
+    Args:
+        datacenters: every data center of the deployment, in index order.
+        machines: the PMs of each data center, keyed by its 1-based index.
+        direct_times: mean time (hours) to transmit one VM image between
+            each connected ordered pair ``(i, j)``.
+        backup_times: mean time (hours) to restore one VM image from the
+            backup server *into* data center ``j``, keyed by ``j``.
+        topology: ``"mesh"`` (every ordered pair) or ``"ring"`` (cycle
+            neighbours only); for two data centers both reduce to the
+            paper's layout.
+        has_backup_server / minimum_operational_pms: as in
+            :func:`build_transmission_component`.
+
+    For two data centers the emitted net is structurally identical (same
+    places, transitions, guards and emission order) to
+    :func:`build_transmission_component`, which delegates here.
+    """
     if minimum_operational_pms < 1:
         raise ModelError(
             f"the migration threshold l must be at least 1, got {minimum_operational_pms!r}"
         )
-    net = StochasticPetriNet(f"TRANSMISSION_{first.index}{second.index}")
-
-    net.add_place(failed_pool_place(first.index))
-    net.add_place(failed_pool_place(second.index))
-
-    _add_direct_path(
-        net, first, second, first_machines, second_machines,
-        parameters.datacenter_to_datacenter, minimum_operational_pms,
-    )
-    _add_direct_path(
-        net, second, first, second_machines, first_machines,
-        parameters.datacenter_to_datacenter, minimum_operational_pms,
-    )
+    by_index = {dc.index: dc for dc in datacenters}
+    if len(by_index) != len(datacenters):
+        raise ModelError("data-center indices of a migration network must be unique")
+    # topology_pairs works over 1..N positions; map them onto the actual
+    # (possibly non-contiguous) data-center indices in sequence order.
+    indices = [dc.index for dc in datacenters]
+    pairs = [
+        (indices[i - 1], indices[j - 1])
+        for i, j in topology_pairs(len(datacenters), topology)
+    ]
+    backup_pairs = [(i, j) for i in indices for j in indices if i != j]
+    for i, j in pairs:
+        if (i, j) not in direct_times:
+            raise ModelError(f"no direct transfer time given for the pair ({i}, {j})")
+        if direct_times[(i, j)] <= 0.0:
+            raise ModelError(
+                f"the transfer time of the pair ({i}, {j}) must be positive, "
+                f"got {direct_times[(i, j)]!r}"
+            )
     if has_backup_server:
-        _add_backup_path(
-            net, first, second, second_machines, parameters.backup_to_second
+        for j in indices:
+            if j not in backup_times:
+                raise ModelError(f"no backup restoration time given for data center {j}")
+            if backup_times[j] <= 0.0:
+                raise ModelError(
+                    f"the backup restoration time of data center {j} must be "
+                    f"positive, got {backup_times[j]!r}"
+                )
+
+    suffix = "".join(str(dc.index) for dc in datacenters)
+    net = StochasticPetriNet(f"TRANSMISSION_{suffix}")
+    for datacenter in datacenters:
+        net.add_place(failed_pool_place(datacenter.index))
+
+    for i, j in pairs:
+        _add_direct_path(
+            net, by_index[i], by_index[j], machines[i], machines[j],
+            direct_times[(i, j)], minimum_operational_pms,
         )
-        _add_backup_path(
-            net, second, first, first_machines, parameters.backup_to_first
-        )
+    if has_backup_server:
+        for i, j in backup_pairs:
+            _add_backup_path(net, by_index[i], by_index[j], machines[j], backup_times[j])
     return net
 
 

@@ -17,6 +17,14 @@ from repro.engine.batch import (
     TransientScenarioResult,
 )
 from repro.engine.cache import CacheEntry, TRGCache, cache_key, default_cache_directory
+from repro.engine.grid import (
+    CanonicalizerRef,
+    GridCase,
+    GridCaseResult,
+    GridGroupReport,
+    GridOutcome,
+    ScenarioGridOrchestrator,
+)
 from repro.engine.dispatch import (
     CostObservations,
     DispatchDecision,
@@ -37,6 +45,12 @@ from repro.engine.system import ConstrainedSystemTemplate
 
 __all__ = [
     "BACKENDS",
+    "CanonicalizerRef",
+    "GridCase",
+    "GridCaseResult",
+    "GridGroupReport",
+    "GridOutcome",
+    "ScenarioGridOrchestrator",
     "ScenarioBatchEngine",
     "ScenarioResult",
     "ScenarioSpec",

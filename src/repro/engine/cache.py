@@ -48,23 +48,30 @@ def default_cache_directory() -> Path:
     return Path.home() / ".cache" / "repro" / "trg"
 
 
-def structure_fingerprint(net: CompiledNet) -> str:
+def structure_fingerprint(
+    net: CompiledNet, include_rates: bool = True, include_name: bool = True
+) -> str:
     """Canonical JSON description of everything the TRG structure depends on.
 
-    Timed rates are included as well: the cached graph carries a rate vector
-    and edge rates, so two nets differing only in rates are stored (cheaply)
-    as separate entries instead of being re-rated on load.
+    Timed rates are included by default: the cached graph carries a rate
+    vector and edge rates, so two nets differing only in rates are stored
+    (cheaply) as separate entries instead of being re-rated on load.
+
+    With ``include_rates=False`` (and typically ``include_name=False``) the
+    fingerprint describes only the *rate-independent* structure — places,
+    initial marking, arcs, guards, immediate race data — which is what the
+    grid orchestrator (:mod:`repro.engine.grid`) groups heterogeneous
+    scenarios by: two nets equal under this reduced fingerprint share one
+    tangible reachability graph up to a re-rating.
     """
     description = {
         "format": CACHE_FORMAT_VERSION,
-        "name": net.name,
         "places": list(net.place_names),
         "initial_marking": list(net.initial_marking),
         "transitions": [
             {
                 "name": t.name,
                 "immediate": t.immediate,
-                "rate": t.rate,
                 "infinite_server": t.infinite_server,
                 "weight": t.weight,
                 "priority": t.priority,
@@ -72,10 +79,13 @@ def structure_fingerprint(net: CompiledNet) -> str:
                 "outputs": sorted(t.outputs),
                 "inhibitors": sorted(t.inhibitors),
                 "guard": t.guard_source,
+                **({"rate": t.rate} if include_rates else {}),
             }
             for t in net.transitions
         ],
     }
+    if include_name:
+        description["name"] = net.name
     return json.dumps(description, sort_keys=True, separators=(",", ":"))
 
 
@@ -116,13 +126,17 @@ class TRGCache:
         net: CompiledNet,
         max_states: int,
         canonicalize_id: Optional[str] = None,
+        key: Optional[str] = None,
     ) -> Optional[TangibleReachabilityGraph]:
         """The cached graph for this configuration, or ``None`` on a miss.
 
         A corrupt or unreadable entry counts as a miss (and callers will
-        simply regenerate and overwrite it).
+        simply regenerate and overwrite it).  An explicit ``key`` overrides
+        the default rate-inclusive :func:`cache_key` — the grid orchestrator
+        keys by *rateless* structure, because it re-rates every loaded graph
+        with each scenario's full rate assignment anyway.
         """
-        path = self._path(cache_key(net, max_states, canonicalize_id))
+        path = self._path(key or cache_key(net, max_states, canonicalize_id))
         if not path.exists():
             return None
         try:
@@ -136,13 +150,18 @@ class TRGCache:
         graph: TangibleReachabilityGraph,
         max_states: int,
         canonicalize_id: Optional[str] = None,
+        key: Optional[str] = None,
     ) -> Path:
-        """Persist ``graph`` atomically; returns the entry path."""
+        """Persist ``graph`` atomically; returns the entry path.
+
+        ``key`` overrides the default rate-inclusive :func:`cache_key`
+        (see :meth:`load`).
+        """
         if not graph.has_coefficients:
             raise ValueError(
                 "only graphs generated with coefficient tracking can be cached"
             )
-        key = cache_key(graph.net, max_states, canonicalize_id)
+        key = key or cache_key(graph.net, max_states, canonicalize_id)
         path = self._path(key)
         self.directory.mkdir(parents=True, exist_ok=True)
         arrays = {

@@ -1,0 +1,654 @@
+"""Structure-grouped scenario-grid orchestrator.
+
+:class:`ScenarioBatchEngine` (PRs 1–4) evaluates many scenarios that share
+**one** tangible reachability graph.  Real workloads — the paper's Table VII
+mixes single-site baselines with 1/2/4 machines, two-data-center deployments
+and backup ablations — are *grids* of scenarios with heterogeneous net
+structures.  ``ScenarioGridOrchestrator`` turns such a grid into one
+workload:
+
+* every case's net is compiled and fingerprinted by its **rate-independent
+  structure** (:func:`repro.engine.cache.structure_fingerprint` without
+  rates or the net name, plus the exploration limit and the canonicalizer
+  identity); cases with equal fingerprints share one tangible reachability
+  graph up to a re-rating and form one *structure group*;
+* the distinct graphs are obtained concurrently: :class:`~repro.engine.
+  cache.TRGCache` hits skip generation outright, and the misses are
+  generated in parallel on the persistent process pool of
+  :mod:`repro.engine.parallel` (each worker writes its graph into the cache,
+  which doubles as the zero-pickle transport back to the parent);
+* each group is then dispatched through a cost-aware
+  :class:`~repro.engine.batch.ScenarioBatchEngine` (re-rate + warm-started
+  re-solves, measures in one GEMM, ``backend="auto"`` picking
+  serial/thread/process per group);
+* everything merges into one unified result frame — input order preserved,
+  with per-group provenance (states, backend chosen, cache hit, generate and
+  solve seconds) — optionally streamed to JSONL shards while later groups
+  are still solving, so arbitrarily large grids never hold all rows in one
+  report consumer.
+
+Canonicalizers do not pickle (they are closures), so a grid case carries an
+optional :class:`CanonicalizerRef` — a module-level factory named by
+``"module:qualname"`` plus picklable arguments — from which both the parent
+and the generation workers rebuild the callable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import tempfile
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from pickle import PicklingError
+from typing import Mapping, Optional, Sequence
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.engine import dispatch
+from repro.engine.batch import ScenarioBatchEngine, ScenarioSpec
+from repro.engine.cache import TRGCache, structure_fingerprint
+from repro.engine.parallel import shared_pool, shutdown_shared_pool
+from repro.spn.enabling import CompiledNet
+from repro.spn.model import StochasticPetriNet
+from repro.spn.reachability import (
+    DEFAULT_MAX_TANGIBLE_MARKINGS,
+    generate_tangible_reachability_graph,
+)
+from repro.spn.rewards import Measure, validate_measures
+
+#: Rows per streamed JSONL shard (see ``shard_directory``).
+DEFAULT_SHARD_SIZE = 256
+
+
+@dataclass(frozen=True)
+class CanonicalizerRef:
+    """Picklable reference to a module-level canonicalizer factory.
+
+    ``factory`` is ``"package.module:qualname"``; calling :meth:`build`
+    imports the module and calls the factory with ``args``.  The factory
+    must return a marking canonicalizer (or ``None``), e.g.
+    :func:`repro.core.cloud_model.pm_symmetry_canonicalizer` with the
+    model's :meth:`~repro.core.cloud_model.CloudSystemModel.symmetry_groups`
+    as the single argument.
+    """
+
+    factory: str
+    args: tuple = ()
+
+    def build(self):
+        module_name, _, qualname = self.factory.partition(":")
+        if not qualname:
+            raise ValueError(
+                f"canonicalizer factory {self.factory!r} must be 'module:qualname'"
+            )
+        target = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+        return target(*self.args)
+
+
+@dataclass(frozen=True)
+class GridCase:
+    """One cell of a scenario grid.
+
+    Attributes:
+        name: unique row label of the case in the result frame.
+        net: the declarative net of this scenario (each case may have its
+            own structure; equal rate-independent structures are grouped).
+        measures: reward measures to evaluate for this case (cases of one
+            group may differ; the orchestrator evaluates the union).
+        rates: optional rate overrides by transition name.  The orchestrator
+            always re-rates a group's shared graph with the case's **full**
+            rate assignment (the case net's own rates overlaid with these),
+            so grouping never changes a case's numbers.
+        metadata: free-form, JSON-able annotations carried into the result
+            frame and the streamed shards.
+        canonicalizer: optional symmetry canonicalizer reference (see
+            :class:`CanonicalizerRef`); part of the structure fingerprint.
+    """
+
+    name: str
+    net: StochasticPetriNet
+    measures: tuple[Measure, ...]
+    rates: Mapping[str, float] = field(default_factory=dict)
+    metadata: Mapping[str, object] = field(default_factory=dict)
+    canonicalizer: Optional[CanonicalizerRef] = None
+
+    def full_rates(self) -> dict[str, float]:
+        """The complete timed-rate assignment of this case."""
+        rates = {
+            transition.name: float(transition.rate)
+            for transition in self.net.transitions
+            if not transition.immediate
+        }
+        rates.update({name: float(value) for name, value in self.rates.items()})
+        return rates
+
+
+@dataclass
+class GridCaseResult:
+    """One row of the unified grid result frame."""
+
+    name: str
+    measures: dict[str, float]
+    number_of_states: int
+    group: str
+    backend: str
+    graph_source: str
+    solve_seconds: float
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def value(self, measure_name: str) -> float:
+        return self.measures[measure_name]
+
+    def as_record(self, index: int) -> dict:
+        """JSON-able representation (used by the streamed shards)."""
+        return {
+            "index": index,
+            "name": self.name,
+            "group": self.group,
+            "measures": dict(self.measures),
+            "number_of_states": self.number_of_states,
+            "backend": self.backend,
+            "graph_source": self.graph_source,
+            "solve_seconds": self.solve_seconds,
+            "metadata": dict(self.metadata),
+        }
+
+
+@dataclass
+class GridGroupReport:
+    """Provenance of one structure group of a grid run."""
+
+    key: str
+    cases: int
+    number_of_states: int
+    graph_source: str  # "cache" | "generated" | "generated:pool"
+    backend: str
+    generate_seconds: float
+    solve_seconds: float
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.graph_source == "cache"
+
+
+@dataclass
+class GridOutcome:
+    """Unified result frame of one orchestrated grid.
+
+    ``results`` preserves the input case order; ``groups`` report the
+    distinct structures in first-appearance order.
+    """
+
+    results: list[GridCaseResult]
+    groups: list[GridGroupReport]
+    total_seconds: float
+    shard_paths: list[Path] = field(default_factory=list)
+
+    def result(self, name: str) -> GridCaseResult:
+        for row in self.results:
+            if row.name == name:
+                return row
+        raise KeyError(f"no grid case named {name!r}")
+
+    def as_records(self) -> list[dict]:
+        return [row.as_record(index) for index, row in enumerate(self.results)]
+
+
+@dataclass
+class _Group:
+    """Internal bookkeeping of one structure group during a run."""
+
+    key: str
+    #: Full rateless digest used as the TRGCache entry key — rate-only
+    #: variants of one structure share the entry across runs (the
+    #: orchestrator re-rates every loaded graph with each case's full rate
+    #: assignment, so the stored rates are irrelevant).
+    cache_key: str
+    representative: GridCase
+    compiled: CompiledNet
+    canonicalize: object
+    canonical_id: Optional[str]
+    case_indices: list[int] = field(default_factory=list)
+    graph: object = None
+    graph_source: str = ""
+    generate_seconds: float = 0.0
+
+
+def _generate_into_cache(
+    net: StochasticPetriNet,
+    max_states: int,
+    cache_directory: str,
+    canonicalizer: Optional[CanonicalizerRef],
+    cache_key: str,
+) -> float:
+    """Worker-side TRG generation; the cache entry is the transport back.
+
+    Module-level (and argument-picklable) so the persistent process pool of
+    :mod:`repro.engine.parallel` can run it; returns the generation seconds.
+    """
+    started = time.perf_counter()
+    compiled = CompiledNet(net)
+    canonicalize = canonicalizer.build() if canonicalizer is not None else None
+    graph = generate_tangible_reachability_graph(
+        compiled, max_states=max_states, canonicalize=canonicalize
+    )
+    TRGCache(cache_directory).store(graph, max_states, key=cache_key)
+    return time.perf_counter() - started
+
+
+class _ShardWriter:
+    """Streams result records to fixed-size JSONL shards as groups finish."""
+
+    def __init__(self, directory: Path, shard_size: int) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Shards are numbered from zero each run; stale shards from a
+        # previous (larger) run must not survive next to the fresh ones, or
+        # a consumer globbing grid-shard-*.jsonl would mix the two grids.
+        for stale in self.directory.glob("grid-shard-*.jsonl"):
+            stale.unlink()
+        self.shard_size = max(1, int(shard_size))
+        self.paths: list[Path] = []
+        self._pending: list[dict] = []
+
+    def append(self, record: dict) -> None:
+        self._pending.append(record)
+        if len(self._pending) >= self.shard_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        path = self.directory / f"grid-shard-{len(self.paths):04d}.jsonl"
+        with open(path, "w") as handle:
+            for record in self._pending:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.paths.append(path)
+        self._pending = []
+
+
+class ScenarioGridOrchestrator:
+    """Evaluates a grid of heterogeneous scenarios as one workload.
+
+    Args:
+        cache: optional persistent :class:`TRGCache`; hits skip generation
+            and generated graphs are stored for the next run.  Without a
+            cache a throwaway directory is still used as the transport
+            between generation workers and the parent.
+        method: stationary solver selection per group engine.
+        max_states: tangible state-space limit of every generation (part of
+            the grouping fingerprint).
+        jobs: worker budget of each group's batch dispatch (forwarded to
+            :meth:`ScenarioBatchEngine.run`).
+        backend: batch backend per group (``"auto"`` is cost-aware).
+        generation_workers: process-pool width of the concurrent generation
+            phase; defaults to the effective CPU cores, clamped to the
+            number of distinct structures that actually need generating.
+        shard_directory: when set, result rows are streamed to JSONL shards
+            (``grid-shard-0000.jsonl``…) in group-completion order while the
+            remaining groups are still solving; each record carries its
+            original grid ``index`` for reassembly.  The directory holds
+            exactly one grid's shards: any ``grid-shard-*.jsonl`` files from
+            a previous run are removed when the run starts.
+        shard_size: rows per shard file.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[TRGCache] = None,
+        method: str = "auto",
+        max_states: int = DEFAULT_MAX_TANGIBLE_MARKINGS,
+        jobs: Optional[int] = None,
+        backend: str = "auto",
+        generation_workers: Optional[int] = None,
+        shard_directory: Optional[Path] = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+    ) -> None:
+        self.cache = cache
+        self.method = method
+        self.max_states = max_states
+        self.jobs = jobs
+        self.backend = backend
+        self.generation_workers = generation_workers
+        self.shard_directory = shard_directory
+        self.shard_size = shard_size
+
+    # --- grouping ---------------------------------------------------------
+
+    def group_key(self, compiled: CompiledNet, canonical_id: Optional[str]) -> str:
+        """Structure-group fingerprint of one compiled net.
+
+        Rates and the net name are excluded — scenarios differing only in
+        timed rates (different α, disaster mean times, city distances…)
+        share a group; anything structural (places, arcs, guards, immediate
+        race data, the exploration limit, the canonicalizer) splits them.
+        """
+        return self._group_digest(
+            structure_fingerprint(compiled, include_rates=False, include_name=False),
+            canonical_id,
+        )[:16]
+
+    def _group_digest(
+        self, structure_key: str, canonical_id: Optional[str]
+    ) -> str:
+        """Full rateless digest: prefix = group key, whole = cache key."""
+        digest = hashlib.sha256()
+        digest.update(structure_key.encode())
+        digest.update(f"|max_states={self.max_states}".encode())
+        digest.update(f"|canonicalize={canonical_id or ''}".encode())
+        return digest.hexdigest()
+
+    def _grouped(self, cases: Sequence[GridCase]) -> dict[str, _Group]:
+        groups: dict[str, _Group] = {}
+        # Rate-only grids pass the same net / canonicalizer objects many
+        # times (e.g. an ablation's reference structure); memoize the
+        # compilation + fingerprint per net object and the canonicalizer
+        # build per ref object so grouping is O(distinct structures).
+        compiled_by_net: dict[int, tuple[CompiledNet, str]] = {}
+        canonicalizer_by_ref: dict[int, object] = {}
+        for index, case in enumerate(cases):
+            validate_measures(case.measures)
+            if case.canonicalizer is None:
+                canonicalize = None
+            elif id(case.canonicalizer) in canonicalizer_by_ref:
+                canonicalize = canonicalizer_by_ref[id(case.canonicalizer)]
+            else:
+                canonicalize = case.canonicalizer.build()
+                canonicalizer_by_ref[id(case.canonicalizer)] = canonicalize
+            canonical_id = getattr(canonicalize, "cache_id", None)
+            if canonicalize is not None and canonical_id is None:
+                raise ValueError(
+                    f"case {case.name!r}: the canonicalizer factory must return a "
+                    f"callable with a stable 'cache_id' (grouping and caching "
+                    f"would be unsafe otherwise)"
+                )
+            if id(case.net) in compiled_by_net:
+                compiled, structure_key = compiled_by_net[id(case.net)]
+            else:
+                compiled = CompiledNet(case.net)
+                structure_key = structure_fingerprint(
+                    compiled, include_rates=False, include_name=False
+                )
+                compiled_by_net[id(case.net)] = (compiled, structure_key)
+            digest = self._group_digest(structure_key, canonical_id)
+            key = digest[:16]
+            group = groups.get(key)
+            if group is None:
+                group = _Group(
+                    key=key,
+                    cache_key=digest,
+                    representative=case,
+                    compiled=compiled,
+                    canonicalize=canonicalize,
+                    canonical_id=canonical_id,
+                )
+                groups[key] = group
+            group.case_indices.append(index)
+        return groups
+
+    # --- generation -------------------------------------------------------
+
+    def _ensure_graphs(self, groups: dict[str, _Group], transport: TRGCache) -> None:
+        """Load every group's graph from cache or generate it (concurrently)."""
+        misses: list[_Group] = []
+        for group in groups.values():
+            started = time.perf_counter()
+            graph = transport.load(
+                group.compiled, self.max_states, key=group.cache_key
+            )
+            if graph is not None:
+                group.graph = graph
+                group.graph_source = "cache"
+                group.generate_seconds = time.perf_counter() - started
+            else:
+                misses.append(group)
+        if not misses:
+            return
+        requested = (
+            self.generation_workers
+            if self.generation_workers is not None
+            else dispatch.effective_cpu_count()
+        )
+        workers = max(1, min(int(requested), len(misses)))
+        if workers > 1:
+            self._generate_on_pool(misses, transport, workers)
+        for group in misses:  # pool failures (or workers == 1) fall through
+            if group.graph is None:
+                # Persist only into a real cache: with cache=None the
+                # transport is a throwaway scratch directory that exists
+                # purely to carry graphs back from pool workers, and the
+                # in-process path already holds the graph in memory.
+                self._generate_in_process(
+                    group, transport, persist=self.cache is not None
+                )
+
+    def _generate_on_pool(
+        self, misses: list[_Group], transport: TRGCache, workers: int
+    ) -> None:
+        """Concurrent generation of all cache misses on the persistent pool.
+
+        Each worker stores its graph in ``transport`` (the configured cache
+        or the run's throwaway transport directory) and the parent loads it
+        back — graphs never travel through pickles.  Any failure —
+        unpicklable nets, a broken pool, a worker error — degrades to the
+        in-process path for the affected groups.
+        """
+        directory = str(transport.directory)
+        futures = {}
+        try:
+            pool = shared_pool.executor(min(workers, len(misses)))
+            for group in misses:
+                futures[group.key] = pool.submit(
+                    _generate_into_cache,
+                    group.representative.net,
+                    self.max_states,
+                    directory,
+                    group.representative.canonicalizer,
+                    group.cache_key,
+                )
+        except (PicklingError, TypeError, AttributeError, OSError) as error:
+            # A mid-loop failure (fork exhaustion, an unpicklable net) must
+            # not leave already-queued generations running concurrently with
+            # the serial fallback — cancel what can be cancelled and drain
+            # the rest so nothing is generated twice.
+            for future in futures.values():
+                future.cancel()
+            for group in misses:
+                future = futures.get(group.key)
+                if future is None or future.cancelled():
+                    continue
+                try:
+                    seconds = future.result()
+                except Exception:  # noqa: BLE001 - best-effort drain
+                    continue
+                graph = transport.load(
+                    group.compiled, self.max_states, key=group.cache_key
+                )
+                if graph is not None:
+                    group.graph = graph
+                    group.graph_source = "generated:pool"
+                    group.generate_seconds = seconds
+            warnings.warn(
+                f"concurrent grid generation unavailable ({error}); generating "
+                f"serially",
+                stacklevel=4,
+            )
+            return
+        broken = False
+        for group in misses:
+            try:
+                seconds = futures[group.key].result()
+            except BrokenProcessPool:
+                broken = True
+                continue
+            except Exception as error:  # noqa: BLE001 - isolate per group
+                warnings.warn(
+                    f"grid generation worker failed for group {group.key} "
+                    f"({error}); regenerating in-process",
+                    stacklevel=4,
+                )
+                continue
+            graph = transport.load(
+                group.compiled, self.max_states, key=group.cache_key
+            )
+            if graph is not None:
+                group.graph = graph
+                group.graph_source = "generated:pool"
+                group.generate_seconds = seconds
+        if broken:
+            shutdown_shared_pool()
+
+    def _generate_in_process(
+        self, group: _Group, transport: TRGCache, persist: bool = True
+    ) -> None:
+        started = time.perf_counter()
+        graph = generate_tangible_reachability_graph(
+            group.compiled,
+            max_states=self.max_states,
+            canonicalize=group.canonicalize,
+        )
+        if persist:
+            try:
+                transport.store(graph, self.max_states, key=group.cache_key)
+            except (OSError, ValueError) as error:
+                warnings.warn(
+                    f"could not persist the reachability graph of group "
+                    f"{group.key} to {transport.directory}: {error}",
+                    stacklevel=3,
+                )
+        group.graph = graph
+        group.graph_source = "generated"
+        group.generate_seconds = time.perf_counter() - started
+
+    # --- measures ---------------------------------------------------------
+
+    @staticmethod
+    def _merged_measures(
+        group_cases: Sequence[GridCase],
+    ) -> tuple[list[Measure], list[dict[str, str]]]:
+        """Union of the group's measures under collision-free internal names.
+
+        Cases of one group may define different measures — or worse, the
+        *same* name with different expressions (e.g. two availability
+        thresholds).  Every distinct measure gets an internal name and is
+        evaluated once for the whole batch (extra GEMM columns are nearly
+        free); the per-case mapping restores the original names.
+        """
+        merged: list[Measure] = []
+        identities: dict[tuple, str] = {}
+        mappings: list[dict[str, str]] = []
+        for case in group_cases:
+            mapping: dict[str, str] = {}
+            for measure in case.measures:
+                identity = (type(measure).__name__,) + tuple(
+                    (field_name, repr(value))
+                    for field_name, value in sorted(vars(measure).items())
+                    if field_name != "name"
+                )
+                internal = identities.get(identity)
+                if internal is None:
+                    internal = f"m{len(merged)}"
+                    identities[identity] = internal
+                    merged.append(replace(measure, name=internal))
+                mapping[measure.name] = internal
+            mappings.append(mapping)
+        return merged, mappings
+
+    # --- run --------------------------------------------------------------
+
+    def run(self, cases: Sequence[GridCase]) -> GridOutcome:
+        """Evaluate the whole grid; results come back in input order."""
+        cases = list(cases)
+        started = time.perf_counter()
+        if not cases:
+            if self.shard_directory is not None:
+                # Honour the one-grid-per-directory contract even for an
+                # empty grid: stale shards from a previous run must go.
+                _ShardWriter(self.shard_directory, self.shard_size)
+            return GridOutcome(results=[], groups=[], total_seconds=0.0)
+        names = [case.name for case in cases]
+        if len(set(names)) != len(names):
+            raise ValueError("grid case names must be unique")
+        groups = self._grouped(cases)
+        if self.cache is not None:
+            self._run_generation(groups, self.cache)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-grid-") as scratch:
+                self._run_generation(groups, TRGCache(scratch))
+        return self._solve_groups(cases, groups, started)
+
+    def _run_generation(self, groups: dict[str, _Group], transport: TRGCache) -> None:
+        self._ensure_graphs(groups, transport)
+
+    def _solve_groups(
+        self,
+        cases: list[GridCase],
+        groups: dict[str, _Group],
+        started: float,
+    ) -> GridOutcome:
+        results: list[Optional[GridCaseResult]] = [None] * len(cases)
+        shards: Optional[_ShardWriter] = (
+            _ShardWriter(self.shard_directory, self.shard_size)
+            if self.shard_directory is not None
+            else None
+        )
+        reports: list[GridGroupReport] = []
+        for group in groups.values():
+            group_cases = [cases[index] for index in group.case_indices]
+            measures, mappings = self._merged_measures(group_cases)
+            engine = ScenarioBatchEngine(group.graph, method=self.method)
+            specs = [
+                ScenarioSpec(name=case.name, rates=case.full_rates())
+                for case in group_cases
+            ]
+            solve_started = time.perf_counter()
+            batch = engine.run(
+                specs, measures, max_workers=self.jobs, backend=self.backend
+            )
+            solve_seconds = time.perf_counter() - solve_started
+            backend = engine.last_run_backend or "serial"
+            for case_index, case, mapping, result in zip(
+                group.case_indices, group_cases, mappings, batch
+            ):
+                row = GridCaseResult(
+                    name=case.name,
+                    measures={
+                        original: result.measures[internal]
+                        for original, internal in mapping.items()
+                    },
+                    number_of_states=result.number_of_states,
+                    group=group.key,
+                    backend=backend,
+                    graph_source=group.graph_source,
+                    solve_seconds=result.solve_seconds,
+                    metadata=dict(case.metadata),
+                )
+                results[case_index] = row
+                if shards is not None:
+                    shards.append(row.as_record(case_index))
+            reports.append(
+                GridGroupReport(
+                    key=group.key,
+                    cases=len(group.case_indices),
+                    number_of_states=group.graph.number_of_states,
+                    graph_source=group.graph_source,
+                    backend=backend,
+                    generate_seconds=group.generate_seconds,
+                    solve_seconds=solve_seconds,
+                )
+            )
+        if shards is not None:
+            shards.flush()
+        return GridOutcome(
+            results=list(results),  # type: ignore[arg-type]
+            groups=reports,
+            total_seconds=time.perf_counter() - started,
+            shard_paths=shards.paths if shards is not None else [],
+        )

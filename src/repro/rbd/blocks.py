@@ -59,13 +59,15 @@ class Block:
 
     # Derived metrics -----------------------------------------------------
 
-    def mttf(self, upper_limit_factor: float = 200.0) -> float:
+    def mttf(self, upper_limit_factor: "float | None" = None) -> float:
         """Mean time to (first) failure ``∫ R(t) dt``.
 
         For leaves and pure series structures the closed form is used; other
-        structures integrate the reliability numerically.  The integration
-        horizon is ``upper_limit_factor`` times the largest leaf MTTF, which
-        keeps the truncation error negligible for the structures used here.
+        structures integrate the reliability numerically with per-decade
+        breakpoints and a certified exponential tail bound (see
+        :func:`repro.rbd.evaluation.mean_time_to_failure`).  An explicit
+        ``upper_limit_factor`` truncates at that multiple of the largest
+        leaf MTTF instead.
         """
         from repro.rbd.evaluation import mean_time_to_failure
 

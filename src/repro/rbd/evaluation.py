@@ -16,13 +16,25 @@ reliability ``∫ R(t) dt`` and MTTR again follows from the availability.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Optional
 
 from scipy import integrate
 
 from repro.exceptions import AnalysisError
 from repro.metrics.availability import number_of_nines
 from repro.rbd.blocks import BasicBlock, Block, Series
+
+#: Default integration horizon, as a multiple of the largest leaf MTTF.
+#: The truncated tail is *certified* against :func:`_tail_bound` (for a
+#: coherent structure ``R(t) ≤ Σᵢ e^(-λᵢ t)``), so at 200 mean lifetimes the
+#: neglected mass is below ``Σᵢ MTTFᵢ · e⁻²⁰⁰`` — far under double precision.
+DEFAULT_HORIZON_FACTOR = 200.0
+
+#: Relative tolerance the certified tail bound must meet before the horizon
+#: stops growing.
+_TAIL_RELATIVE_TOLERANCE = 1e-12
 
 
 def equivalent_failure_rate(block: Block) -> float:
@@ -41,11 +53,52 @@ def equivalent_failure_rate(block: Block) -> float:
     return 1.0 / mean_time_to_failure(block)
 
 
-def mean_time_to_failure(block: Block, upper_limit_factor: float = 200.0) -> float:
+def _tail_bound(leaf_mttfs: list[float], horizon: float) -> float:
+    """Certified upper bound on the truncated tail ``∫_H^∞ R(t) dt``.
+
+    A coherent structure is up only while at least one component is up, so
+    ``R(t) ≤ Σᵢ P{component i alive at t} = Σᵢ e^(-t / MTTFᵢ)`` and the tail
+    beyond ``horizon`` is bounded by ``Σᵢ MTTFᵢ · e^(-horizon / MTTFᵢ)``.
+    """
+    return sum(mttf * math.exp(-horizon / mttf) for mttf in leaf_mttfs)
+
+
+def _integration_breakpoints(leaf_mttfs: list[float], horizon: float) -> list[float]:
+    """Log-spaced quadrature breakpoints covering every lifetime scale.
+
+    ``R(t)``'s mass can sit anywhere between the fastest failure scale
+    (``1 / Σ λᵢ``) and the horizon; with leaf MTTFs separated by many orders
+    of magnitude a single adaptive pass over ``[0, horizon]`` samples right
+    past the concentrated mass and silently truncates the integral (the bug
+    this replaces).  One breakpoint per decade forces the quadrature to
+    resolve every scale.
+    """
+    fastest = 0.1 / sum(1.0 / mttf for mttf in leaf_mttfs)
+    first = math.floor(math.log10(fastest))
+    last = math.ceil(math.log10(horizon))
+    return [10.0**k for k in range(first, last) if 0.0 < 10.0**k < horizon]
+
+
+def mean_time_to_failure(
+    block: Block, upper_limit_factor: Optional[float] = None
+) -> float:
     """Mean time to first failure of the structure (no repair).
 
-    Closed form for basic blocks and series-of-exponential structures,
-    numerical integration of ``R(t)`` otherwise.
+    Closed form for basic blocks and series-of-exponential structures;
+    numerical integration of ``R(t)`` otherwise.  The integration places one
+    breakpoint per decade between the fastest failure scale and the horizon
+    (so widely separated component lifetimes cannot be sampled past — the
+    old single-pass quadrature silently lost the concentrated mass of
+    highly redundant parallel / k-out-of-n structures inside larger
+    systems), and the truncated tail is certified against the coherent-
+    structure bound ``R(t) ≤ Σᵢ e^(-λᵢ t)``, growing the horizon until the
+    neglected tail is relatively negligible.
+
+    Args:
+        block: the structure to evaluate.
+        upper_limit_factor: optional explicit truncation horizon as a
+            multiple of the largest leaf MTTF; ``None`` (the default) uses
+            ``200`` lifetimes *and* enforces the certified tail bound.
     """
     if isinstance(block, BasicBlock):
         return block.mttf()
@@ -54,11 +107,39 @@ def mean_time_to_failure(block: Block, upper_limit_factor: float = 200.0) -> flo
     ):
         return 1.0 / sum(equivalent_failure_rate(child) for child in block.children)
 
-    longest_leaf_mttf = max(leaf.mttf() for leaf in block.basic_blocks())
-    upper_limit = upper_limit_factor * longest_leaf_mttf
-    value, absolute_error = integrate.quad(
-        block.reliability, 0.0, upper_limit, limit=400
-    )
+    leaf_mttfs = [leaf.mttf() for leaf in block.basic_blocks()]
+    longest_leaf_mttf = max(leaf_mttfs)
+    explicit_horizon = upper_limit_factor is not None
+    factor = upper_limit_factor if explicit_horizon else DEFAULT_HORIZON_FACTOR
+    horizon = factor * longest_leaf_mttf
+
+    value = 0.0
+    absolute_error = 0.0
+    lower = 0.0
+    while True:
+        points = [
+            point
+            for point in _integration_breakpoints(leaf_mttfs, horizon)
+            if lower < point < horizon
+        ]
+        piece, piece_error = integrate.quad(
+            block.reliability,
+            lower,
+            horizon,
+            limit=max(400, 50 * (len(points) + 1)),
+            points=points or None,
+        )
+        value += piece
+        absolute_error += piece_error
+        if explicit_horizon:
+            break
+        tail = _tail_bound(leaf_mttfs, horizon)
+        if tail <= _TAIL_RELATIVE_TOLERANCE * max(value, tail):
+            break
+        # Certified tail still matters: push the horizon out and integrate
+        # the next slab (geometric growth terminates in a handful of steps
+        # because the bound decays exponentially).
+        lower, horizon = horizon, 2.0 * horizon
     if value <= 0.0:
         raise AnalysisError(
             f"numerical MTTF integration for block {block.name!r} returned {value!r}"

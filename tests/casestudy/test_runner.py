@@ -102,3 +102,34 @@ class TestEvaluation:
         )
         with pytest.raises(ConfigurationError):
             runner.evaluate(bad)
+
+
+class TestMachineCountMismatch:
+    """A scenario pinning a machine count can never evaluate on a runner
+    whose shared structure has a different one (the silent-mismatch bug)."""
+
+    def test_mismatched_scenario_rejected(self, runner):
+        from repro.exceptions import ConfigurationError
+
+        mismatched = DistributedScenario(
+            RIO_DE_JANEIRO, BRASILIA, machines_per_datacenter=2
+        )
+        with pytest.raises(ConfigurationError, match="machine"):
+            runner.scenario_spec(mismatched)
+        with pytest.raises(ConfigurationError, match="machine"):
+            runner.evaluate(mismatched)
+        with pytest.raises(ConfigurationError, match="machine"):
+            runner.evaluate_many([mismatched])
+
+    def test_matching_scenario_accepted(self, runner):
+        matching = DistributedScenario(
+            RIO_DE_JANEIRO, BRASILIA, machines_per_datacenter=1
+        )
+        assert runner.scenario_spec(matching).name == matching.label
+
+    def test_unpinned_scenario_inherits_the_runner_count(self, runner):
+        spec = runner.scenario_spec(scenario())
+        assert spec.name == scenario().label
+
+    def test_runner_reference_model_uses_configured_count(self, runner):
+        assert len(runner.reference_model().spec.physical_machines) == 2

@@ -94,6 +94,51 @@ class TestDistributedRows:
         assert len(reproduce_table7(include_distributed=False)) == 3
 
 
+class TestTable7CachedOrchestration:
+    def test_single_site_rows_populate_and_reuse_the_cache(self, tmp_path, monkeypatch):
+        """The three baselines no longer bypass the TRGCache (old bug)."""
+        from repro.casestudy.grid import scenario_case
+        from repro.core.scenarios import single_datacenter_baselines
+        from repro.engine import ScenarioGridOrchestrator, TRGCache
+        from repro.engine.cache import structure_fingerprint
+        from repro.spn.enabling import CompiledNet
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = TRGCache()
+        assert not cache.entries()
+        first = single_site_rows()
+        assert len(cache.entries()) == 3
+        # Every baseline's graph is now loadable straight from disk (keyed
+        # by rateless structure, as the orchestrator stores them).
+        orchestrator = ScenarioGridOrchestrator()
+        for scenario in single_datacenter_baselines():
+            case = scenario_case(scenario)
+            canonical_id = (
+                case.canonicalizer.build().cache_id if case.canonicalizer else None
+            )
+            compiled = CompiledNet(case.net)
+            key = orchestrator._group_digest(
+                structure_fingerprint(
+                    compiled, include_rates=False, include_name=False
+                ),
+                canonical_id,
+            )
+            assert cache.load(compiled, 500_000, key=key) is not None
+        second = single_site_rows()
+        for before, after in zip(first, second):
+            assert before.measured.availability == after.measured.availability
+
+    def test_single_site_rows_match_cold_model_solve(self):
+        """Orchestrated baselines agree with the old per-model cold path."""
+        from repro.core.scenarios import single_datacenter_baselines
+
+        rows = single_site_rows(use_cache=False)
+        for scenario, row in zip(single_datacenter_baselines(), rows):
+            model = scenario.build_model()
+            reference = model.availability().availability
+            assert abs(reference - row.measured.availability) < 1e-9
+
+
 class TestFigure7:
     def test_grid_restriction(self):
         scenarios = figure7_grid(city_pairs=CITY_PAIRS[:1], alphas=[0.35], disaster_years=[100.0, 300.0])

@@ -88,7 +88,7 @@ class TestAssembly:
         model = small_model(parameters=parameters)
         assert model.build().transition("DC_1_F").delay == pytest.approx(300.0 * 8760.0)
 
-    def test_more_than_two_datacenters_rejected(self):
+    def test_three_datacenters_still_require_locations(self):
         spec = CloudSystemSpec(
             datacenters=tuple(
                 DataCenterSpec(index=i, hot_physical_machines=1) for i in (1, 2, 3)
@@ -97,6 +97,41 @@ class TestAssembly:
         )
         with pytest.raises(ConfigurationError):
             CloudSystemModel(spec=spec, alpha=0.35)
+
+    def test_three_datacenters_build_a_transmission_network(self):
+        from repro.core.datacenter import multi_datacenter_spec
+        from repro.network.geo import BRASILIA, RECIFE, RIO_DE_JANEIRO, SAO_PAULO
+
+        spec = multi_datacenter_spec(
+            locations=(RIO_DE_JANEIRO, BRASILIA, RECIFE),
+            backup_location=SAO_PAULO,
+            machines_per_datacenter=1,
+            required_running_vms=1,
+        )
+        model = CloudSystemModel(spec=spec, alpha=0.35)
+        names = set(model.build().transition_names)
+        assert {"TRI_12", "TRI_23", "TRI_31", "TBE_13", "TBE_32"} <= names
+        direct, backup = model.resolved_transmission_times()
+        assert len(direct) == 6 and len(backup) == 3
+        assert all(hours > 0.0 for hours in direct.values())
+
+    def test_explicit_migration_times_rejected_beyond_two_datacenters(self):
+        from repro.core.datacenter import multi_datacenter_spec
+        from repro.network.geo import BRASILIA, RECIFE, RIO_DE_JANEIRO, SAO_PAULO
+
+        spec = multi_datacenter_spec(
+            locations=(RIO_DE_JANEIRO, BRASILIA, RECIFE),
+            backup_location=SAO_PAULO,
+            machines_per_datacenter=1,
+            required_running_vms=1,
+        )
+        times = MigrationTimes(
+            datacenter_to_datacenter=Duration.from_hours(1.0),
+            backup_to_first=Duration.from_hours(0.5),
+            backup_to_second=Duration.from_hours(0.75),
+        )
+        with pytest.raises(ConfigurationError):
+            CloudSystemModel(spec=spec, alpha=0.35, migration_times=times)
 
     def test_distributed_deployment_requires_alpha_or_times(self):
         with pytest.raises(ConfigurationError):

@@ -7,6 +7,8 @@ from repro.core import (
     PhysicalMachineSpec,
     TransmissionParameters,
     build_transmission_component,
+    build_transmission_network,
+    topology_pairs,
 )
 from repro.core.transmission import backup_transfer_place, transfer_place
 from repro.exceptions import ModelError
@@ -95,6 +97,148 @@ class TestStructure:
     def test_invalid_mtt_rejected(self):
         with pytest.raises(ModelError):
             TransmissionParameters(0.0, 1.0, 1.0)
+
+
+def _network_fixture(count, topology="mesh", has_backup=True, l=1):
+    datacenters = [DataCenterSpec(index=i) for i in range(1, count + 1)]
+    machines = {}
+    next_pm = 1
+    for dc in datacenters:
+        machines[dc.index] = tuple(
+            PhysicalMachineSpec(
+                index=next_pm + offset,
+                datacenter_index=dc.index,
+                vm_capacity=2,
+                initial_vms=1,
+            )
+            for offset in range(2)
+        )
+        next_pm += 2
+    pairs = topology_pairs(count, topology)
+    direct_times = {pair: 0.5 for pair in pairs}
+    backup_times = {dc.index: 0.1 * dc.index for dc in datacenters}
+    return build_transmission_network(
+        datacenters,
+        machines,
+        direct_times,
+        backup_times,
+        topology=topology,
+        has_backup_server=has_backup,
+        minimum_operational_pms=l,
+    )
+
+
+class TestTopologyPairs:
+    def test_mesh_connects_every_ordered_pair(self):
+        assert set(topology_pairs(3, "mesh")) == {
+            (1, 2), (2, 1), (1, 3), (3, 1), (2, 3), (3, 2)
+        }
+
+    def test_ring_connects_cycle_neighbours_only(self):
+        pairs = set(topology_pairs(4, "ring"))
+        assert (1, 2) in pairs and (4, 1) in pairs
+        assert (1, 3) not in pairs and (2, 4) not in pairs
+        assert len(pairs) == 8
+
+    def test_two_datacenters_mesh_equals_ring(self):
+        assert set(topology_pairs(2, "mesh")) == set(topology_pairs(2, "ring"))
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ModelError):
+            topology_pairs(3, "hypercube")
+
+    def test_single_datacenter_rejected(self):
+        with pytest.raises(ModelError):
+            topology_pairs(1)
+
+
+class TestTransmissionNetwork:
+    def test_two_datacenter_network_is_identical_to_component(self):
+        """The N-DC builder must emit byte-for-byte the paper's 2-DC block."""
+        first, second, first_machines, second_machines = specs()
+        component = build_transmission_component(
+            first, second, first_machines, second_machines, PARAMS
+        )
+        network = build_transmission_network(
+            (first, second),
+            {1: first_machines, 2: second_machines},
+            {(1, 2): 0.5, (2, 1): 0.5},
+            {1: 0.2, 2: 0.4},
+        )
+        assert network.place_names == component.place_names
+        assert network.transition_names == component.transition_names
+        for name in component.transition_names:
+            ours, reference = network.transition(name), component.transition(name)
+            assert ours.delay == reference.delay
+            if reference.guard is not None:
+                assert ours.guard.to_source() == reference.guard.to_source()
+
+    def test_three_datacenter_mesh_has_all_paths(self):
+        net = _network_fixture(3)
+        names = set(net.transition_names)
+        for i, j in topology_pairs(3, "mesh"):
+            assert f"TRI_{i}{j}" in names and f"TRE_{i}{j}" in names
+            assert f"TBI_{i}{j}" in names and f"TBE_{i}{j}" in names
+
+    def test_backup_times_keyed_by_destination(self):
+        net = _network_fixture(3)
+        # Restoring into DC j uses backup->j time regardless of the source.
+        assert net.transition("TBE_12").delay == pytest.approx(0.2)
+        assert net.transition("TBE_32").delay == pytest.approx(0.2)
+        assert net.transition("TBE_21").delay == pytest.approx(0.1)
+        assert net.transition("TBE_13").delay == pytest.approx(0.3)
+
+    def test_ring_topology_skips_non_neighbours(self):
+        net = _network_fixture(4, topology="ring")
+        names = set(net.transition_names)
+        assert "TRI_12" in names and "TRI_41" in names
+        assert "TRI_13" not in names and "TRI_24" not in names
+
+    def test_ring_backup_restoration_spans_all_pairs(self):
+        # Restoration flows over the backup server's star links, so the ring
+        # restriction applies to direct migration only.
+        net = _network_fixture(4, topology="ring")
+        names = set(net.transition_names)
+        assert "TBI_13" in names and "TBE_24" in names
+
+    def test_without_backup_server(self):
+        net = _network_fixture(3, has_backup=False)
+        assert not any(name.startswith("TB") for name in net.transition_names)
+
+    def test_non_contiguous_datacenter_indices_accepted(self):
+        # The 2-DC component never required indices 1 and 2 specifically.
+        first, third = DataCenterSpec(index=1), DataCenterSpec(index=3)
+        machines_1 = (
+            PhysicalMachineSpec(index=1, datacenter_index=1, vm_capacity=2, initial_vms=1),
+        )
+        machines_3 = (
+            PhysicalMachineSpec(index=2, datacenter_index=3, vm_capacity=2, initial_vms=1),
+        )
+        net = build_transmission_component(first, third, machines_1, machines_3, PARAMS)
+        names = set(net.transition_names)
+        assert {"TRI_13", "TRI_31", "TBI_13", "TBI_31"} <= names
+
+    def test_missing_direct_time_rejected(self):
+        datacenters = [DataCenterSpec(index=i) for i in (1, 2)]
+        machines = {
+            1: (PhysicalMachineSpec(index=1, datacenter_index=1, vm_capacity=2, initial_vms=1),),
+            2: (PhysicalMachineSpec(index=2, datacenter_index=2, vm_capacity=2, initial_vms=1),),
+        }
+        with pytest.raises(ModelError):
+            build_transmission_network(
+                datacenters, machines, {(1, 2): 0.5}, {1: 0.1, 2: 0.1}
+            )
+
+    def test_non_positive_time_rejected(self):
+        datacenters = [DataCenterSpec(index=i) for i in (1, 2)]
+        machines = {
+            1: (PhysicalMachineSpec(index=1, datacenter_index=1, vm_capacity=2, initial_vms=1),),
+            2: (PhysicalMachineSpec(index=2, datacenter_index=2, vm_capacity=2, initial_vms=1),),
+        }
+        with pytest.raises(ModelError):
+            build_transmission_network(
+                datacenters, machines, {(1, 2): 0.0, (2, 1): 0.5}, {1: 0.1, 2: 0.1}
+            )
 
 
 class TestGuardSemantics:

@@ -1,0 +1,352 @@
+"""Tests for the structure-grouped scenario-grid orchestrator."""
+
+import json
+
+import pytest
+
+from repro.casestudy.grid import CaseStudyGrid, evaluate_grid, scenario_case
+from repro.core import CaseStudyParameters
+from repro.core.scenarios import (
+    CITY_PAIRS,
+    DistributedScenario,
+    MultiDataCenterScenario,
+    SingleDataCenterScenario,
+)
+from repro.engine import (
+    CanonicalizerRef,
+    GridCase,
+    ScenarioBatchEngine,
+    ScenarioGridOrchestrator,
+    TRGCache,
+)
+from repro.network.geo import BRASILIA, RECIFE, RIO_DE_JANEIRO
+from repro.spn.enabling import CompiledNet
+from repro.spn.rewards import ProbabilityMeasure
+from repro.spn.validation import validate
+
+REDUCED = CaseStudyParameters(required_running_vms=1)
+
+
+def reduced_case(scenario, **kwargs):
+    return scenario_case(scenario, parameters=REDUCED, **kwargs)
+
+
+def distributed(alpha=0.35, years=100.0, machines=1, pair=0):
+    first, second = CITY_PAIRS[pair]
+    return DistributedScenario(
+        first,
+        second,
+        alpha=alpha,
+        disaster_mean_time_years=years,
+        machines_per_datacenter=machines,
+    )
+
+
+class TestGrouping:
+    def group_key(self, case):
+        orchestrator = ScenarioGridOrchestrator()
+        canonical_id = None
+        if case.canonicalizer is not None:
+            canonical_id = case.canonicalizer.build().cache_id
+        return orchestrator.group_key(CompiledNet(case.net), canonical_id)
+
+    def test_rate_only_differences_share_a_group(self):
+        # Different α, disaster mean time AND city pair: all pure rate
+        # changes of one structure.
+        keys = {
+            self.group_key(reduced_case(distributed(alpha=0.35))),
+            self.group_key(reduced_case(distributed(alpha=0.45))),
+            self.group_key(reduced_case(distributed(years=300.0))),
+            self.group_key(reduced_case(distributed(pair=3))),
+        }
+        assert len(keys) == 1
+
+    def test_machine_counts_split_groups(self):
+        assert self.group_key(reduced_case(distributed(machines=1))) != self.group_key(
+            reduced_case(distributed(machines=2))
+        )
+
+    def test_backup_ablation_splits_groups(self):
+        with_backup = MultiDataCenterScenario(
+            locations=CITY_PAIRS[0], machines_per_datacenter=1
+        )
+        without = MultiDataCenterScenario(
+            locations=CITY_PAIRS[0], machines_per_datacenter=1, has_backup_server=False
+        )
+        assert self.group_key(reduced_case(with_backup)) != self.group_key(
+            reduced_case(without)
+        )
+
+    def test_l_threshold_splits_groups(self):
+        base = MultiDataCenterScenario(locations=CITY_PAIRS[0], machines_per_datacenter=1)
+        stricter = MultiDataCenterScenario(
+            locations=CITY_PAIRS[0], machines_per_datacenter=1, minimum_operational_pms=2
+        )
+        assert self.group_key(reduced_case(base)) != self.group_key(
+            reduced_case(stricter)
+        )
+
+    def test_canonicalizer_identity_part_of_group(self):
+        lumped = reduced_case(distributed(machines=2))
+        unlumped = reduced_case(distributed(machines=2), symmetry_reduction=False)
+        assert lumped.canonicalizer is not None and unlumped.canonicalizer is None
+        assert self.group_key(lumped) != self.group_key(unlumped)
+
+    def test_duplicate_names_rejected(self):
+        case = reduced_case(distributed())
+        with pytest.raises(ValueError):
+            ScenarioGridOrchestrator().run([case, case])
+
+
+class TestCanonicalizerRef:
+    def test_ref_rebuilds_model_canonicalizer(self):
+        model = distributed(machines=2).build_model(REDUCED)
+        reference = model.symmetry_canonicalizer()
+        rebuilt = CanonicalizerRef(
+            "repro.core.cloud_model:pm_symmetry_canonicalizer",
+            (model.symmetry_groups(),),
+        ).build()
+        assert rebuilt.cache_id == reference.cache_id
+        marking = tuple(range(len(model.build().place_names)))
+        assert rebuilt(marking) == reference(marking)
+
+    def test_ref_survives_pickling(self):
+        import pickle
+
+        model = distributed(machines=2).build_model(REDUCED)
+        ref = CanonicalizerRef(
+            "repro.core.cloud_model:pm_symmetry_canonicalizer",
+            (model.symmetry_groups(),),
+        )
+        clone = pickle.loads(pickle.dumps(ref))
+        assert clone.build().cache_id == ref.build().cache_id
+
+    def test_invalid_factory_rejected(self):
+        with pytest.raises(ValueError):
+            CanonicalizerRef("no-colon-here").build()
+
+
+class TestOrchestratedRun:
+    @pytest.fixture(scope="class")
+    def mixed_outcome_and_cases(self):
+        cases = [
+            reduced_case(distributed(alpha=0.35)),
+            reduced_case(distributed(alpha=0.45)),
+            reduced_case(distributed(pair=1, years=300.0)),
+            reduced_case(
+                SingleDataCenterScenario(machines=1, label="single-1", parameters=REDUCED)
+            ),
+            reduced_case(
+                SingleDataCenterScenario(machines=2, label="single-2", parameters=REDUCED)
+            ),
+        ]
+        outcome = ScenarioGridOrchestrator().run(cases)
+        return outcome, cases
+
+    def test_results_preserve_input_order_and_grouping(self, mixed_outcome_and_cases):
+        outcome, cases = mixed_outcome_and_cases
+        assert [row.name for row in outcome.results] == [case.name for case in cases]
+        assert len(outcome.groups) == 3
+        two_dc = outcome.results[0].group
+        assert outcome.results[1].group == two_dc == outcome.results[2].group
+        assert outcome.results[3].group != outcome.results[4].group != two_dc
+
+    def test_grid_matches_per_scenario_serial_evaluation(self, mixed_outcome_and_cases):
+        """The acceptance bar: orchestration must not change any number."""
+        outcome, cases = mixed_outcome_and_cases
+        for case, row in zip(cases, outcome.results):
+            engine = ScenarioBatchEngine(
+                case.net,
+                canonicalize=(
+                    case.canonicalizer.build() if case.canonicalizer else None
+                ),
+            )
+            solution = engine.solve(rates=case.full_rates())
+            reference = solution.probability(case.measures[0].expression)
+            assert abs(reference - row.value("availability")) < 1e-12
+
+    def test_provenance_recorded(self, mixed_outcome_and_cases):
+        outcome, _ = mixed_outcome_and_cases
+        for group in outcome.groups:
+            assert group.graph_source in {"generated", "generated:pool", "cache"}
+            assert group.number_of_states > 0
+            assert group.backend in {"serial", "thread", "process"}
+
+
+class TestCacheAndShards:
+    def test_second_run_hits_cache_and_agrees(self, tmp_path):
+        cases = [
+            reduced_case(distributed(alpha=0.35)),
+            reduced_case(distributed(alpha=0.45)),
+        ]
+        cache = TRGCache(tmp_path / "cache")
+        first = ScenarioGridOrchestrator(cache=cache).run(cases)
+        second = ScenarioGridOrchestrator(cache=cache).run(cases)
+        assert all(
+            group.graph_source in {"generated", "generated:pool"}
+            for group in first.groups
+        )
+        assert all(group.cache_hit for group in second.groups)
+        for a, b in zip(first.results, second.results):
+            assert a.measures == b.measures
+
+    def test_shards_stream_every_row(self, tmp_path):
+        cases = [
+            reduced_case(distributed(alpha=0.35)),
+            reduced_case(distributed(alpha=0.45)),
+            reduced_case(
+                SingleDataCenterScenario(machines=1, label="single-1", parameters=REDUCED)
+            ),
+        ]
+        outcome = ScenarioGridOrchestrator(
+            shard_directory=tmp_path / "shards", shard_size=2
+        ).run(cases)
+        assert len(outcome.shard_paths) == 2
+        records = []
+        for path in outcome.shard_paths:
+            with open(path) as handle:
+                records.extend(json.loads(line) for line in handle)
+        assert sorted(record["index"] for record in records) == [0, 1, 2]
+        by_index = {record["index"]: record for record in records}
+        for index, row in enumerate(outcome.results):
+            assert by_index[index]["measures"] == row.measures
+            assert by_index[index]["group"] == row.group
+
+    def test_rate_only_variants_hit_the_cache_across_runs(self, tmp_path):
+        """A new rate point (new α) must not regenerate the shared structure."""
+        cache = TRGCache(tmp_path / "cache")
+        first = ScenarioGridOrchestrator(cache=cache).run(
+            [reduced_case(distributed(alpha=0.35))]
+        )
+        assert first.groups[0].graph_source in {"generated", "generated:pool"}
+        second = ScenarioGridOrchestrator(cache=cache).run(
+            [reduced_case(distributed(alpha=0.45)), reduced_case(distributed(years=300.0))]
+        )
+        assert [group.graph_source for group in second.groups] == ["cache"]
+        # Values still match a fresh serial evaluation of the new rate point.
+        case = reduced_case(distributed(alpha=0.45))
+        engine = ScenarioBatchEngine(case.net)
+        reference = engine.solve(rates=case.full_rates()).probability(
+            case.measures[0].expression
+        )
+        assert abs(reference - second.results[0].value("availability")) < 1e-12
+
+    def test_rerun_removes_stale_shards(self, tmp_path):
+        directory = tmp_path / "shards"
+        big = [
+            reduced_case(distributed(alpha=0.35)),
+            reduced_case(distributed(alpha=0.45)),
+            reduced_case(distributed(years=300.0)),
+        ]
+        ScenarioGridOrchestrator(shard_directory=directory, shard_size=1).run(big)
+        assert len(list(directory.glob("grid-shard-*.jsonl"))) == 3
+        small = ScenarioGridOrchestrator(
+            shard_directory=directory, shard_size=1
+        ).run(big[:1])
+        assert len(list(directory.glob("grid-shard-*.jsonl"))) == 1
+        assert len(small.shard_paths) == 1
+
+    def test_concurrent_generation_on_pool(self, tmp_path):
+        # Two distinct structures, two generation workers: both graphs must
+        # come back through the cache transport bit-identically.
+        cases = [
+            reduced_case(distributed(alpha=0.35)),
+            reduced_case(
+                SingleDataCenterScenario(machines=1, label="single-1", parameters=REDUCED)
+            ),
+        ]
+        pooled = ScenarioGridOrchestrator(generation_workers=2).run(cases)
+        serial = ScenarioGridOrchestrator(generation_workers=1).run(cases)
+        for a, b in zip(pooled.results, serial.results):
+            assert a.measures == b.measures
+
+
+class TestMergedMeasures:
+    def test_same_name_different_expressions_in_one_group(self):
+        scenario = distributed()
+        model = scenario.build_model(REDUCED)
+        net = model.build()
+        loose = GridCase(
+            name="k1",
+            net=net,
+            measures=(
+                ProbabilityMeasure(
+                    "availability", model.availability_expression(required_running_vms=1)
+                ),
+            ),
+        )
+        strict = GridCase(
+            name="k2",
+            net=net,
+            measures=(
+                ProbabilityMeasure(
+                    "availability", model.availability_expression(required_running_vms=2)
+                ),
+            ),
+        )
+        outcome = ScenarioGridOrchestrator().run([loose, strict])
+        assert len(outcome.groups) == 1
+        assert outcome.result("k1").value("availability") > outcome.result("k2").value(
+            "availability"
+        )
+
+
+class TestMultiDataCenterTopologies:
+    def test_three_datacenter_mesh_passes_structural_validation(self):
+        scenario = MultiDataCenterScenario(
+            locations=(RIO_DE_JANEIRO, BRASILIA, RECIFE), machines_per_datacenter=1
+        )
+        net = scenario.build_model(REDUCED).build()
+        issues = validate(net)
+        assert not issues
+        names = set(net.transition_names)
+        for i, j in ((1, 2), (2, 1), (1, 3), (3, 1), (2, 3), (3, 2)):
+            assert f"TRI_{i}{j}" in names
+            assert f"TBE_{i}{j}" in names
+
+    def test_grid_axes_prune_single_site_scenarios(self):
+        grid = CaseStudyGrid(
+            city_sets=((RIO_DE_JANEIRO, BRASILIA), (RIO_DE_JANEIRO,)),
+            alphas=(0.35, 0.45),
+            disaster_years=(100.0,),
+            machines_per_datacenter=(1,),
+            backup=(True, False),
+        )
+        scenarios = grid.scenarios()
+        # 2-DC: 2 alphas x 2 backup = 4; single site: 1 (alpha/backup pruned).
+        assert len(scenarios) == 5
+        labels = [s.label for s in scenarios]
+        assert len(set(labels)) == 5
+
+    def test_evaluate_grid_end_to_end(self, tmp_path):
+        grid = CaseStudyGrid(
+            city_sets=((RIO_DE_JANEIRO, BRASILIA), (RIO_DE_JANEIRO,)),
+            machines_per_datacenter=(1,),
+        )
+        outcome = evaluate_grid(
+            grid.scenarios(),
+            parameters=REDUCED,
+            use_cache=True,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert len(outcome.results) == 2
+        assert all(0.9 < row.value("availability") <= 1.0 for row in outcome.results)
+
+    def test_evaluate_grid_shares_nets_across_rate_variants(self):
+        grid = CaseStudyGrid(
+            city_sets=((RIO_DE_JANEIRO, BRASILIA), (RIO_DE_JANEIRO, RECIFE)),
+            alphas=(0.35, 0.45),
+            machines_per_datacenter=(1,),
+        )
+        outcome = evaluate_grid(grid.scenarios(), parameters=REDUCED, use_cache=False)
+        # Four rate-only variants of one structure: one group, one state
+        # space — and every value still matches its own serial evaluation.
+        assert len(outcome.groups) == 1
+        assert outcome.groups[0].cases == 4
+        for scenario, row in zip(grid.scenarios(), outcome.results):
+            case = reduced_case(scenario)
+            engine = ScenarioBatchEngine(case.net)
+            reference = engine.solve(rates=case.full_rates()).probability(
+                case.measures[0].expression
+            )
+            assert abs(reference - row.value("availability")) < 1e-12

@@ -86,3 +86,53 @@ class TestRbdResult:
         assert result.availability == pytest.approx(0.99)
         assert result.nines == pytest.approx(2.0)
         assert result.failure_rate == pytest.approx(1.0 / 99.0)
+
+
+class TestMttfIntegrationRobustness:
+    """Regression tests for the truncated-horizon MTTF bug.
+
+    The old implementation integrated R(t) in one adaptive pass over
+    [0, 200 x max leaf MTTF]; with component lifetimes separated by many
+    orders of magnitude the quadrature sampled straight past the
+    concentrated mass and silently lost (or zeroed) the integral.  The fix
+    places one breakpoint per decade between the fastest failure scale and
+    the horizon and certifies the truncated tail against the coherent-
+    structure bound R(t) <= sum_i exp(-lambda_i t).
+    """
+
+    def test_redundant_parallel_inside_series_with_separated_scales(self):
+        # Closed form: integral of (1 - (1 - e^{-a t})^4) e^{-c t} dt
+        #            = 4/(c+a) - 6/(c+2a) + 4/(c+3a) - 1/(c+4a).
+        a, c = 1e-6, 1000.0
+        deep = Parallel("deep", [BasicBlock(f"p{i}", 1.0 / a, 1.0) for i in range(4)])
+        structure = Series("mixed", [deep, BasicBlock("weak", 1.0 / c, 1e-4)])
+        exact = 4 / (c + a) - 6 / (c + 2 * a) + 4 / (c + 3 * a) - 1 / (c + 4 * a)
+        assert mean_time_to_failure(structure) == pytest.approx(exact, rel=1e-8)
+
+    def test_highly_redundant_parallel_matches_harmonic_closed_form(self):
+        n, leaf_mttf = 64, 100.0
+        block = Parallel("big", [BasicBlock(f"u{i}", leaf_mttf, 1.0) for i in range(n)])
+        exact = leaf_mttf * sum(1.0 / k for k in range(1, n + 1))
+        assert mean_time_to_failure(block) == pytest.approx(exact, rel=1e-10)
+
+    def test_parallel_with_twelve_orders_of_magnitude_scale_separation(self):
+        # Inclusion-exclusion for two independent exponentials.
+        fast, slow = 1.0, 1e12
+        block = Parallel("sep", [BasicBlock("fast", fast, 0.1), BasicBlock("slow", slow, 0.1)])
+        exact = fast + slow - 1.0 / (1.0 / fast + 1.0 / slow)
+        assert mean_time_to_failure(block) == pytest.approx(exact, rel=1e-10)
+
+    def test_k_out_of_n_closed_form_preserved(self):
+        from repro.rbd import KOutOfN
+
+        leaf_mttf = 1000.0
+        block = KOutOfN(
+            "koon", 2, [BasicBlock(f"m{i}", leaf_mttf, 1.0) for i in range(5)]
+        )
+        exact = leaf_mttf * sum(1.0 / i for i in range(2, 6))
+        assert mean_time_to_failure(block) == pytest.approx(exact, rel=1e-8)
+
+    def test_explicit_upper_limit_factor_still_truncates(self):
+        block = Parallel("pair", [BasicBlock("a", 100.0, 1.0), BasicBlock("b", 100.0, 1.0)])
+        truncated = mean_time_to_failure(block, upper_limit_factor=0.5)
+        assert truncated < mean_time_to_failure(block)

@@ -133,3 +133,55 @@ class TestCommands:
         assert "graph source  : cache" in capsys.readouterr().out
         assert main(["availability", "--no-cache"]) == 0
         assert "graph source  : generated" in capsys.readouterr().out
+
+
+class TestGridCommand:
+    def test_grid_parser_defaults(self):
+        arguments = build_parser().parse_args(["grid"])
+        assert arguments.cities == "Rio de Janeiro+Brasilia;Rio de Janeiro"
+        assert arguments.backup == "on"
+        assert arguments.topology == "mesh"
+        assert arguments.required_vms == 1
+        assert arguments.shard_dir is None
+
+    def test_grid_command_prints_rows_and_groups(self, capsys):
+        assert (
+            main(
+                [
+                    "grid",
+                    "--cities",
+                    "Rio de Janeiro+Brasilia;Rio de Janeiro",
+                    "--alphas",
+                    "0.35,0.45",
+                    "--machines",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "structure group" in output
+        assert "Rio de Janeiro single site" in output
+        assert "alpha=0.45" in output
+
+    def test_grid_command_writes_shards(self, capsys, tmp_path):
+        shard_dir = tmp_path / "shards"
+        assert (
+            main(
+                [
+                    "grid",
+                    "--cities",
+                    "Rio de Janeiro",
+                    "--machines",
+                    "1,2",
+                    "--shard-dir",
+                    str(shard_dir),
+                ]
+            )
+            == 0
+        )
+        assert list(shard_dir.glob("grid-shard-*.jsonl"))
+
+    def test_grid_rejects_malformed_axis(self):
+        with pytest.raises(SystemExit):
+            main(["grid", "--alphas", "fast"])
