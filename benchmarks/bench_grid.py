@@ -205,9 +205,13 @@ def run(quick: bool = False) -> int:
                 "backend": group.backend,
                 "generate_seconds": round(group.generate_seconds, 3),
                 "solve_seconds": round(group.solve_seconds, 3),
+                "deduped_cases": group.deduped_cases,
+                "timeline": group.timeline(),
             }
             for group in outcome.groups
         ],
+        "pipelined": outcome.pipelined,
+        "deduped_cases": outcome.deduped_cases,
         "speedup_target": {
             "required": SPEEDUP_FLOOR,
             "measured": round(speedup, 3),

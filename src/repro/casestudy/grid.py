@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.core.parameters import CaseStudyParameters
 from repro.core.scenarios import (
@@ -215,13 +215,17 @@ def evaluate_grid(
     symmetry_reduction: bool = True,
     shard_directory: Optional[Path] = None,
     generation_workers: Optional[int] = None,
+    pipeline: bool = True,
+    dedupe: bool = True,
+    log_callback: Optional[Callable[[str], None]] = None,
 ) -> GridOutcome:
     """Evaluate a list of case-study scenarios as one orchestrated grid.
 
     Results come back in scenario order; each row carries the availability
     measure plus per-group provenance (states, backend chosen, cache hit,
     solve seconds).  See :class:`repro.engine.grid.ScenarioGridOrchestrator`
-    for the phases.
+    for the phases, the ``pipeline`` work-stealing overlap, the
+    rate-identical-case ``dedupe`` and the ``log_callback`` progress hook.
     """
     cases = []
     shared_nets: dict[tuple, object] = {}
@@ -247,5 +251,8 @@ def evaluate_grid(
         max_states=max_states,
         shard_directory=shard_directory,
         generation_workers=generation_workers,
+        pipeline=pipeline,
+        dedupe=dedupe,
+        log_callback=log_callback,
     )
     return orchestrator.run(cases)

@@ -27,6 +27,7 @@ state-space generation; pass ``--no-cache`` to force a fresh exploration.
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 from typing import Optional, Sequence
 
@@ -223,10 +224,37 @@ def build_parser() -> argparse.ArgumentParser:
         "directory holds one grid's shards — existing grid-shard-*.jsonl "
         "files are removed at the start of a run",
     )
+    grid.add_argument(
+        "--pipeline",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="overlap structure generation with solving (work-stealing "
+        "pipeline; --no-pipeline forces the two-phase barrier)",
+    )
+    grid.add_argument(
+        "--dedupe",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="solve rate-identical cases of one structure once and share "
+        "the stationary vector (measures stay per case)",
+    )
+    grid.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="print live one-line pipeline progress to stderr",
+    )
     _add_jobs_flag(grid)
     _add_cache_flag(grid)
 
     ablations = commands.add_parser("ablations", help="design-knob ablations")
+    ablations.add_argument(
+        "--dedupe",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share the stationary vector across rate-identical suite cases "
+        "(the threshold ablation re-uses the reference solve)",
+    )
     _add_full_flag(ablations)
     _add_jobs_flag(ablations)
     _add_cache_flag(ablations)
@@ -355,6 +383,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backup=backup_axis[arguments.backup],
             topology=arguments.topology,
         )
+        def progress(line: str) -> None:
+            print(line, file=sys.stderr, flush=True)
+
         outcome = evaluate_grid(
             grid.scenarios(),
             parameters=CaseStudyParameters(
@@ -365,6 +396,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             use_cache=not arguments.no_cache,
             shard_directory=arguments.shard_dir,
             generation_workers=arguments.jobs,
+            pipeline=arguments.pipeline,
+            dedupe=arguments.dedupe,
+            log_callback=progress if arguments.progress else None,
         )
         print(render_grid(outcome))
         return 0
@@ -375,8 +409,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             use_cache=not arguments.no_cache,
             jobs=arguments.jobs,
             backend=arguments.backend,
+            dedupe=arguments.dedupe,
         )
         print(render_ablations(study.run_default_suite()))
+        outcome = study.last_grid_outcome
+        if outcome is not None and outcome.deduped_cases:
+            print(
+                f"({outcome.deduped_cases} case(s) shared a rate-identical "
+                f"stationary vector instead of solving)"
+            )
         return 0
 
     if arguments.command == "sensitivity":

@@ -11,10 +11,12 @@ of a batch with one GEMM (:mod:`repro.engine.measures`).
 
 from repro.engine.batch import (
     BACKENDS,
+    DedupeStats,
     ScenarioBatchEngine,
     ScenarioResult,
     ScenarioSpec,
     TransientScenarioResult,
+    rate_digest,
 )
 from repro.engine.cache import CacheEntry, TRGCache, cache_key, default_cache_directory
 from repro.engine.grid import (
@@ -28,8 +30,10 @@ from repro.engine.grid import (
 from repro.engine.dispatch import (
     CostObservations,
     DispatchDecision,
+    PipelineBudget,
     choose_backend,
     effective_cpu_count,
+    estimate_generation_cost,
     resolve_worker_count,
 )
 from repro.engine.krylov import KrylovSettings, ReusableSolver
@@ -56,9 +60,13 @@ __all__ = [
     "ScenarioSpec",
     "TransientScenarioResult",
     "CostObservations",
+    "DedupeStats",
     "DispatchDecision",
+    "PipelineBudget",
     "choose_backend",
     "effective_cpu_count",
+    "estimate_generation_cost",
+    "rate_digest",
     "resolve_worker_count",
     "shutdown_shared_pool",
     "CacheEntry",

@@ -37,6 +37,7 @@ baselines, and of any sensitivity or capacity sweep):
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 import warnings
@@ -108,13 +109,21 @@ class ScenarioSpec:
 
 @dataclass
 class ScenarioResult:
-    """Measures of one evaluated scenario plus solve bookkeeping."""
+    """Measures of one evaluated scenario plus solve bookkeeping.
+
+    ``solve_source`` records how the stationary vector was obtained:
+    ``"solved"`` (a real solve ran), ``"deduped"`` (shared bitwise with an
+    earlier rate-identical scenario of the same batch) or ``"injected"``
+    (supplied by the caller via ``presolved``).  Measure values are computed
+    per scenario on every path.
+    """
 
     spec: ScenarioSpec
     measures: dict[str, float]
     number_of_states: int
     solve_seconds: float
     solution: Optional[SteadyStateSolution] = None
+    solve_source: str = "solved"
 
     @property
     def name(self) -> str:
@@ -122,6 +131,43 @@ class ScenarioResult:
 
     def value(self, measure_name: str) -> float:
         return self.measures[measure_name]
+
+
+@dataclass(frozen=True)
+class DedupeStats:
+    """Outcome of one batch's rate-vector dedupe pass.
+
+    ``cases`` scenarios came in, ``solved`` linear systems actually ran,
+    ``deduped`` scenarios shared an earlier scenario's stationary vector
+    (their resolved rate vectors were bit-identical) and ``injected``
+    scenarios were supplied pre-solved by the caller.
+    """
+
+    cases: int
+    solved: int
+    deduped: int
+    injected: int
+
+    def as_dict(self) -> dict:
+        return {
+            "cases": self.cases,
+            "solved": self.solved,
+            "deduped": self.deduped,
+            "injected": self.injected,
+        }
+
+
+def rate_digest(rate_vector: np.ndarray) -> bytes:
+    """Canonical digest of one resolved float64 rate vector.
+
+    Two scenarios whose full rate assignments hash equal re-rate the shared
+    graph into bit-identical linear systems, so one stationary solve serves
+    both.  The digest is over the raw float64 bytes — conservatively exact
+    (``-0.0`` and ``0.0`` hash apart), never approximate.
+    """
+    return hashlib.sha256(
+        np.ascontiguousarray(rate_vector, dtype=np.float64).tobytes()
+    ).digest()
 
 
 @dataclass
@@ -235,6 +281,9 @@ class ScenarioBatchEngine:
         #: Cost-model decision of the most recent ``backend="auto"``
         #: dispatch that actually consulted the model (``None`` before).
         self.last_dispatch: Optional[DispatchDecision] = None
+        #: Dedupe/injection bookkeeping of the most recent :meth:`run` call
+        #: (``None`` until the first batch).
+        self.last_run_dedupe: Optional[DedupeStats] = None
         #: Calibrated cold/warm solve times reused across batches.
         self._cost_observations: Optional[CostObservations] = None
         self._net: Optional[NetLike] = net
@@ -370,6 +419,8 @@ class ScenarioBatchEngine:
         max_workers: Optional[int] = None,
         keep_solutions: bool = False,
         backend: str = "auto",
+        dedupe: bool = False,
+        presolved: Optional[Mapping[int, np.ndarray]] = None,
     ) -> list[ScenarioResult]:
         """Evaluate a whole batch over the selected backend.
 
@@ -389,6 +440,18 @@ class ScenarioBatchEngine:
         kept in :attr:`last_dispatch`).  Explicit backends are honoured,
         degrading gracefully to threads when shared memory is unavailable.
         The backend actually used is recorded in :attr:`last_run_backend`.
+
+        ``dedupe=True`` hashes every scenario's resolved rate vector
+        (:func:`rate_digest`): scenarios whose vectors are bit-identical
+        re-rate the graph into the same linear system, so only the first of
+        each class is solved and the later ones share its stationary vector
+        (``solve_source="deduped"``, ``solve_seconds=0``).  Measures are
+        still evaluated per scenario, so rate-identical cases with
+        *different* measures (expression-only ablations such as the
+        k-threshold) stay per-case.  ``presolved`` maps spec indices to
+        already-known stationary vectors (e.g. from an earlier batch over
+        the same graph); those indices skip solving outright.  Both are
+        reported in :attr:`last_run_dedupe`.
         """
         specs = list(specs)
         validate_measures(measures)
@@ -398,6 +461,7 @@ class ScenarioBatchEngine:
             )
         if not specs:
             self.last_run_backend = "serial"
+            self.last_run_dedupe = DedupeStats(0, 0, 0, 0)
             return []
         requested = int(max_workers) if max_workers is not None else 1
         workers = (
@@ -410,28 +474,141 @@ class ScenarioBatchEngine:
         if len(specs) > block_rows and not keep_solutions:
             # Bounded-memory dispatch: consecutive contiguous sub-batches
             # (order preserved, so per-worker warm-start locality survives).
+            # Dedupe applies within each sub-batch: a representative's
+            # solution block must still be alive when its duplicates are
+            # filled, and sub-batches are exactly the windows whose blocks
+            # coexist in memory.
             results: list[ScenarioResult] = []
+            totals = [0, 0, 0, 0]
             for start in range(0, len(specs), block_rows):
+                stop = start + block_rows
+                sub_presolved = {
+                    index - start: vector
+                    for index, vector in (presolved or {}).items()
+                    if start <= int(index) < stop
+                }
                 results.extend(
                     self.run(
-                        specs[start : start + block_rows],
+                        specs[start:stop],
                         measures,
                         max_workers=max_workers,
                         keep_solutions=False,
                         backend=backend,
+                        dedupe=dedupe,
+                        presolved=sub_presolved or None,
                     )
                 )
+                if self.last_run_dedupe is not None:
+                    for position, value in enumerate(
+                        (
+                            self.last_run_dedupe.cases,
+                            self.last_run_dedupe.solved,
+                            self.last_run_dedupe.deduped,
+                            self.last_run_dedupe.injected,
+                        )
+                    ):
+                        totals[position] += value
+            self.last_run_dedupe = DedupeStats(*totals)
             return results
-        solutions = np.empty((len(specs), self.number_of_states))
-        seconds = np.empty(len(specs))
+
+        n = self.number_of_states
+        injected: dict[int, np.ndarray] = {}
+        for index, vector in (presolved or {}).items():
+            vector = np.ascontiguousarray(vector, dtype=np.float64)
+            if vector.shape != (n,):
+                raise ValueError(
+                    f"presolved vector for spec {index} has shape "
+                    f"{vector.shape}; expected ({n},)"
+                )
+            if not 0 <= int(index) < len(specs):
+                raise ValueError(
+                    f"presolved index {index} outside the batch of {len(specs)}"
+                )
+            injected[int(index)] = vector
+        duplicate_of = (
+            self._duplicate_map(specs, injected)
+            if dedupe and len(specs) > 1
+            else {}
+        )
+        solve_indices = [
+            index
+            for index in range(len(specs))
+            if index not in injected and index not in duplicate_of
+        ]
+        self.last_run_dedupe = DedupeStats(
+            cases=len(specs),
+            solved=len(solve_indices),
+            deduped=len(duplicate_of),
+            injected=len(injected),
+        )
+        sources = ["solved"] * len(specs)
+
+        if len(solve_indices) == len(specs):
+            solutions = np.empty((len(specs), n))
+            seconds = np.empty(len(specs))
+            choice = self._dispatch_solves(specs, workers, backend, solutions, seconds)
+        else:
+            solutions = np.empty((len(specs), n))
+            seconds = np.zeros(len(specs))
+            to_solve = [specs[index] for index in solve_indices]
+            if to_solve:
+                sub_solutions = np.empty((len(to_solve), n))
+                sub_seconds = np.empty(len(to_solve))
+                choice = self._dispatch_solves(
+                    to_solve, workers, backend, sub_solutions, sub_seconds
+                )
+                solutions[solve_indices] = sub_solutions
+                seconds[solve_indices] = sub_seconds
+            else:
+                choice = "serial"
+            for index, vector in injected.items():
+                solutions[index] = vector
+                sources[index] = "injected"
+            # Representatives (first occurrence of each digest) are always
+            # filled by now — either solved or injected — so the copy below
+            # never reads an empty row.
+            for index, representative in duplicate_of.items():
+                solutions[index] = solutions[representative]
+                sources[index] = "deduped"
+        self.last_run_backend = choice
+        results = self._assemble_results(
+            specs, measures, solutions, seconds, keep_solutions
+        )
+        for result, source in zip(results, sources):
+            result.solve_source = source
+        return results
+
+    def _duplicate_map(
+        self, specs: Sequence[ScenarioSpec], injected: Mapping[int, np.ndarray]
+    ) -> dict[int, int]:
+        """Map each rate-identical later scenario to its first occurrence.
+
+        Injected indices are never remapped (their vectors are authoritative)
+        but do serve as representatives for later duplicates.
+        """
+        first: dict[bytes, int] = {}
+        duplicate_of: dict[int, int] = {}
+        for index, row in enumerate(self.rate_matrix(specs)):
+            representative = first.setdefault(rate_digest(row), index)
+            if representative != index and index not in injected:
+                duplicate_of[index] = representative
+        return duplicate_of
+
+    def _dispatch_solves(
+        self,
+        specs: Sequence[ScenarioSpec],
+        workers: int,
+        backend: str,
+        solutions: np.ndarray,
+        seconds: np.ndarray,
+    ) -> str:
+        """Solve every spec into the given blocks; returns the backend used."""
+        specs = list(specs)
         choice, workers, solved = self._choose_backend(
             backend, workers, specs, solutions, seconds
         )
         remaining = specs[solved:]
-        rate_matrix: Optional[np.ndarray] = None
         if remaining and choice == "process":
-            # Resolved once, shared between the scheduler (rows of the
-            # remaining specs) and the measure GEMM (all rows).
             rate_matrix = self.rate_matrix(specs)
             try:
                 block, block_seconds = self._solve_process(
@@ -456,12 +633,8 @@ class ScenarioBatchEngine:
             )
         elif remaining:
             self._solve_serial(remaining, solutions[solved:], seconds[solved:])
-        self.last_run_backend = choice
         self._record_history(choice, solved, seconds)
-        return self._assemble_results(
-            specs, measures, solutions, seconds, keep_solutions,
-            rate_matrix=rate_matrix,
-        )
+        return choice
 
     def _choose_backend(
         self,

@@ -32,6 +32,7 @@ measured per-scenario solve times dominate every prediction.
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Optional
@@ -266,3 +267,93 @@ def choose_backend(
 def _label(best: tuple[str, int]) -> str:
     backend, workers = best
     return "serial" if backend == "serial" else f"{backend} x{workers}"
+
+
+# --- pipelined grid execution ----------------------------------------------
+
+
+def estimate_generation_cost(net) -> float:
+    """Relative cost proxy of generating one net's tangible state space.
+
+    The true state count is unknown before exploration, so the pipeline
+    orders generation tasks by a structural proxy that is monotone in the
+    quantities that blow the state space up in this model family: tokens in
+    the initial marking (machines, VMs, spare servers) and the number of
+    transitions racing over them.  The score is only ever *compared* —
+    big-structures-first ordering starts the longest generation earliest so
+    its solve (the grid's critical path) begins as soon as possible — and is
+    never interpreted as seconds.
+
+    ``net`` is anything exposing ``initial_marking`` and ``transitions``
+    sequences (a :class:`repro.spn.enabling.CompiledNet` does).
+    """
+    tokens = float(sum(net.initial_marking))
+    places = float(len(net.initial_marking))
+    transitions = float(len(net.transitions))
+    return (1.0 + tokens) * (1.0 + transitions) * (1.0 + places)
+
+
+class PipelineBudget:
+    """Splits one worker budget between overlapping generate and solve stages.
+
+    The pipelined grid orchestrator runs structure-graph *generation* tasks
+    (one process-pool worker each) concurrently with per-group *solve*
+    batches.  Handing every worker to whichever stage asks first starves the
+    other: generation of a huge structure would pin all cores while an
+    already-generated group's solve — often the critical path — waits.  The
+    budget therefore enforces two coarse rules:
+
+    * a generation slot is one worker; while solve work is pending or
+      running, at least one worker is held back from generation so a ready
+      group can always start solving immediately;
+    * a solve acquires every worker not currently generating (never less
+      than one), so solves soak up idle capacity as generations drain —
+      the "work-stealing" half of the pipeline.
+
+    Thread-safe; ``acquire``/``release`` pairs are the caller's contract.
+    """
+
+    def __init__(self, total: int) -> None:
+        self.total = max(1, int(total))
+        self._lock = threading.Lock()
+        self._generating = 0
+        self._solving = 0
+
+    def acquire_generation(self, solve_pending: bool = False) -> bool:
+        """Try to claim one generation worker; ``False`` when the stage is full.
+
+        With ``solve_pending`` (ready-to-solve groups exist, or solves are in
+        flight) generation is capped at ``total - 1`` workers so the solve
+        stage always has a core to land on.
+        """
+        with self._lock:
+            cap = self.total - 1 if solve_pending else self.total
+            cap = max(1, cap)
+            if self._generating >= cap:
+                return False
+            self._generating += 1
+            return True
+
+    def release_generation(self) -> None:
+        with self._lock:
+            self._generating = max(0, self._generating - 1)
+
+    def acquire_solve(self) -> int:
+        """Claim workers for one group solve: everything not generating, >= 1."""
+        with self._lock:
+            granted = max(1, self.total - self._generating - self._solving)
+            self._solving += granted
+            return granted
+
+    def release_solve(self, granted: int) -> None:
+        with self._lock:
+            self._solving = max(0, self._solving - max(0, int(granted)))
+
+    def snapshot(self) -> dict[str, int]:
+        """Current allocation (for logs and tests)."""
+        with self._lock:
+            return {
+                "total": self.total,
+                "generating": self._generating,
+                "solving": self._solving,
+            }

@@ -39,13 +39,16 @@ import hashlib
 import importlib
 import json
 import tempfile
+import threading
 import time
 import warnings
+from collections import deque
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from pickle import PicklingError
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.engine import dispatch
@@ -131,7 +134,12 @@ class GridCase:
 
 @dataclass
 class GridCaseResult:
-    """One row of the unified grid result frame."""
+    """One row of the unified grid result frame.
+
+    ``solve_source`` tells how the row's stationary vector was obtained:
+    ``"solved"`` or ``"deduped"`` (shared with an earlier rate-identical
+    case of the same group; see :meth:`ScenarioBatchEngine.run`).
+    """
 
     name: str
     measures: dict[str, float]
@@ -141,6 +149,7 @@ class GridCaseResult:
     graph_source: str
     solve_seconds: float
     metadata: Mapping[str, object] = field(default_factory=dict)
+    solve_source: str = "solved"
 
     def value(self, measure_name: str) -> float:
         return self.measures[measure_name]
@@ -156,13 +165,23 @@ class GridCaseResult:
             "backend": self.backend,
             "graph_source": self.graph_source,
             "solve_seconds": self.solve_seconds,
+            "solve_source": self.solve_source,
             "metadata": dict(self.metadata),
         }
 
 
 @dataclass
 class GridGroupReport:
-    """Provenance of one structure group of a grid run."""
+    """Provenance of one structure group of a grid run.
+
+    The ``*_at`` fields are offsets in seconds from the start of the
+    orchestrated run, so a consumer (``bench_pipeline.py``, the benchmark
+    JSON) can reconstruct the per-group timeline and *verify* that the
+    pipeline overlapped stages — group A's ``solve_started_at`` falling
+    before group B's ``generate_finished_at`` is overlap, not assertion.
+    ``queue_wait_seconds`` is how long the group sat ready-to-solve before
+    a solve slot picked it up (the work-stealing queue's latency).
+    """
 
     key: str
     cases: int
@@ -171,10 +190,24 @@ class GridGroupReport:
     backend: str
     generate_seconds: float
     solve_seconds: float
+    generate_finished_at: float = 0.0
+    solve_started_at: float = 0.0
+    queue_wait_seconds: float = 0.0
+    deduped_cases: int = 0
 
     @property
     def cache_hit(self) -> bool:
         return self.graph_source == "cache"
+
+    def timeline(self) -> dict:
+        """JSON-able per-group timeline (recorded by the benchmarks)."""
+        return {
+            "generate_finished_at": round(self.generate_finished_at, 4),
+            "solve_started_at": round(self.solve_started_at, 4),
+            "queue_wait_seconds": round(self.queue_wait_seconds, 4),
+            "generate_seconds": round(self.generate_seconds, 4),
+            "solve_seconds": round(self.solve_seconds, 4),
+        }
 
 
 @dataclass
@@ -182,13 +215,19 @@ class GridOutcome:
     """Unified result frame of one orchestrated grid.
 
     ``results`` preserves the input case order; ``groups`` report the
-    distinct structures in first-appearance order.
+    distinct structures in first-appearance order.  ``deduped_cases`` counts
+    the grid rows that shared an earlier rate-identical row's stationary
+    vector instead of solving; ``pipelined`` records whether the
+    work-stealing generate→solve pipeline ran (``False`` on the barrier
+    path — ``pipeline=False``, a single group, or a single-worker budget).
     """
 
     results: list[GridCaseResult]
     groups: list[GridGroupReport]
     total_seconds: float
     shard_paths: list[Path] = field(default_factory=list)
+    deduped_cases: int = 0
+    pipelined: bool = False
 
     def result(self, name: str) -> GridCaseResult:
         for row in self.results:
@@ -218,6 +257,10 @@ class _Group:
     graph: object = None
     graph_source: str = ""
     generate_seconds: float = 0.0
+    #: Offset (seconds from run start) at which the graph became available.
+    generate_finished_at: float = 0.0
+    #: Workers granted to this group's solve by the pipeline budget.
+    solve_grant: int = 1
 
 
 def _generate_into_cache(
@@ -243,7 +286,12 @@ def _generate_into_cache(
 
 
 class _ShardWriter:
-    """Streams result records to fixed-size JSONL shards as groups finish."""
+    """Streams result records to fixed-size JSONL shards as groups finish.
+
+    Thread-safe: the pipelined orchestrator appends from concurrent group
+    solves (records always carry their original grid ``index``, so shard
+    order is group-completion order on every path).
+    """
 
     def __init__(self, directory: Path, shard_size: int) -> None:
         self.directory = Path(directory)
@@ -256,13 +304,19 @@ class _ShardWriter:
         self.shard_size = max(1, int(shard_size))
         self.paths: list[Path] = []
         self._pending: list[dict] = []
+        self._lock = threading.Lock()
 
     def append(self, record: dict) -> None:
-        self._pending.append(record)
-        if len(self._pending) >= self.shard_size:
-            self.flush()
+        with self._lock:
+            self._pending.append(record)
+            if len(self._pending) >= self.shard_size:
+                self._flush_locked()
 
     def flush(self) -> None:
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
         if not self._pending:
             return
         path = self.directory / f"grid-shard-{len(self.paths):04d}.jsonl"
@@ -297,6 +351,22 @@ class ScenarioGridOrchestrator:
             exactly one grid's shards: any ``grid-shard-*.jsonl`` files from
             a previous run are removed when the run starts.
         shard_size: rows per shard file.
+        pipeline: run the work-stealing generate→solve pipeline (the
+            default): each structure group's solve is enqueued the moment
+            its graph lands, so small groups solve while big structures are
+            still in BFS.  The pipeline needs more than one structure group
+            and more than one worker in the budget (``jobs``, defaulting to
+            the effective cores) — otherwise, and with ``pipeline=False``,
+            the two-phase barrier path runs (generate everything, then solve
+            group by group in first-appearance order).
+        dedupe: share stationary vectors across rate-identical cases of one
+            group (one solve per distinct resolved rate vector; measures
+            stay per-case).  Surfaced per group in
+            :attr:`GridGroupReport.deduped_cases` and grid-wide in
+            :attr:`GridOutcome.deduped_cases`.
+        log_callback: optional one-string-argument callable receiving live
+            progress lines (groups generated/solving/done, dedupe hits);
+            ``None`` keeps the run silent.
     """
 
     def __init__(
@@ -310,6 +380,9 @@ class ScenarioGridOrchestrator:
         generation_workers: Optional[int] = None,
         shard_directory: Optional[Path] = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
+        pipeline: bool = True,
+        dedupe: bool = True,
+        log_callback: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.cache = cache
         self.method = method
@@ -319,6 +392,28 @@ class ScenarioGridOrchestrator:
         self.generation_workers = generation_workers
         self.shard_directory = shard_directory
         self.shard_size = shard_size
+        self.pipeline = pipeline
+        self.dedupe = dedupe
+        self.log_callback = log_callback
+
+    def _log(self, message: str) -> None:
+        if self.log_callback is not None:
+            try:
+                self.log_callback(message)
+            except Exception:  # noqa: BLE001 - progress must never fail a run
+                pass
+
+    def _worker_budget(self) -> int:
+        """Total worker budget the pipeline splits between its stages.
+
+        An explicit ``jobs`` is honoured as given (even above the effective
+        cores — useful for exercising the pipeline on small machines; the
+        per-batch engine still clamps its own workers); without it the
+        budget is the effective core count.
+        """
+        if self.jobs is not None:
+            return max(1, int(self.jobs))
+        return dispatch.effective_cpu_count()
 
     # --- grouping ---------------------------------------------------------
 
@@ -395,18 +490,26 @@ class ScenarioGridOrchestrator:
 
     # --- generation -------------------------------------------------------
 
-    def _ensure_graphs(self, groups: dict[str, _Group], transport: TRGCache) -> None:
-        """Load every group's graph from cache or generate it (concurrently)."""
+    def _ensure_graphs(
+        self, groups: dict[str, _Group], transport: TRGCache, started: float = 0.0
+    ) -> None:
+        """Load every group's graph from cache or generate it (concurrently).
+
+        ``started`` is the run's ``perf_counter`` origin; every group's
+        ``generate_finished_at`` offset is stamped against it so the barrier
+        path reports the same timeline fields as the pipeline.
+        """
         misses: list[_Group] = []
         for group in groups.values():
-            started = time.perf_counter()
+            probe_started = time.perf_counter()
             graph = transport.load(
                 group.compiled, self.max_states, key=group.cache_key
             )
             if graph is not None:
                 group.graph = graph
                 group.graph_source = "cache"
-                group.generate_seconds = time.perf_counter() - started
+                group.generate_seconds = time.perf_counter() - probe_started
+                group.generate_finished_at = time.perf_counter() - started
             else:
                 misses.append(group)
         if not misses:
@@ -419,6 +522,10 @@ class ScenarioGridOrchestrator:
         workers = max(1, min(int(requested), len(misses)))
         if workers > 1:
             self._generate_on_pool(misses, transport, workers)
+            finished_at = time.perf_counter() - started
+            for group in misses:
+                if group.graph is not None:
+                    group.generate_finished_at = finished_at
         for group in misses:  # pool failures (or workers == 1) fall through
             if group.graph is None:
                 # Persist only into a real cache: with cache=None the
@@ -428,6 +535,7 @@ class ScenarioGridOrchestrator:
                 self._generate_in_process(
                     group, transport, persist=self.cache is not None
                 )
+                group.generate_finished_at = time.perf_counter() - started
 
     def _generate_on_pool(
         self, misses: list[_Group], transport: TRGCache, workers: int
@@ -577,15 +685,105 @@ class ScenarioGridOrchestrator:
         if len(set(names)) != len(names):
             raise ValueError("grid case names must be unique")
         groups = self._grouped(cases)
+        # The transport must outlive *solving*, not just generation: the
+        # pipeline overlaps the two, so a scratch transport is only torn
+        # down once the whole grid is done.
         if self.cache is not None:
-            self._run_generation(groups, self.cache)
-        else:
-            with tempfile.TemporaryDirectory(prefix="repro-grid-") as scratch:
-                self._run_generation(groups, TRGCache(scratch))
+            return self._execute(cases, groups, started, self.cache)
+        with tempfile.TemporaryDirectory(prefix="repro-grid-") as scratch:
+            return self._execute(cases, groups, started, TRGCache(scratch))
+
+    def _execute(
+        self,
+        cases: list[GridCase],
+        groups: dict[str, _Group],
+        started: float,
+        transport: TRGCache,
+    ) -> GridOutcome:
+        """Dispatch to the pipeline or the two-phase barrier path.
+
+        The pipeline only pays off when stages can actually overlap: it
+        needs at least two structure groups (one group has nothing to
+        overlap with) and a worker budget above one (a single worker would
+        serialise the stages anyway — that *is* the barrier, so degrading
+        to it keeps single-core runs deadlock-free by construction).
+        """
+        if self.pipeline and len(groups) > 1 and self._worker_budget() > 1:
+            return self._run_pipeline(cases, groups, started, transport)
+        self._ensure_graphs(groups, transport, started)
         return self._solve_groups(cases, groups, started)
 
-    def _run_generation(self, groups: dict[str, _Group], transport: TRGCache) -> None:
-        self._ensure_graphs(groups, transport)
+    def _solve_group(
+        self,
+        group: _Group,
+        cases: list[GridCase],
+        started: float,
+        max_workers: Optional[int],
+    ) -> tuple[list[tuple[int, GridCaseResult]], GridGroupReport]:
+        """Solve one structure group; shared by the barrier and the pipeline.
+
+        Returns the group's result rows tagged with their original grid
+        indices plus the filled-in :class:`GridGroupReport` (timeline
+        offsets are stamped against the run's ``started`` origin).
+        """
+        group_cases = [cases[index] for index in group.case_indices]
+        measures, mappings = self._merged_measures(group_cases)
+        engine = ScenarioBatchEngine(group.graph, method=self.method)
+        specs = [
+            ScenarioSpec(name=case.name, rates=case.full_rates())
+            for case in group_cases
+        ]
+        solve_started = time.perf_counter()
+        solve_started_at = solve_started - started
+        batch = engine.run(
+            specs,
+            measures,
+            max_workers=max_workers,
+            backend=self.backend,
+            dedupe=self.dedupe,
+        )
+        solve_seconds = time.perf_counter() - solve_started
+        backend = engine.last_run_backend or "serial"
+        stats = engine.last_run_dedupe
+        rows: list[tuple[int, GridCaseResult]] = []
+        for case_index, case, mapping, result in zip(
+            group.case_indices, group_cases, mappings, batch
+        ):
+            rows.append(
+                (
+                    case_index,
+                    GridCaseResult(
+                        name=case.name,
+                        measures={
+                            original: result.measures[internal]
+                            for original, internal in mapping.items()
+                        },
+                        number_of_states=result.number_of_states,
+                        group=group.key,
+                        backend=backend,
+                        graph_source=group.graph_source,
+                        solve_seconds=result.solve_seconds,
+                        metadata=dict(case.metadata),
+                        solve_source=result.solve_source,
+                    ),
+                )
+            )
+        report = GridGroupReport(
+            key=group.key,
+            cases=len(group.case_indices),
+            number_of_states=group.graph.number_of_states,
+            graph_source=group.graph_source,
+            backend=backend,
+            generate_seconds=group.generate_seconds,
+            solve_seconds=solve_seconds,
+            generate_finished_at=group.generate_finished_at,
+            solve_started_at=solve_started_at,
+            queue_wait_seconds=max(
+                0.0, solve_started_at - group.generate_finished_at
+            ),
+            deduped_cases=stats.deduped if stats is not None else 0,
+        )
+        return rows, report
 
     def _solve_groups(
         self,
@@ -593,6 +791,7 @@ class ScenarioGridOrchestrator:
         groups: dict[str, _Group],
         started: float,
     ) -> GridOutcome:
+        """Two-phase barrier path: every graph exists; solve group by group."""
         results: list[Optional[GridCaseResult]] = [None] * len(cases)
         shards: Optional[_ShardWriter] = (
             _ShardWriter(self.shard_directory, self.shard_size)
@@ -600,49 +799,19 @@ class ScenarioGridOrchestrator:
             else None
         )
         reports: list[GridGroupReport] = []
+        done = 0
         for group in groups.values():
-            group_cases = [cases[index] for index in group.case_indices]
-            measures, mappings = self._merged_measures(group_cases)
-            engine = ScenarioBatchEngine(group.graph, method=self.method)
-            specs = [
-                ScenarioSpec(name=case.name, rates=case.full_rates())
-                for case in group_cases
-            ]
-            solve_started = time.perf_counter()
-            batch = engine.run(
-                specs, measures, max_workers=self.jobs, backend=self.backend
-            )
-            solve_seconds = time.perf_counter() - solve_started
-            backend = engine.last_run_backend or "serial"
-            for case_index, case, mapping, result in zip(
-                group.case_indices, group_cases, mappings, batch
-            ):
-                row = GridCaseResult(
-                    name=case.name,
-                    measures={
-                        original: result.measures[internal]
-                        for original, internal in mapping.items()
-                    },
-                    number_of_states=result.number_of_states,
-                    group=group.key,
-                    backend=backend,
-                    graph_source=group.graph_source,
-                    solve_seconds=result.solve_seconds,
-                    metadata=dict(case.metadata),
-                )
+            rows, report = self._solve_group(group, cases, started, self.jobs)
+            for case_index, row in rows:
                 results[case_index] = row
                 if shards is not None:
                     shards.append(row.as_record(case_index))
-            reports.append(
-                GridGroupReport(
-                    key=group.key,
-                    cases=len(group.case_indices),
-                    number_of_states=group.graph.number_of_states,
-                    graph_source=group.graph_source,
-                    backend=backend,
-                    generate_seconds=group.generate_seconds,
-                    solve_seconds=solve_seconds,
-                )
+            reports.append(report)
+            done += 1
+            self._log(
+                f"[grid] {done}/{len(groups)} groups done · 0 generating · "
+                f"0 solving · "
+                f"{sum(r.deduped_cases for r in reports)} dedupe hit(s)"
             )
         if shards is not None:
             shards.flush()
@@ -651,4 +820,216 @@ class ScenarioGridOrchestrator:
             groups=reports,
             total_seconds=time.perf_counter() - started,
             shard_paths=shards.paths if shards is not None else [],
+            deduped_cases=sum(report.deduped_cases for report in reports),
+            pipelined=False,
+        )
+
+    # --- work-stealing generate→solve pipeline -----------------------------
+
+    def _run_pipeline(
+        self,
+        cases: list[GridCase],
+        groups: dict[str, _Group],
+        started: float,
+        transport: TRGCache,
+    ) -> GridOutcome:
+        """Overlap structure-graph generation with per-group solving.
+
+        One coordinator loop owns two future sets over one worker budget
+        (:class:`~repro.engine.dispatch.PipelineBudget`):
+
+        * *generation* tasks run on the persistent process pool
+          (:data:`~repro.engine.parallel.shared_pool`, tagged
+          ``"generate"``), big structures first
+          (:func:`~repro.engine.dispatch.estimate_generation_cost`) so the
+          longest BFS — the critical path — starts earliest;
+        * *solve* tasks run on a parent thread pool (the batch engine
+          underneath picks its own serial/thread/process backend for the
+          granted workers) and are submitted the moment a group's graph
+          lands — solves preempt idle workers instead of waiting for a
+          generation barrier.
+
+        Failures degrade, never deadlock: a worker error regenerates that
+        group in-process; a broken pool is shut down and the remaining
+        misses generate in-process while queued solves keep draining.
+        """
+        order = list(groups.values())
+        results: list[Optional[GridCaseResult]] = [None] * len(cases)
+        shards: Optional[_ShardWriter] = (
+            _ShardWriter(self.shard_directory, self.shard_size)
+            if self.shard_directory is not None
+            else None
+        )
+        reports_by_key: dict[str, GridGroupReport] = {}
+        budget = dispatch.PipelineBudget(self._worker_budget())
+        # Never hand a group solve more workers than the machine has, even
+        # when an explicit oversized ``jobs`` inflates the budget (the
+        # budget then only governs stage interleaving).
+        solve_cap = max(1, dispatch.effective_cpu_count())
+
+        ready: deque[_Group] = deque()
+        pending: deque[_Group] = deque()
+        for group in order:
+            probe_started = time.perf_counter()
+            graph = transport.load(
+                group.compiled, self.max_states, key=group.cache_key
+            )
+            if graph is not None:
+                group.graph = graph
+                group.graph_source = "cache"
+                group.generate_seconds = time.perf_counter() - probe_started
+                group.generate_finished_at = time.perf_counter() - started
+                ready.append(group)
+            else:
+                pending.append(group)
+        pending = deque(
+            sorted(
+                pending,
+                key=lambda g: dispatch.estimate_generation_cost(g.compiled),
+                reverse=True,
+            )
+        )
+        requested_width = (
+            self.generation_workers
+            if self.generation_workers is not None
+            else budget.total
+        )
+        pool_width = max(1, min(int(requested_width), max(1, len(pending))))
+        directory = str(transport.directory)
+        generate_futures: dict[object, _Group] = {}
+        solve_futures: dict[object, _Group] = {}
+        pool_broken = len(pending) == 0  # nothing to generate: skip the pool
+        done_groups = 0
+        dedupe_hits = 0
+
+        def progress() -> None:
+            self._log(
+                f"[grid] {done_groups}/{len(order)} groups done · "
+                f"{len(generate_futures)} generating · "
+                f"{len(solve_futures)} solving · {dedupe_hits} dedupe hit(s)"
+            )
+
+        with ThreadPoolExecutor(
+            max_workers=budget.total, thread_name_prefix="grid-solve"
+        ) as solver:
+            while pending or ready or generate_futures or solve_futures:
+                # Solves first: a ready group preempts idle workers before
+                # any new generation claims them.
+                while ready:
+                    group = ready.popleft()
+                    granted = budget.acquire_solve()
+                    group.solve_grant = granted
+                    solve_futures[
+                        solver.submit(
+                            self._solve_group,
+                            group,
+                            cases,
+                            started,
+                            min(granted, solve_cap),
+                        )
+                    ] = group
+                while pending and not pool_broken:
+                    solve_pending = bool(solve_futures)
+                    if not budget.acquire_generation(solve_pending=solve_pending):
+                        break
+                    group = pending.popleft()
+                    try:
+                        future = shared_pool.submit(
+                            "generate",
+                            pool_width,
+                            _generate_into_cache,
+                            group.representative.net,
+                            self.max_states,
+                            directory,
+                            group.representative.canonicalizer,
+                            group.cache_key,
+                        )
+                    except (PicklingError, TypeError, AttributeError, OSError) as error:
+                        budget.release_generation()
+                        pending.appendleft(group)
+                        pool_broken = True
+                        warnings.warn(
+                            f"concurrent grid generation unavailable ({error}); "
+                            f"generating in-process",
+                            stacklevel=3,
+                        )
+                        break
+                    generate_futures[future] = group
+                if pool_broken and pending and not generate_futures:
+                    # In-process fallback generation, one group per loop
+                    # iteration so finished solves are still harvested (and
+                    # new solves launched) between generations.
+                    group = pending.popleft()
+                    self._generate_in_process(
+                        group, transport, persist=self.cache is not None
+                    )
+                    group.generate_finished_at = time.perf_counter() - started
+                    ready.append(group)
+                    continue
+                if not generate_futures and not solve_futures:
+                    continue  # ready groups launch on the next iteration
+                done, _ = wait(
+                    set(generate_futures) | set(solve_futures),
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    if future in solve_futures:
+                        group = solve_futures.pop(future)
+                        budget.release_solve(group.solve_grant)
+                        rows, report = future.result()
+                        for case_index, row in rows:
+                            results[case_index] = row
+                            if shards is not None:
+                                shards.append(row.as_record(case_index))
+                        reports_by_key[group.key] = report
+                        dedupe_hits += report.deduped_cases
+                        done_groups += 1
+                        progress()
+                        continue
+                    group = generate_futures.pop(future)
+                    budget.release_generation()
+                    try:
+                        seconds = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        shutdown_shared_pool()
+                        pending.appendleft(group)
+                        continue
+                    except Exception as error:  # noqa: BLE001 - isolate per group
+                        warnings.warn(
+                            f"grid generation worker failed for group "
+                            f"{group.key} ({error}); regenerating in-process",
+                            stacklevel=2,
+                        )
+                        self._generate_in_process(
+                            group, transport, persist=self.cache is not None
+                        )
+                        group.generate_finished_at = time.perf_counter() - started
+                        ready.append(group)
+                        continue
+                    graph = transport.load(
+                        group.compiled, self.max_states, key=group.cache_key
+                    )
+                    if graph is None:
+                        # The worker reported success but the entry is not
+                        # loadable (e.g. evicted) — regenerate in-process.
+                        self._generate_in_process(
+                            group, transport, persist=self.cache is not None
+                        )
+                    else:
+                        group.graph = graph
+                        group.graph_source = "generated:pool"
+                        group.generate_seconds = seconds
+                    group.generate_finished_at = time.perf_counter() - started
+                    ready.append(group)
+        if shards is not None:
+            shards.flush()
+        reports = [reports_by_key[group.key] for group in order]
+        return GridOutcome(
+            results=list(results),  # type: ignore[arg-type]
+            groups=reports,
+            total_seconds=time.perf_counter() - started,
+            shard_paths=shards.paths if shards is not None else [],
+            deduped_cases=sum(report.deduped_cases for report in reports),
+            pipelined=True,
         )

@@ -41,7 +41,8 @@ from __future__ import annotations
 import atexit
 import os
 import secrets
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from time import perf_counter
@@ -537,10 +538,40 @@ class PersistentWorkerPool:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._workers = 0
         self._method: Optional[str] = None
+        self._inflight: dict[str, int] = {}
+        self._inflight_lock = threading.Lock()
 
     def is_warm(self, workers: int) -> bool:
         """Whether a pool with at least ``workers`` workers is already alive."""
         return self._pool is not None and self._workers >= workers
+
+    def submit(self, kind: str, workers: int, fn, /, *args, **kwargs) -> Future:
+        """Submit one tagged task, growing the pool to at least ``workers``.
+
+        The pool runs a *mix* of task types since the grid pipeline landed —
+        structure-graph ``"generate"`` tasks interleave with ``"solve"``
+        chunks of the sweep scheduler on the same workers.  Tagging keeps a
+        live in-flight count per kind (:meth:`inflight`), which the pipeline
+        budget and the progress log read to see how much of the pool each
+        stage currently occupies.
+        """
+        future = self.executor(workers).submit(fn, *args, **kwargs)
+        with self._inflight_lock:
+            self._inflight[kind] = self._inflight.get(kind, 0) + 1
+
+        def _finished(_: Future) -> None:
+            with self._inflight_lock:
+                self._inflight[kind] = max(0, self._inflight.get(kind, 0) - 1)
+
+        future.add_done_callback(_finished)
+        return future
+
+    def inflight(self, kind: Optional[str] = None) -> int:
+        """Tasks submitted but not yet finished, for one kind or overall."""
+        with self._inflight_lock:
+            if kind is not None:
+                return self._inflight.get(kind, 0)
+            return sum(self._inflight.values())
 
     def executor(self, workers: int) -> ProcessPoolExecutor:
         """The shared executor, (re)built to hold at least ``workers`` workers.
@@ -638,9 +669,10 @@ class SweepScheduler:
     def _submit_chunks(self, manifest: dict, chunks) -> None:
         """Run every chunk to completion on the (persistent or fresh) pool."""
         if self.reuse_pool:
-            pool = shared_pool.executor(len(chunks))
             futures = [
-                pool.submit(_worker_run_chunk, manifest, self.settings, chunk)
+                shared_pool.submit(
+                    "solve", len(chunks), _worker_run_chunk, manifest, self.settings, chunk
+                )
                 for chunk in chunks
             ]
             for future in futures:

@@ -154,3 +154,119 @@ class TestEngineBatch:
         with_solutions = engine.run(specs, self.measures(), keep_solutions=True)
         assert all(result.solution is None for result in without)
         assert all(result.solution is not None for result in with_solutions)
+
+
+class TestDedupeAndInjection:
+    """Rate-vector dedupe and pre-solved injection (the grid pipeline's skip-list)."""
+
+    def make_engine(self):
+        return ScenarioBatchEngine(
+            generate_tangible_reachability_graph(
+                machine_repair(machines=4, mttf=10.0, mttr=1.0)
+            )
+        )
+
+    def specs_with_duplicates(self):
+        # Indices 0 and 2 resolve to identical rate vectors; 1 differs.
+        return [
+            ScenarioSpec(name="a", delays={"FAIL": 10.0}),
+            ScenarioSpec(name="b", delays={"FAIL": 25.0}),
+            ScenarioSpec(name="c", delays={"FAIL": 10.0}),
+        ]
+
+    def measures(self):
+        return [ProbabilityMeasure("all_up", "#BROKEN == 0")]
+
+    def test_rate_digest_distinguishes_vectors(self):
+        from repro.engine import rate_digest
+
+        a = np.array([1.0, 2.0, 3.0])
+        assert rate_digest(a) == rate_digest(np.array([1.0, 2.0, 3.0]))
+        assert rate_digest(a) != rate_digest(np.array([1.0, 2.0, 3.0 + 1e-15]))
+
+    def test_duplicates_solved_once_and_share_the_vector(self):
+        engine = self.make_engine()
+        results = engine.run(
+            self.specs_with_duplicates(), self.measures(), dedupe=True,
+            keep_solutions=True,
+        )
+        stats = engine.last_run_dedupe
+        assert (stats.cases, stats.solved, stats.deduped, stats.injected) == (3, 2, 1, 0)
+        assert [r.solve_source for r in results] == ["solved", "solved", "deduped"]
+        np.testing.assert_array_equal(
+            results[0].solution.probabilities, results[2].solution.probabilities
+        )
+        assert results[2].solve_seconds == 0.0
+
+    def test_dedupe_matches_undeduped_numbers(self):
+        engine = self.make_engine()
+        specs = self.specs_with_duplicates()
+        plain = engine.run(specs, self.measures())
+        assert engine.last_run_dedupe.deduped == 0
+        deduped = engine.run(specs, self.measures(), dedupe=True)
+        for a, b in zip(plain, deduped):
+            assert abs(a.value("all_up") - b.value("all_up")) < 1e-12
+
+    def test_dedupe_keeps_per_case_measures(self):
+        # Same rates, different measures: one solve, two distinct values.
+        engine = self.make_engine()
+        specs = [
+            ScenarioSpec(name="loose", delays={"FAIL": 10.0}),
+            ScenarioSpec(name="strict", delays={"FAIL": 10.0}),
+        ]
+        measures = [
+            ProbabilityMeasure("all_up", "#BROKEN == 0"),
+            ProbabilityMeasure("most_up", "#BROKEN <= 1"),
+        ]
+        results = engine.run(specs, measures, dedupe=True)
+        assert engine.last_run_dedupe.solved == 1
+        assert results[1].solve_source == "deduped"
+        for result in results:
+            assert result.value("most_up") > result.value("all_up")
+
+    def test_injected_vectors_skip_the_solve(self):
+        engine = self.make_engine()
+        specs = self.specs_with_duplicates()[:2]
+        reference = engine.run(specs, self.measures(), keep_solutions=True)
+        results = engine.run(
+            specs,
+            self.measures(),
+            presolved={0: reference[0].solution.probabilities},
+        )
+        stats = engine.last_run_dedupe
+        assert (stats.solved, stats.injected) == (1, 1)
+        assert [r.solve_source for r in results] == ["injected", "solved"]
+        for a, b in zip(reference, results):
+            assert abs(a.value("all_up") - b.value("all_up")) < 1e-12
+
+    def test_injected_vector_shape_and_index_validated(self):
+        engine = self.make_engine()
+        specs = self.specs_with_duplicates()[:2]
+        with pytest.raises(ValueError):
+            engine.run(
+                specs, self.measures(), presolved={0: np.ones(3)}
+            )
+        with pytest.raises(ValueError):
+            engine.run(
+                specs,
+                self.measures(),
+                presolved={7: np.ones(engine.number_of_states)},
+            )
+
+    def test_dedupe_survives_block_splitting(self, monkeypatch):
+        # Force the memory-bounded sub-batching path and check the stats
+        # still add up across the recursive windows.
+        from repro.engine import batch as batch_module
+
+        monkeypatch.setattr(batch_module, "MAX_SOLUTION_BLOCK_BYTES", 1)
+        engine = self.make_engine()
+        results = engine.run(
+            self.specs_with_duplicates(), self.measures(), dedupe=True
+        )
+        stats = engine.last_run_dedupe
+        assert stats.cases == 3
+        assert stats.solved + stats.deduped + stats.injected == 3
+        plain_engine = self.make_engine()
+        plain = plain_engine.run(self.specs_with_duplicates(), self.measures())
+        for a, b in zip(plain, results):
+            assert abs(a.value("all_up") - b.value("all_up")) < 1e-12

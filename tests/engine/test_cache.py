@@ -191,3 +191,45 @@ class TestRunnerIntegration:
         runner.graph()
         assert runner.engine().graph_source == "generated"
         assert TRGCache(tmp_path).entries() == []
+
+
+def _hammer_store(directory, machines, iterations):
+    """Worker-side: store the same entry over and over (two-writer stress)."""
+    net = CompiledNet(machine_repair(machines=machines))
+    graph = generate_tangible_reachability_graph(net)
+    cache = TRGCache(directory)
+    for _ in range(iterations):
+        cache.store(graph, 500_000)
+    return iterations
+
+
+class TestConcurrentWrites:
+    def test_two_writer_stress_never_tears_the_entry(self, tmp_path):
+        """Concurrent stores of one key must never leave a torn entry.
+
+        ``TRGCache.store`` writes to a temp file and ``os.replace``s it into
+        place, so a reader racing two writers sees either the old complete
+        entry or the new complete entry — never a partial file (which would
+        read back as a miss or corrupt payload).
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        net = CompiledNet(machine_repair(machines=5))
+        reference = generate_tangible_reachability_graph(net)
+        cache = TRGCache(tmp_path)
+        cache.store(reference, 500_000)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            writers = [
+                pool.submit(_hammer_store, str(tmp_path), 5, 25) for _ in range(2)
+            ]
+            reads = 0
+            while not all(writer.done() for writer in writers):
+                loaded = cache.load(net, 500_000)
+                assert loaded is not None, "reader saw a torn/missing entry"
+                assert graph_deviation(reference, loaded) == 0.0
+                reads += 1
+            assert [writer.result() for writer in writers] == [25, 25]
+        assert reads > 0
+        final = cache.load(net, 500_000)
+        assert final is not None
+        assert graph_deviation(reference, final) == 0.0

@@ -165,3 +165,64 @@ class TestEngineHistory:
         assert first is not None
         engine.run(sweep_specs(), availability(), backend="serial")
         assert engine._cost_observations is first
+
+
+class TestPipelineBudget:
+    def make(self, total):
+        from repro.engine.dispatch import PipelineBudget
+
+        return PipelineBudget(total)
+
+    def test_generation_fills_whole_budget_without_solves(self):
+        budget = self.make(3)
+        grants = [budget.acquire_generation() for _ in range(4)]
+        assert grants == [True, True, True, False]
+
+    def test_solve_pending_holds_one_worker_back(self):
+        budget = self.make(3)
+        assert budget.acquire_generation(solve_pending=True)
+        assert budget.acquire_generation(solve_pending=True)
+        assert not budget.acquire_generation(solve_pending=True)
+
+    def test_single_worker_budget_still_generates(self):
+        budget = self.make(1)
+        assert budget.acquire_generation(solve_pending=True)
+        assert not budget.acquire_generation(solve_pending=True)
+
+    def test_solve_takes_idle_workers_and_never_less_than_one(self):
+        budget = self.make(4)
+        assert budget.acquire_generation(solve_pending=True)
+        assert budget.acquire_solve() == 3
+        assert budget.acquire_solve() == 1  # everything busy: still one
+        budget.release_solve(3)
+        budget.release_generation()
+        assert budget.acquire_solve() == 3  # 4 total - 1 still solving
+
+    def test_release_floors_at_zero(self):
+        budget = self.make(2)
+        budget.release_generation()
+        budget.release_solve(5)
+        assert budget.snapshot() == {"total": 2, "generating": 0, "solving": 0}
+
+    def test_total_clamped_to_at_least_one(self):
+        assert self.make(0).total == 1
+        assert self.make(-3).total == 1
+
+
+class TestGenerationCostProxy:
+    def test_monotone_in_structure_size(self):
+        from repro.engine.dispatch import estimate_generation_cost
+        from repro.spn import CompiledNet
+
+        small = CompiledNet(machine_repair(machines=2))
+        large = CompiledNet(machine_repair(machines=6))
+        assert estimate_generation_cost(large) > estimate_generation_cost(small)
+
+    def test_positive_even_for_empty_marking(self):
+        from repro.engine.dispatch import estimate_generation_cost
+
+        class Hollow:
+            initial_marking = ()
+            transitions = ()
+
+        assert estimate_generation_cost(Hollow()) > 0.0

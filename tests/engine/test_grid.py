@@ -350,3 +350,179 @@ class TestMultiDataCenterTopologies:
                 case.measures[0].expression
             )
             assert abs(reference - row.value("availability")) < 1e-12
+
+
+class TestPipeline:
+    """Work-stealing generate→solve pipeline vs the two-phase barrier."""
+
+    def cases(self):
+        return [
+            reduced_case(distributed(alpha=0.35)),
+            reduced_case(distributed(alpha=0.45)),
+            reduced_case(
+                SingleDataCenterScenario(machines=1, label="single-1", parameters=REDUCED)
+            ),
+            reduced_case(
+                SingleDataCenterScenario(machines=2, label="single-2", parameters=REDUCED)
+            ),
+        ]
+
+    def test_pipeline_matches_barrier_below_1e_12(self, tmp_path):
+        cases = self.cases()
+        pipelined = ScenarioGridOrchestrator(
+            jobs=2, shard_directory=tmp_path / "pipe"
+        ).run(cases)
+        barrier = ScenarioGridOrchestrator(
+            pipeline=False, shard_directory=tmp_path / "barrier"
+        ).run(cases)
+        assert pipelined.pipelined and not barrier.pipelined
+        assert [row.name for row in pipelined.results] == [
+            row.name for row in barrier.results
+        ]
+        for a, b in zip(pipelined.results, barrier.results):
+            for name, value in a.measures.items():
+                assert abs(value - b.measures[name]) < 1e-12
+
+        def shard_records(outcome):
+            records = {}
+            for path in outcome.shard_paths:
+                with open(path) as handle:
+                    for line in handle:
+                        record = json.loads(line)
+                        records[record["index"]] = record
+            return records
+
+        pipe_records = shard_records(pipelined)
+        barrier_records = shard_records(barrier)
+        assert set(pipe_records) == set(barrier_records) == set(range(len(cases)))
+        for index in pipe_records:
+            assert pipe_records[index]["measures"] == barrier_records[index]["measures"]
+            assert pipe_records[index]["name"] == barrier_records[index]["name"]
+
+    def test_single_core_budget_degrades_to_barrier(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.dispatch.effective_cpu_count", lambda: 1
+        )
+        outcome = ScenarioGridOrchestrator().run(self.cases()[:3])
+        assert not outcome.pipelined  # no deadlock, barrier path ran
+        assert len(outcome.results) == 3
+        assert all(row.measures for row in outcome.results)
+
+    def test_forced_pipeline_records_timeline(self):
+        outcome = ScenarioGridOrchestrator(jobs=2).run(self.cases()[:3])
+        assert outcome.pipelined
+        for group in outcome.groups:
+            assert group.solve_started_at >= 0.0
+            assert group.generate_finished_at >= 0.0
+            assert group.solve_started_at >= group.generate_finished_at - 1e-9
+            timeline = group.timeline()
+            assert set(timeline) == {
+                "generate_finished_at",
+                "solve_started_at",
+                "queue_wait_seconds",
+                "generate_seconds",
+                "solve_seconds",
+            }
+
+    def test_pipeline_reports_groups_in_first_appearance_order(self):
+        cases = self.cases()
+        pipelined = ScenarioGridOrchestrator(jobs=2).run(cases)
+        barrier = ScenarioGridOrchestrator(pipeline=False).run(cases)
+        assert [g.key for g in pipelined.groups] == [g.key for g in barrier.groups]
+
+    def test_progress_callback_receives_lines(self):
+        lines = []
+        ScenarioGridOrchestrator(jobs=2, log_callback=lines.append).run(
+            self.cases()[:3]
+        )
+        assert lines
+        assert any("groups done" in line for line in lines)
+
+    def test_broken_pool_submission_falls_back_in_process(self, monkeypatch):
+        from pickle import PicklingError
+
+        from repro.engine import parallel as parallel_module
+
+        def refuse(kind, workers, fn, /, *args, **kwargs):
+            raise PicklingError("nope")
+
+        monkeypatch.setattr(parallel_module.shared_pool, "submit", refuse)
+        cases = self.cases()[:3]
+        with pytest.warns(UserWarning, match="generating in-process"):
+            outcome = ScenarioGridOrchestrator(jobs=2).run(cases)
+        assert outcome.pipelined
+        barrier = ScenarioGridOrchestrator(pipeline=False).run(cases)
+        for a, b in zip(outcome.results, barrier.results):
+            for name, value in a.measures.items():
+                assert abs(value - b.measures[name]) < 1e-12
+        assert all(
+            group.graph_source in {"generated", "cache"} for group in outcome.groups
+        )
+
+
+class TestGridDedupe:
+    """Cross-case stationary-vector sharing inside one structure group."""
+
+    def threshold_cases(self):
+        scenario = distributed()
+        model = scenario.build_model(REDUCED)
+        net = model.build()
+        return [
+            GridCase(
+                name=f"k{required}",
+                net=net,
+                measures=(
+                    ProbabilityMeasure(
+                        "availability",
+                        model.availability_expression(required_running_vms=required),
+                    ),
+                ),
+            )
+            for required in (1, 2, 3)
+        ]
+
+    def test_rate_identical_cases_solve_once(self):
+        outcome = ScenarioGridOrchestrator(pipeline=False).run(self.threshold_cases())
+        assert len(outcome.groups) == 1
+        assert outcome.deduped_cases == 2
+        assert outcome.groups[0].deduped_cases == 2
+        sources = [row.solve_source for row in outcome.results]
+        assert sources == ["solved", "deduped", "deduped"]
+
+    def test_deduped_measures_stay_per_case(self):
+        outcome = ScenarioGridOrchestrator(pipeline=False).run(self.threshold_cases())
+        values = [row.value("availability") for row in outcome.results]
+        assert values[0] > values[1] > values[2]  # stricter k, lower availability
+
+    def test_dedupe_off_matches_dedupe_on(self):
+        cases = self.threshold_cases()
+        on = ScenarioGridOrchestrator(pipeline=False).run(cases)
+        off = ScenarioGridOrchestrator(pipeline=False, dedupe=False).run(cases)
+        assert off.deduped_cases == 0
+        assert all(row.solve_source == "solved" for row in off.results)
+        for a, b in zip(on.results, off.results):
+            assert abs(a.value("availability") - b.value("availability")) < 1e-12
+
+    def test_dedupe_through_the_pipeline(self):
+        # Two structure groups, one of which has a rate-identical pair.
+        cases = self.threshold_cases()[:2] + [
+            reduced_case(
+                SingleDataCenterScenario(machines=1, label="single-1", parameters=REDUCED)
+            )
+        ]
+        outcome = ScenarioGridOrchestrator(jobs=2).run(cases)
+        assert outcome.pipelined
+        assert outcome.deduped_cases == 1
+        assert outcome.result("k2").solve_source == "deduped"
+
+    def test_deduped_rows_survive_shards(self, tmp_path):
+        outcome = ScenarioGridOrchestrator(
+            pipeline=False, shard_directory=tmp_path
+        ).run(self.threshold_cases())
+        records = []
+        for path in outcome.shard_paths:
+            with open(path) as handle:
+                records.extend(json.loads(line) for line in handle)
+        by_name = {record["name"]: record for record in records}
+        assert by_name["k1"]["solve_source"] == "solved"
+        assert by_name["k2"]["solve_source"] == "deduped"

@@ -1,5 +1,7 @@
 """Tests for the zero-copy multiprocess sweep scheduler and backend parity."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -435,3 +437,34 @@ class TestRewardMatrix:
         matrix = RewardMatrix.from_measures(graph, sweep_measures()[:1])
         with pytest.raises(ValueError):
             matrix.evaluate(np.zeros((2, 3)))
+
+
+def _tagged_sleep(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+class TestTaggedSubmission:
+    """Mixed generate/solve task tagging on the persistent pool."""
+
+    def test_inflight_counts_per_kind(self):
+        from repro.engine.parallel import shared_pool
+
+        generate = shared_pool.submit("generate", 1, _tagged_sleep, 0.2)
+        solve = shared_pool.submit("solve", 1, _tagged_sleep, 0.0)
+        assert shared_pool.inflight("generate") >= 1
+        assert shared_pool.inflight() >= shared_pool.inflight("generate")
+        assert generate.result() == 0.2
+        assert solve.result() == 0.0
+        for _ in range(200):  # done-callbacks fire just after result()
+            if shared_pool.inflight() == 0:
+                break
+            time.sleep(0.01)
+        assert shared_pool.inflight() == 0
+        assert shared_pool.inflight("generate") == 0
+        assert shared_pool.inflight("solve") == 0
+
+    def test_unknown_kind_counts_zero(self):
+        from repro.engine.parallel import shared_pool
+
+        assert shared_pool.inflight("no-such-kind") == 0
