@@ -31,6 +31,7 @@ from repro.core.scenarios import (
     SingleDataCenterScenario,
 )
 from repro.engine import TRGCache
+from repro.engine.faults import RetryPolicy
 from repro.engine.grid import (
     CanonicalizerRef,
     GridCase,
@@ -217,6 +218,8 @@ def evaluate_grid(
     generation_workers: Optional[int] = None,
     pipeline: bool = True,
     dedupe: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    resume: bool = False,
     log_callback: Optional[Callable[[str], None]] = None,
 ) -> GridOutcome:
     """Evaluate a list of case-study scenarios as one orchestrated grid.
@@ -225,7 +228,8 @@ def evaluate_grid(
     measure plus per-group provenance (states, backend chosen, cache hit,
     solve seconds).  See :class:`repro.engine.grid.ScenarioGridOrchestrator`
     for the phases, the ``pipeline`` work-stealing overlap, the
-    rate-identical-case ``dedupe`` and the ``log_callback`` progress hook.
+    rate-identical-case ``dedupe``, the self-healing ``retry`` policy, the
+    checkpoint ``resume`` mode and the ``log_callback`` progress hook.
     """
     cases = []
     shared_nets: dict[tuple, object] = {}
@@ -253,6 +257,8 @@ def evaluate_grid(
         generation_workers=generation_workers,
         pipeline=pipeline,
         dedupe=dedupe,
+        retry=retry,
+        resume=resume,
         log_callback=log_callback,
     )
     return orchestrator.run(cases)

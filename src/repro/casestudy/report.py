@@ -168,9 +168,39 @@ def render_grid(outcome) -> str:
     deduped = getattr(outcome, "deduped_cases", 0)
     if deduped:
         summary += f"; {deduped} case(s) deduped (shared stationary vector)"
+    restored = getattr(outcome, "restored_cases", 0)
+    if restored:
+        summary += f"; {restored} case(s) restored from checkpoint"
+    rebuilds = getattr(outcome, "pool_rebuilds", 0)
+    if rebuilds:
+        summary += f"; worker pool rebuilt {rebuilds} time(s)"
+    kills = getattr(outcome, "watchdog_kills", 0)
+    if kills:
+        summary += f"; watchdog killed {kills} hung task(s)"
     if outcome.shard_paths:
         summary += f"; {len(outcome.shard_paths)} shard file(s) written"
-    return f"{scenario_table}\n\n{group_table}\n\n{summary}"
+    rendered = f"{scenario_table}\n\n{group_table}\n\n{summary}"
+    failures = getattr(outcome, "failures", [])
+    if failures:
+        failure_table = _format_table(
+            ["Stage", "Group", "Cases", "Attempts", "Error"],
+            [
+                (
+                    record.stage,
+                    record.group[:8],
+                    ", ".join(record.cases),
+                    str(record.attempts),
+                    f"{record.error_type}: {record.error}"[:72],
+                )
+                for record in failures
+            ],
+        )
+        rendered += (
+            f"\n\nPARTIAL RESULT — "
+            f"{sum(len(record.cases) for record in failures)} case(s) "
+            f"quarantined after retries:\n{failure_table}"
+        )
+    return rendered
 
 
 def render_ablations(results: Iterable[AblationResult]) -> str:

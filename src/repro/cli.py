@@ -54,6 +54,7 @@ from repro.casestudy.transient import (
 )
 from repro.core import CaseStudyParameters, DistributedScenario
 from repro.core.scenarios import CITY_PAIRS
+from repro.engine.faults import RetryPolicy
 from repro.network import city_named
 
 
@@ -222,7 +223,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-dir", default=None, metavar="PATH",
         help="stream result rows to JSONL shards in this directory; the "
         "directory holds one grid's shards — existing grid-shard-*.jsonl "
-        "files are removed at the start of a run",
+        "files are removed at the start of a run (the shards double as the "
+        "run's checkpoint, see --resume)",
+    )
+    grid.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from the checkpoint shards in PATH: completed cases "
+        "are restored (solve_source='checkpoint') and only missing or "
+        "previously failed cases are re-dispatched; implies --shard-dir "
+        "PATH",
+    )
+    grid.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="extra attempts per failed task before it is quarantined into "
+        "the failure list (with exponential backoff between attempts)",
+    )
+    grid.add_argument(
+        "--generate-deadline", type=float, default=None, metavar="SECONDS",
+        help="watchdog deadline for one structure-graph generation task; a "
+        "generation past it has its workers killed and is retried",
+    )
+    grid.add_argument(
+        "--solve-deadline", type=float, default=None, metavar="SECONDS",
+        help="watchdog deadline for one wave of process-backend solve "
+        "chunks; a hung wave has its workers killed and is retried",
+    )
+    grid.add_argument(
+        "--fault-plan", default=None, metavar="JSON|@PATH",
+        help="inject deterministic faults (testing/chaos): a JSON fault "
+        "plan, or @/path/to/plan.json; see repro.engine.faults",
     )
     grid.add_argument(
         "--pipeline",
@@ -386,21 +415,75 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         def progress(line: str) -> None:
             print(line, file=sys.stderr, flush=True)
 
-        outcome = evaluate_grid(
-            grid.scenarios(),
-            parameters=CaseStudyParameters(
-                required_running_vms=arguments.required_vms
-            ),
-            jobs=arguments.jobs,
-            backend=arguments.backend,
-            use_cache=not arguments.no_cache,
-            shard_directory=arguments.shard_dir,
-            generation_workers=arguments.jobs,
-            pipeline=arguments.pipeline,
-            dedupe=arguments.dedupe,
-            log_callback=progress if arguments.progress else None,
+        from repro.engine import faults as fault_injection
+
+        installed_plan = False
+        if arguments.fault_plan is not None:
+            text = arguments.fault_plan
+            if text.startswith("@"):
+                try:
+                    with open(text[1:]) as handle:
+                        text = handle.read()
+                except OSError as error:
+                    raise SystemExit(f"--fault-plan: cannot read {text[1:]}: {error}")
+            try:
+                fault_injection.install(fault_injection.FaultPlan.from_json(text))
+            except (ValueError, TypeError) as error:
+                raise SystemExit(f"--fault-plan: invalid plan: {error}")
+            installed_plan = True
+
+        shard_directory = arguments.shard_dir
+        resume = False
+        if arguments.resume is not None:
+            if shard_directory is not None and str(shard_directory) != str(
+                arguments.resume
+            ):
+                raise SystemExit(
+                    "--resume PATH already names the shard directory; drop "
+                    "--shard-dir or make them identical"
+                )
+            shard_directory = arguments.resume
+            resume = True
+        retry = RetryPolicy(
+            max_retries=max(0, arguments.max_retries),
+            generate_deadline_seconds=arguments.generate_deadline,
+            solve_deadline_seconds=arguments.solve_deadline,
         )
+
+        try:
+            outcome = evaluate_grid(
+                grid.scenarios(),
+                parameters=CaseStudyParameters(
+                    required_running_vms=arguments.required_vms
+                ),
+                jobs=arguments.jobs,
+                backend=arguments.backend,
+                use_cache=not arguments.no_cache,
+                shard_directory=shard_directory,
+                generation_workers=arguments.jobs,
+                pipeline=arguments.pipeline,
+                dedupe=arguments.dedupe,
+                retry=retry,
+                resume=resume,
+                log_callback=progress if arguments.progress else None,
+            )
+        finally:
+            if installed_plan:
+                fault_injection.clear()
         print(render_grid(outcome))
+        if outcome.partial:
+            print(
+                f"grid incomplete: {len(outcome.failed_cases())} case(s) "
+                f"quarantined (see output above"
+                + (
+                    f" and {shard_directory}/grid-failures.jsonl"
+                    if shard_directory is not None
+                    else ""
+                )
+                + ")",
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
     if arguments.command == "ablations":

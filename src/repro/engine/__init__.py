@@ -19,6 +19,13 @@ from repro.engine.batch import (
     rate_digest,
 )
 from repro.engine.cache import CacheEntry, TRGCache, cache_key, default_cache_directory
+from repro.engine.faults import (
+    FailureRecord,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    RetryPolicy,
+)
 from repro.engine.grid import (
     CanonicalizerRef,
     GridCase,
@@ -26,22 +33,26 @@ from repro.engine.grid import (
     GridGroupReport,
     GridOutcome,
     ScenarioGridOrchestrator,
+    load_checkpoint,
 )
 from repro.engine.dispatch import (
     CostObservations,
     DispatchDecision,
     PipelineBudget,
+    TaskWatchdog,
     choose_backend,
     effective_cpu_count,
     estimate_generation_cost,
     resolve_worker_count,
 )
-from repro.engine.krylov import KrylovSettings, ReusableSolver
+from repro.engine.krylov import KrylovConvergenceError, KrylovSettings, ReusableSolver
 from repro.engine.measures import RewardMatrix, UnsupportedMeasure
 from repro.engine.parallel import (
     SharedMemoryUnavailable,
     SweepScheduler,
+    cleanup_shared_resources,
     contiguous_chunks,
+    install_signal_cleanup,
     shared_memory_available,
     shutdown_shared_pool,
 )
@@ -74,12 +85,22 @@ __all__ = [
     "cache_key",
     "default_cache_directory",
     "ConstrainedSystemTemplate",
+    "FailureRecord",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "RetryPolicy",
+    "TaskWatchdog",
+    "KrylovConvergenceError",
     "KrylovSettings",
     "ReusableSolver",
     "RewardMatrix",
     "UnsupportedMeasure",
     "SharedMemoryUnavailable",
     "SweepScheduler",
+    "cleanup_shared_resources",
     "contiguous_chunks",
+    "install_signal_cleanup",
+    "load_checkpoint",
     "shared_memory_available",
 ]

@@ -249,9 +249,14 @@ class ScenarioBatchEngine:
         lu_gmres_tolerance: float = 1e-12,
         gmres_restart: int = 60,
         gmres_max_iterations: int = 2000,
+        solve_deadline_seconds: Optional[float] = None,
     ) -> None:
         self.method = method
         self.max_states = max_states
+        #: Watchdog deadline for one wave of process-backend solve chunks
+        #: (forwarded to :class:`~repro.engine.parallel.SweepScheduler`);
+        #: ``None`` disables it.
+        self.solve_deadline_seconds = solve_deadline_seconds
         self.canonicalize = canonicalize
         self.cache = cache
         self.canonicalize_id = (
@@ -926,7 +931,11 @@ class ScenarioBatchEngine:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Zero-copy multiprocess fan-out (see :mod:`repro.engine.parallel`)."""
         scheduler = SweepScheduler(
-            self.graph(), self.template(), self.krylov_settings, max_workers=workers
+            self.graph(),
+            self.template(),
+            self.krylov_settings,
+            max_workers=workers,
+            deadline_seconds=self.solve_deadline_seconds,
         )
         outcome = scheduler.run(rate_matrix)
         return outcome.solutions, outcome.solve_seconds

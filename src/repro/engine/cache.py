@@ -16,6 +16,14 @@ Canonicalizers are opaque callables, so a graph generated with one is only
 cacheable when the canonicalizer declares a stable identity via a
 ``cache_id`` attribute (the cloud model's symmetry canonicalizer does);
 otherwise the cache is bypassed rather than risking a stale hit.
+
+Entries are *integrity-checked*: every stored ``.npz`` carries a sha256
+digest over its logical payload (array names, dtypes, shapes and bytes),
+recomputed and verified on load.  A corrupt or truncated entry — bad zip,
+missing arrays, wrong dtype, digest mismatch — is treated as a miss: the
+entry file is **deleted** so the caller regenerates and overwrites it,
+instead of the corruption propagating as an exception or, worse, as wrong
+numbers.
 """
 
 from __future__ import annotations
@@ -33,11 +41,36 @@ from typing import Optional
 import numpy as np
 from scipy import sparse
 
+from repro.engine import faults
 from repro.spn.enabling import CompiledNet
 from repro.spn.reachability import TangibleReachabilityGraph
 
 #: Bump when the stored array layout changes; part of every cache key.
-CACHE_FORMAT_VERSION = 1
+#: Version 2 added the mandatory ``payload_sha256`` integrity digest.
+CACHE_FORMAT_VERSION = 2
+
+#: Name of the embedded integrity-digest array (excluded from the digest).
+DIGEST_ARRAY = "payload_sha256"
+
+
+def payload_digest(arrays: dict) -> "np.ndarray":
+    """sha256 over the logical payload of one entry's array dict.
+
+    Hashes array names, dtypes, shapes and raw bytes (in name order), so any
+    single-bit corruption of the stored data — including a dtype or shape
+    rewrite that would survive the zip CRC — fails verification.  Returned
+    as a 32-byte ``uint8`` array so it can ride inside the ``.npz`` itself.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == DIGEST_ARRAY:
+            continue
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(array.dtype.str.encode())
+        digest.update(repr(tuple(array.shape)).encode())
+        digest.update(array.tobytes())
+    return np.frombuffer(digest.digest(), dtype=np.uint8).copy()
 
 
 def default_cache_directory() -> Path:
@@ -100,6 +133,22 @@ def cache_key(
     return digest.hexdigest()
 
 
+def _truncate_entry(path: Path) -> None:
+    """Physically truncate an entry (the ``corrupt_cache_read`` injection).
+
+    Chopping the file in half — rather than short-circuiting the load —
+    makes the injected fault exercise the *real* corruption path: the bad
+    zip / digest failure is detected by the same code that would catch a
+    torn write or disk error, and the entry is deleted and regenerated.
+    """
+    try:
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+    except OSError:  # pragma: no cover - vanished or unwritable entry
+        pass
+
+
 @dataclass(frozen=True)
 class CacheEntry:
     """Metadata of one stored graph (for ``repro cache show``)."""
@@ -130,20 +179,42 @@ class TRGCache:
     ) -> Optional[TangibleReachabilityGraph]:
         """The cached graph for this configuration, or ``None`` on a miss.
 
-        A corrupt or unreadable entry counts as a miss (and callers will
-        simply regenerate and overwrite it).  An explicit ``key`` overrides
-        the default rate-inclusive :func:`cache_key` — the grid orchestrator
-        keys by *rateless* structure, because it re-rates every loaded graph
-        with each scenario's full rate assignment anyway.
+        A corrupt or unreadable entry — bad zip, missing arrays, wrong
+        dtype, integrity-digest mismatch — counts as a miss **and is
+        deleted**, so the caller regenerates and overwrites it (the cache
+        self-heals instead of tripping on the same torn file forever).  An
+        explicit ``key`` overrides the default rate-inclusive
+        :func:`cache_key` — the grid orchestrator keys by *rateless*
+        structure, because it re-rates every loaded graph with each
+        scenario's full rate assignment anyway.
         """
         path = self._path(key or cache_key(net, max_states, canonicalize_id))
         if not path.exists():
             return None
+        plan = faults.active()
+        if plan is not None and plan.fire(faults.CORRUPT_CACHE_READ, "cache.load"):
+            _truncate_entry(path)
         try:
             with np.load(path, allow_pickle=False) as data:
-                return self._graph_from_arrays(net, data)
+                arrays = {name: data[name] for name in data.files}
+            self._verify_digest(arrays)
+            return self._graph_from_arrays(net, arrays)
         except (OSError, ValueError, KeyError, zipfile.BadZipFile, zlib.error):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - unwritable cache directory
+                pass
             return None
+
+    @staticmethod
+    def _verify_digest(arrays: dict) -> None:
+        """Raise ``ValueError`` unless the embedded payload digest matches."""
+        if DIGEST_ARRAY not in arrays:
+            raise ValueError("cache entry carries no integrity digest")
+        expected = np.asarray(arrays[DIGEST_ARRAY], dtype=np.uint8)
+        actual = payload_digest(arrays)
+        if expected.shape != actual.shape or not np.array_equal(expected, actual):
+            raise ValueError("cache entry failed integrity verification")
 
     def store(
         self,
@@ -188,6 +259,7 @@ class TRGCache:
             "scm_indptr": graph.state_coefficient_matrix.indptr,
             "scm_shape": np.asarray(graph.state_coefficient_matrix.shape, dtype=np.int64),
         }
+        arrays[DIGEST_ARRAY] = payload_digest(arrays)
         # Write-to-temporary + rename so concurrent readers never see a
         # partially written entry.
         descriptor, temporary = tempfile.mkstemp(

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Optional
@@ -291,6 +292,74 @@ def estimate_generation_cost(net) -> float:
     places = float(len(net.initial_marking))
     transitions = float(len(net.transitions))
     return (1.0 + tokens) * (1.0 + transitions) * (1.0 + places)
+
+
+class TaskWatchdog:
+    """Per-kind deadline tracking of in-flight pipeline tasks.
+
+    The pipeline coordinator :meth:`watch`\\ es every pool future it
+    submits; :meth:`overdue` reports the tokens whose kind-specific deadline
+    has elapsed (so the coordinator can kill the hung workers and requeue),
+    and :meth:`next_poll_seconds` bounds the coordinator's wait timeout so a
+    hung worker can never stall the loop past the nearest deadline.
+
+    Kinds without a configured deadline are simply never tracked; with no
+    deadlines at all the watchdog is inert (:attr:`enabled` is ``False``).
+    """
+
+    def __init__(self, deadlines: Optional[dict] = None) -> None:
+        self.deadlines: dict[str, float] = {
+            kind: float(limit)
+            for kind, limit in (deadlines or {}).items()
+            if limit is not None and limit > 0
+        }
+        self._lock = threading.Lock()
+        self._tasks: dict[object, tuple[str, float]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.deadlines)
+
+    def watch(self, token: object, kind: str, now: Optional[float] = None) -> None:
+        """Start the clock on one task (no-op for kinds without deadlines)."""
+        if kind not in self.deadlines:
+            return
+        with self._lock:
+            self._tasks[token] = (kind, now if now is not None else time.perf_counter())
+
+    def forget(self, token: object) -> None:
+        with self._lock:
+            self._tasks.pop(token, None)
+
+    def overdue(self, now: Optional[float] = None) -> list[tuple[object, str, float]]:
+        """Tracked tasks past their deadline, as ``(token, kind, elapsed)``.
+
+        Overdue tasks are dropped from tracking — the caller owns the
+        recovery (kill + requeue) and must not be re-notified every poll.
+        """
+        now = now if now is not None else time.perf_counter()
+        expired = []
+        with self._lock:
+            for token, (kind, started) in list(self._tasks.items()):
+                elapsed = now - started
+                if elapsed >= self.deadlines[kind]:
+                    expired.append((token, kind, elapsed))
+                    del self._tasks[token]
+        return expired
+
+    def next_poll_seconds(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until the nearest tracked deadline (``None`` when idle)."""
+        now = now if now is not None else time.perf_counter()
+        with self._lock:
+            if not self._tasks:
+                return None
+            return max(
+                0.0,
+                min(
+                    self.deadlines[kind] - (now - started)
+                    for kind, started in self._tasks.values()
+                ),
+            )
 
 
 class PipelineBudget:

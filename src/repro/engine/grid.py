@@ -51,10 +51,11 @@ from typing import Callable, Mapping, Optional, Sequence
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.engine import dispatch
+from repro.engine import dispatch, faults
 from repro.engine.batch import ScenarioBatchEngine, ScenarioSpec
 from repro.engine.cache import TRGCache, structure_fingerprint
-from repro.engine.parallel import shared_pool, shutdown_shared_pool
+from repro.engine.faults import FailureRecord, RetryPolicy
+from repro.engine.parallel import shared_pool
 from repro.spn.enabling import CompiledNet
 from repro.spn.model import StochasticPetriNet
 from repro.spn.reachability import (
@@ -137,8 +138,11 @@ class GridCaseResult:
     """One row of the unified grid result frame.
 
     ``solve_source`` tells how the row's stationary vector was obtained:
-    ``"solved"`` or ``"deduped"`` (shared with an earlier rate-identical
-    case of the same group; see :meth:`ScenarioBatchEngine.run`).
+    ``"solved"``, ``"deduped"`` (shared with an earlier rate-identical case
+    of the same group; see :meth:`ScenarioBatchEngine.run`) or
+    ``"checkpoint"`` (restored from a previous run's shards by a resumed
+    run instead of being re-solved).  ``grid_index`` is the case's position
+    in the input grid (``-1`` on rows built outside a grid run).
     """
 
     name: str
@@ -150,6 +154,7 @@ class GridCaseResult:
     solve_seconds: float
     metadata: Mapping[str, object] = field(default_factory=dict)
     solve_source: str = "solved"
+    grid_index: int = -1
 
     def value(self, measure_name: str) -> float:
         return self.measures[measure_name]
@@ -194,6 +199,11 @@ class GridGroupReport:
     solve_started_at: float = 0.0
     queue_wait_seconds: float = 0.0
     deduped_cases: int = 0
+    #: How many times the group's graph generation ran (1 on the happy
+    #: path; more after injected or real worker failures and retries).
+    generate_attempts: int = 1
+    #: How many times the group's batch solve ran (1 on the happy path).
+    solve_attempts: int = 1
 
     @property
     def cache_hit(self) -> bool:
@@ -220,6 +230,14 @@ class GridOutcome:
     vector instead of solving; ``pipelined`` records whether the
     work-stealing generate→solve pipeline ran (``False`` on the barrier
     path — ``pipeline=False``, a single group, or a single-worker budget).
+
+    A run that quarantined tasks is **partial**: the unsolvable cases are
+    missing from ``results`` and accounted for — stage, attempt count,
+    final error — in ``failures``.  ``pool_rebuilds``/``watchdog_kills``
+    record the self-healing activity of the run (worker-pool replacements
+    after abrupt deaths, hung workers killed past their deadline), and
+    ``restored_cases`` how many rows a resumed run recovered from a
+    previous run's checkpoint shards instead of re-solving.
     """
 
     results: list[GridCaseResult]
@@ -228,6 +246,19 @@ class GridOutcome:
     shard_paths: list[Path] = field(default_factory=list)
     deduped_cases: int = 0
     pipelined: bool = False
+    failures: list[FailureRecord] = field(default_factory=list)
+    pool_rebuilds: int = 0
+    watchdog_kills: int = 0
+    restored_cases: int = 0
+
+    @property
+    def partial(self) -> bool:
+        """Whether any case was quarantined instead of solved."""
+        return bool(self.failures)
+
+    def failed_cases(self) -> list[str]:
+        """Names of every quarantined case, in failure order."""
+        return [name for record in self.failures for name in record.cases]
 
     def result(self, name: str) -> GridCaseResult:
         for row in self.results:
@@ -236,7 +267,10 @@ class GridOutcome:
         raise KeyError(f"no grid case named {name!r}")
 
     def as_records(self) -> list[dict]:
-        return [row.as_record(index) for index, row in enumerate(self.results)]
+        return [
+            row.as_record(row.grid_index if row.grid_index >= 0 else position)
+            for position, row in enumerate(self.results)
+        ]
 
 
 @dataclass
@@ -261,6 +295,12 @@ class _Group:
     generate_finished_at: float = 0.0
     #: Workers granted to this group's solve by the pipeline budget.
     solve_grant: int = 1
+    #: Generation / solve attempts so far (retries increment these).
+    generate_attempts: int = 0
+    solve_attempts: int = 0
+    #: Earliest ``perf_counter`` time a requeued generation may redispatch
+    #: (exponential backoff between retries).
+    not_before: float = 0.0
 
 
 def _generate_into_cache(
@@ -285,23 +325,73 @@ def _generate_into_cache(
     return time.perf_counter() - started
 
 
+def load_checkpoint(directory: Path) -> dict[str, dict]:
+    """Completed case records of a directory's checkpoint shards, by name.
+
+    Reads every ``grid-shard-*.jsonl`` of ``directory`` leniently: an
+    unreadable shard, a torn trailing line (a writer killed mid-``write``
+    before the atomic-rename writer landed) or a non-record document is
+    skipped, never fatal — a resumed run simply re-solves whatever it cannot
+    restore.  Later shards win on duplicate names.
+    """
+    records: dict[str, dict] = {}
+    for path in sorted(Path(directory).glob("grid-shard-*.jsonl")):
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and isinstance(record.get("name"), str):
+                if isinstance(record.get("measures"), dict):
+                    records[record["name"]] = record
+    return records
+
+
 class _ShardWriter:
     """Streams result records to fixed-size JSONL shards as groups finish.
 
     Thread-safe: the pipelined orchestrator appends from concurrent group
     solves (records always carry their original grid ``index``, so shard
     order is group-completion order on every path).
+
+    The shard files double as the run's **checkpoint**: each shard is
+    written to a temporary file and atomically renamed into place, so a
+    killed run leaves only whole shards behind and
+    :func:`load_checkpoint` can trust every line it parses.  In ``resume``
+    mode existing shards are kept (they hold the completed cases a resumed
+    run restores) and new shards continue the numbering after them.
     """
 
-    def __init__(self, directory: Path, shard_size: int) -> None:
+    def __init__(self, directory: Path, shard_size: int, resume: bool = False) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        # Shards are numbered from zero each run; stale shards from a
-        # previous (larger) run must not survive next to the fresh ones, or
-        # a consumer globbing grid-shard-*.jsonl would mix the two grids.
-        for stale in self.directory.glob("grid-shard-*.jsonl"):
-            stale.unlink()
+        existing = sorted(self.directory.glob("grid-shard-*.jsonl"))
+        if resume:
+            numbers = []
+            for path in existing:
+                try:
+                    numbers.append(int(path.stem.rsplit("-", 1)[-1]))
+                except ValueError:
+                    continue
+            self._next_shard = max(numbers) + 1 if numbers else 0
+        else:
+            # Shards are numbered from zero each fresh run; stale shards
+            # from a previous (larger) run must not survive next to the
+            # fresh ones, or a consumer globbing grid-shard-*.jsonl would
+            # mix the two grids.
+            for stale in existing:
+                stale.unlink()
+            self._next_shard = 0
         self.shard_size = max(1, int(shard_size))
+        #: Shards written by *this* run (a resumed run's outcome does not
+        #: re-claim the previous run's files).
         self.paths: list[Path] = []
         self._pending: list[dict] = []
         self._lock = threading.Lock()
@@ -319,10 +409,19 @@ class _ShardWriter:
     def _flush_locked(self) -> None:
         if not self._pending:
             return
-        path = self.directory / f"grid-shard-{len(self.paths):04d}.jsonl"
-        with open(path, "w") as handle:
-            for record in self._pending:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        path = self.directory / f"grid-shard-{self._next_shard:04d}.jsonl"
+        descriptor, temporary = tempfile.mkstemp(
+            dir=self.directory, prefix=".shard-", suffix=".tmp"
+        )
+        try:
+            with open(descriptor, "w") as handle:
+                for record in self._pending:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            Path(temporary).replace(path)
+        except BaseException:
+            Path(temporary).unlink(missing_ok=True)
+            raise
+        self._next_shard += 1
         self.paths.append(path)
         self._pending = []
 
@@ -364,6 +463,17 @@ class ScenarioGridOrchestrator:
             stay per-case).  Surfaced per group in
             :attr:`GridGroupReport.deduped_cases` and grid-wide in
             :attr:`GridOutcome.deduped_cases`.
+        retry: self-healing policy (:class:`~repro.engine.faults.
+            RetryPolicy`): per-task retries with exponential backoff,
+            per-kind deadlines, the pool restart budget.  A task still
+            failing after its retries is **quarantined** — its cases land in
+            :attr:`GridOutcome.failures` as a structured
+            :class:`~repro.engine.faults.FailureRecord` instead of aborting
+            the run.  Defaults to ``RetryPolicy()``.
+        resume: restore completed cases from the checkpoint shards already
+            present in ``shard_directory`` (matched by case name, marked
+            ``solve_source="checkpoint"``) and dispatch only the missing
+            ones.  Requires ``shard_directory``.
         log_callback: optional one-string-argument callable receiving live
             progress lines (groups generated/solving/done, dedupe hits);
             ``None`` keeps the run silent.
@@ -382,8 +492,12 @@ class ScenarioGridOrchestrator:
         shard_size: int = DEFAULT_SHARD_SIZE,
         pipeline: bool = True,
         dedupe: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        resume: bool = False,
         log_callback: Optional[Callable[[str], None]] = None,
     ) -> None:
+        if resume and shard_directory is None:
+            raise ValueError("resume=True needs a shard_directory to resume from")
         self.cache = cache
         self.method = method
         self.max_states = max_states
@@ -394,6 +508,8 @@ class ScenarioGridOrchestrator:
         self.shard_size = shard_size
         self.pipeline = pipeline
         self.dedupe = dedupe
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.resume = resume
         self.log_callback = log_callback
 
     def _log(self, message: str) -> None:
@@ -440,7 +556,10 @@ class ScenarioGridOrchestrator:
         digest.update(f"|canonicalize={canonical_id or ''}".encode())
         return digest.hexdigest()
 
-    def _grouped(self, cases: Sequence[GridCase]) -> dict[str, _Group]:
+    def _grouped(
+        self, cases: Sequence[GridCase], skip: frozenset[int] = frozenset()
+    ) -> dict[str, _Group]:
+        """Group cases by structure; ``skip`` holds restored case indices."""
         groups: dict[str, _Group] = {}
         # Rate-only grids pass the same net / canonicalizer objects many
         # times (e.g. an ablation's reference structure); memoize the
@@ -449,6 +568,8 @@ class ScenarioGridOrchestrator:
         compiled_by_net: dict[int, tuple[CompiledNet, str]] = {}
         canonicalizer_by_ref: dict[int, object] = {}
         for index, case in enumerate(cases):
+            if index in skip:
+                continue
             validate_measures(case.measures)
             if case.canonicalizer is None:
                 canonicalize = None
@@ -490,14 +611,82 @@ class ScenarioGridOrchestrator:
 
     # --- generation -------------------------------------------------------
 
+    def _generation_failure(
+        self, group: _Group, cases: Sequence[GridCase], error: BaseException
+    ) -> FailureRecord:
+        return FailureRecord(
+            stage="generate",
+            group=group.key,
+            cases=tuple(cases[index].name for index in group.case_indices),
+            case_indices=tuple(group.case_indices),
+            attempts=max(1, group.generate_attempts),
+            error=str(error),
+            error_type=type(error).__name__,
+            metadata={"max_states": self.max_states},
+        )
+
+    def _generate_in_process_final(
+        self,
+        group: _Group,
+        cases: Sequence[GridCase],
+        transport: TRGCache,
+        started: float,
+        failures: list[FailureRecord],
+    ) -> bool:
+        """In-process generation with the policy's remaining retries.
+
+        The last line of defence of both execution paths: runs the BFS in
+        the parent, retrying with backoff while the policy allows (but at
+        least once, even when pool attempts already consumed the retry
+        budget), and quarantines the group into ``failures`` when every
+        attempt failed.  Returns whether the group now holds a graph.
+        """
+        total = max(
+            group.generate_attempts + 1, 1 + max(0, self.retry.max_retries)
+        )
+        error: Optional[BaseException] = None
+        while group.generate_attempts < total:
+            group.generate_attempts += 1
+            try:
+                # Persist only into a real cache: with cache=None the
+                # transport is a throwaway scratch directory that exists
+                # purely to carry graphs back from pool workers, and the
+                # in-process path already holds the graph in memory.
+                self._generate_in_process(
+                    group, transport, persist=self.cache is not None
+                )
+            except Exception as raised:  # noqa: BLE001 - quarantine, not abort
+                error = raised
+                if group.generate_attempts < total:
+                    time.sleep(self.retry.backoff(group.generate_attempts))
+                continue
+            group.generate_finished_at = time.perf_counter() - started
+            return True
+        if error is None:
+            error = RuntimeError("generation retries exhausted on the worker pool")
+        failures.append(self._generation_failure(group, cases, error))
+        self._log(
+            f"[grid] group {group.key} quarantined after "
+            f"{group.generate_attempts} generation attempt(s): {error}"
+        )
+        return False
+
     def _ensure_graphs(
-        self, groups: dict[str, _Group], transport: TRGCache, started: float = 0.0
+        self,
+        groups: dict[str, _Group],
+        transport: TRGCache,
+        started: float,
+        cases: Sequence[GridCase],
+        failures: list[FailureRecord],
     ) -> None:
         """Load every group's graph from cache or generate it (concurrently).
 
         ``started`` is the run's ``perf_counter`` origin; every group's
         ``generate_finished_at`` offset is stamped against it so the barrier
-        path reports the same timeline fields as the pipeline.
+        path reports the same timeline fields as the pipeline.  Groups whose
+        generation keeps failing past the retry policy are quarantined into
+        ``failures`` (their ``graph`` stays ``None``) instead of failing the
+        run.
         """
         misses: list[_Group] = []
         for group in groups.values():
@@ -528,14 +717,9 @@ class ScenarioGridOrchestrator:
                     group.generate_finished_at = finished_at
         for group in misses:  # pool failures (or workers == 1) fall through
             if group.graph is None:
-                # Persist only into a real cache: with cache=None the
-                # transport is a throwaway scratch directory that exists
-                # purely to carry graphs back from pool workers, and the
-                # in-process path already holds the graph in memory.
-                self._generate_in_process(
-                    group, transport, persist=self.cache is not None
+                self._generate_in_process_final(
+                    group, cases, transport, started, failures
                 )
-                group.generate_finished_at = time.perf_counter() - started
 
     def _generate_on_pool(
         self, misses: list[_Group], transport: TRGCache, workers: int
@@ -551,9 +735,12 @@ class ScenarioGridOrchestrator:
         directory = str(transport.directory)
         futures = {}
         try:
-            pool = shared_pool.executor(min(workers, len(misses)))
+            width = min(workers, len(misses))
             for group in misses:
-                futures[group.key] = pool.submit(
+                group.generate_attempts += 1
+                futures[group.key] = shared_pool.submit(
+                    "generate",
+                    width,
                     _generate_into_cache,
                     group.representative.net,
                     self.max_states,
@@ -610,13 +797,20 @@ class ScenarioGridOrchestrator:
                 group.graph = graph
                 group.graph_source = "generated:pool"
                 group.generate_seconds = seconds
-        if broken:
-            shutdown_shared_pool()
+        if broken and shared_pool.is_broken():
+            # Replace the dead pool now (and count the rebuild in the run's
+            # provenance); the affected groups regenerate in-process.
+            shared_pool.rebuild()
 
     def _generate_in_process(
         self, group: _Group, transport: TRGCache, persist: bool = True
     ) -> None:
         started = time.perf_counter()
+        plan = faults.active()
+        if plan is not None and plan.fire(faults.TASK_EXCEPTION, "generate.inprocess"):
+            raise faults.InjectedFaultError(
+                f"injected in-process generation failure (group {group.key})"
+            )
         graph = generate_tangible_reachability_graph(
             group.compiled,
             max_states=self.max_states,
@@ -671,12 +865,86 @@ class ScenarioGridOrchestrator:
 
     # --- run --------------------------------------------------------------
 
+    # --- checkpoint/resume --------------------------------------------------
+
+    def _restore_checkpoint(
+        self, cases: Sequence[GridCase]
+    ) -> dict[int, GridCaseResult]:
+        """Rows restored from a previous run's shards, by grid index."""
+        checkpoint = load_checkpoint(self.shard_directory)
+        if not checkpoint:
+            return {}
+        self._check_manifest(cases)
+        restored: dict[int, GridCaseResult] = {}
+        for index, case in enumerate(cases):
+            record = checkpoint.get(case.name)
+            if record is None:
+                continue
+            try:
+                restored[index] = GridCaseResult(
+                    name=case.name,
+                    measures={
+                        str(name): float(value)
+                        for name, value in record["measures"].items()
+                    },
+                    number_of_states=int(record.get("number_of_states", 0)),
+                    group=str(record.get("group", "")),
+                    backend=str(record.get("backend", "")),
+                    graph_source=str(record.get("graph_source", "")),
+                    solve_seconds=float(record.get("solve_seconds", 0.0)),
+                    metadata=dict(record.get("metadata", {})),
+                    solve_source="checkpoint",
+                    grid_index=index,
+                )
+            except (TypeError, ValueError, KeyError):
+                continue  # malformed record: re-solve the case instead
+        if restored:
+            self._log(
+                f"[grid] resumed: {len(restored)}/{len(cases)} case(s) "
+                f"restored from checkpoint shards"
+            )
+        return restored
+
+    def _manifest_path(self) -> Path:
+        return Path(self.shard_directory) / "grid-manifest.json"
+
+    def _names_digest(self, cases: Sequence[GridCase]) -> str:
+        return hashlib.sha256(
+            "\n".join(case.name for case in cases).encode()
+        ).hexdigest()
+
+    def _write_manifest(self, cases: Sequence[GridCase]) -> None:
+        payload = {
+            "format": 1,
+            "cases": len(cases),
+            "names_sha256": self._names_digest(cases),
+        }
+        self._manifest_path().write_text(
+            json.dumps(payload, sort_keys=True) + "\n"
+        )
+
+    def _check_manifest(self, cases: Sequence[GridCase]) -> None:
+        path = self._manifest_path()
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            return  # no/unreadable manifest: name matching carries resume
+        if payload.get("names_sha256") != self._names_digest(cases):
+            warnings.warn(
+                f"the checkpoint in {self.shard_directory} was written by a "
+                f"different grid ({payload.get('cases')} case(s)); resuming "
+                f"by case name — only identically-named cases are restored",
+                stacklevel=4,
+            )
+
+    # --- execution ----------------------------------------------------------
+
     def run(self, cases: Sequence[GridCase]) -> GridOutcome:
         """Evaluate the whole grid; results come back in input order."""
         cases = list(cases)
         started = time.perf_counter()
         if not cases:
-            if self.shard_directory is not None:
+            if self.shard_directory is not None and not self.resume:
                 # Honour the one-grid-per-directory contract even for an
                 # empty grid: stale shards from a previous run must go.
                 _ShardWriter(self.shard_directory, self.shard_size)
@@ -684,14 +952,17 @@ class ScenarioGridOrchestrator:
         names = [case.name for case in cases]
         if len(set(names)) != len(names):
             raise ValueError("grid case names must be unique")
-        groups = self._grouped(cases)
+        restored: dict[int, GridCaseResult] = {}
+        if self.resume:
+            restored = self._restore_checkpoint(cases)
+        groups = self._grouped(cases, skip=frozenset(restored))
         # The transport must outlive *solving*, not just generation: the
         # pipeline overlaps the two, so a scratch transport is only torn
         # down once the whole grid is done.
         if self.cache is not None:
-            return self._execute(cases, groups, started, self.cache)
+            return self._execute(cases, groups, started, self.cache, restored)
         with tempfile.TemporaryDirectory(prefix="repro-grid-") as scratch:
-            return self._execute(cases, groups, started, TRGCache(scratch))
+            return self._execute(cases, groups, started, TRGCache(scratch), restored)
 
     def _execute(
         self,
@@ -699,19 +970,70 @@ class ScenarioGridOrchestrator:
         groups: dict[str, _Group],
         started: float,
         transport: TRGCache,
+        restored: dict[int, GridCaseResult],
     ) -> GridOutcome:
-        """Dispatch to the pipeline or the two-phase barrier path.
+        """Run all non-restored groups and assemble the outcome.
 
-        The pipeline only pays off when stages can actually overlap: it
-        needs at least two structure groups (one group has nothing to
-        overlap with) and a worker budget above one (a single worker would
-        serialise the stages anyway — that *is* the barrier, so degrading
-        to it keeps single-core runs deadlock-free by construction).
+        Dispatches to the pipeline or the two-phase barrier path.  The
+        pipeline only pays off when stages can actually overlap: it needs at
+        least two structure groups (one group has nothing to overlap with)
+        and a worker budget above one (a single worker would serialise the
+        stages anyway — that *is* the barrier, so degrading to it keeps
+        single-core runs deadlock-free by construction).
         """
+        results: list[Optional[GridCaseResult]] = [None] * len(cases)
+        for index, row in restored.items():
+            results[index] = row
+        shards: Optional[_ShardWriter] = (
+            _ShardWriter(self.shard_directory, self.shard_size, resume=self.resume)
+            if self.shard_directory is not None
+            else None
+        )
+        failures: list[FailureRecord] = []
+        rebuilds_before = shared_pool.rebuilds
+        watchdog_kills = 0
         if self.pipeline and len(groups) > 1 and self._worker_budget() > 1:
-            return self._run_pipeline(cases, groups, started, transport)
-        self._ensure_graphs(groups, transport, started)
-        return self._solve_groups(cases, groups, started)
+            reports, watchdog_kills = self._run_pipeline(
+                cases, groups, started, transport, results, shards, failures
+            )
+            pipelined = True
+        else:
+            self._ensure_graphs(groups, transport, started, cases, failures)
+            reports = self._solve_groups(
+                cases, groups, started, results, shards, failures
+            )
+            pipelined = False
+        if shards is not None:
+            shards.flush()
+            self._write_manifest(cases)
+            self._write_failures(failures)
+        return GridOutcome(
+            results=[row for row in results if row is not None],
+            groups=reports,
+            total_seconds=time.perf_counter() - started,
+            shard_paths=shards.paths if shards is not None else [],
+            deduped_cases=sum(report.deduped_cases for report in reports),
+            pipelined=pipelined,
+            failures=failures,
+            pool_rebuilds=shared_pool.rebuilds - rebuilds_before,
+            watchdog_kills=watchdog_kills,
+            restored_cases=len(restored),
+        )
+
+    def _write_failures(self, failures: list[FailureRecord]) -> None:
+        """Persist quarantine records next to the checkpoint shards.
+
+        Failed cases are *not* checkpointed (their shard rows do not
+        exist), so a later ``--resume`` automatically re-dispatches exactly
+        them; the JSONL file is for post-mortem inspection.
+        """
+        path = Path(self.shard_directory) / "grid-failures.jsonl"
+        if not failures:
+            path.unlink(missing_ok=True)
+            return
+        with open(path, "w") as handle:
+            for record in failures:
+                handle.write(json.dumps(record.as_record(), sort_keys=True) + "\n")
 
     def _solve_group(
         self,
@@ -726,9 +1048,18 @@ class ScenarioGridOrchestrator:
         indices plus the filled-in :class:`GridGroupReport` (timeline
         offsets are stamped against the run's ``started`` origin).
         """
+        plan = faults.active()
+        if plan is not None and plan.fire(faults.TASK_EXCEPTION, "solve.group"):
+            raise faults.InjectedFaultError(
+                f"injected group-solve failure (group {group.key})"
+            )
         group_cases = [cases[index] for index in group.case_indices]
         measures, mappings = self._merged_measures(group_cases)
-        engine = ScenarioBatchEngine(group.graph, method=self.method)
+        engine = ScenarioBatchEngine(
+            group.graph,
+            method=self.method,
+            solve_deadline_seconds=self.retry.solve_deadline_seconds,
+        )
         specs = [
             ScenarioSpec(name=case.name, rates=case.full_rates())
             for case in group_cases
@@ -765,6 +1096,7 @@ class ScenarioGridOrchestrator:
                         solve_seconds=result.solve_seconds,
                         metadata=dict(case.metadata),
                         solve_source=result.solve_source,
+                        grid_index=case_index,
                     ),
                 )
             )
@@ -782,47 +1114,88 @@ class ScenarioGridOrchestrator:
                 0.0, solve_started_at - group.generate_finished_at
             ),
             deduped_cases=stats.deduped if stats is not None else 0,
+            generate_attempts=max(1, group.generate_attempts),
+            solve_attempts=max(1, group.solve_attempts),
         )
         return rows, report
+
+    def _solve_group_with_retry(
+        self,
+        group: _Group,
+        cases: list[GridCase],
+        started: float,
+        max_workers: Optional[int],
+    ) -> tuple:
+        """Run :meth:`_solve_group` under the retry policy.
+
+        Returns ``("ok", rows, report)`` or — after ``1 + max_retries``
+        failed attempts — ``("failed", record, None)`` with the structured
+        :class:`~repro.engine.faults.FailureRecord` of the quarantined
+        group.  Backoff sleeps happen in the calling thread, which on the
+        pipeline path is a solver-pool thread, not the coordinator.
+        """
+        total = 1 + max(0, self.retry.max_retries)
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, total + 1):
+            group.solve_attempts = attempt
+            try:
+                rows, report = self._solve_group(group, cases, started, max_workers)
+            except Exception as error:  # noqa: BLE001 - quarantine, not abort
+                last_error = error
+                if attempt < total:
+                    time.sleep(self.retry.backoff(attempt))
+                continue
+            return ("ok", rows, report)
+        record = FailureRecord(
+            stage="solve",
+            group=group.key,
+            cases=tuple(cases[index].name for index in group.case_indices),
+            case_indices=tuple(group.case_indices),
+            attempts=group.solve_attempts,
+            error=str(last_error),
+            error_type=type(last_error).__name__,
+            metadata={"backend": self.backend},
+        )
+        self._log(
+            f"[grid] group {group.key} quarantined after "
+            f"{group.solve_attempts} solve attempt(s): {last_error}"
+        )
+        return ("failed", record, None)
 
     def _solve_groups(
         self,
         cases: list[GridCase],
         groups: dict[str, _Group],
         started: float,
-    ) -> GridOutcome:
-        """Two-phase barrier path: every graph exists; solve group by group."""
-        results: list[Optional[GridCaseResult]] = [None] * len(cases)
-        shards: Optional[_ShardWriter] = (
-            _ShardWriter(self.shard_directory, self.shard_size)
-            if self.shard_directory is not None
-            else None
-        )
+        results: list[Optional[GridCaseResult]],
+        shards: Optional[_ShardWriter],
+        failures: list[FailureRecord],
+    ) -> list[GridGroupReport]:
+        """Two-phase barrier path: graphs exist (or were quarantined); solve
+        group by group, quarantining groups that out-fail the retry policy.
+        """
         reports: list[GridGroupReport] = []
         done = 0
-        for group in groups.values():
-            rows, report = self._solve_group(group, cases, started, self.jobs)
-            for case_index, row in rows:
-                results[case_index] = row
-                if shards is not None:
-                    shards.append(row.as_record(case_index))
-            reports.append(report)
+        solvable = [group for group in groups.values() if group.graph is not None]
+        for group in solvable:
+            status, payload, report = self._solve_group_with_retry(
+                group, cases, started, self.jobs
+            )
+            if status == "ok":
+                for case_index, row in payload:
+                    results[case_index] = row
+                    if shards is not None:
+                        shards.append(row.as_record(case_index))
+                reports.append(report)
+            else:
+                failures.append(payload)
             done += 1
             self._log(
-                f"[grid] {done}/{len(groups)} groups done · 0 generating · "
+                f"[grid] {done}/{len(solvable)} groups done · 0 generating · "
                 f"0 solving · "
                 f"{sum(r.deduped_cases for r in reports)} dedupe hit(s)"
             )
-        if shards is not None:
-            shards.flush()
-        return GridOutcome(
-            results=list(results),  # type: ignore[arg-type]
-            groups=reports,
-            total_seconds=time.perf_counter() - started,
-            shard_paths=shards.paths if shards is not None else [],
-            deduped_cases=sum(report.deduped_cases for report in reports),
-            pipelined=False,
-        )
+        return reports
 
     # --- work-stealing generate→solve pipeline -----------------------------
 
@@ -832,7 +1205,10 @@ class ScenarioGridOrchestrator:
         groups: dict[str, _Group],
         started: float,
         transport: TRGCache,
-    ) -> GridOutcome:
+        results: list[Optional[GridCaseResult]],
+        shards: Optional[_ShardWriter],
+        failures: list[FailureRecord],
+    ) -> tuple[list[GridGroupReport], int]:
         """Overlap structure-graph generation with per-group solving.
 
         One coordinator loop owns two future sets over one worker budget
@@ -849,18 +1225,24 @@ class ScenarioGridOrchestrator:
           lands — solves preempt idle workers instead of waiting for a
           generation barrier.
 
-        Failures degrade, never deadlock: a worker error regenerates that
-        group in-process; a broken pool is shut down and the remaining
-        misses generate in-process while queued solves keep draining.
+        Failures self-heal, never deadlock: a failed generation requeues
+        with exponential backoff while the retry policy allows, then runs
+        in-process, then quarantines; a broken pool is rebuilt (within the
+        policy's restart budget — beyond it the remaining misses generate
+        in-process) while queued solves keep draining; a
+        :class:`~repro.engine.dispatch.TaskWatchdog` kills workers whose
+        generation exceeds ``generate_deadline_seconds``, so one hung
+        worker cannot stall the coordinator.  Returns the group reports and
+        the number of watchdog kills.
         """
+        policy = self.retry
         order = list(groups.values())
-        results: list[Optional[GridCaseResult]] = [None] * len(cases)
-        shards: Optional[_ShardWriter] = (
-            _ShardWriter(self.shard_directory, self.shard_size)
-            if self.shard_directory is not None
-            else None
-        )
         reports_by_key: dict[str, GridGroupReport] = {}
+        watchdog = dispatch.TaskWatchdog(
+            {"generate": policy.generate_deadline_seconds}
+        )
+        watchdog_kills = 0
+        rebuilds_origin = shared_pool.rebuilds
         budget = dispatch.PipelineBudget(self._worker_budget())
         # Never hand a group solve more workers than the machine has, even
         # when an explicit oversized ``jobs`` inflates the budget (the
@@ -921,7 +1303,7 @@ class ScenarioGridOrchestrator:
                     group.solve_grant = granted
                     solve_futures[
                         solver.submit(
-                            self._solve_group,
+                            self._solve_group_with_retry,
                             group,
                             cases,
                             started,
@@ -929,10 +1311,23 @@ class ScenarioGridOrchestrator:
                         )
                     ] = group
                 while pending and not pool_broken:
+                    now = time.perf_counter()
+                    slot = next(
+                        (
+                            position
+                            for position, candidate in enumerate(pending)
+                            if candidate.not_before <= now
+                        ),
+                        None,
+                    )
+                    if slot is None:
+                        break  # every miss is backing off; wait below
                     solve_pending = bool(solve_futures)
                     if not budget.acquire_generation(solve_pending=solve_pending):
                         break
-                    group = pending.popleft()
+                    group = pending[slot]
+                    del pending[slot]
+                    group.generate_attempts += 1
                     try:
                         future = shared_pool.submit(
                             "generate",
@@ -954,58 +1349,133 @@ class ScenarioGridOrchestrator:
                             stacklevel=3,
                         )
                         break
+                    watchdog.watch(future, "generate")
                     generate_futures[future] = group
                 if pool_broken and pending and not generate_futures:
                     # In-process fallback generation, one group per loop
                     # iteration so finished solves are still harvested (and
                     # new solves launched) between generations.
                     group = pending.popleft()
-                    self._generate_in_process(
-                        group, transport, persist=self.cache is not None
-                    )
-                    group.generate_finished_at = time.perf_counter() - started
-                    ready.append(group)
+                    if self._generate_in_process_final(
+                        group, cases, transport, started, failures
+                    ):
+                        ready.append(group)
+                    else:
+                        done_groups += 1
+                        progress()
                     continue
                 if not generate_futures and not solve_futures:
+                    if pending:
+                        # Nothing in flight and every miss is in backoff:
+                        # sleep out the shortest backoff instead of spinning.
+                        now = time.perf_counter()
+                        delay = min(
+                            max(0.0, candidate.not_before - now)
+                            for candidate in pending
+                        )
+                        if delay > 0:
+                            time.sleep(min(delay, 1.0))
                     continue  # ready groups launch on the next iteration
+                timeout = watchdog.next_poll_seconds() if generate_futures else None
+                if pending and not pool_broken:
+                    now = time.perf_counter()
+                    backoffs = [
+                        candidate.not_before - now
+                        for candidate in pending
+                        if candidate.not_before > now
+                    ]
+                    if backoffs:
+                        soonest = max(0.0, min(backoffs))
+                        timeout = (
+                            soonest if timeout is None else min(timeout, soonest)
+                        )
                 done, _ = wait(
                     set(generate_futures) | set(solve_futures),
+                    timeout=timeout,
                     return_when=FIRST_COMPLETED,
                 )
+                for token, kind, elapsed in watchdog.overdue():
+                    if token in generate_futures and not token.done():
+                        hung = generate_futures[token]
+                        watchdog_kills += 1
+                        self._log(
+                            f"[grid] watchdog: generation of group {hung.key} "
+                            f"ran {elapsed:.1f}s (deadline "
+                            f"{policy.generate_deadline_seconds}s); killing "
+                            f"pool workers"
+                        )
+                        # The futures of the killed workers fail with
+                        # BrokenProcessPool and take the rebuild/requeue
+                        # path below.
+                        shared_pool.kill_workers()
                 for future in done:
                     if future in solve_futures:
                         group = solve_futures.pop(future)
                         budget.release_solve(group.solve_grant)
-                        rows, report = future.result()
-                        for case_index, row in rows:
-                            results[case_index] = row
-                            if shards is not None:
-                                shards.append(row.as_record(case_index))
-                        reports_by_key[group.key] = report
-                        dedupe_hits += report.deduped_cases
+                        status, payload, report = future.result()
+                        if status == "ok":
+                            for case_index, row in payload:
+                                results[case_index] = row
+                                if shards is not None:
+                                    shards.append(row.as_record(case_index))
+                            reports_by_key[group.key] = report
+                            dedupe_hits += report.deduped_cases
+                        else:
+                            failures.append(payload)
                         done_groups += 1
                         progress()
                         continue
                     group = generate_futures.pop(future)
+                    watchdog.forget(future)
                     budget.release_generation()
                     try:
                         seconds = future.result()
                     except BrokenProcessPool:
-                        pool_broken = True
-                        shutdown_shared_pool()
+                        if shared_pool.is_broken():
+                            shared_pool.rebuild()
+                        if (
+                            shared_pool.rebuilds - rebuilds_origin
+                            >= policy.pool_restart_budget
+                        ):
+                            pool_broken = True
+                            warnings.warn(
+                                f"the worker pool died "
+                                f"{shared_pool.rebuilds - rebuilds_origin} "
+                                f"time(s) this run (restart budget "
+                                f"{policy.pool_restart_budget}); generating "
+                                f"the remaining groups in-process",
+                                stacklevel=2,
+                            )
+                        group.not_before = time.perf_counter() + policy.backoff(
+                            max(1, group.generate_attempts)
+                        )
                         pending.appendleft(group)
                         continue
                     except Exception as error:  # noqa: BLE001 - isolate per group
+                        if group.generate_attempts < 1 + max(0, policy.max_retries):
+                            warnings.warn(
+                                f"grid generation worker failed for group "
+                                f"{group.key} ({error}); retrying",
+                                stacklevel=2,
+                            )
+                            group.not_before = (
+                                time.perf_counter()
+                                + policy.backoff(group.generate_attempts)
+                            )
+                            pending.appendleft(group)
+                            continue
                         warnings.warn(
                             f"grid generation worker failed for group "
                             f"{group.key} ({error}); regenerating in-process",
                             stacklevel=2,
                         )
-                        self._generate_in_process(
-                            group, transport, persist=self.cache is not None
-                        )
-                        group.generate_finished_at = time.perf_counter() - started
-                        ready.append(group)
+                        if self._generate_in_process_final(
+                            group, cases, transport, started, failures
+                        ):
+                            ready.append(group)
+                        else:
+                            done_groups += 1
+                            progress()
                         continue
                     graph = transport.load(
                         group.compiled, self.max_states, key=group.cache_key
@@ -1022,14 +1492,9 @@ class ScenarioGridOrchestrator:
                         group.generate_seconds = seconds
                     group.generate_finished_at = time.perf_counter() - started
                     ready.append(group)
-        if shards is not None:
-            shards.flush()
-        reports = [reports_by_key[group.key] for group in order]
-        return GridOutcome(
-            results=list(results),  # type: ignore[arg-type]
-            groups=reports,
-            total_seconds=time.perf_counter() - started,
-            shard_paths=shards.paths if shards is not None else [],
-            deduped_cases=sum(report.deduped_cases for report in reports),
-            pipelined=True,
-        )
+        reports = [
+            reports_by_key[group.key]
+            for group in order
+            if group.key in reports_by_key
+        ]
+        return reports, watchdog_kills

@@ -17,6 +17,7 @@ scheduler testable.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -26,6 +27,28 @@ from scipy.sparse import linalg as sparse_linalg
 from repro.engine.system import ConstrainedSystemTemplate
 from repro.exceptions import AnalysisError
 from repro.markov import solvers
+
+
+class KrylovConvergenceError(AnalysisError):
+    """Preconditioned GMRES failed to converge on one scenario's system.
+
+    Carries enough numeric context to diagnose the failure — which sweep
+    scenario hit it and how far from the solution the final iterate was —
+    instead of leaving a silently degraded vector behind.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        scenario_index: Optional[int] = None,
+        residual_norm: float = float("nan"),
+        iterations: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.scenario_index = scenario_index
+        self.residual_norm = residual_norm
+        self.iterations = iterations
 
 
 @dataclass(frozen=True)
@@ -68,6 +91,9 @@ class ReusableSolver:
         #: Whether the most recent solve had to abandon the reuse machinery
         #: and fall back to the generic solver stack.
         self.last_solve_used_fallback = False
+        #: The :class:`KrylovConvergenceError` behind the most recent
+        #: fallback (``None`` when the last solve converged).
+        self.last_convergence_error: Optional[KrylovConvergenceError] = None
 
     def _factorize(self, system) -> object:
         """Factor the current system into a preconditioner.
@@ -92,24 +118,24 @@ class ReusableSolver:
                 f"sparse factorisation of the balance system failed: {error}"
             ) from error
 
-    def solve(
+    def solve_krylov(
         self,
         edge_rates: np.ndarray,
-        fallback_generator: Callable[[], object],
+        scenario_index: Optional[int] = None,
     ) -> np.ndarray:
-        """Stationary vector of the template's system under ``edge_rates``.
+        """Stationary vector via preconditioned GMRES, or raise on stall.
 
-        If preconditioned GMRES stalls, the factorisation is rebuilt from
-        the current values and the solve retried once before falling back to
-        the generic solver stack on ``fallback_generator()`` (a freshly
-        assembled CTMC generator, no state reuse).
+        If GMRES stalls (``maxiter`` exhausted or a non-finite iterate), the
+        factorisation is rebuilt from the current values and the solve
+        retried once; a second failure raises :class:`KrylovConvergenceError`
+        carrying the scenario index and the residual norm of the final
+        iterate — callers decide whether to fall back (:meth:`solve` does).
         """
         template = self.template
         if self.system is None:
             self.system = template.fresh_system(edge_rates)
         else:
             template.refill(self.system, edge_rates)
-        self.last_solve_used_fallback = False
 
         settings = self.settings
         rhs = template.rhs
@@ -118,6 +144,7 @@ class ReusableSolver:
             if self.system.shape[0] <= settings.direct_threshold
             else settings.gmres_tolerance
         )
+        solution = None
         for attempt in ("reuse", "rebuild"):
             if self.preconditioner is None or attempt == "rebuild":
                 self.preconditioner = self._factorize(self.system)
@@ -143,9 +170,54 @@ class ReusableSolver:
                 )
                 self.warm_start = probabilities
                 return probabilities
-        # Preconditioned GMRES failed twice: fall back to the generic solver
-        # stack on a freshly assembled generator (no state reuse).
-        self.preconditioner = None
-        self.warm_start = None
-        self.last_solve_used_fallback = True
-        return solvers.steady_state(fallback_generator(), method="auto")
+        residual_norm = float("nan")
+        if solution is not None and np.all(np.isfinite(solution)):
+            residual_norm = float(
+                np.linalg.norm(self.system @ np.asarray(solution).ravel() - rhs)
+            )
+        where = (
+            f"scenario {scenario_index}"
+            if scenario_index is not None
+            else "a scenario"
+        )
+        raise KrylovConvergenceError(
+            f"preconditioned GMRES did not converge on {where} after "
+            f"{settings.gmres_max_iterations} iteration(s) with a rebuilt "
+            f"factorisation (final residual norm {residual_norm:.3e})",
+            scenario_index=scenario_index,
+            residual_norm=residual_norm,
+            iterations=settings.gmres_max_iterations,
+        )
+
+    def solve(
+        self,
+        edge_rates: np.ndarray,
+        fallback_generator: Callable[[], object],
+        scenario_index: Optional[int] = None,
+    ) -> np.ndarray:
+        """Stationary vector of the template's system under ``edge_rates``.
+
+        Runs :meth:`solve_krylov` (GMRES with a reuse-then-rebuild
+        preconditioner schedule); on :class:`KrylovConvergenceError` the
+        documented fallback takes over: the reuse state is discarded and the
+        generic direct solver stack runs on ``fallback_generator()`` (a
+        freshly assembled CTMC generator).  The convergence failure is
+        surfaced as a warning — carrying the scenario index and residual
+        norm — and kept in :attr:`last_convergence_error`; a row solved this
+        way is additionally flagged via :attr:`last_solve_used_fallback`
+        (``STATUS_FALLBACK`` in the sweep scheduler's status block).
+        """
+        self.last_solve_used_fallback = False
+        self.last_convergence_error = None
+        try:
+            return self.solve_krylov(edge_rates, scenario_index=scenario_index)
+        except KrylovConvergenceError as error:
+            self.last_convergence_error = error
+            warnings.warn(
+                f"{error}; falling back to the direct solver stack",
+                stacklevel=2,
+            )
+            self.preconditioner = None
+            self.warm_start = None
+            self.last_solve_used_fallback = True
+            return solvers.steady_state(fallback_generator(), method="auto")

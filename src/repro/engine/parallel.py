@@ -41,8 +41,10 @@ from __future__ import annotations
 import atexit
 import os
 import secrets
+import signal as signal_module
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from time import perf_counter
@@ -51,6 +53,7 @@ from typing import Optional, Sequence
 import numpy as np
 from scipy import sparse
 
+from repro.engine import faults
 from repro.engine.krylov import KrylovSettings, ReusableSolver
 from repro.engine.system import ConstrainedSystemTemplate
 from repro.spn.reachability import TangibleReachabilityGraph
@@ -80,6 +83,12 @@ BLAS_PIN_VARIABLES = (
 STATUS_PENDING = 0
 STATUS_SOLVED = 1
 STATUS_FALLBACK = 2
+
+#: Live :class:`SweepPlan` instances of this process — what the
+#: signal-aware cleanup destroys so an interrupt never leaks ``/dev/shm``
+#: segments.  Weak: a collected plan needs no cleanup (destroy is
+#: idempotent and the parent normally unlinks in its ``with`` block).
+_LIVE_PLANS: "weakref.WeakSet[SweepPlan]" = weakref.WeakSet()
 
 
 class SharedMemoryUnavailable(RuntimeError):
@@ -230,6 +239,8 @@ class SweepPlan:
         except BaseException:
             self.destroy()
             raise
+        _LIVE_PLANS.add(self)
+        install_signal_cleanup()
 
     def _view(self, name: str) -> np.ndarray:
         spec = self._specs[name]
@@ -261,6 +272,7 @@ class SweepPlan:
         :meth:`SweepScheduler.run` does inside its ``with`` block.
         """
         segment, self._segment = self._segment, None
+        _LIVE_PLANS.discard(self)
         if segment is None:
             return
         # Views into the buffer must be dropped before close() or the
@@ -395,7 +407,9 @@ class _WorkerContext:
                 self.coefficients_T.dot(self.rates[index]), dtype=np.float64
             ).ravel()
             probabilities = self.solver.solve(
-                edge_rates, lambda: self._fallback_generator(edge_rates)
+                edge_rates,
+                lambda: self._fallback_generator(edge_rates),
+                scenario_index=index,
             )
             self.solutions[index, :] = probabilities
             self.times[index] = perf_counter() - started
@@ -475,6 +489,16 @@ def _worker_initializer() -> None:
     for variable in BLAS_PIN_VARIABLES:
         os.environ[variable] = "1"
     _limit_blas_threads()
+    # Under "fork" the worker inherits the parent's signal-cleanup handler,
+    # which must never run here: it would terminate the parent's pool from
+    # inside a worker (SIGKILLing its own siblings) and stall the executor's
+    # broken-pool teardown, which SIGTERMs workers and joins them.  Workers
+    # die on the default dispositions; the parent owns all cleanup.
+    try:
+        signal_module.signal(signal_module.SIGTERM, signal_module.SIG_DFL)
+        signal_module.signal(signal_module.SIGINT, signal_module.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread embed
+        pass
 
 
 def _worker_run_chunk(
@@ -540,10 +564,17 @@ class PersistentWorkerPool:
         self._method: Optional[str] = None
         self._inflight: dict[str, int] = {}
         self._inflight_lock = threading.Lock()
+        #: How many times this pool was rebuilt after abrupt worker deaths
+        #: (grid provenance reads deltas of this across a run).
+        self.rebuilds = 0
 
     def is_warm(self, workers: int) -> bool:
         """Whether a pool with at least ``workers`` workers is already alive."""
         return self._pool is not None and self._workers >= workers
+
+    def is_broken(self) -> bool:
+        """Whether the current executor has marked itself broken."""
+        return self._pool is not None and bool(getattr(self._pool, "_broken", False))
 
     def submit(self, kind: str, workers: int, fn, /, *args, **kwargs) -> Future:
         """Submit one tagged task, growing the pool to at least ``workers``.
@@ -554,8 +585,31 @@ class PersistentWorkerPool:
         live in-flight count per kind (:meth:`inflight`), which the pipeline
         budget and the progress log read to see how much of the pool each
         stage currently occupies.
+
+        A pool whose workers died since the last submission self-heals: the
+        broken executor is replaced (counted in :attr:`rebuilds`) and the
+        task lands on the fresh one.  An installed fault plan is consulted
+        here — the parent-side decision point, so injection schedules stay
+        deterministic — and a doomed task is wrapped in
+        :func:`repro.engine.faults.faulted_call`.
         """
-        future = self.executor(workers).submit(fn, *args, **kwargs)
+        plan = faults.active()
+        if plan is not None:
+            spec = (
+                plan.fire(faults.WORKER_KILL, kind)
+                or plan.fire(faults.TASK_EXCEPTION, kind)
+                or plan.fire(faults.SLOW_TASK, kind)
+            )
+            if spec is not None:
+                args = (spec.kind, spec.delay_seconds, fn) + args
+                fn = faults.faulted_call
+        try:
+            future = self.executor(workers).submit(fn, *args, **kwargs)
+        except BrokenProcessPool:
+            # The pool broke between the health check and the submission
+            # (a worker died mid-call): rebuild once and resubmit.
+            self.rebuild()
+            future = self.executor(workers).submit(fn, *args, **kwargs)
         with self._inflight_lock:
             self._inflight[kind] = self._inflight.get(kind, 0) + 1
 
@@ -580,7 +634,13 @@ class PersistentWorkerPool:
         not killed: its already-submitted chunks run to completion and its
         workers exit afterwards, so a concurrent batch on the old pool is
         never cancelled by a bigger batch arriving.
+
+        A pool marked broken (workers died abruptly) is replaced first, so
+        callers always receive a usable executor.
         """
+        install_signal_cleanup()
+        if self._pool is not None and getattr(self._pool, "_broken", False):
+            self.rebuild()
         context = _pool_context()
         method = context.get_start_method()
         if (
@@ -600,6 +660,36 @@ class PersistentWorkerPool:
                 retired.shutdown(wait=False, cancel_futures=False)
         return self._pool
 
+    def rebuild(self) -> None:
+        """Replace a (presumed) broken pool with a fresh one on next use.
+
+        Counted in :attr:`rebuilds` — the grid orchestrator compares that
+        counter against its :class:`~repro.engine.faults.RetryPolicy` restart
+        budget and records the delta in the run's provenance.
+        """
+        self.rebuilds += 1
+        self.shutdown()
+
+    def kill_workers(self) -> int:
+        """SIGKILL every live worker of the current pool; returns the count.
+
+        The watchdog's hammer: a hung worker cannot be cancelled through the
+        executor API, so the watchdog kills the processes outright, lets the
+        pending futures fail with ``BrokenProcessPool`` and relies on the
+        normal rebuild-and-retry path to re-run their tasks.
+        """
+        pool = self._pool
+        if pool is None:
+            return 0
+        killed = 0
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+                killed += 1
+            except Exception:  # pragma: no cover - process already reaped
+                pass
+        return killed
+
     def shutdown(self) -> None:
         """Terminate the pooled workers (idempotent)."""
         pool, self._pool = self._pool, None
@@ -607,6 +697,21 @@ class PersistentWorkerPool:
         self._method = None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+
+    def terminate(self) -> None:
+        """Hard-stop the pool without waiting (signal-handler safe).
+
+        Unlike :meth:`shutdown` this never blocks on live tasks: workers are
+        SIGKILLed first, then the executor is dismantled with
+        ``wait=False``.  Used by the signal-aware cleanup so an interrupt
+        cannot hang on a wedged worker.
+        """
+        self.kill_workers()
+        pool, self._pool = self._pool, None
+        self._workers = 0
+        self._method = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 #: The module-level pool shared by every :class:`SweepScheduler`.
@@ -619,6 +724,80 @@ def shutdown_shared_pool() -> None:
 
 
 atexit.register(shutdown_shared_pool)
+
+
+# --- signal-aware cleanup ---------------------------------------------------
+
+_previous_handlers: dict[int, object] = {}
+
+#: Process that installed the handlers; a forked child re-raising through an
+#: inherited handler must not run the parent's cleanup (see
+#: :func:`_signal_handler`).
+_install_pid: Optional[int] = None
+
+
+def cleanup_shared_resources() -> None:
+    """Best-effort release of every shared OS resource this process holds.
+
+    Destroys (unlinks) all live sweep segments and hard-stops the persistent
+    worker pool.  Idempotent and exception-free: safe to call from a signal
+    handler, atexit, or test teardown.
+    """
+    for plan in list(_LIVE_PLANS):
+        try:
+            plan.destroy()
+        except Exception:  # pragma: no cover - destroy is already lenient
+            pass
+    try:
+        shared_pool.terminate()
+    except Exception:  # pragma: no cover - executor internals mid-teardown
+        pass
+
+
+def _signal_handler(signum: int, frame) -> None:  # pragma: no cover - exercised
+    # in a subprocess test: coverage of handlers inside dying processes does
+    # not report.
+    if _install_pid is not None and os.getpid() != _install_pid:
+        # Forked child that inherited the handler before its initializer ran:
+        # the shared resources belong to the parent, so just die with the
+        # default disposition.
+        signal_module.signal(signum, signal_module.SIG_DFL)
+        signal_module.raise_signal(signum)
+        return
+    cleanup_shared_resources()
+    previous = _previous_handlers.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+        return
+    signal_module.signal(signum, signal_module.SIG_DFL)
+    signal_module.raise_signal(signum)
+
+
+def install_signal_cleanup() -> None:
+    """Route SIGINT/SIGTERM through :func:`cleanup_shared_resources`.
+
+    Installed lazily the first time this process creates a sweep segment or
+    touches the persistent pool, so an interrupted run never leaves
+    ``/dev/shm`` segments or orphaned workers behind.  Idempotent; previous
+    handlers are chained (or the default disposition re-raised, so exit
+    codes still reflect the signal).  Only the main thread may install
+    handlers — calls from worker threads are no-ops.
+    """
+    global _install_pid
+    if threading.current_thread() is not threading.main_thread():
+        return
+    _install_pid = os.getpid()
+    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+        if signum in _previous_handlers:
+            continue
+        try:
+            current = signal_module.getsignal(signum)
+            if current is _signal_handler:
+                continue
+            _previous_handlers[signum] = current
+            signal_module.signal(signum, _signal_handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic embeddings
+            _previous_handlers.pop(signum, None)
 
 
 @dataclass
@@ -641,6 +820,12 @@ class SweepScheduler:
         max_workers: number of worker processes.
         reuse_pool: run batches on the module's persistent worker pool
             (the default) instead of a throwaway per-batch pool.
+        deadline_seconds: watchdog deadline for one wave of chunks on the
+            persistent pool.  A wave still unfinished after the deadline has
+            its workers SIGKILLed; the broken-pool retry of :meth:`run` then
+            rebuilds the pool and re-runs the batch (with a doubled
+            deadline), so a hung worker cannot stall the sweep forever.
+            ``None`` (the default) disables the watchdog.
     """
 
     def __init__(
@@ -650,6 +835,7 @@ class SweepScheduler:
         settings: KrylovSettings,
         max_workers: int,
         reuse_pool: bool = True,
+        deadline_seconds: Optional[float] = None,
     ) -> None:
         if not graph.has_coefficients:
             raise ValueError(
@@ -660,23 +846,44 @@ class SweepScheduler:
             raise SharedMemoryUnavailable(
                 "shared-memory segments cannot be created in this environment"
             )
+        plan = faults.active()
+        if plan is not None and plan.fire(faults.SHM_ATTACH_FAILURE, "sweep.plan"):
+            raise SharedMemoryUnavailable("injected shared-memory attach failure")
         self.graph = graph
         self.template = template
         self.settings = settings
         self.max_workers = max(1, int(max_workers))
         self.reuse_pool = reuse_pool
+        self.deadline_seconds = deadline_seconds
+
+    def _await(self, futures: Sequence[Future]) -> None:
+        """Drain one wave of chunk futures, enforcing the deadline if set."""
+        if self.deadline_seconds is not None:
+            _, not_done = wait(futures, timeout=self.deadline_seconds)
+            if not_done:
+                # A wave past its deadline means at least one hung worker.
+                # Kill them all: the stuck futures fail with
+                # BrokenProcessPool below, and run()'s retry path rebuilds.
+                shared_pool.kill_workers()
+        for future in futures:
+            future.result()
 
     def _submit_chunks(self, manifest: dict, chunks) -> None:
         """Run every chunk to completion on the (persistent or fresh) pool."""
         if self.reuse_pool:
-            futures = [
-                shared_pool.submit(
-                    "solve", len(chunks), _worker_run_chunk, manifest, self.settings, chunk
-                )
-                for chunk in chunks
-            ]
-            for future in futures:
-                future.result()
+            self._await(
+                [
+                    shared_pool.submit(
+                        "solve",
+                        len(chunks),
+                        _worker_run_chunk,
+                        manifest,
+                        self.settings,
+                        chunk,
+                    )
+                    for chunk in chunks
+                ]
+            )
             return
         with ProcessPoolExecutor(
             max_workers=len(chunks),
@@ -715,7 +922,11 @@ class SweepScheduler:
             except BrokenProcessPool:
                 if not self.reuse_pool:
                     raise
-                shutdown_shared_pool()
+                shared_pool.rebuild()
+                if self.deadline_seconds is not None:
+                    # The death may have been the watchdog's own kill of a
+                    # slow-but-healthy wave; give the retry more room.
+                    self.deadline_seconds *= 2
                 self._submit_chunks(manifest, chunks)
             solutions = np.array(plan.solutions)
             solve_seconds = np.array(plan.times)

@@ -4,6 +4,9 @@ import numpy as np
 import pytest
 
 from repro.engine import ScenarioBatchEngine, TRGCache, cache_key
+from repro.engine import cache as cache_module
+from repro.engine import faults
+from repro.engine.faults import FaultPlan, FaultSpec
 from repro.spn import (
     CompiledNet,
     generate_tangible_reachability_graph,
@@ -68,15 +71,16 @@ class TestRoundTrip:
         cache = TRGCache(tmp_path)
         assert cache.load(CompiledNet(mm1k_queue()), 100) is None
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_is_deleted(self, tmp_path):
         cache = TRGCache(tmp_path)
         net = CompiledNet(mm1k_queue())
         graph = generate_tangible_reachability_graph(net)
         path = cache.store(graph, 100)
         path.write_bytes(b"not an npz file")
         assert cache.load(net, 100) is None
+        assert not path.exists()  # bad entry evicted, next store regenerates
 
-    def test_truncated_entry_is_a_miss(self, tmp_path):
+    def test_truncated_entry_is_a_miss_and_is_deleted(self, tmp_path):
         """Regression: a half-written zip raises BadZipFile, not OSError."""
         cache = TRGCache(tmp_path)
         net = CompiledNet(mm1k_queue())
@@ -85,6 +89,7 @@ class TestRoundTrip:
         content = path.read_bytes()
         path.write_bytes(content[: len(content) // 2])
         assert cache.load(net, 100) is None
+        assert not path.exists()
 
     def test_unwritable_cache_does_not_fail_the_run(self, tmp_path):
         # A regular file as path parent makes mkdir fail with an OSError
@@ -96,6 +101,124 @@ class TestRoundTrip:
             graph = engine.graph()
         assert engine.graph_source == "generated"
         assert graph.number_of_states == 4
+
+
+def _rewrite_entry(path, mutate):
+    """Reload an entry's arrays, apply ``mutate``, and write them back.
+
+    Writes a well-formed ``.npz`` (valid zip, valid CRCs), so only the
+    sha256 payload digest can catch what ``mutate`` changed.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {name: data[name].copy() for name in data.files}
+    mutate(arrays)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+class TestIntegrityDigest:
+    def test_store_embeds_payload_digest(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        path = cache.store(graph_of(mm1k_queue()), 100)
+        with np.load(path, allow_pickle=False) as data:
+            assert cache_module.DIGEST_ARRAY in data.files
+            digest = data[cache_module.DIGEST_ARRAY]
+        assert digest.dtype == np.uint8 and digest.shape == (32,)
+
+    def test_digest_ignores_its_own_array(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        path = cache.store(graph_of(mm1k_queue()), 100)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        recomputed = cache_module.payload_digest(arrays)
+        np.testing.assert_array_equal(arrays[cache_module.DIGEST_ARRAY], recomputed)
+
+    def test_flipped_payload_byte_is_a_miss(self, tmp_path):
+        """A valid zip with silently altered numbers must not load."""
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(mm1k_queue())
+        path = cache.store(generate_tangible_reachability_graph(net), 100)
+
+        def corrupt(arrays):
+            arrays["edge_rates"] = arrays["edge_rates"].copy()
+            arrays["edge_rates"][0] += 1.0
+
+        _rewrite_entry(path, corrupt)
+        assert cache.load(net, 100) is None
+        assert not path.exists()
+
+    def test_missing_digest_is_a_miss(self, tmp_path):
+        """Entries from before the digest era (format v1) do not load."""
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(mm1k_queue())
+        path = cache.store(generate_tangible_reachability_graph(net), 100)
+        _rewrite_entry(path, lambda arrays: arrays.pop(cache_module.DIGEST_ARRAY))
+        assert cache.load(net, 100) is None
+        assert not path.exists()
+
+    def test_missing_array_is_a_miss(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(mm1k_queue())
+        path = cache.store(generate_tangible_reachability_graph(net), 100)
+        _rewrite_entry(path, lambda arrays: arrays.pop("edge_sources"))
+        assert cache.load(net, 100) is None
+        assert not path.exists()
+
+    def test_dtype_rewrite_is_a_miss(self, tmp_path):
+        """Same bytes, different dtype: zip CRC passes, digest must not."""
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(mm1k_queue())
+        path = cache.store(generate_tangible_reachability_graph(net), 100)
+
+        def retype(arrays):
+            arrays["edge_sources"] = arrays["edge_sources"].astype(np.int32)
+
+        _rewrite_entry(path, retype)
+        assert cache.load(net, 100) is None
+        assert not path.exists()
+
+    def test_regeneration_after_eviction(self, tmp_path):
+        """The canonical self-heal cycle: corrupt → miss → store → hit."""
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(mm1k_queue())
+        graph = generate_tangible_reachability_graph(net)
+        path = cache.store(graph, 100)
+        path.write_bytes(b"garbage")
+        assert cache.load(net, 100) is None
+        cache.store(graph, 100)
+        reloaded = cache.load(net, 100)
+        assert reloaded is not None
+        assert graph_deviation(graph, reloaded) == 0.0
+
+
+class TestInjectedCorruption:
+    def test_corrupt_cache_read_fault_forces_regeneration(self, tmp_path):
+        """The injected fault truncates the real file and rides the real
+        corruption path: miss, eviction, regeneration, then clean hits."""
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(mm1k_queue())
+        graph = generate_tangible_reachability_graph(net)
+        path = cache.store(graph, 100)
+        plan = FaultPlan([FaultSpec(kind=faults.CORRUPT_CACHE_READ, count=1)])
+        with faults.injected(plan):
+            assert cache.load(net, 100) is None  # fault fires here
+            assert not path.exists()
+            cache.store(graph, 100)
+            reloaded = cache.load(net, 100)  # plan exhausted: normal load
+        assert plan.fired(faults.CORRUPT_CACHE_READ) == 1
+        assert reloaded is not None
+        assert graph_deviation(graph, reloaded) == 0.0
+
+    def test_fault_site_pattern_can_exclude_cache(self, tmp_path):
+        cache = TRGCache(tmp_path)
+        net = CompiledNet(mm1k_queue())
+        cache.store(generate_tangible_reachability_graph(net), 100)
+        plan = FaultPlan(
+            [FaultSpec(kind=faults.CORRUPT_CACHE_READ, site="something.else")]
+        )
+        with faults.injected(plan):
+            assert cache.load(net, 100) is not None
+        assert plan.fired() == 0
 
 
 class TestMaintenance:

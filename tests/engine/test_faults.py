@@ -1,0 +1,252 @@
+"""Tests for the deterministic fault-injection harness and policy types."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import faults
+from repro.engine.dispatch import TaskWatchdog
+from repro.engine.faults import (
+    FAULT_PLAN_ENVIRONMENT_VARIABLE,
+    FailureRecord,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    RetryPolicy,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan(monkeypatch):
+    """Keep the module-level plan and the env var out of every test."""
+    monkeypatch.delenv(FAULT_PLAN_ENVIRONMENT_VARIABLE, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor_strike")
+
+    def test_rejects_bad_counters_and_probability(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=faults.WORKER_KILL, count=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=faults.WORKER_KILL, after=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=faults.WORKER_KILL, probability=1.5)
+
+
+class TestFaultPlan:
+    def test_fires_count_times_then_stays_quiet(self):
+        plan = FaultPlan([FaultSpec(kind=faults.TASK_EXCEPTION, count=2)])
+        assert plan.fire(faults.TASK_EXCEPTION, "generate") is not None
+        assert plan.fire(faults.TASK_EXCEPTION, "generate") is not None
+        assert plan.fire(faults.TASK_EXCEPTION, "generate") is None
+        assert plan.fired() == 2
+        assert plan.exhausted()
+
+    def test_after_skips_leading_events(self):
+        plan = FaultPlan([FaultSpec(kind=faults.WORKER_KILL, after=2)])
+        assert plan.fire(faults.WORKER_KILL, "solve") is None
+        assert plan.fire(faults.WORKER_KILL, "solve") is None
+        assert plan.fire(faults.WORKER_KILL, "solve") is not None
+        assert plan.fire(faults.WORKER_KILL, "solve") is None
+
+    def test_site_patterns_use_fnmatch(self):
+        plan = FaultPlan(
+            [FaultSpec(kind=faults.TASK_EXCEPTION, site="generate*", count=10)]
+        )
+        assert plan.fire(faults.TASK_EXCEPTION, "generate") is not None
+        assert plan.fire(faults.TASK_EXCEPTION, "generate.inprocess") is not None
+        assert plan.fire(faults.TASK_EXCEPTION, "solve.group") is None
+        assert plan.fired(faults.TASK_EXCEPTION) == 2
+
+    def test_kind_must_match(self):
+        plan = FaultPlan([FaultSpec(kind=faults.SLOW_TASK, delay_seconds=0.5)])
+        assert plan.fire(faults.WORKER_KILL, "generate") is None
+        spec = plan.fire(faults.SLOW_TASK, "generate")
+        assert spec is not None and spec.delay_seconds == 0.5
+
+    def test_probability_is_seeded_and_reproducible(self):
+        def outcomes(seed):
+            plan = FaultPlan(
+                [
+                    FaultSpec(
+                        kind=faults.TASK_EXCEPTION, probability=0.5, count=1000
+                    )
+                ],
+                seed=seed,
+            )
+            return [
+                plan.fire(faults.TASK_EXCEPTION, "x") is not None
+                for _ in range(40)
+            ]
+
+        assert outcomes(7) == outcomes(7)  # same seed, same schedule
+        assert outcomes(7) != outcomes(8)  # different seed, different one
+        assert any(outcomes(7)) and not all(outcomes(7))
+
+    def test_events_record_firing_order(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(kind=faults.WORKER_KILL, site="generate"),
+                FaultSpec(kind=faults.CORRUPT_CACHE_READ, site="cache.load"),
+            ]
+        )
+        plan.fire(faults.CORRUPT_CACHE_READ, "cache.load")
+        plan.fire(faults.WORKER_KILL, "generate")
+        assert [event["kind"] for event in plan.events] == [
+            faults.CORRUPT_CACHE_READ,
+            faults.WORKER_KILL,
+        ]
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    kind=faults.SLOW_TASK,
+                    site="solve",
+                    after=1,
+                    count=3,
+                    probability=0.25,
+                    delay_seconds=2.0,
+                )
+            ],
+            seed=42,
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.seed == 42
+        assert clone.specs == plan.specs
+
+    def test_from_json_accepts_bare_spec_list(self):
+        plan = FaultPlan.from_json('[{"kind": "worker_kill", "site": "generate"}]')
+        assert len(plan.specs) == 1
+        assert plan.specs[0].kind == faults.WORKER_KILL
+
+    def test_from_json_rejects_scalars(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json('"not a plan"')
+
+
+class TestInstallation:
+    def test_install_clear_active(self):
+        plan = FaultPlan()
+        faults.install(plan)
+        assert faults.active() is plan
+        faults.clear()
+        assert faults.active() is None
+
+    def test_injected_context_manager_restores(self):
+        outer = FaultPlan()
+        faults.install(outer)
+        inner = FaultPlan()
+        with faults.injected(inner) as seen:
+            assert seen is inner
+            assert faults.active() is inner
+        assert faults.active() is outer
+
+    def test_environment_variable_inline_json(self, monkeypatch):
+        document = json.dumps(
+            {"seed": 3, "faults": [{"kind": "task_exception", "site": "solve"}]}
+        )
+        monkeypatch.setenv(FAULT_PLAN_ENVIRONMENT_VARIABLE, document)
+        plan = faults.active()
+        assert plan is not None
+        assert plan.seed == 3
+        assert plan.specs[0].site == "solve"
+
+    def test_environment_variable_at_file(self, monkeypatch, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"faults": [{"kind": "worker_kill"}]}')
+        monkeypatch.setenv(FAULT_PLAN_ENVIRONMENT_VARIABLE, f"@{path}")
+        plan = faults.active()
+        assert plan is not None
+        assert plan.specs[0].kind == faults.WORKER_KILL
+
+
+class TestFaultedCall:
+    def test_task_exception_raises(self):
+        with pytest.raises(InjectedFaultError):
+            faults.faulted_call(faults.TASK_EXCEPTION, 0.0, lambda: 1)
+
+    def test_slow_task_still_returns(self):
+        assert faults.faulted_call(faults.SLOW_TASK, 0.0, lambda x: x + 1, 2) == 3
+
+    def test_passthrough_for_cache_kinds(self):
+        assert faults.faulted_call(faults.CORRUPT_CACHE_READ, 0.0, lambda: "ok") == "ok"
+
+    def test_worker_kill_sigkills_a_child(self):
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child dies via SIGKILL
+            faults.faulted_call(faults.WORKER_KILL, 0.0, lambda: None)
+            os._exit(0)  # unreachable if the kill worked
+        _, status = os.waitpid(pid, 0)
+        assert os.WIFSIGNALED(status)
+        assert os.WTERMSIG(status) == 9
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            backoff_seconds=0.1, backoff_factor=2.0, max_backoff_seconds=0.3
+        )
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.3)  # capped
+        assert policy.backoff(9) == pytest.approx(0.3)
+
+
+class TestFailureRecord:
+    def test_as_record_is_json_able(self):
+        record = FailureRecord(
+            stage="generate",
+            group="abc123",
+            cases=("case-a", "case-b"),
+            case_indices=(0, 3),
+            attempts=3,
+            error="boom",
+            error_type="RuntimeError",
+            metadata={"max_states": 100},
+        )
+        document = json.loads(json.dumps(record.as_record()))
+        assert document["stage"] == "generate"
+        assert document["cases"] == ["case-a", "case-b"]
+        assert document["case_indices"] == [0, 3]
+        assert document["attempts"] == 3
+
+
+class TestTaskWatchdog:
+    def test_disabled_without_deadlines(self):
+        watchdog = TaskWatchdog(None)
+        assert not watchdog.enabled
+        watchdog.watch("token", "generate")
+        assert watchdog.overdue() == []
+        assert watchdog.next_poll_seconds() is None
+
+    def test_overdue_reports_once(self):
+        watchdog = TaskWatchdog({"generate": 10.0})
+        watchdog.watch("token", "generate", now=0.0)
+        assert watchdog.overdue(now=5.0) == []
+        overdue = watchdog.overdue(now=11.0)
+        assert len(overdue) == 1
+        token, kind, elapsed = overdue[0]
+        assert token == "token" and kind == "generate"
+        assert elapsed == pytest.approx(11.0)
+        assert watchdog.overdue(now=20.0) == []  # dropped after reporting
+
+    def test_untracked_kinds_are_ignored(self):
+        watchdog = TaskWatchdog({"generate": 1.0, "solve": None})
+        watchdog.watch("token", "solve", now=0.0)
+        assert watchdog.overdue(now=100.0) == []
+
+    def test_next_poll_is_min_remaining(self):
+        watchdog = TaskWatchdog({"generate": 10.0})
+        watchdog.watch("a", "generate", now=0.0)
+        watchdog.watch("b", "generate", now=4.0)
+        assert watchdog.next_poll_seconds(now=6.0) == pytest.approx(4.0)
+        watchdog.forget("a")
+        assert watchdog.next_poll_seconds(now=6.0) == pytest.approx(8.0)

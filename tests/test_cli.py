@@ -185,3 +185,112 @@ class TestGridCommand:
     def test_grid_rejects_malformed_axis(self):
         with pytest.raises(SystemExit):
             main(["grid", "--alphas", "fast"])
+
+
+class TestGridRobustnessFlags:
+    # --jobs 2 keeps the pipeline (and its pool generation) active on
+    # single-core CI machines; --no-cache keeps the fault sites reachable
+    # on repeat runs.
+    SMALL_GRID = [
+        "--cities",
+        "Rio de Janeiro",
+        "--machines",
+        "1,2",
+        "--no-cache",
+        "--jobs",
+        "2",
+    ]
+
+    def test_parser_defaults(self):
+        arguments = build_parser().parse_args(["grid"])
+        assert arguments.resume is None
+        assert arguments.max_retries == 2
+        assert arguments.generate_deadline is None
+        assert arguments.solve_deadline is None
+        assert arguments.fault_plan is None
+
+    def test_fault_plan_rejects_invalid_json(self):
+        with pytest.raises(SystemExit, match="invalid plan"):
+            main(["grid", *self.SMALL_GRID, "--fault-plan", "{broken"])
+
+    def test_fault_plan_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit, match="invalid plan"):
+            main(
+                ["grid", *self.SMALL_GRID, "--fault-plan", '[{"kind": "meteor"}]']
+            )
+
+    def test_fault_plan_rejects_missing_file(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["grid", *self.SMALL_GRID, "--fault-plan", "@/no/such/plan.json"])
+
+    def test_resume_conflicting_with_shard_dir_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="shard directory"):
+            main(
+                [
+                    "grid",
+                    *self.SMALL_GRID,
+                    "--shard-dir",
+                    str(tmp_path / "a"),
+                    "--resume",
+                    str(tmp_path / "b"),
+                ]
+            )
+
+    def test_chaos_run_heals_and_is_cleared_afterwards(self, capsys):
+        from repro.engine import faults
+
+        plan = '[{"kind": "worker_kill", "site": "generate"}]'
+        assert main(["grid", *self.SMALL_GRID, "--fault-plan", plan]) == 0
+        output = capsys.readouterr().out
+        assert "worker pool rebuilt" in output
+        assert faults.active() is None  # the CLI uninstalls its plan
+
+    def test_quarantine_exits_nonzero_and_reports(self, capsys, tmp_path):
+        plan = '[{"kind": "task_exception", "site": "generate*", "count": 1000}]'
+        with pytest.warns(UserWarning):
+            exit_code = main(
+                [
+                    "grid",
+                    *self.SMALL_GRID,
+                    "--max-retries",
+                    "0",
+                    "--shard-dir",
+                    str(tmp_path),
+                    "--fault-plan",
+                    plan,
+                ]
+            )
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert "PARTIAL RESULT" in captured.out
+        assert "grid incomplete" in captured.err
+        assert (tmp_path / "grid-failures.jsonl").exists()
+
+    def test_kill_then_resume_restores_completed_cases(self, capsys, tmp_path):
+        # First run quarantines everything past the first group, leaving a
+        # partial checkpoint; the resumed run restores it and solves the rest.
+        plan = (
+            '[{"kind": "task_exception", "site": "generate*", '
+            '"after": 1, "count": 1000}]'
+        )
+        with pytest.warns(UserWarning):
+            first = main(
+                [
+                    "grid",
+                    *self.SMALL_GRID,
+                    "--max-retries",
+                    "0",
+                    "--shard-dir",
+                    str(tmp_path),
+                    "--fault-plan",
+                    plan,
+                ]
+            )
+        assert first == 1
+        capsys.readouterr()
+        assert (
+            main(["grid", *self.SMALL_GRID, "--resume", str(tmp_path)]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "restored from checkpoint" in output
+        assert "PARTIAL RESULT" not in output
