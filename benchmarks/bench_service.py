@@ -1,0 +1,170 @@
+"""Benchmark E11 — availability-service overheads and recovery cost.
+
+Three claims of the service layer (durable job store, admission queue,
+checkpointed execution) are measured against an in-process
+:class:`~repro.service.AvailabilityService` (no HTTP in the loop, so the
+numbers isolate the store and scheduler, not socket juggling):
+
+* **durable ack latency**: ``POST /v1/grids`` acknowledges only after the
+  job record is journaled and fsync'd; the median submit→ack latency is
+  the price of that guarantee (dominated by one ``fsync`` on the journal);
+* **dedupe short-circuit**: resubmitting a grid already owned by an open
+  or succeeded job answers from the digest index without touching the
+  queue or the disk — it must be an order of magnitude cheaper than a
+  fresh admission;
+* **recovery replay**: restarting the service over a state directory with
+  N settled jobs replays the journal/snapshot; startup must stay
+  proportional to the journal, far below re-running anything.
+
+Stand-alone full runs write ``BENCH_service.json`` next to the repo root;
+``--quick`` runs a reduced job count as a CI smoke (no file written).
+"""
+
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service import AvailabilityService, ServiceConfig
+
+#: A dedupe answer never touches the journal; it must beat a durable
+#: admission by at least this factor.
+MIN_DEDUPE_SPEEDUP = 5.0
+
+GRID = {"cities": [["Rio de Janeiro"]], "machines": [1]}
+
+
+def machine_grid(machines: int) -> dict:
+    """A distinct single-case grid per ``machines`` → distinct digest."""
+    return {"cities": [["Rio de Janeiro"]], "machines": [machines]}
+
+
+def make_service(state_dir: Path, depth: int) -> AvailabilityService:
+    return AvailabilityService(
+        ServiceConfig(state_dir=state_dir, queue_depth=depth)
+    )
+
+
+def timed_submit(service: AvailabilityService, grid: dict):
+    started = time.perf_counter()
+    status, body = service.submit({"grid": grid})
+    return status, body, time.perf_counter() - started
+
+
+def run(quick: bool = False) -> int:
+    submissions = 8 if quick else 32
+    print(f"jobs per phase: {submissions}")
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as scratch:
+        state_dir = Path(scratch) / "state"
+
+        # Phase 1: durable ack latency — submissions journal + fsync before
+        # the 202 comes back.  No worker is running, so the measurement is
+        # pure admission cost.
+        service = make_service(state_dir, depth=submissions + 1)
+        ack_latencies = []
+        for machines in range(1, submissions + 1):
+            status, _, seconds = timed_submit(service, machine_grid(machines))
+            assert status == 202, f"admission refused with {status}"
+            ack_latencies.append(seconds)
+        ack_median = statistics.median(ack_latencies)
+        print(
+            f"durable submit→ack    : median {ack_median * 1e3:7.3f} ms "
+            f"(p max {max(ack_latencies) * 1e3:.3f} ms, fsync'd journal)"
+        )
+
+        # Phase 2: dedupe short-circuit — same digests again, answered from
+        # the in-memory index.
+        dedupe_latencies = []
+        for machines in range(1, submissions + 1):
+            status, body, seconds = timed_submit(service, machine_grid(machines))
+            assert status == 200 and body["deduplicated"] is True
+            dedupe_latencies.append(seconds)
+        dedupe_median = statistics.median(dedupe_latencies)
+        speedup = ack_median / dedupe_median if dedupe_median else float("inf")
+        print(
+            f"dedupe resubmission   : median {dedupe_median * 1e3:7.3f} ms "
+            f"({speedup:.1f}x cheaper than a durable admission)"
+        )
+        service.stop()
+
+        # Phase 3: recovery replay — reopen the same state directory and
+        # time the journal replay; every job must come back.
+        started = time.perf_counter()
+        revived = make_service(state_dir, depth=submissions + 1)
+        recovery_seconds = time.perf_counter() - started
+        payload = revived.health_payload()
+        recovered = sum(payload["jobs"].values())
+        assert recovered == submissions, (
+            f"recovery lost jobs: {recovered} of {submissions}"
+        )
+        replayed = payload["recovery"]["replayed_transitions"]
+        print(
+            f"restart + replay      : {recovery_seconds * 1e3:7.3f} ms for "
+            f"{recovered} job(s), {replayed} journaled transition(s)"
+        )
+        revived.stop()
+
+    report = {
+        "config": f"{'reduced' if quick else 'full'} ({submissions} jobs/phase)",
+        "jobs": submissions,
+        "submit_ack": {
+            "median_ms": round(ack_median * 1e3, 3),
+            "max_ms": round(max(ack_latencies) * 1e3, 3),
+        },
+        "dedupe": {
+            "median_ms": round(dedupe_median * 1e3, 3),
+            "speedup_vs_durable_ack": round(speedup, 2),
+        },
+        "recovery": {
+            "ms": round(recovery_seconds * 1e3, 3),
+            "jobs_recovered": recovered,
+            "replayed_transitions": replayed,
+        },
+    }
+
+    failures = []
+    if speedup < MIN_DEDUPE_SPEEDUP:
+        failures.append(
+            f"dedupe answer only {speedup:.1f}x cheaper than a durable "
+            f"admission (claimed ≥ {MIN_DEDUPE_SPEEDUP:.0f}x)"
+        )
+    if recovered != submissions:
+        failures.append(
+            f"recovery returned {recovered} job(s), submitted {submissions}"
+        )
+
+    if not quick:
+        output = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK")
+    return 0
+
+
+# --- pytest-benchmark entry points ----------------------------------------
+
+
+def bench_durable_submission_ack(benchmark):
+    """Median cost of one fsync'd job admission (no worker running)."""
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as scratch:
+        service = make_service(Path(scratch) / "state", depth=10_000)
+        counter = iter(range(1, 10_000))
+
+        def admit():
+            status, _, _ = timed_submit(service, machine_grid(next(counter)))
+            assert status == 202
+
+        benchmark(admit)
+        service.stop()
+
+
+if __name__ == "__main__":
+    raise SystemExit(run(quick="--quick" in sys.argv))

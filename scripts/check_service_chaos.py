@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""CI chaos smoke of the availability service (run under ``timeout``).
+
+Two drills against the real daemon (subprocesses of ``repro serve``):
+
+1. **Crash drill** — submit a two-group grid to a daemon whose second
+   ``solve.group`` is slowed by a fault plan, ``kill -9`` it after the
+   first case has checkpointed, restart over the same state directory and
+   require (a) the journal recovered the job, (b) the checkpoint restored
+   at least one case, and (c) every measure equals an uninterrupted
+   control run **bit-identically** (Δ = 0.0).
+2. **Overflow drill** — against a depth-1 queue with a slowed worker:
+   the second submission must be refused with HTTP 429 + ``Retry-After``
+   while the admitted job still finishes (no starvation), and a retry
+   after completion must be admitted.
+
+Exits 0 on success, 1 with a diagnostic on any violated invariant.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+
+GRID = {"cities": [["Rio de Janeiro"]], "machines": [1, 2]}
+
+SLOW_SECOND_SOLVE = json.dumps(
+    [
+        {
+            "kind": "slow_task",
+            "site": "solve.group",
+            "after": 1,
+            "count": 10,
+            "delay_seconds": 8.0,
+        }
+    ]
+)
+SLOW_RUN = json.dumps(
+    [
+        {
+            "kind": "slow_task",
+            "site": "service.run.job",
+            "count": 1,
+            "delay_seconds": 3.0,
+        }
+    ]
+)
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_daemon(state_dir: Path, fault_plan=None, extra_args=()) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_FAULT_PLAN", None)
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = fault_plan
+    discovery = state_dir / "service.json"
+    if discovery.exists():
+        discovery.unlink()
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--state-dir", str(state_dir), "--quiet", *extra_args,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if discovery.exists():
+            return process
+        if process.poll() is not None:
+            fail(f"daemon died on startup with code {process.returncode}")
+        time.sleep(0.1)
+    process.kill()
+    fail("daemon did not publish service.json in time")
+
+
+def client_for(state_dir: Path) -> ServiceClient:
+    url = json.loads((state_dir / "service.json").read_text())["url"]
+    return ServiceClient(url, timeout=30.0)
+
+
+def rows_by_name(client: ServiceClient, job_id: str) -> dict:
+    return {row["name"]: row for row in client.results(job_id)}
+
+
+def crash_drill(root: Path) -> None:
+    print("[1/2] crash drill: kill -9 mid-solve, restart, bit-identical resume")
+    control_state = root / "control"
+    control = start_daemon(control_state)
+    try:
+        client = client_for(control_state)
+        job = client.wait(client.submit(GRID)["job"]["id"], timeout=240.0)
+        if job["state"] != "done":
+            fail(f"control run ended {job['state']}: {job.get('error')}")
+        control_rows = rows_by_name(client, job["id"])
+    finally:
+        control.terminate()
+        control.wait(timeout=30.0)
+
+    chaos_state = root / "chaos"
+    chaos = start_daemon(chaos_state, fault_plan=SLOW_SECOND_SOLVE)
+    client = client_for(chaos_state)
+    job_id = client.submit(GRID)["job"]["id"]
+    shard_dir = chaos_state / "jobs" / job_id
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if list(shard_dir.glob("grid-shard-*.jsonl")):
+            break
+        time.sleep(0.1)
+    else:
+        chaos.kill()
+        fail("no checkpoint shard appeared before the kill")
+    os.kill(chaos.pid, signal.SIGKILL)
+    chaos.wait(timeout=30.0)
+    print(f"    killed daemon pid {chaos.pid} with a checkpoint in {shard_dir}")
+
+    revived = start_daemon(chaos_state)
+    try:
+        client = client_for(chaos_state)
+        job = client.wait(job_id, timeout=240.0)
+        if job["state"] != "done":
+            fail(f"recovered job ended {job['state']}: {job.get('error')}")
+        if job["summary"]["restored_cases"] < 1:
+            fail("restart did not restore any case from the checkpoint")
+        chaos_rows = rows_by_name(client, job_id)
+    finally:
+        revived.terminate()
+        revived.wait(timeout=30.0)
+
+    if set(chaos_rows) != set(control_rows):
+        fail(f"case sets differ: {sorted(chaos_rows)} vs {sorted(control_rows)}")
+    for name, control_row in control_rows.items():
+        for measure, value in control_row["measures"].items():
+            delta = abs(chaos_rows[name]["measures"][measure] - value)
+            if delta != 0.0:
+                fail(f"{name}/{measure} drifted by {delta} after recovery")
+    print(
+        f"    OK: {len(chaos_rows)} case(s), "
+        f"{job['summary']['restored_cases']} restored from checkpoint, delta = 0.0"
+    )
+
+
+def overflow_drill(root: Path) -> None:
+    print("[2/2] overflow drill: depth-1 queue refuses with 429, no starvation")
+    state = root / "overflow"
+    daemon = start_daemon(state, fault_plan=SLOW_RUN, extra_args=("--queue-depth", "1"))
+    try:
+        client = client_for(state)
+        first = client.submit(GRID)["job"]
+        other = {"cities": [["Rio de Janeiro"]], "machines": [4]}
+        try:
+            client.submit(other)
+        except ServiceError as error:
+            if error.status != 429:
+                fail(f"expected 429 on the full queue, got {error.status}")
+            if not error.retry_after or error.retry_after <= 0:
+                fail("429 refusal carried no positive retry_after hint")
+        else:
+            fail("second submission was admitted past a depth-1 queue")
+        job = client.wait(first["id"], timeout=240.0)
+        if job["state"] != "done":
+            fail(f"admitted job starved under overload: {job['state']}")
+        retry = client.submit(other)
+        if retry["deduplicated"]:
+            fail("post-completion retry deduplicated instead of admitting")
+        print("    OK: 429 with Retry-After, in-flight job finished, retry admitted")
+    finally:
+        daemon.terminate()
+        daemon.wait(timeout=30.0)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-service-chaos-") as root:
+        root = Path(root)
+        os.environ.setdefault("REPRO_CACHE_DIR", str(root / "cache"))
+        crash_drill(root)
+        overflow_drill(root)
+    print("service chaos smoke: all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

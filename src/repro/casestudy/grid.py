@@ -17,6 +17,7 @@ server); :func:`evaluate_grid` is the one-call entry point used by
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
@@ -215,11 +216,13 @@ def evaluate_grid(
     max_states: int = DEFAULT_MAX_TANGIBLE_MARKINGS,
     symmetry_reduction: bool = True,
     shard_directory: Optional[Path] = None,
+    shard_size: Optional[int] = None,
     generation_workers: Optional[int] = None,
     pipeline: bool = True,
     dedupe: bool = True,
     retry: Optional[RetryPolicy] = None,
     resume: bool = False,
+    cancel_event: Optional[threading.Event] = None,
     log_callback: Optional[Callable[[str], None]] = None,
 ) -> GridOutcome:
     """Evaluate a list of case-study scenarios as one orchestrated grid.
@@ -248,6 +251,7 @@ def evaluate_grid(
             # signature ever lumping genuinely different structures).
             case = replace(case, net=shared, rates=case.full_rates())
         cases.append(case)
+    shard_kwargs = {} if shard_size is None else {"shard_size": shard_size}
     orchestrator = ScenarioGridOrchestrator(
         cache=TRGCache(cache_dir) if use_cache else None,
         jobs=jobs,
@@ -255,10 +259,12 @@ def evaluate_grid(
         max_states=max_states,
         shard_directory=shard_directory,
         generation_workers=generation_workers,
+        **shard_kwargs,
         pipeline=pipeline,
         dedupe=dedupe,
         retry=retry,
         resume=resume,
+        cancel_event=cancel_event,
         log_callback=log_callback,
     )
     return orchestrator.run(cases)

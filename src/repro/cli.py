@@ -9,7 +9,15 @@ any Python:
 * ``transient``    — mission-window (interval) availability vs VM start time,
 * ``ablations``    — the Section III design-knob ablations,
 * ``sensitivity``  — one-at-a-time sensitivity of the Table VI parameters,
-* ``cache``        — inspect / clear the persistent reachability-graph cache.
+* ``cache``        — inspect / clear the persistent reachability-graph cache,
+* ``serve``        — run the crash-safe availability service (HTTP daemon),
+* ``submit``       — submit a grid to a running service,
+* ``jobs``         — list / inspect / cancel service jobs, stream results.
+
+Exit codes are structured (see :class:`repro.exitcodes.ExitCode`): 0 for a
+complete result, 2 for invalid arguments, 3 for a **partial** result (some
+cases quarantined; resumable), 4 when a run faulted and produced nothing
+consumable.
 
 Every command accepts ``--full`` to run the faithful two-PM-per-data-center
 configuration instead of the fast reduced one.  The batch commands
@@ -55,7 +63,14 @@ from repro.casestudy.transient import (
 from repro.core import CaseStudyParameters, DistributedScenario
 from repro.core.scenarios import CITY_PAIRS
 from repro.engine.faults import RetryPolicy
+from repro.exitcodes import ExitCode
 from repro.network import city_named
+
+
+def _invalid(message: str) -> None:
+    """Refuse bad arguments with the structured INVALID_ARGS exit code."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    raise SystemExit(int(ExitCode.INVALID_ARGS))
 
 
 def _runner(full: bool, use_cache: bool = True) -> DistributedSweepRunner:
@@ -101,6 +116,46 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         "serial sweep, threads, or the zero-copy worker processes from a "
         "calibrated cost model — serial on a single core; the other values "
         "force a backend",
+    )
+
+
+def _add_grid_axis_flags(parser: argparse.ArgumentParser) -> None:
+    """The grid axes shared by ``repro grid`` and ``repro submit``."""
+    parser.add_argument(
+        "--cities",
+        default="Rio de Janeiro+Brasilia;Rio de Janeiro",
+        metavar="A+B;C",
+        help="';'-separated deployment city sets ('+' joins the data centers "
+        "of one deployment; a single city is a non-distributed baseline; "
+        "three or more cities form an N-data-center topology)",
+    )
+    parser.add_argument(
+        "--alphas", default="0.35", metavar="A1,A2,...",
+        help="comma-separated network-speed coefficients",
+    )
+    parser.add_argument(
+        "--disaster-years", default="100", metavar="Y1,Y2,...",
+        help="comma-separated disaster mean times in years",
+    )
+    parser.add_argument(
+        "--machines", default="1", metavar="M1,M2,...",
+        help="comma-separated machines-per-data-center counts",
+    )
+    parser.add_argument(
+        "--l-thresholds", default="1", metavar="L1,L2,...",
+        help="comma-separated migration thresholds l (paper: 1)",
+    )
+    parser.add_argument(
+        "--backup", choices=("on", "off", "both"), default="on",
+        help="backup-server axis of the distributed scenarios",
+    )
+    parser.add_argument(
+        "--topology", choices=("mesh", "ring"), default="mesh",
+        help="migration topology for deployments with three or more data centers",
+    )
+    parser.add_argument(
+        "--required-vms", type=int, default=1, metavar="K",
+        help="availability threshold k (running VMs required)",
     )
 
 
@@ -183,42 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
         "grid",
         help="sweep a mixed-structure scenario grid through the orchestrator",
     )
-    grid.add_argument(
-        "--cities",
-        default="Rio de Janeiro+Brasilia;Rio de Janeiro",
-        metavar="A+B;C",
-        help="';'-separated deployment city sets ('+' joins the data centers "
-        "of one deployment; a single city is a non-distributed baseline; "
-        "three or more cities form an N-data-center topology)",
-    )
-    grid.add_argument(
-        "--alphas", default="0.35", metavar="A1,A2,...",
-        help="comma-separated network-speed coefficients",
-    )
-    grid.add_argument(
-        "--disaster-years", default="100", metavar="Y1,Y2,...",
-        help="comma-separated disaster mean times in years",
-    )
-    grid.add_argument(
-        "--machines", default="1", metavar="M1,M2,...",
-        help="comma-separated machines-per-data-center counts",
-    )
-    grid.add_argument(
-        "--l-thresholds", default="1", metavar="L1,L2,...",
-        help="comma-separated migration thresholds l (paper: 1)",
-    )
-    grid.add_argument(
-        "--backup", choices=("on", "off", "both"), default="on",
-        help="backup-server axis of the distributed scenarios",
-    )
-    grid.add_argument(
-        "--topology", choices=("mesh", "ring"), default="mesh",
-        help="migration topology for deployments with three or more data centers",
-    )
-    grid.add_argument(
-        "--required-vms", type=int, default=1, metavar="K",
-        help="availability threshold k (running VMs required)",
-    )
+    _add_grid_axis_flags(grid)
     grid.add_argument(
         "--shard-dir", default=None, metavar="PATH",
         help="stream result rows to JSONL shards in this directory; the "
@@ -297,6 +317,88 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(sensitivity)
     _add_cache_flag(sensitivity)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the crash-safe availability service (HTTP daemon)",
+    )
+    serve.add_argument(
+        "--state-dir", required=True, metavar="PATH",
+        help="service state directory: the fsync'd job journal, snapshots "
+        "and per-job checkpoint shard directories live here; restarting "
+        "with the same directory recovers every acknowledged job",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="TCP port (0 binds an ephemeral port; the bound address is "
+        "printed on stdout and written to <state-dir>/service.json)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=8, metavar="N",
+        help="admission bound: open (queued + running) jobs beyond this "
+        "are refused with HTTP 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--shard-size", type=int, default=1, metavar="N",
+        help="rows per checkpoint shard of each job (1 = checkpoint after "
+        "every completed case)",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=64, metavar="N",
+        help="journal appends between snapshot compactions",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-job wall-clock deadline (jobs may override)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="reachability-graph cache directory override",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines on stderr"
+    )
+    _add_jobs_flag(serve)
+    _add_cache_flag(serve)
+
+    submit = commands.add_parser(
+        "submit", help="submit a grid to a running availability service"
+    )
+    submit.add_argument(
+        "--url", required=True, metavar="URL",
+        help="service base URL, e.g. http://127.0.0.1:8536",
+    )
+    _add_grid_axis_flags(submit)
+    submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock deadline",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state and exit with "
+        "its structured code (0 done, 3 partial, 4 failed/cancelled)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="--wait timeout",
+    )
+    _add_jobs_flag(submit)
+
+    jobs = commands.add_parser(
+        "jobs", help="list / inspect / cancel service jobs, stream results"
+    )
+    jobs.add_argument(
+        "--url", required=True, metavar="URL", help="service base URL"
+    )
+    jobs.add_argument("job_id", nargs="?", default=None, help="one job to inspect")
+    jobs.add_argument(
+        "--results", action="store_true",
+        help="stream the job's result rows as JSON lines to stdout",
+    )
+    jobs.add_argument(
+        "--cancel", action="store_true", help="cancel the job instead"
+    )
+
     return parser
 
 
@@ -367,7 +469,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             minutes = [float(value) for value in arguments.minutes.split(",") if value]
         except ValueError:
-            raise SystemExit(
+            _invalid(
                 f"--minutes expects comma-separated numbers, got {arguments.minutes!r}"
             )
         curves = reproduce_transient(
@@ -386,9 +488,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             try:
                 values = tuple(convert(part) for part in text.split(",") if part.strip())
             except ValueError:
-                raise SystemExit(f"{flag} expects comma-separated values, got {text!r}")
+                _invalid(f"{flag} expects comma-separated values, got {text!r}")
             if not values:
-                raise SystemExit(f"{flag} needs at least one value")
+                _invalid(f"{flag} needs at least one value")
             return values
 
         city_sets = tuple(
@@ -397,7 +499,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if part.strip()
         )
         if not city_sets:
-            raise SystemExit("--cities needs at least one city set")
+            _invalid("--cities needs at least one city set")
         backup_axis = {"on": (True,), "off": (False,), "both": (True, False)}
         grid = CaseStudyGrid(
             city_sets=city_sets,
@@ -425,11 +527,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     with open(text[1:]) as handle:
                         text = handle.read()
                 except OSError as error:
-                    raise SystemExit(f"--fault-plan: cannot read {text[1:]}: {error}")
+                    _invalid(f"--fault-plan: cannot read {text[1:]}: {error}")
             try:
                 fault_injection.install(fault_injection.FaultPlan.from_json(text))
             except (ValueError, TypeError) as error:
-                raise SystemExit(f"--fault-plan: invalid plan: {error}")
+                _invalid(f"--fault-plan: invalid plan: {error}")
             installed_plan = True
 
         shard_directory = arguments.shard_dir
@@ -438,7 +540,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if shard_directory is not None and str(shard_directory) != str(
                 arguments.resume
             ):
-                raise SystemExit(
+                _invalid(
                     "--resume PATH already names the shard directory; drop "
                     "--shard-dir or make them identical"
                 )
@@ -483,8 +585,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 + ")",
                 file=sys.stderr,
             )
-            return 1
-        return 0
+            # PARTIAL when there is something to consume (resumable with
+            # --resume); FAULTED when every case was quarantined.
+            if outcome.results:
+                return int(ExitCode.PARTIAL)
+            return int(ExitCode.FAULTED)
+        return int(ExitCode.OK)
 
     if arguments.command == "ablations":
         study = AblationStudy(
@@ -514,7 +620,184 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
+    if arguments.command == "serve":
+        return _cmd_serve(arguments)
+
+    if arguments.command == "submit":
+        return _cmd_submit(arguments)
+
+    if arguments.command == "jobs":
+        return _cmd_jobs(arguments)
+
     raise AssertionError(f"unhandled command {arguments.command!r}")  # pragma: no cover
+
+
+def _cmd_serve(arguments) -> int:
+    """Run the availability service until SIGTERM/SIGINT drains it."""
+    import json
+    import signal
+    import threading
+    from pathlib import Path
+
+    from repro.service import AvailabilityService, ServiceConfig
+
+    if arguments.queue_depth < 1:
+        _invalid(f"--queue-depth must be >= 1, got {arguments.queue_depth}")
+    if arguments.shard_size < 1:
+        _invalid(f"--shard-size must be >= 1, got {arguments.shard_size}")
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    service = AvailabilityService(
+        ServiceConfig(
+            state_dir=Path(arguments.state_dir),
+            host=arguments.host,
+            port=arguments.port,
+            queue_depth=arguments.queue_depth,
+            jobs=arguments.jobs,
+            backend=arguments.backend,
+            use_cache=not arguments.no_cache,
+            cache_dir=arguments.cache_dir,
+            shard_size=arguments.shard_size,
+            snapshot_every=arguments.snapshot_every,
+            default_deadline_seconds=arguments.deadline,
+            log_callback=None if arguments.quiet else progress,
+        )
+    )
+    shutdown = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+        shutdown.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    host, port = service.start()
+    # Announce the bound address both ways: stdout for humans/pipes, and a
+    # discovery file so drills and clients can find an ephemeral port.
+    print(f"repro-service listening on http://{host}:{port}", flush=True)
+    (Path(arguments.state_dir) / "service.json").write_text(
+        json.dumps({"host": host, "port": port, "url": f"http://{host}:{port}"})
+        + "\n"
+    )
+    shutdown.wait()
+    # Signal handlers only set the event; the actual drain runs here on the
+    # main thread — stop admitting, interrupt the running job at a group
+    # boundary (its checkpoint survives and it is re-queued), persist, exit.
+    print("repro-service draining...", file=sys.stderr, flush=True)
+    service.drain_and_stop()
+    print("repro-service drained; state persisted", file=sys.stderr, flush=True)
+    return int(ExitCode.OK)
+
+
+def _submission_grid(arguments) -> dict:
+    """The ``repro submit`` axis flags as a service grid payload."""
+    cities = [
+        [name.strip() for name in part.split("+") if name.strip()]
+        for part in arguments.cities.split(";")
+        if part.strip()
+    ]
+
+    def values(text: str, convert, flag: str) -> list:
+        try:
+            parsed = [convert(part) for part in text.split(",") if part.strip()]
+        except ValueError:
+            _invalid(f"{flag} expects comma-separated values, got {text!r}")
+        if not parsed:
+            _invalid(f"{flag} needs at least one value")
+        return parsed
+
+    return {
+        "cities": cities,
+        "alphas": values(arguments.alphas, float, "--alphas"),
+        "disaster_years": values(arguments.disaster_years, float, "--disaster-years"),
+        "machines": values(arguments.machines, int, "--machines"),
+        "l_thresholds": values(arguments.l_thresholds, int, "--l-thresholds"),
+        "backup": arguments.backup,
+        "topology": arguments.topology,
+        "required_vms": arguments.required_vms,
+    }
+
+
+def _cmd_submit(arguments) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(arguments.url)
+    options: dict = {}
+    if arguments.jobs is not None:
+        options["jobs"] = arguments.jobs
+    if arguments.backend != "auto":
+        options["backend"] = arguments.backend
+    if arguments.deadline is not None:
+        options["deadline_seconds"] = arguments.deadline
+    try:
+        answer = client.submit(_submission_grid(arguments), options or None)
+    except ServiceError as error:
+        if error.status == 400:
+            _invalid(str(error))
+        hint = (
+            f" (retry in {error.retry_after:g}s)"
+            if error.retry_after is not None
+            else ""
+        )
+        print(f"repro: submission refused: {error}{hint}", file=sys.stderr)
+        return int(ExitCode.FAULTED)
+    job = answer["job"]
+    note = " (deduplicated onto an existing job)" if answer["deduplicated"] else ""
+    print(f"job {job['id']}: {job['state']}{note}")
+    if not arguments.wait:
+        return int(ExitCode.OK)
+    try:
+        job = client.wait(job["id"], timeout=arguments.timeout)
+    except TimeoutError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return int(ExitCode.FAULTED)
+    rows = job.get("results", {}).get("rows", 0)
+    print(f"job {job['id']}: {job['state']} ({rows} result row(s))")
+    if job.get("error"):
+        print(f"  {job['error']}", file=sys.stderr)
+    if job["state"] == "done":
+        return int(ExitCode.OK)
+    if job["state"] == "partial":
+        return int(ExitCode.PARTIAL)
+    return int(ExitCode.FAULTED)
+
+
+def _cmd_jobs(arguments) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(arguments.url)
+    if arguments.job_id is None:
+        if arguments.results or arguments.cancel:
+            _invalid("--results/--cancel need a JOB_ID")
+        try:
+            jobs = client.jobs()
+        except ServiceError as error:
+            print(f"repro: {error}", file=sys.stderr)
+            return int(ExitCode.FAULTED)
+        for job in jobs:
+            cases = job.get("summary", {}).get("cases", "-")
+            print(
+                f"{job['id']}  {job['state']:<9}  attempts={job['attempts']}  "
+                f"cases={cases}  digest={job['digest'][:12]}"
+            )
+        return int(ExitCode.OK)
+    try:
+        if arguments.cancel:
+            answer = client.cancel(arguments.job_id)
+            print(f"job {answer['job']['id']}: {answer['job']['state']}")
+            return int(ExitCode.OK)
+        if arguments.results:
+            for row in client.results(arguments.job_id):
+                print(json.dumps(row, sort_keys=True))
+            return int(ExitCode.OK)
+        print(json.dumps(client.job(arguments.job_id), indent=2, sort_keys=True))
+        return int(ExitCode.OK)
+    except ServiceError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return int(ExitCode.FAULTED)
 
 
 if __name__ == "__main__":  # pragma: no cover

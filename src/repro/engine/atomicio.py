@@ -1,0 +1,84 @@
+"""Durable atomic file writes (fsync-before-rename).
+
+An atomic ``os.replace`` protects readers from *torn* files, but on its own
+it only survives process death: after a power loss the renamed file — or the
+rename itself — may simply not be on disk, because neither the temporary
+file's data nor the directory entry was ever flushed.  Checkpoints and
+write-ahead journals need the stronger contract, which is the classic
+three-step dance:
+
+1. write the temporary file and ``fsync`` it (data hits the platter),
+2. ``os.replace`` it over the final name (atomic for readers),
+3. ``fsync`` the *directory* (the rename itself hits the platter).
+
+This module packages that dance for the checkpoint shard writer, the grid
+manifest and the service job store.  Directory fsync is best-effort: some
+filesystems (and some containers) reject ``fsync`` on a directory
+descriptor, which is no worse than not trying.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def fsync_file(descriptor: int) -> None:
+    """Flush one open file descriptor's data and metadata to stable storage."""
+    os.fsync(descriptor)
+
+
+def fsync_directory(path: os.PathLike) -> None:
+    """Best-effort ``fsync`` of a directory (persists renames within it)."""
+    try:
+        descriptor = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - unopenable directory
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:  # pragma: no cover - fs without directory fsync
+        pass
+    finally:
+        os.close(descriptor)
+
+
+def replace_durably(temporary: os.PathLike, final: os.PathLike) -> None:
+    """``os.replace`` plus a directory fsync so the rename survives power loss.
+
+    The temporary file's *contents* must already be fsync'd (the writers in
+    this module do it; external callers use :func:`fsync_file` on their open
+    descriptor before closing).
+    """
+    final = Path(final)
+    os.replace(temporary, final)
+    fsync_directory(final.parent)
+
+
+def write_bytes_durably(path: os.PathLike, payload: bytes) -> None:
+    """Atomically and durably replace ``path`` with ``payload``.
+
+    The temporary file lives in the destination directory (same filesystem,
+    so the rename stays atomic) and is cleaned up on any failure.
+    """
+    path = Path(path)
+    descriptor, temporary = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            fsync_file(handle.fileno())
+        replace_durably(temporary, path)
+    except BaseException:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        raise
+
+
+def write_text_durably(path: os.PathLike, text: str) -> None:
+    """Text variant of :func:`write_bytes_durably` (UTF-8)."""
+    write_bytes_durably(path, text.encode("utf-8"))

@@ -72,6 +72,16 @@ FAULT_KINDS = (
 #: Environment variable carrying a JSON fault plan (or ``@/path`` to one).
 FAULT_PLAN_ENVIRONMENT_VARIABLE = "REPRO_FAULT_PLAN"
 
+#: Hook-point sites of the availability service layer (:mod:`repro.service`):
+#: the journal append of the durable job store (fires before the write is
+#: acknowledged), the HTTP submission handler, and the worker-side start of
+#: one job run.  The chaos harness tortures the service through the same
+#: plans it uses against the pool — ``task_exception`` raises at the site,
+#: ``slow_task`` sleeps there first (see :func:`perturb`).
+SERVICE_STORE_APPEND = "service.store.append"
+SERVICE_HANDLE_SUBMIT = "service.handle.submit"
+SERVICE_RUN_JOB = "service.run.job"
+
 
 class InjectedFaultError(RuntimeError):
     """An artificial task failure raised by the fault-injection harness.
@@ -110,10 +120,32 @@ class FaultSpec:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
             )
-        if self.count < 0 or self.after < 0:
-            raise ValueError("fault 'count' and 'after' must be non-negative")
-        if not 0.0 <= self.probability <= 1.0:
-            raise ValueError("fault 'probability' must be within [0, 1]")
+        if not isinstance(self.site, str) or not self.site.strip():
+            raise ValueError(
+                f"fault 'site' must be a non-empty fnmatch pattern over the "
+                f"hook-point names (e.g. 'generate*', 'service.*'), got "
+                f"{self.site!r}"
+            )
+        if not isinstance(self.count, int) or isinstance(self.count, bool):
+            raise ValueError(f"fault 'count' must be an integer, got {self.count!r}")
+        if not isinstance(self.after, int) or isinstance(self.after, bool):
+            raise ValueError(f"fault 'after' must be an integer, got {self.after!r}")
+        if self.count < 0:
+            raise ValueError(f"fault 'count' must be non-negative, got {self.count}")
+        if self.after < 0:
+            raise ValueError(f"fault 'after' must be non-negative, got {self.after}")
+        if not isinstance(self.probability, (int, float)) or not (
+            0.0 <= self.probability <= 1.0
+        ):
+            raise ValueError(
+                f"fault 'probability' must be a number within [0, 1], got "
+                f"{self.probability!r}"
+            )
+        if not isinstance(self.delay_seconds, (int, float)) or self.delay_seconds < 0:
+            raise ValueError(
+                f"fault 'delay_seconds' must be a non-negative number, got "
+                f"{self.delay_seconds!r}"
+            )
 
     def as_dict(self) -> dict:
         return {
@@ -187,17 +219,62 @@ class FaultPlan:
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
-        """Parse ``{"seed": 0, "faults": [{"kind": ..., ...}, ...]}``."""
-        document = json.loads(text)
+        """Parse ``{"seed": 0, "faults": [{"kind": ..., ...}, ...]}``.
+
+        A bare JSON array is accepted as the ``faults`` list.  Every
+        malformed input raises :class:`ValueError` with an actionable
+        message naming the offending spec by its position.
+        """
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"fault plan is not valid JSON: {error}") from error
         if isinstance(document, list):
             document = {"faults": document}
         if not isinstance(document, dict):
-            raise ValueError("a fault plan must be a JSON object or array")
-        specs = [
-            FaultSpec(**{str(k): v for k, v in entry.items()})
-            for entry in document.get("faults", [])
-        ]
-        return cls(specs, seed=int(document.get("seed", 0)))
+            raise ValueError(
+                f"a fault plan must be a JSON object or array, got "
+                f"{type(document).__name__}"
+            )
+        entries = document.get("faults", [])
+        if not isinstance(entries, list):
+            raise ValueError(
+                f"'faults' must be an array of fault specs, got "
+                f"{type(entries).__name__}"
+            )
+        allowed = {
+            "kind", "site", "after", "count", "probability", "delay_seconds"
+        }
+        specs = []
+        for position, entry in enumerate(entries, start=1):
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"fault spec #{position} must be a JSON object, got "
+                    f"{type(entry).__name__}"
+                )
+            unknown = sorted(set(map(str, entry)) - allowed)
+            if unknown:
+                raise ValueError(
+                    f"fault spec #{position} has unknown field(s) {unknown}; "
+                    f"allowed fields: {sorted(allowed)}"
+                )
+            if "kind" not in entry:
+                raise ValueError(
+                    f"fault spec #{position} needs a 'kind' "
+                    f"(one of {FAULT_KINDS})"
+                )
+            try:
+                specs.append(FaultSpec(**{str(k): v for k, v in entry.items()}))
+            except ValueError as error:
+                raise ValueError(f"fault spec #{position}: {error}") from error
+        try:
+            seed = int(document.get("seed", 0))
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"fault plan 'seed' must be an integer, got "
+                f"{document.get('seed')!r}"
+            ) from error
+        return cls(specs, seed=seed)
 
 
 # --- process-wide installation ----------------------------------------------
@@ -244,6 +321,28 @@ def plan_from_environment() -> Optional[FaultPlan]:
         with open(raw[1:]) as handle:
             raw = handle.read()
     return FaultPlan.from_json(raw)
+
+
+def perturb(site: str) -> None:
+    """Consult the active plan at one parent-side hook point.
+
+    The in-process counterpart of :func:`faulted_call`: a matching
+    ``slow_task`` spec sleeps ``delay_seconds`` here (before any exception),
+    and a matching ``task_exception`` spec raises
+    :class:`InjectedFaultError`.  Used by the grid orchestrator's
+    parent-side sites (``generate.inprocess``, ``solve.group``) and the
+    availability service's sites (:data:`SERVICE_STORE_APPEND`,
+    :data:`SERVICE_HANDLE_SUBMIT`, :data:`SERVICE_RUN_JOB`); a no-op when no
+    plan is installed.
+    """
+    plan = active()
+    if plan is None:
+        return
+    spec = plan.fire(SLOW_TASK, site)
+    if spec is not None:
+        time.sleep(max(0.0, spec.delay_seconds))
+    if plan.fire(TASK_EXCEPTION, site) is not None:
+        raise InjectedFaultError(f"injected task exception at site {site!r}")
 
 
 # --- worker-side wrapper ----------------------------------------------------

@@ -52,6 +52,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.engine import dispatch, faults
+from repro.engine.atomicio import fsync_file, replace_durably, write_text_durably
 from repro.engine.batch import ScenarioBatchEngine, ScenarioSpec
 from repro.engine.cache import TRGCache, structure_fingerprint
 from repro.engine.faults import FailureRecord, RetryPolicy
@@ -238,6 +239,13 @@ class GridOutcome:
     after abrupt deaths, hung workers killed past their deadline), and
     ``restored_cases`` how many rows a resumed run recovered from a
     previous run's checkpoint shards instead of re-solving.
+
+    ``interrupted`` marks a run stopped early through the orchestrator's
+    ``cancel_event``: in-flight group solves were allowed to finish (and
+    were checkpointed), but no new work was dispatched, so some cases are
+    missing from ``results`` without being failures — a later resumed run
+    against the same shard directory picks up exactly where this one
+    stopped.
     """
 
     results: list[GridCaseResult]
@@ -250,6 +258,7 @@ class GridOutcome:
     pool_rebuilds: int = 0
     watchdog_kills: int = 0
     restored_cases: int = 0
+    interrupted: bool = False
 
     @property
     def partial(self) -> bool:
@@ -354,6 +363,20 @@ def load_checkpoint(directory: Path) -> dict[str, dict]:
     return records
 
 
+def read_manifest(directory: Path) -> Optional[dict]:
+    """The ``grid-manifest.json`` of a checkpoint directory, or ``None``.
+
+    Lenient like :func:`load_checkpoint`: a missing, unreadable or
+    non-object manifest answers ``None`` (a resumed run then matches cases
+    purely by name).
+    """
+    try:
+        payload = json.loads((Path(directory) / "grid-manifest.json").read_text())
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
 class _ShardWriter:
     """Streams result records to fixed-size JSONL shards as groups finish.
 
@@ -417,7 +440,13 @@ class _ShardWriter:
             with open(descriptor, "w") as handle:
                 for record in self._pending:
                     handle.write(json.dumps(record, sort_keys=True) + "\n")
-            Path(temporary).replace(path)
+                # fsync before the rename: the atomic replace alone only
+                # survives process death — after a power loss an unflushed
+                # shard (or the rename itself) may simply be gone, and a
+                # "checkpoint" that evaporates is no checkpoint.
+                handle.flush()
+                fsync_file(handle.fileno())
+            replace_durably(temporary, path)
         except BaseException:
             Path(temporary).unlink(missing_ok=True)
             raise
@@ -474,6 +503,13 @@ class ScenarioGridOrchestrator:
             present in ``shard_directory`` (matched by case name, marked
             ``solve_source="checkpoint"``) and dispatch only the missing
             ones.  Requires ``shard_directory``.
+        cancel_event: optional :class:`threading.Event`; once set, the run
+            stops dispatching new work at the next group boundary, lets the
+            in-flight group solves finish (checkpointing them), flushes the
+            shards and returns with :attr:`GridOutcome.interrupted` set.
+            The cooperative cancellation hook of the availability service —
+            a cancelled or drained job leaves a clean checkpoint a resumed
+            run completes bit-identically.
         log_callback: optional one-string-argument callable receiving live
             progress lines (groups generated/solving/done, dedupe hits);
             ``None`` keeps the run silent.
@@ -494,6 +530,7 @@ class ScenarioGridOrchestrator:
         dedupe: bool = True,
         retry: Optional[RetryPolicy] = None,
         resume: bool = False,
+        cancel_event: Optional[threading.Event] = None,
         log_callback: Optional[Callable[[str], None]] = None,
     ) -> None:
         if resume and shard_directory is None:
@@ -510,7 +547,25 @@ class ScenarioGridOrchestrator:
         self.dedupe = dedupe
         self.retry = retry if retry is not None else RetryPolicy()
         self.resume = resume
+        self.cancel_event = cancel_event
         self.log_callback = log_callback
+
+    @classmethod
+    def attach(cls, directory: Path, **kwargs) -> "ScenarioGridOrchestrator":
+        """Resume-by-directory entry point.
+
+        Builds an orchestrator that checkpoints into ``directory`` and
+        restores whatever completed cases its shards already hold — the
+        one-liner a crash-recovering caller (the availability service, a
+        ``repro grid --resume`` equivalent) uses to re-attach to a run that
+        was killed mid-grid.  Any other constructor keyword passes through.
+        """
+        kwargs.pop("shard_directory", None)
+        kwargs.pop("resume", None)
+        return cls(shard_directory=Path(directory), resume=True, **kwargs)
+
+    def _cancelled(self) -> bool:
+        return self.cancel_event is not None and self.cancel_event.is_set()
 
     def _log(self, message: str) -> None:
         if self.log_callback is not None:
@@ -806,11 +861,7 @@ class ScenarioGridOrchestrator:
         self, group: _Group, transport: TRGCache, persist: bool = True
     ) -> None:
         started = time.perf_counter()
-        plan = faults.active()
-        if plan is not None and plan.fire(faults.TASK_EXCEPTION, "generate.inprocess"):
-            raise faults.InjectedFaultError(
-                f"injected in-process generation failure (group {group.key})"
-            )
+        faults.perturb("generate.inprocess")
         graph = generate_tangible_reachability_graph(
             group.compiled,
             max_states=self.max_states,
@@ -919,8 +970,11 @@ class ScenarioGridOrchestrator:
             "cases": len(cases),
             "names_sha256": self._names_digest(cases),
         }
-        self._manifest_path().write_text(
-            json.dumps(payload, sort_keys=True) + "\n"
+        # Durable (fsync-before-rename) like the shards: the manifest is
+        # what lets a resumed run detect a different grid, so it must not
+        # vanish in a power loss either.
+        write_text_durably(
+            self._manifest_path(), json.dumps(payload, sort_keys=True) + "\n"
         )
 
     def _check_manifest(self, cases: Sequence[GridCase]) -> None:
@@ -989,7 +1043,10 @@ class ScenarioGridOrchestrator:
             if self.shard_directory is not None
             else None
         )
+        if shards is not None and self.resume:
+            self._rotate_failures()
         failures: list[FailureRecord] = []
+        self._interrupted = False
         rebuilds_before = shared_pool.rebuilds
         watchdog_kills = 0
         if self.pipeline and len(groups) > 1 and self._worker_budget() > 1:
@@ -1018,22 +1075,52 @@ class ScenarioGridOrchestrator:
             pool_rebuilds=shared_pool.rebuilds - rebuilds_before,
             watchdog_kills=watchdog_kills,
             restored_cases=len(restored),
+            interrupted=self._interrupted,
         )
+
+    def _rotate_failures(self) -> None:
+        """Move a previous run's ``grid-failures.jsonl`` aside on resume.
+
+        A resumed run re-dispatches the previously failed cases, so the old
+        quarantine records are stale the moment the run starts: leaving them
+        in place would double-count cases that fail again (and report cases
+        that now succeed).  The old file is kept for post-mortems as
+        ``grid-failures.<n>.jsonl`` with ``n`` growing per resume.
+        """
+        path = Path(self.shard_directory) / "grid-failures.jsonl"
+        if not path.exists():
+            return
+        rotation = 1
+        while (Path(self.shard_directory) / f"grid-failures.{rotation}.jsonl").exists():
+            rotation += 1
+        try:
+            path.replace(
+                Path(self.shard_directory) / f"grid-failures.{rotation}.jsonl"
+            )
+        except OSError:  # pragma: no cover - unwritable checkpoint directory
+            path.unlink(missing_ok=True)
 
     def _write_failures(self, failures: list[FailureRecord]) -> None:
         """Persist quarantine records next to the checkpoint shards.
 
         Failed cases are *not* checkpointed (their shard rows do not
         exist), so a later ``--resume`` automatically re-dispatches exactly
-        them; the JSONL file is for post-mortem inspection.
+        them; the JSONL file is for post-mortem inspection.  The active file
+        only ever describes *this* run (a resumed run rotates its
+        predecessor's file aside first), and one case never appears twice.
         """
         path = Path(self.shard_directory) / "grid-failures.jsonl"
         if not failures:
             path.unlink(missing_ok=True)
             return
-        with open(path, "w") as handle:
-            for record in failures:
-                handle.write(json.dumps(record.as_record(), sort_keys=True) + "\n")
+        seen: set[str] = set()
+        lines: list[str] = []
+        for record in failures:
+            if any(name in seen for name in record.cases):
+                continue  # defensive: a case is quarantined at most once
+            seen.update(record.cases)
+            lines.append(json.dumps(record.as_record(), sort_keys=True) + "\n")
+        write_text_durably(path, "".join(lines))
 
     def _solve_group(
         self,
@@ -1048,11 +1135,7 @@ class ScenarioGridOrchestrator:
         indices plus the filled-in :class:`GridGroupReport` (timeline
         offsets are stamped against the run's ``started`` origin).
         """
-        plan = faults.active()
-        if plan is not None and plan.fire(faults.TASK_EXCEPTION, "solve.group"):
-            raise faults.InjectedFaultError(
-                f"injected group-solve failure (group {group.key})"
-            )
+        faults.perturb("solve.group")
         group_cases = [cases[index] for index in group.case_indices]
         measures, mappings = self._merged_measures(group_cases)
         engine = ScenarioBatchEngine(
@@ -1178,6 +1261,13 @@ class ScenarioGridOrchestrator:
         done = 0
         solvable = [group for group in groups.values() if group.graph is not None]
         for group in solvable:
+            if self._cancelled():
+                self._interrupted = True
+                self._log(
+                    f"[grid] cancelled: {len(solvable) - done} group(s) "
+                    f"left undispatched"
+                )
+                break
             status, payload, report = self._solve_group_with_retry(
                 group, cases, started, self.jobs
             )
@@ -1291,13 +1381,34 @@ class ScenarioGridOrchestrator:
                 f"{len(solve_futures)} solving · {dedupe_hits} dedupe hit(s)"
             )
 
+        cancelled = False
         with ThreadPoolExecutor(
             max_workers=budget.total, thread_name_prefix="grid-solve"
         ) as solver:
             while pending or ready or generate_futures or solve_futures:
+                if not cancelled and self._cancelled():
+                    # Cooperative cancellation: stop dispatching, let the
+                    # in-flight futures drain (finished solves are still
+                    # checkpointed below), drop everything not yet started.
+                    cancelled = True
+                    self._interrupted = True
+                    pending.clear()
+                    ready.clear()
+                    for future in list(generate_futures):
+                        if future.cancel():
+                            watchdog.forget(future)
+                            budget.release_generation()
+                            del generate_futures[future]
+                    self._log(
+                        f"[grid] cancelled: waiting for "
+                        f"{len(generate_futures)} generation(s) and "
+                        f"{len(solve_futures)} solve(s) in flight"
+                    )
+                    if not generate_futures and not solve_futures:
+                        break
                 # Solves first: a ready group preempts idle workers before
                 # any new generation claims them.
-                while ready:
+                while ready and not cancelled:
                     group = ready.popleft()
                     granted = budget.acquire_solve()
                     group.solve_grant = granted
@@ -1428,6 +1539,11 @@ class ScenarioGridOrchestrator:
                     group = generate_futures.pop(future)
                     watchdog.forget(future)
                     budget.release_generation()
+                    if cancelled:
+                        # The graph may have landed in the transport, but a
+                        # cancelled run solves nothing new; a resumed run
+                        # will find it in the cache.
+                        continue
                     try:
                         seconds = future.result()
                     except BrokenProcessPool:

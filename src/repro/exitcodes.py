@@ -1,0 +1,39 @@
+"""Structured process exit codes shared by every ``repro`` command.
+
+The CLI used to exit with a bare ``1`` for every non-success, which made it
+impossible for callers (CI drills, the service runbook, shell scripts) to
+tell "the grid finished but quarantined some cases" apart from "the run
+produced nothing at all".  Every command now exits with one of these codes:
+
+========================  ====  =====================================================
+Code                      Int   Meaning
+========================  ====  =====================================================
+``ExitCode.OK``           0     the command completed and every case succeeded
+``ExitCode.INVALID_ARGS`` 2     the arguments were malformed (also what argparse
+                                itself exits with on a parse error)
+``ExitCode.PARTIAL``      3     the run completed *partially*: some cases were
+                                quarantined (``repro grid``), or a waited-on
+                                service job finished in ``state=partial``
+``ExitCode.FAULTED``      4     the run produced no usable result: every case was
+                                quarantined, a waited-on job failed or was
+                                cancelled, or the service refused the submission
+========================  ====  =====================================================
+
+A partial run is deliberately distinct from a faulted one — a caller that
+can live with holes in the result frame (and resume later with
+``repro grid --resume`` or a resubmission) treats 3 as a soft failure,
+while 4 means there is nothing to consume.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class ExitCode(IntEnum):
+    """Process exit codes of the ``repro`` CLI (see module docstring)."""
+
+    OK = 0
+    INVALID_ARGS = 2
+    PARTIAL = 3
+    FAULTED = 4

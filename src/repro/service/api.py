@@ -1,0 +1,189 @@
+"""Stdlib HTTP JSON API of the availability service.
+
+Routes (all JSON unless noted):
+
+========  ==============================  ======================================
+Method    Path                            Semantics
+========  ==============================  ======================================
+GET       ``/healthz``                    liveness + job/queue/recovery counters
+GET       ``/readyz``                     200 admitting / 503 draining
+POST      ``/v1/grids``                   submit a grid (202 created, 200
+                                          deduplicated, 400 invalid, 429 full
+                                          + ``Retry-After``, 503 store down or
+                                          draining)
+GET       ``/v1/jobs``                    all jobs, newest first
+GET       ``/v1/jobs/<id>``               one job record + per-group provenance
+GET       ``/v1/jobs/<id>/results``       the job's checkpoint shards streamed
+                                          as ``application/x-ndjson`` (header
+                                          ``X-Job-State`` carries the state, so
+                                          a client can tell partial streams)
+POST      ``/v1/jobs/<id>/cancel``        cancel queued (200) or interrupt
+                                          running (202); 409 once terminal
+========  ==============================  ======================================
+
+Built on :class:`http.server.ThreadingHTTPServer` — the service must not
+pull in a web framework the reproduction does not otherwise need.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service instance for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service):
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+def build_server(service, host: str, port: int) -> ServiceHTTPServer:
+    return ServiceHTTPServer((host, port), service)
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-availability/1"
+
+    # The default handler logs every request to stderr; route through the
+    # service's log callback (usually silent in tests) instead.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        service = getattr(self.server, "service", None)
+        if service is not None:
+            service._log("[http] " + format % args)
+
+    # --- plumbing -----------------------------------------------------------
+
+    def _send_json(self, status: int, body: dict, extra_headers=()) -> None:
+        payload = (json.dumps(body, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._send_json(413, {"error": "request body too large"})
+            return None
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            self._send_json(400, {"error": f"request body is not valid JSON: {error}"})
+            return None
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def _job_or_404(self, job_id: str):
+        job = self.service.store.get(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"no job {job_id!r}"})
+        return job
+
+    # --- verbs --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, self.service.health_payload())
+            return
+        if path == "/readyz":
+            if self.service.draining:
+                self._send_json(
+                    503, {"ready": False, "reason": "draining"},
+                    extra_headers=[("Retry-After", "30")],
+                )
+            else:
+                self._send_json(200, {"ready": True})
+            return
+        if path == "/v1/jobs":
+            self._send_json(200, self.service.jobs_payload())
+            return
+        parts = path.strip("/").split("/")
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            job = self._job_or_404(parts[2])
+            if job is not None:
+                self._send_json(200, {"job": self.service.job_payload(job)})
+            return
+        if (
+            len(parts) == 4
+            and parts[:2] == ["v1", "jobs"]
+            and parts[3] == "results"
+        ):
+            job = self._job_or_404(parts[2])
+            if job is not None:
+                self._stream_results(job)
+            return
+        self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/grids":
+            body = self._read_body()
+            if body is None:
+                return
+            status, payload = self.service.submit(body)
+            headers = []
+            if "retry_after" in payload:
+                headers.append(("Retry-After", f"{payload['retry_after']:g}"))
+            self._send_json(status, payload, extra_headers=headers)
+            return
+        parts = path.strip("/").split("/")
+        if (
+            len(parts) == 4
+            and parts[:2] == ["v1", "jobs"]
+            and parts[3] == "cancel"
+        ):
+            status, payload = self.service.cancel(parts[2])
+            self._send_json(status, payload)
+            return
+        self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    # --- results streaming --------------------------------------------------
+
+    def _stream_results(self, job) -> None:
+        """Stream the job's shards as newline-delimited JSON.
+
+        Shards are read in order and concatenated verbatim — each line is one
+        completed case record, exactly as checkpointed.  The body is
+        chunk-encoded so arbitrarily large grids never materialise in one
+        buffer; ``X-Job-State`` lets the caller distinguish the final frame
+        of a ``done`` job from the progress of a still-``running`` one.
+        """
+        paths = self.service.results_paths(job.id)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("X-Job-State", job.state)
+        self.send_header("X-Shard-Count", str(len(paths)))
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+        def chunk(data: bytes) -> None:
+            if data:
+                self.wfile.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+
+        for path in paths:
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if line:
+                    chunk(line.encode() + b"\n")
+        self.wfile.write(b"0\r\n\r\n")

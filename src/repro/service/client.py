@@ -1,0 +1,136 @@
+"""Small ``urllib`` client of the availability service.
+
+Used by ``repro submit`` / ``repro jobs``, the test suite and the CI chaos
+drill — everything that talks to the daemon goes through this one module,
+so the wire protocol has exactly two implementations to keep honest
+(:mod:`repro.service.api` and this).
+
+Non-2xx responses raise :class:`ServiceError` carrying the HTTP status and
+the decoded error body (``error.retry_after`` surfaces the 429/503 hint).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, Optional
+
+#: Terminal job states a :meth:`ServiceClient.wait` stops on.
+_TERMINAL = {"done", "partial", "failed", "cancelled"}
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx answer from the service."""
+
+    def __init__(self, status: int, payload: dict):
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        value = self.payload.get("retry_after")
+        return float(value) if isinstance(value, (int, float)) else None
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client; ``base_url`` like ``http://host:port``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # --- plumbing -----------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read() or b"{}")
+            except json.JSONDecodeError:
+                payload = {"error": error.reason}
+            raise ServiceError(error.code, payload) from None
+        except (urllib.error.URLError, OSError) as error:
+            raise ServiceError(
+                0, {"error": f"cannot reach service at {self.base_url}: {error}"}
+            ) from None
+
+    # --- API ----------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> bool:
+        try:
+            return bool(self._request("GET", "/readyz").get("ready"))
+        except ServiceError:
+            return False
+
+    def submit(self, grid: dict, options: Optional[dict] = None) -> dict:
+        """Submit a grid; returns ``{"job": ..., "deduplicated": ...}``.
+
+        Raises :class:`ServiceError` on refusal — status 429 means the
+        admission queue is full (check :attr:`ServiceError.retry_after`).
+        """
+        body: dict = {"grid": grid}
+        if options is not None:
+            body["options"] = options
+        return self._request("POST", "/v1/grids", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def results(self, job_id: str) -> Iterator[dict]:
+        """The job's checkpointed case records, streamed."""
+        request = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{job_id}/results",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read() or b"{}")
+            except json.JSONDecodeError:
+                payload = {"error": error.reason}
+            raise ServiceError(error.code, payload) from None
+        except (urllib.error.URLError, OSError) as error:
+            raise ServiceError(
+                0, {"error": f"cannot reach service at {self.base_url}: {error}"}
+            ) from None
+
+    def wait(self, job_id: str, timeout: float = 600.0, poll: float = 0.25) -> dict:
+        """Poll until the job reaches a terminal state; returns its record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in _TERMINAL:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout:g}s"
+                )
+            time.sleep(poll)

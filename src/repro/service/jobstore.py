@@ -1,0 +1,301 @@
+"""Durable write-ahead job store of the availability service.
+
+Every job transition is appended as one JSON line to ``journal.jsonl`` and
+**fsync'd before the caller proceeds** — a submission is only acknowledged
+(and a state change only acted upon) once it would survive a power loss.
+Each line carries the *full* job record, so recovery is trivial: the last
+line about a job wins.  The journal is compacted into an atomic-rename,
+fsync'd snapshot (``jobs-snapshot.json``) on clean shutdown and every
+``snapshot_every`` appends; recovery loads the snapshot and replays
+whatever journal lines landed after it, tolerating a torn trailing line
+(the one write a ``kill -9`` can interrupt).
+
+State-directory layout::
+
+    <state_dir>/
+      journal.jsonl        # WAL: one fsync'd JSON transition per line
+      jobs-snapshot.json   # atomic-rename snapshot (journal truncated after)
+      jobs/<job_id>/       # the job's shard directory == its checkpoint
+        grid-shard-*.jsonl
+        grid-manifest.json
+        grid-failures.jsonl
+
+The store is deliberately dumb about *semantics* — what to do with a job
+found ``running`` after a crash is the service's recovery policy
+(:meth:`~repro.service.app.AvailabilityService` re-queues it with
+``resume=True``); the store only guarantees the record survives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.engine import faults
+from repro.engine.atomicio import write_text_durably
+
+#: Every state a job can be in.  ``queued`` and ``running`` are *open*;
+#: the rest are terminal.  ``partial`` is a completed run with quarantined
+#: cases — a result to consume, not a service failure.
+JOB_STATES = ("queued", "running", "done", "partial", "failed", "cancelled")
+OPEN_STATES = frozenset({"queued", "running"})
+TERMINAL_STATES = frozenset({"done", "partial", "failed", "cancelled"})
+
+#: Journal appends between automatic snapshot compactions.
+DEFAULT_SNAPSHOT_EVERY = 64
+
+
+@dataclass
+class JobRecord:
+    """One job's full, journal-serialisable state."""
+
+    id: str
+    digest: str
+    spec: dict
+    options: dict
+    state: str = "queued"
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    cancel_requested: bool = False
+    error: Optional[str] = None
+    summary: dict = field(default_factory=dict)
+
+    def as_record(self) -> dict:
+        return {
+            "id": self.id,
+            "digest": self.digest,
+            "spec": dict(self.spec),
+            "options": dict(self.options),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "updated_at": self.updated_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+            "summary": dict(self.summary),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "JobRecord":
+        return cls(
+            id=str(record["id"]),
+            digest=str(record["digest"]),
+            spec=dict(record.get("spec", {})),
+            options=dict(record.get("options", {})),
+            state=str(record.get("state", "queued")),
+            submitted_at=float(record.get("submitted_at", 0.0)),
+            updated_at=float(record.get("updated_at", 0.0)),
+            started_at=record.get("started_at"),
+            finished_at=record.get("finished_at"),
+            attempts=int(record.get("attempts", 0)),
+            cancel_requested=bool(record.get("cancel_requested", False)),
+            error=record.get("error"),
+            summary=dict(record.get("summary", {})),
+        )
+
+    @property
+    def open(self) -> bool:
+        return self.state in OPEN_STATES
+
+
+class JobStore:
+    """Journaled, crash-safe persistence of every job's record."""
+
+    def __init__(
+        self,
+        state_directory: os.PathLike,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+    ) -> None:
+        self.directory = Path(state_directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.directory / "journal.jsonl"
+        self.snapshot_path = self.directory / "jobs-snapshot.json"
+        self.snapshot_every = max(1, int(snapshot_every))
+        self.jobs: dict[str, JobRecord] = {}
+        self._journal = None
+        self._appends_since_snapshot = 0
+        self._lock = threading.RLock()
+        #: Recovery provenance (surfaced by ``/healthz`` and the CLI).
+        self.recovered_jobs = 0
+        self.replayed_transitions = 0
+        self._recover()
+
+    # --- recovery -----------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Load the snapshot, then replay the journal over it (leniently)."""
+        if self.snapshot_path.exists():
+            try:
+                payload = json.loads(self.snapshot_path.read_text())
+                for record in payload.get("jobs", []):
+                    job = JobRecord.from_record(record)
+                    self.jobs[job.id] = job
+            except (OSError, ValueError, KeyError, TypeError):
+                self.jobs = {}
+        if self.journal_path.exists():
+            try:
+                text = self.journal_path.read_text()
+            except OSError:
+                text = ""
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    job = JobRecord.from_record(entry["job"])
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn trailing line of a killed process
+                self.jobs[job.id] = job
+                self.replayed_transitions += 1
+        self.recovered_jobs = len(self.jobs)
+
+    # --- write path ---------------------------------------------------------
+
+    def _handle(self):
+        if self._journal is None or self._journal.closed:
+            self._journal = open(self.journal_path, "a")
+        return self._journal
+
+    def append(self, job: JobRecord, event: str) -> None:
+        """Journal one transition; **fsync'd before this method returns**.
+
+        The injectable fault site :data:`~repro.engine.faults.
+        SERVICE_STORE_APPEND` fires here — before anything is written — so
+        a chaos plan can simulate a failing journal disk and assert the
+        service refuses (rather than falsely acknowledges) the transition.
+        """
+        faults.perturb(faults.SERVICE_STORE_APPEND)
+        line = json.dumps(
+            {"event": event, "at": time.time(), "job": job.as_record()},
+            sort_keys=True,
+        )
+        with self._lock:
+            handle = self._handle()
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._appends_since_snapshot += 1
+            if self._appends_since_snapshot >= self.snapshot_every:
+                self._snapshot_locked()
+
+    def create(self, job: JobRecord) -> JobRecord:
+        """Register and durably journal a new job (the submission ack)."""
+        with self._lock:
+            if job.id in self.jobs:
+                raise ValueError(f"job id {job.id!r} already exists")
+            now = time.time()
+            job.submitted_at = job.submitted_at or now
+            job.updated_at = now
+            # Journal first: the in-memory index only learns about the job
+            # once the record is on disk, so an fsync failure can never
+            # leave an acknowledged-but-volatile job behind.
+            self.append(job, "submitted")
+            self.jobs[job.id] = job
+            return job
+
+    def transition(self, job_id: str, state: str, **updates) -> JobRecord:
+        """Move a job to ``state`` (plus field updates), durably journaled."""
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}; one of {JOB_STATES}")
+        with self._lock:
+            job = self.jobs[job_id]
+            job.state = state
+            job.updated_at = time.time()
+            for name, value in updates.items():
+                if not hasattr(job, name):
+                    raise AttributeError(f"JobRecord has no field {name!r}")
+                setattr(job, name, value)
+            self.append(job, state)
+            return job
+
+    def annotate(self, job_id: str, **updates) -> JobRecord:
+        """Update fields without changing state (durably journaled)."""
+        with self._lock:
+            job = self.jobs[job_id]
+            job.updated_at = time.time()
+            for name, value in updates.items():
+                if not hasattr(job, name):
+                    raise AttributeError(f"JobRecord has no field {name!r}")
+                setattr(job, name, value)
+            self.append(job, "annotated")
+            return job
+
+    # --- compaction ---------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Compact: durable snapshot of every job, then truncate the journal."""
+        with self._lock:
+            self._snapshot_locked()
+
+    def _snapshot_locked(self) -> None:
+        payload = {
+            "format": 1,
+            "written_at": time.time(),
+            "jobs": [job.as_record() for job in self.jobs.values()],
+        }
+        write_text_durably(
+            self.snapshot_path, json.dumps(payload, sort_keys=True) + "\n"
+        )
+        # The snapshot now holds everything the journal said; truncate it so
+        # recovery cost stays proportional to activity since the snapshot.
+        if self._journal is not None and not self._journal.closed:
+            self._journal.close()
+        with open(self.journal_path, "w") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._journal = None
+        self._appends_since_snapshot = 0
+
+    # --- lookup -------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def all(self) -> list[JobRecord]:
+        """Every job, newest submission first."""
+        with self._lock:
+            return sorted(
+                self.jobs.values(), key=lambda job: job.submitted_at, reverse=True
+            )
+
+    def find_by_digest(self, digest: str) -> Optional[JobRecord]:
+        """The job to dedupe an identical submission onto, if any.
+
+        Open jobs and successfully finished ones (``done``/``partial``)
+        absorb the resubmission; ``failed``/``cancelled`` jobs do not — a
+        client resubmitting after a failure is asking for a retry.  The
+        most recent eligible job wins.
+        """
+        with self._lock:
+            candidates = [
+                job
+                for job in self.jobs.values()
+                if job.digest == digest and job.state not in ("failed", "cancelled")
+            ]
+            if not candidates:
+                return None
+            return max(candidates, key=lambda job: job.submitted_at)
+
+    def job_directory(self, job_id: str) -> Path:
+        """The job's shard directory (its checkpoint); created on demand."""
+        path = self.directory / "jobs" / job_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def close(self) -> None:
+        with self._lock:
+            if self._journal is not None and not self._journal.closed:
+                self._journal.close()
+            self._journal = None

@@ -1,0 +1,134 @@
+"""Bounded admission control for the availability service.
+
+The queue counts **open** jobs — queued *and* running — against a fixed
+depth.  When full, :meth:`AdmissionQueue.offer` raises
+:class:`QueueFullError` immediately (the API maps it to HTTP 429 with a
+``Retry-After`` hint) instead of accepting work it cannot start; refusing
+at the door is what keeps in-flight jobs from starving.  Capacity frees
+when a job finishes (:meth:`complete`), not when it merely starts.
+
+A drained job (SIGTERM mid-run) is put back at the *front* with
+:meth:`requeue` — it does not lose its place.  :meth:`force` bypasses the
+depth check during recovery: jobs that were already admitted before a
+crash were already accounted for and must re-enter regardless of the
+configured depth.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+#: Default number of open (queued + running) jobs before refusal.
+DEFAULT_DEPTH = 8
+
+#: ``Retry-After`` hint (seconds) attached to a refusal.
+DEFAULT_RETRY_AFTER = 5.0
+
+
+class QueueFullError(RuntimeError):
+    """The admission queue refused a submission (maps to HTTP 429)."""
+
+    def __init__(self, depth: int, retry_after: float = DEFAULT_RETRY_AFTER):
+        super().__init__(
+            f"admission queue is full ({depth} open job(s)); retry in "
+            f"{retry_after:g}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """A bounded FIFO of job ids with open-job accounting."""
+
+    def __init__(self, depth: int = DEFAULT_DEPTH) -> None:
+        if not isinstance(depth, int) or depth < 1:
+            raise ValueError(f"queue depth must be a positive integer, got {depth!r}")
+        self.depth = depth
+        self._items: deque[str] = deque()
+        self._leased: set[str] = set()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+
+    # --- admission ----------------------------------------------------------
+
+    def open_count(self) -> int:
+        """Open jobs currently accounted against the depth."""
+        with self._lock:
+            return len(self._items) + len(self._leased)
+
+    def offer(self, job_id: str) -> None:
+        """Admit a job, or refuse with :class:`QueueFullError` when full."""
+        with self._available:
+            if self._closed:
+                raise RuntimeError("admission queue is closed")
+            if len(self._items) + len(self._leased) >= self.depth:
+                raise QueueFullError(self.depth)
+            self._items.append(job_id)
+            self._available.notify()
+
+    def force(self, job_id: str, front: bool = False) -> None:
+        """Admit unconditionally (recovery of already-acknowledged jobs)."""
+        with self._available:
+            if front:
+                self._items.appendleft(job_id)
+            else:
+                self._items.append(job_id)
+            self._available.notify()
+
+    # --- worker side --------------------------------------------------------
+
+    def lease(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Take the next job to run; ``None`` on timeout or after close.
+
+        The job stays accounted as open until :meth:`complete` (or
+        :meth:`requeue`) — a running job holds its admission slot.
+        """
+        with self._available:
+            while not self._items and not self._closed:
+                if not self._available.wait(timeout=timeout):
+                    return None
+            if not self._items:
+                return None
+            job_id = self._items.popleft()
+            self._leased.add(job_id)
+            return job_id
+
+    def complete(self, job_id: str) -> None:
+        """Release the job's admission slot (it reached a terminal state)."""
+        with self._available:
+            self._leased.discard(job_id)
+            self._available.notify()
+
+    def requeue(self, job_id: str, front: bool = True) -> None:
+        """Return a leased job to the queue (drain or transient run error)."""
+        with self._available:
+            self._leased.discard(job_id)
+            if front:
+                self._items.appendleft(job_id)
+            else:
+                self._items.append(job_id)
+            self._available.notify()
+
+    def remove(self, job_id: str) -> bool:
+        """Withdraw a still-queued job (cancellation before it ran)."""
+        with self._available:
+            try:
+                self._items.remove(job_id)
+            except ValueError:
+                return False
+            self._available.notify()
+            return True
+
+    def snapshot(self) -> list[str]:
+        """Queued (not leased) job ids, front first."""
+        with self._lock:
+            return list(self._items)
+
+    def close(self) -> None:
+        """Wake every waiting :meth:`lease` with ``None``; refuse offers."""
+        with self._available:
+            self._closed = True
+            self._available.notify_all()

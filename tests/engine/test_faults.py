@@ -250,3 +250,130 @@ class TestTaskWatchdog:
         assert watchdog.next_poll_seconds(now=6.0) == pytest.approx(4.0)
         watchdog.forget("a")
         assert watchdog.next_poll_seconds(now=6.0) == pytest.approx(8.0)
+
+
+class TestFromJsonDiagnostics:
+    """Malformed plans must fail with actionable, position-naming errors."""
+
+    def test_rejects_invalid_json_text(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.from_json("{broken")
+
+    def test_rejects_non_spec_entries(self):
+        with pytest.raises(ValueError, match="fault spec #2"):
+            FaultPlan.from_json('[{"kind": "slow_task"}, "oops"]')
+
+    def test_rejects_unknown_spec_fields(self):
+        with pytest.raises(ValueError, match="fault spec #1.*unknown"):
+            FaultPlan.from_json('[{"kind": "slow_task", "sight": "solve"}]')
+
+    def test_rejects_missing_kind(self):
+        with pytest.raises(ValueError, match="fault spec #1.*'kind'"):
+            FaultPlan.from_json('[{"site": "solve"}]')
+
+    def test_rejects_unknown_kind_with_position(self):
+        with pytest.raises(ValueError, match="fault spec #1.*meteor"):
+            FaultPlan.from_json('[{"kind": "meteor"}]')
+
+    def test_rejects_negative_count_with_position(self):
+        with pytest.raises(ValueError, match="fault spec #1.*non-negative"):
+            FaultPlan.from_json('[{"kind": "slow_task", "count": -1}]')
+
+    def test_rejects_bad_site_pattern(self):
+        with pytest.raises(ValueError, match="fault spec #1.*non-empty fnmatch"):
+            FaultPlan.from_json('[{"kind": "slow_task", "site": "   "}]')
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan.from_json('{"seed": "zero", "faults": []}')
+
+    def test_rejects_non_array_faults(self):
+        with pytest.raises(ValueError, match="'faults'"):
+            FaultPlan.from_json('{"faults": {"kind": "slow_task"}}')
+
+
+class TestEnvironmentRoundTrip:
+    """Inline JSON and @file forms of REPRO_FAULT_PLAN must be equivalent."""
+
+    DOCUMENT = json.dumps(
+        {
+            "seed": 7,
+            "faults": [
+                {"kind": "slow_task", "site": "solve.group", "after": 1,
+                 "count": 3, "delay_seconds": 0.25},
+                {"kind": "task_exception", "site": "service.*"},
+            ],
+        }
+    )
+
+    def test_inline_and_at_file_parse_identically(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(FAULT_PLAN_ENVIRONMENT_VARIABLE, self.DOCUMENT)
+        inline = faults.plan_from_environment()
+        path = tmp_path / "plan.json"
+        path.write_text(self.DOCUMENT)
+        monkeypatch.setenv(FAULT_PLAN_ENVIRONMENT_VARIABLE, f"@{path}")
+        from_file = faults.plan_from_environment()
+        assert inline is not None and from_file is not None
+        assert inline.seed == from_file.seed == 7
+        assert inline.specs == from_file.specs
+
+    def test_round_trips_through_to_json(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENVIRONMENT_VARIABLE, self.DOCUMENT)
+        plan = faults.plan_from_environment()
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.specs == plan.specs and clone.seed == plan.seed
+
+
+class TestPerturb:
+    """The parent-side perturb() helper behind the new service sites."""
+
+    def test_noop_without_plan(self):
+        faults.perturb(faults.SERVICE_RUN_JOB)  # must not raise
+
+    def test_slow_task_sleeps_then_returns(self):
+        faults.install(
+            FaultPlan(
+                faults=(
+                    FaultSpec(
+                        kind=faults.SLOW_TASK,
+                        site=faults.SERVICE_RUN_JOB,
+                        delay_seconds=0.05,
+                    ),
+                )
+            )
+        )
+        import time as _time
+
+        started = _time.perf_counter()
+        faults.perturb(faults.SERVICE_RUN_JOB)
+        assert _time.perf_counter() - started >= 0.05
+
+    def test_task_exception_raises_with_site(self):
+        faults.install(
+            FaultPlan(
+                faults=(
+                    FaultSpec(
+                        kind=faults.TASK_EXCEPTION,
+                        site=faults.SERVICE_STORE_APPEND,
+                    ),
+                )
+            )
+        )
+        with pytest.raises(InjectedFaultError, match="service.store.append"):
+            faults.perturb(faults.SERVICE_STORE_APPEND)
+
+    def test_service_sites_are_glob_addressable(self):
+        faults.install(
+            FaultPlan(
+                faults=(
+                    FaultSpec(kind=faults.TASK_EXCEPTION, site="service.*", count=3),
+                )
+            )
+        )
+        for site in (
+            faults.SERVICE_STORE_APPEND,
+            faults.SERVICE_HANDLE_SUBMIT,
+            faults.SERVICE_RUN_JOB,
+        ):
+            with pytest.raises(InjectedFaultError):
+                faults.perturb(site)

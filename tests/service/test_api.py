@@ -1,0 +1,137 @@
+"""Wire-level tests: real HTTP over a loopback port via the client."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.service import AvailabilityService, ServiceClient, ServiceConfig, ServiceError
+
+TINY = {"cities": [["Rio de Janeiro"]], "machines": [1]}
+
+
+@pytest.fixture()
+def live(tmp_path):
+    service = AvailabilityService(
+        ServiceConfig(state_dir=tmp_path / "state", port=0)
+    )
+    host, port = service.start()
+    client = ServiceClient(f"http://{host}:{port}", timeout=30.0)
+    try:
+        yield service, client
+    finally:
+        service.stop()
+
+
+class TestEndpoints:
+    def test_healthz_and_readyz(self, live):
+        service, client = live
+        health = client.health()
+        assert health["status"] == "ok"
+        assert client.ready() is True
+        service.request_drain()
+        assert client.ready() is False
+
+    def test_submit_job_results_roundtrip(self, live):
+        service, client = live
+        answer = client.submit(TINY)
+        assert answer["deduplicated"] is False
+        job = client.wait(answer["job"]["id"], timeout=120.0)
+        assert job["state"] == "done"
+        rows = list(client.results(job["id"]))
+        assert len(rows) == 1
+        assert 0.0 < rows[0]["measures"]["availability"] < 1.0
+        # Job list contains it too.
+        assert any(item["id"] == job["id"] for item in client.jobs())
+
+    def test_results_carry_job_state_header(self, live):
+        service, client = live
+        answer = client.submit(TINY)
+        job_id = answer["job"]["id"]
+        client.wait(job_id, timeout=120.0)
+        request = urllib.request.Request(
+            client.base_url + f"/v1/jobs/{job_id}/results"
+        )
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            assert response.headers["X-Job-State"] == "done"
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            assert response.read().strip()
+
+    def test_bad_json_is_400(self, live):
+        service, client = live
+        request = urllib.request.Request(
+            client.base_url + "/v1/grids",
+            data=b"{broken",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert caught.value.code == 400
+        assert "not valid JSON" in json.loads(caught.value.read())["error"]
+
+    def test_invalid_spec_is_400_with_actionable_error(self, live):
+        service, client = live
+        with pytest.raises(ServiceError) as caught:
+            client.submit({"cities": [["Atlantis"]]})
+        assert caught.value.status == 400
+        assert "Atlantis" in str(caught.value)
+
+    def test_unknown_routes_and_jobs_are_404(self, live):
+        service, client = live
+        with pytest.raises(ServiceError) as caught:
+            client.job("job-9999-nope")
+        assert caught.value.status == 404
+        with pytest.raises(ServiceError) as caught:
+            client._request("GET", "/v2/nothing")
+        assert caught.value.status == 404
+
+    def test_429_sets_retry_after_header(self, tmp_path):
+        from repro.engine import faults
+        from repro.engine.faults import FaultPlan, FaultSpec
+
+        faults.install(
+            FaultPlan(
+                faults=(
+                    FaultSpec(
+                        kind=faults.SLOW_TASK,
+                        site=faults.SERVICE_RUN_JOB,
+                        delay_seconds=2.0,
+                        count=1,
+                    ),
+                )
+            )
+        )
+        service = AvailabilityService(
+            ServiceConfig(state_dir=tmp_path / "state", port=0, queue_depth=1)
+        )
+        host, port = service.start()
+        client = ServiceClient(f"http://{host}:{port}", timeout=30.0)
+        try:
+            first = client.submit(TINY)
+            request = urllib.request.Request(
+                client.base_url + "/v1/grids",
+                data=json.dumps(
+                    {"grid": {"cities": [["Rio de Janeiro"]], "machines": [2]}}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request, timeout=10.0)
+            assert caught.value.code == 429
+            assert float(caught.value.headers["Retry-After"]) > 0
+            # The in-flight job still completes.
+            job = client.wait(first["job"]["id"], timeout=120.0)
+            assert job["state"] == "done"
+        finally:
+            faults.clear()
+            service.stop()
+
+    def test_cancel_route(self, live):
+        service, client = live
+        answer = client.submit(TINY)
+        job = client.wait(answer["job"]["id"], timeout=120.0)
+        with pytest.raises(ServiceError) as caught:
+            client.cancel(job["id"])
+        assert caught.value.status == 409

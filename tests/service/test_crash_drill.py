@@ -1,0 +1,127 @@
+"""The crash drill: kill -9 mid-solve, restart, bit-identical completion.
+
+Runs the real daemon in a subprocess twice over the same state directory:
+the first instance is slowed at the ``solve.group`` fault site (so one case
+checkpoints and the other is mid-solve), SIGKILLed, and the second instance
+recovers the journal, resumes from the checkpoint shards and completes.
+The resulting measures must equal an uninterrupted control run **exactly**
+(Δ = 0.0, bit-identical floats).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient
+
+GRID = {"cities": [["Rio de Janeiro"]], "machines": [1, 2]}
+
+SLOW_SECOND_SOLVE = json.dumps(
+    [
+        {
+            "kind": "slow_task",
+            "site": "solve.group",
+            "after": 1,
+            "count": 10,
+            "delay_seconds": 8.0,
+        }
+    ]
+)
+
+
+def start_daemon(state_dir: Path, fault_plan=None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    env.pop("REPRO_FAULT_PLAN", None)
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = fault_plan
+    discovery = state_dir / "service.json"
+    if discovery.exists():
+        discovery.unlink()
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--state-dir", str(state_dir), "--quiet",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if discovery.exists():
+            return process
+        if process.poll() is not None:
+            raise AssertionError(f"daemon died on startup: {process.returncode}")
+        time.sleep(0.1)
+    process.kill()
+    raise AssertionError("daemon did not write service.json in time")
+
+
+def client_for(state_dir: Path) -> ServiceClient:
+    url = json.loads((state_dir / "service.json").read_text())["url"]
+    return ServiceClient(url, timeout=30.0)
+
+
+def rows_by_name(client: ServiceClient, job_id: str) -> dict:
+    return {row["name"]: row for row in client.results(job_id)}
+
+
+@pytest.mark.slow
+def test_kill9_restart_resumes_bit_identically(tmp_path):
+    # --- control: uninterrupted run ------------------------------------
+    control_state = tmp_path / "control"
+    control = start_daemon(control_state)
+    try:
+        control_client = client_for(control_state)
+        job = control_client.submit(GRID)["job"]
+        job = control_client.wait(job["id"], timeout=240.0)
+        assert job["state"] == "done"
+        control_rows = rows_by_name(control_client, job["id"])
+        assert len(control_rows) == 2
+    finally:
+        control.terminate()
+        control.wait(timeout=30.0)
+
+    # --- chaos: first case checkpoints, then SIGKILL mid-second-solve ---
+    chaos_state = tmp_path / "chaos"
+    chaos = start_daemon(chaos_state, fault_plan=SLOW_SECOND_SOLVE)
+    chaos_client = client_for(chaos_state)
+    job_id = chaos_client.submit(GRID)["job"]["id"]
+    shard_dir = chaos_state / "jobs" / job_id
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if list(shard_dir.glob("grid-shard-*.jsonl")):
+            break
+        time.sleep(0.1)
+    else:
+        chaos.kill()
+        raise AssertionError("no checkpoint shard appeared before the kill")
+    os.kill(chaos.pid, signal.SIGKILL)
+    chaos.wait(timeout=30.0)
+    checkpointed = rows_restored = None
+
+    # --- restart over the same state directory, no fault plan -----------
+    revived = start_daemon(chaos_state)
+    try:
+        revived_client = client_for(chaos_state)
+        job = revived_client.wait(job_id, timeout=240.0)
+        assert job["state"] == "done"
+        assert job["summary"]["restored_cases"] >= 1
+        chaos_rows = rows_by_name(revived_client, job_id)
+    finally:
+        revived.terminate()
+        revived.wait(timeout=30.0)
+
+    # --- bit-identical comparison ---------------------------------------
+    assert set(chaos_rows) == set(control_rows)
+    for name, control_row in control_rows.items():
+        for measure, value in control_row["measures"].items():
+            delta = abs(chaos_rows[name]["measures"][measure] - value)
+            assert delta == 0.0, f"{name}/{measure} drifted by {delta}"

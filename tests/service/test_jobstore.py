@@ -1,0 +1,166 @@
+"""Durability of the write-ahead job store."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import faults
+from repro.engine.faults import FaultPlan, FaultSpec, InjectedFaultError
+from repro.service.jobstore import JobRecord, JobStore
+
+
+def record(job_id="job-0001-abc", digest="abc123", state="queued"):
+    return JobRecord(
+        id=job_id,
+        digest=digest,
+        spec={"cities": [["Rio de Janeiro"]]},
+        options={"backend": "auto"},
+        state=state,
+    )
+
+
+class TestJournal:
+    def test_create_then_recover(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(record())
+        store.transition("job-0001-abc", "running", attempts=1)
+        store.close()
+
+        recovered = JobStore(tmp_path)
+        job = recovered.get("job-0001-abc")
+        assert job is not None and job.state == "running" and job.attempts == 1
+        assert recovered.replayed_transitions == 2
+
+    def test_every_append_is_fsynced(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+        store = JobStore(tmp_path)
+        store.create(record())
+        assert synced, "journal append must fsync before acknowledging"
+        count = len(synced)
+        store.transition("job-0001-abc", "done")
+        assert len(synced) > count
+        store.close()
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(record())
+        store.create(record("job-0002-def", "def456"))
+        store.close()
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(journal.read_text() + '{"event": "submitted", "jo')
+
+        recovered = JobStore(tmp_path)
+        assert set(recovered.jobs) == {"job-0001-abc", "job-0002-def"}
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(record())
+        with pytest.raises(ValueError, match="already exists"):
+            store.create(record())
+        store.close()
+
+    def test_unknown_state_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(record())
+        with pytest.raises(ValueError, match="unknown job state"):
+            store.transition("job-0001-abc", "exploded")
+        store.close()
+
+    def test_store_fault_site_fires_before_write(self, tmp_path):
+        store = JobStore(tmp_path)
+        faults.install(
+            FaultPlan(
+                faults=(
+                    FaultSpec(
+                        kind=faults.TASK_EXCEPTION,
+                        site=faults.SERVICE_STORE_APPEND,
+                        count=1,
+                    ),
+                )
+            )
+        )
+        try:
+            with pytest.raises(InjectedFaultError):
+                store.create(record())
+        finally:
+            faults.clear()
+        # The refused job must not exist anywhere: not in memory...
+        assert store.get("job-0001-abc") is None
+        # ...and not in the journal either.
+        journal = tmp_path / "journal.jsonl"
+        assert not journal.exists() or "job-0001-abc" not in journal.read_text()
+        store.close()
+
+
+class TestSnapshot:
+    def test_snapshot_compacts_journal(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(record())
+        store.transition("job-0001-abc", "done")
+        store.snapshot()
+        assert (tmp_path / "journal.jsonl").read_text() == ""
+        payload = json.loads((tmp_path / "jobs-snapshot.json").read_text())
+        assert [job["id"] for job in payload["jobs"]] == ["job-0001-abc"]
+        store.close()
+
+        recovered = JobStore(tmp_path)
+        assert recovered.get("job-0001-abc").state == "done"
+        assert recovered.replayed_transitions == 0
+
+    def test_automatic_compaction_after_n_appends(self, tmp_path):
+        store = JobStore(tmp_path, snapshot_every=3)
+        for index in range(3):
+            store.create(record(f"job-{index:04d}-x", digest=f"d{index}"))
+        assert (tmp_path / "jobs-snapshot.json").exists()
+        assert (tmp_path / "journal.jsonl").read_text() == ""
+        store.close()
+
+    def test_journal_after_snapshot_wins(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(record())
+        store.snapshot()
+        store.transition("job-0001-abc", "running")
+        store.close()
+        recovered = JobStore(tmp_path)
+        assert recovered.get("job-0001-abc").state == "running"
+
+    def test_corrupt_snapshot_still_replays_journal(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(record())
+        store.close()
+        (tmp_path / "jobs-snapshot.json").write_text("{corrupt")
+        recovered = JobStore(tmp_path)
+        assert recovered.get("job-0001-abc") is not None
+
+
+class TestLookup:
+    def test_find_by_digest_skips_failed_and_cancelled(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(record("job-0001-a", "samedigest", state="queued"))
+        store.transition("job-0001-a", "failed")
+        assert store.find_by_digest("samedigest") is None
+        store.create(record("job-0002-a", "samedigest"))
+        found = store.find_by_digest("samedigest")
+        assert found is not None and found.id == "job-0002-a"
+        store.close()
+
+    def test_find_by_digest_prefers_most_recent(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = record("job-0001-a", "dg")
+        first.submitted_at = 100.0
+        second = record("job-0002-a", "dg")
+        second.submitted_at = 200.0
+        store.create(first)
+        store.create(second)
+        assert store.find_by_digest("dg").id == "job-0002-a"
+        store.close()
+
+    def test_job_directory_under_state_dir(self, tmp_path):
+        store = JobStore(tmp_path)
+        directory = store.job_directory("job-0001-abc")
+        assert directory == tmp_path / "jobs" / "job-0001-abc"
+        assert directory.is_dir()
+        store.close()

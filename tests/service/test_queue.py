@@ -1,0 +1,78 @@
+"""Admission-control semantics of the bounded queue."""
+
+import threading
+
+import pytest
+
+from repro.service.queue import AdmissionQueue, QueueFullError
+
+
+class TestAdmission:
+    def test_offer_until_full_then_429_semantics(self):
+        queue = AdmissionQueue(depth=2)
+        queue.offer("a")
+        queue.offer("b")
+        with pytest.raises(QueueFullError) as caught:
+            queue.offer("c")
+        assert caught.value.retry_after > 0
+
+    def test_running_jobs_hold_their_slot(self):
+        queue = AdmissionQueue(depth=1)
+        queue.offer("a")
+        assert queue.lease(timeout=0.1) == "a"
+        # Leased (running) still counts against the depth.
+        with pytest.raises(QueueFullError):
+            queue.offer("b")
+        queue.complete("a")
+        queue.offer("b")  # slot freed only on completion
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            AdmissionQueue(depth=0)
+
+
+class TestWorkerSide:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(depth=4)
+        for name in ("a", "b", "c"):
+            queue.offer(name)
+        assert [queue.lease(timeout=0.1) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_lease_times_out_empty(self):
+        assert AdmissionQueue(depth=1).lease(timeout=0.05) is None
+
+    def test_requeue_puts_drained_job_at_front(self):
+        queue = AdmissionQueue(depth=4)
+        queue.offer("a")
+        queue.offer("b")
+        leased = queue.lease(timeout=0.1)
+        queue.requeue(leased, front=True)
+        assert queue.lease(timeout=0.1) == "a"
+
+    def test_remove_withdraws_queued_job(self):
+        queue = AdmissionQueue(depth=4)
+        queue.offer("a")
+        assert queue.remove("a") is True
+        assert queue.remove("a") is False
+        assert queue.open_count() == 0
+
+    def test_force_bypasses_depth_for_recovery(self):
+        queue = AdmissionQueue(depth=1)
+        queue.offer("a")
+        queue.force("recovered", front=True)
+        assert queue.open_count() == 2
+        assert queue.lease(timeout=0.1) == "recovered"
+
+    def test_close_wakes_blocked_lease(self):
+        queue = AdmissionQueue(depth=1)
+        results = []
+
+        def worker():
+            results.append(queue.lease(timeout=5.0))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        queue.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert results == [None]

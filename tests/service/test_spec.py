@@ -1,0 +1,135 @@
+"""Submission vocabulary: validation, canonical digests, case counting."""
+
+import pytest
+
+from repro.service.spec import GridSpec, JobOptions, SpecError
+
+
+def minimal(**overrides):
+    payload = {"cities": [["Rio de Janeiro", "Brasilia"], ["Rio de Janeiro"]]}
+    payload.update(overrides)
+    return payload
+
+
+class TestGridSpecValidation:
+    def test_round_trips_through_payload(self):
+        spec = GridSpec.from_payload(
+            minimal(
+                alphas=[0.35, 0.5],
+                disaster_years=[50, 100],
+                machines=[1, 2],
+                l_thresholds=[1],
+                backup="both",
+                topology="ring",
+                required_vms=2,
+                max_states=5000,
+            )
+        )
+        again = GridSpec.from_payload(spec.as_payload())
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_rejects_non_object(self):
+        with pytest.raises(SpecError, match="JSON object"):
+            GridSpec.from_payload(["not", "an", "object"])
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(SpecError, match="unknown field.*'citties'"):
+            GridSpec.from_payload(minimal(citties=[["Rio de Janeiro"]]))
+
+    def test_requires_cities(self):
+        with pytest.raises(SpecError, match="'cities'"):
+            GridSpec.from_payload({})
+
+    def test_rejects_empty_city_set(self):
+        with pytest.raises(SpecError, match="non-empty array of city names"):
+            GridSpec.from_payload({"cities": [[]]})
+
+    def test_rejects_unknown_city(self):
+        with pytest.raises(SpecError, match="Atlantis"):
+            GridSpec.from_payload({"cities": [["Atlantis"]]})
+
+    def test_rejects_bad_axis_value(self):
+        with pytest.raises(SpecError, match="'alphas' values must be float"):
+            GridSpec.from_payload(minimal(alphas=["fast"]))
+
+    def test_rejects_bad_backup(self):
+        with pytest.raises(SpecError, match="'backup' must be one of"):
+            GridSpec.from_payload(minimal(backup="maybe"))
+
+    def test_rejects_non_positive_required_vms(self):
+        with pytest.raises(SpecError, match="'required_vms'"):
+            GridSpec.from_payload(minimal(required_vms=0))
+
+
+class TestDigest:
+    def test_digest_ignores_options(self):
+        spec = GridSpec.from_payload(minimal())
+        assert (
+            JobOptions.from_payload({"jobs": 4}).as_payload
+            is not None
+        )
+        # The digest is a function of the grid alone.
+        assert spec.digest() == GridSpec.from_payload(minimal()).digest()
+
+    def test_digest_changes_with_axes(self):
+        base = GridSpec.from_payload(minimal())
+        other = GridSpec.from_payload(minimal(machines=[2]))
+        assert base.digest() != other.digest()
+
+    def test_digest_stable_against_key_order(self):
+        a = GridSpec.from_payload({"cities": [["Rio de Janeiro"]], "backup": "on"})
+        b = GridSpec.from_payload({"backup": "on", "cities": [["Rio de Janeiro"]]})
+        assert a.digest() == b.digest()
+
+
+class TestCaseCount:
+    def test_single_site_prunes_axes(self):
+        spec = GridSpec.from_payload(
+            {
+                "cities": [["Rio de Janeiro"]],
+                "alphas": [0.35, 0.5],
+                "machines": [1, 2],
+                "disaster_years": [50, 100],
+                "l_thresholds": [1, 2],
+                "backup": "both",
+            }
+        )
+        # A single site has no alpha, l or backup axis.
+        assert spec.case_count() == 2 * 2
+
+    def test_mixed_structures_counted_per_set(self):
+        spec = GridSpec.from_payload(
+            minimal(machines=[1, 2], alphas=[0.35], backup="both")
+        )
+        assert spec.case_count() == (2 * 1 * 1 * 1 * 2) + 2
+
+    def test_count_matches_scenarios(self):
+        spec = GridSpec.from_payload(minimal(machines=[1, 2], backup="both"))
+        assert spec.case_count() == len(spec.scenarios())
+
+
+class TestJobOptions:
+    def test_defaults(self):
+        options = JobOptions.from_payload(None)
+        assert options.backend == "auto"
+        assert options.pipeline and options.dedupe
+        assert options.deadline_seconds is None
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            JobOptions.from_payload({"dead_line": 3})
+
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(SpecError, match="'deadline_seconds'"):
+            JobOptions.from_payload({"deadline_seconds": -1})
+
+    def test_rejects_bad_backend(self):
+        with pytest.raises(SpecError, match="'backend'"):
+            JobOptions.from_payload({"backend": "gpu"})
+
+    def test_round_trip(self):
+        options = JobOptions.from_payload(
+            {"jobs": 2, "deadline_seconds": 30, "metadata": {"who": "ci"}}
+        )
+        assert JobOptions.from_payload(options.as_payload()) == options

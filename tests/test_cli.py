@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.exitcodes import ExitCode
 
 
 class TestParser:
@@ -209,22 +210,28 @@ class TestGridRobustnessFlags:
         assert arguments.solve_deadline is None
         assert arguments.fault_plan is None
 
-    def test_fault_plan_rejects_invalid_json(self):
-        with pytest.raises(SystemExit, match="invalid plan"):
+    def test_fault_plan_rejects_invalid_json(self, capsys):
+        with pytest.raises(SystemExit) as caught:
             main(["grid", *self.SMALL_GRID, "--fault-plan", "{broken"])
+        assert caught.value.code == int(ExitCode.INVALID_ARGS)
+        assert "invalid plan" in capsys.readouterr().err
 
-    def test_fault_plan_rejects_unknown_kind(self):
-        with pytest.raises(SystemExit, match="invalid plan"):
+    def test_fault_plan_rejects_unknown_kind(self, capsys):
+        with pytest.raises(SystemExit) as caught:
             main(
                 ["grid", *self.SMALL_GRID, "--fault-plan", '[{"kind": "meteor"}]']
             )
+        assert caught.value.code == int(ExitCode.INVALID_ARGS)
+        assert "invalid plan" in capsys.readouterr().err
 
-    def test_fault_plan_rejects_missing_file(self):
-        with pytest.raises(SystemExit, match="cannot read"):
+    def test_fault_plan_rejects_missing_file(self, capsys):
+        with pytest.raises(SystemExit) as caught:
             main(["grid", *self.SMALL_GRID, "--fault-plan", "@/no/such/plan.json"])
+        assert caught.value.code == int(ExitCode.INVALID_ARGS)
+        assert "cannot read" in capsys.readouterr().err
 
-    def test_resume_conflicting_with_shard_dir_rejected(self, tmp_path):
-        with pytest.raises(SystemExit, match="shard directory"):
+    def test_resume_conflicting_with_shard_dir_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as caught:
             main(
                 [
                     "grid",
@@ -235,6 +242,8 @@ class TestGridRobustnessFlags:
                     str(tmp_path / "b"),
                 ]
             )
+        assert caught.value.code == int(ExitCode.INVALID_ARGS)
+        assert "shard directory" in capsys.readouterr().err
 
     def test_chaos_run_heals_and_is_cleared_afterwards(self, capsys):
         from repro.engine import faults
@@ -260,7 +269,8 @@ class TestGridRobustnessFlags:
                     plan,
                 ]
             )
-        assert exit_code == 1
+        # Every case quarantined: nothing to consume, so FAULTED, not PARTIAL.
+        assert exit_code == int(ExitCode.FAULTED)
         captured = capsys.readouterr()
         assert "PARTIAL RESULT" in captured.out
         assert "grid incomplete" in captured.err
@@ -286,7 +296,7 @@ class TestGridRobustnessFlags:
                     plan,
                 ]
             )
-        assert first == 1
+        assert first == int(ExitCode.PARTIAL)
         capsys.readouterr()
         assert (
             main(["grid", *self.SMALL_GRID, "--resume", str(tmp_path)]) == 0
@@ -294,3 +304,147 @@ class TestGridRobustnessFlags:
         output = capsys.readouterr().out
         assert "restored from checkpoint" in output
         assert "PARTIAL RESULT" not in output
+
+
+class TestExitCodes:
+    """The structured exit-code contract, pinned value by value."""
+
+    def test_enum_values_are_pinned(self):
+        assert int(ExitCode.OK) == 0
+        assert int(ExitCode.INVALID_ARGS) == 2
+        assert int(ExitCode.PARTIAL) == 3
+        assert int(ExitCode.FAULTED) == 4
+
+    def test_ok_pinned_on_clean_grid(self, capsys, tmp_path):
+        exit_code = main(
+            ["grid", "--cities", "Rio de Janeiro", "--machines", "1",
+             "--shard-dir", str(tmp_path), "--no-progress"]
+        )
+        assert exit_code == int(ExitCode.OK) == 0
+
+    def test_invalid_args_pinned(self, capsys):
+        with pytest.raises(SystemExit) as caught:
+            main(["grid", "--alphas", "fast"])
+        assert caught.value.code == int(ExitCode.INVALID_ARGS) == 2
+        assert "repro: error" in capsys.readouterr().err
+
+    def test_argparse_errors_share_the_invalid_args_code(self, capsys):
+        with pytest.raises(SystemExit) as caught:
+            build_parser().parse_args(["grid", "--backup", "sometimes"])
+        assert caught.value.code == int(ExitCode.INVALID_ARGS)
+
+    def test_partial_pinned_when_some_cases_survive(self, capsys, tmp_path):
+        plan = (
+            '[{"kind": "task_exception", "site": "generate*", '
+            '"after": 1, "count": 1000}]'
+        )
+        with pytest.warns(UserWarning):
+            exit_code = main(
+                ["grid", "--cities", "Rio de Janeiro", "--machines", "1,2",
+                 "--no-cache", "--jobs", "2", "--max-retries", "0",
+                 "--shard-dir", str(tmp_path), "--fault-plan", plan]
+            )
+        assert exit_code == int(ExitCode.PARTIAL) == 3
+
+    def test_faulted_pinned_when_nothing_survives(self, capsys, tmp_path):
+        plan = '[{"kind": "task_exception", "site": "generate*", "count": 1000}]'
+        with pytest.warns(UserWarning):
+            exit_code = main(
+                ["grid", "--cities", "Rio de Janeiro", "--machines", "1,2",
+                 "--no-cache", "--jobs", "2", "--max-retries", "0",
+                 "--shard-dir", str(tmp_path), "--fault-plan", plan]
+            )
+        assert exit_code == int(ExitCode.FAULTED) == 4
+
+
+class TestServiceParsers:
+    def test_serve_requires_state_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        arguments = build_parser().parse_args(["serve", "--state-dir", "/tmp/x"])
+        assert arguments.port == 0
+        assert arguments.queue_depth == 8
+        assert arguments.shard_size == 1
+        assert arguments.deadline is None
+        assert not arguments.quiet
+
+    def test_serve_rejects_bad_depth(self, capsys):
+        with pytest.raises(SystemExit) as caught:
+            main(["serve", "--state-dir", "/tmp/x", "--queue-depth", "0"])
+        assert caught.value.code == int(ExitCode.INVALID_ARGS)
+
+    def test_submit_shares_grid_axes(self):
+        arguments = build_parser().parse_args(
+            ["submit", "--url", "http://127.0.0.1:1", "--cities",
+             "Rio de Janeiro", "--machines", "1,2", "--backup", "both"]
+        )
+        assert arguments.machines == "1,2"
+        assert arguments.backup == "both"
+        assert not arguments.wait
+
+    def test_submit_requires_url(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_jobs_flags(self):
+        arguments = build_parser().parse_args(
+            ["jobs", "--url", "http://127.0.0.1:1", "job-0001-abc", "--results"]
+        )
+        assert arguments.job_id == "job-0001-abc"
+        assert arguments.results and not arguments.cancel
+
+    def test_jobs_results_without_id_rejected(self, capsys):
+        with pytest.raises(SystemExit) as caught:
+            main(["jobs", "--url", "http://127.0.0.1:1", "--results"])
+        assert caught.value.code == int(ExitCode.INVALID_ARGS)
+
+
+class TestServiceCommandsEndToEnd:
+    def test_serve_submit_jobs_roundtrip(self, capsys, tmp_path):
+        """Drive submit/jobs against an in-process service via the CLI."""
+        import threading
+
+        from repro.service import AvailabilityService, ServiceConfig
+
+        service = AvailabilityService(
+            ServiceConfig(state_dir=tmp_path / "state", port=0)
+        )
+        host, port = service.start()
+        url = f"http://{host}:{port}"
+        try:
+            exit_code = main(
+                ["submit", "--url", url, "--cities", "Rio de Janeiro",
+                 "--machines", "1", "--wait", "--timeout", "120"]
+            )
+            assert exit_code == int(ExitCode.OK)
+            out = capsys.readouterr().out
+            assert "done (1 result row(s))" in out
+
+            assert main(["jobs", "--url", url]) == int(ExitCode.OK)
+            listing = capsys.readouterr().out
+            assert "done" in listing
+            job_id = listing.split()[0]
+
+            assert main(["jobs", "--url", url, job_id, "--results"]) == int(
+                ExitCode.OK
+            )
+            assert '"availability"' in capsys.readouterr().out
+
+            # Resubmission of the identical grid dedupes onto the same job.
+            exit_code = main(
+                ["submit", "--url", url, "--cities", "Rio de Janeiro",
+                 "--machines", "1"]
+            )
+            assert exit_code == int(ExitCode.OK)
+            assert "deduplicated" in capsys.readouterr().out
+        finally:
+            service.stop()
+
+    def test_submit_unreachable_service_faults(self, capsys):
+        exit_code = main(
+            ["submit", "--url", "http://127.0.0.1:9", "--cities",
+             "Rio de Janeiro"]
+        )
+        assert exit_code == int(ExitCode.FAULTED)
