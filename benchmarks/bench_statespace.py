@@ -33,6 +33,7 @@ from repro.spn import (
     generate_tangible_reachability_graph_scalar,
     graph_deviation,
 )
+from repro.symmetry import resolve_symmetry_reduction
 
 #: Equivalence tolerance between the two explorers.
 MAX_DEVIATION = 1e-12
@@ -53,7 +54,9 @@ def _case(name: str, runner: DistributedSweepRunner):
     model = runner.reference_model()
     net = CompiledNet(model.build())
     canonicalize = (
-        model.symmetry_canonicalizer() if runner.symmetry_reduction else None
+        model.symmetry_canonicalizer()
+        if resolve_symmetry_reduction(runner.symmetry_reduction)
+        else None
     )
     return name, net, canonicalize
 
@@ -154,7 +157,9 @@ def bench_kernel_vs_scalar_full(benchmark, sweep_runner):
     model = sweep_runner.reference_model()
     net = CompiledNet(model.build())
     canonicalize = (
-        model.symmetry_canonicalizer() if sweep_runner.symmetry_reduction else None
+        model.symmetry_canonicalizer()
+        if resolve_symmetry_reduction(sweep_runner.symmetry_reduction)
+        else None
     )
     net.kernel()
 

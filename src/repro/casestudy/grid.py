@@ -42,30 +42,42 @@ from repro.engine.grid import (
 from repro.network.geo import City
 from repro.spn.reachability import DEFAULT_MAX_TANGIBLE_MARKINGS
 from repro.spn.rewards import ProbabilityMeasure
+from repro.symmetry import resolve_symmetry_reduction
 
 #: Any scenario the case-study grid can evaluate.
 CloudScenario = Union[
     SingleDataCenterScenario, DistributedScenario, MultiDataCenterScenario
 ]
 
-#: Module-path of the picklable symmetry-canonicalizer factory.
-CANONICALIZER_FACTORY = "repro.core.cloud_model:pm_symmetry_canonicalizer"
+#: Module-path of the picklable symmetry-canonicalizer factory.  The factory
+#: takes the model's :class:`~repro.symmetry.spec.SymmetrySpec` as its only
+#: argument, so generation workers rebuild the exact canonicalizer from the
+#: picklable spec.
+CANONICALIZER_FACTORY = "repro.symmetry.canonicalize:build_canonicalizer"
 
 
 def scenario_case(
     scenario: CloudScenario,
     parameters: Optional[CaseStudyParameters] = None,
-    symmetry_reduction: bool = True,
+    symmetry_reduction: Optional[bool] = None,
     name: Optional[str] = None,
 ) -> GridCase:
     """The engine-level grid case of one case-study scenario.
 
     The case carries the scenario's **full** timed-rate assignment (read off
-    its own assembled net), the availability measure of its own structure
-    and — with ``symmetry_reduction`` and at least two PMs in some data
-    center — a picklable reference to the PM-exchange canonicalizer, so
-    generation workers can rebuild it.
+    its own assembled net) and the availability measure of its own
+    structure.  With ``symmetry_reduction`` (``None`` resolves to
+    :data:`repro.symmetry.DEFAULT_SYMMETRY_REDUCTION` — on) it also
+    carries
+
+    * a picklable reference to the model's symmetry canonicalizer (PM
+      exchange within each data center, plus whole-data-center exchange
+      when the scenario's data centers are verified interchangeable), and
+    * the *structural* symmetry spec as :attr:`~repro.engine.grid.GridCase.
+      rate_symmetry`, so grid cases differing only by a permutation of
+      exchangeable data-center parameter blocks dedupe to one solve.
     """
+    symmetry_reduction = resolve_symmetry_reduction(symmetry_reduction)
     if isinstance(scenario, SingleDataCenterScenario):
         if parameters is not None:
             scenario = replace(scenario, parameters=parameters)
@@ -107,10 +119,12 @@ def scenario_case(
             **extra,
         }
     canonicalizer = None
+    rate_symmetry = None
     if symmetry_reduction:
-        groups = model.symmetry_groups()
-        if groups:
-            canonicalizer = CanonicalizerRef(CANONICALIZER_FACTORY, (groups,))
+        spec = model.symmetry_spec()
+        if spec is not None:
+            canonicalizer = CanonicalizerRef(CANONICALIZER_FACTORY, (spec,))
+        rate_symmetry = model.symmetry_spec(structural=True)
     return GridCase(
         name=name or scenario.label,
         net=model.build(),
@@ -119,6 +133,7 @@ def scenario_case(
         ),
         metadata=metadata,
         canonicalizer=canonicalizer,
+        rate_symmetry=rate_symmetry,
     )
 
 
@@ -201,6 +216,12 @@ def _structure_signature(scenario: CloudScenario) -> tuple:
             scenario.topology,
             scenario.minimum_operational_pms,
             scenario.has_backup_server,
+            # Guard-shaping options: they change the net's structure (extra
+            # guard conjuncts) without changing its place/transition
+            # vocabulary, so the name-equality check below cannot catch
+            # them — the signature must.
+            scenario.max_in_flight_vms,
+            scenario.capacity_aware_migration,
         )
     return ("two", scenario.machines_per_datacenter)
 
@@ -214,7 +235,7 @@ def evaluate_grid(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     max_states: int = DEFAULT_MAX_TANGIBLE_MARKINGS,
-    symmetry_reduction: bool = True,
+    symmetry_reduction: Optional[bool] = None,
     shard_directory: Optional[Path] = None,
     shard_size: Optional[int] = None,
     generation_workers: Optional[int] = None,
@@ -233,7 +254,11 @@ def evaluate_grid(
     for the phases, the ``pipeline`` work-stealing overlap, the
     rate-identical-case ``dedupe``, the self-healing ``retry`` policy, the
     checkpoint ``resume`` mode and the ``log_callback`` progress hook.
+    ``symmetry_reduction=None`` resolves to the library-wide default
+    (:data:`repro.symmetry.DEFAULT_SYMMETRY_REDUCTION` — on); ``repro grid
+    --no-symmetry`` passes ``False``.
     """
+    symmetry_reduction = resolve_symmetry_reduction(symmetry_reduction)
     cases = []
     shared_nets: dict[tuple, object] = {}
     for scenario in scenarios:

@@ -27,6 +27,7 @@ from repro.metrics import AvailabilityResult
 from repro.network.migration import MigrationPlanner
 from repro.spn.reachability import TangibleReachabilityGraph
 from repro.spn.rewards import ProbabilityMeasure
+from repro.symmetry import resolve_symmetry_reduction
 
 #: Name of the availability measure evaluated for every scenario.
 AVAILABILITY_MEASURE = "availability"
@@ -68,7 +69,10 @@ class DistributedSweepRunner:
     machines_per_datacenter: int = 2
     method: str = "auto"
     max_states: int = 500_000
-    symmetry_reduction: bool = True
+    #: ``None`` resolves to the library-wide default
+    #: (:data:`repro.symmetry.DEFAULT_SYMMETRY_REDUCTION` — on); the
+    #: attribute still accepts an explicit ``True``/``False``.
+    symmetry_reduction: Optional[bool] = None
     use_cache: bool = True
     cache_dir: Optional[str] = None
     _engine: Optional[ScenarioBatchEngine] = field(default=None, repr=False)
@@ -98,7 +102,9 @@ class DistributedSweepRunner:
         if self._engine is None:
             model = self.reference_model()
             canonicalize = (
-                model.symmetry_canonicalizer() if self.symmetry_reduction else None
+                model.symmetry_canonicalizer()
+                if resolve_symmetry_reduction(self.symmetry_reduction)
+                else None
             )
             self._engine = ScenarioBatchEngine(
                 model.build(),

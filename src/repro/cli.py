@@ -293,6 +293,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="print live one-line pipeline progress to stderr",
     )
+    grid.add_argument(
+        "--symmetry",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="exploit exchangeable machines / data centers and solve the "
+        "exactly lumped chain (bit-identical measures, far fewer states); "
+        "default: the library default (on). --no-symmetry also disables "
+        "the symmetry-aware rate dedupe",
+    )
     _add_jobs_flag(grid)
     _add_cache_flag(grid)
 
@@ -561,6 +570,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 jobs=arguments.jobs,
                 backend=arguments.backend,
                 use_cache=not arguments.no_cache,
+                symmetry_reduction=arguments.symmetry,
                 shard_directory=shard_directory,
                 generation_workers=arguments.jobs,
                 pipeline=arguments.pipeline,

@@ -44,6 +44,12 @@ from repro.spn import (
     solve_steady_state,
 )
 from repro.spn.analysis import SteadyStateSolution
+from repro.symmetry import (
+    DEFAULT_SYMMETRY_REDUCTION,
+    OrbitGroup,
+    SymmetrySpec,
+    build_canonicalizer,
+)
 
 
 @dataclass
@@ -71,6 +77,26 @@ class CloudSystemModel:
     #: (``"mesh"`` or ``"ring"``); two data centers always form the paper's
     #: symmetric pair of paths.
     topology: str = "mesh"
+    #: Uniform per-pair transfer time (hours) overriding the distance/α
+    #: derivation — the *homogeneous* deployments whose identical data
+    #: centers the symmetry layer lumps ~N!-fold.  Deployments with this
+    #: set need neither locations nor α.
+    uniform_transfer_hours: Optional[float] = None
+    #: Uniform backup restoration time (hours); defaults to
+    #: ``uniform_transfer_hours`` when only that is set.
+    uniform_backup_hours: Optional[float] = None
+    #: WAN admission control: at most this many VM images in transit across
+    #: all migration / restoration paths combined (``None`` = unbounded, the
+    #: paper's model).  The cap is a sum over every in-transfer place, hence
+    #: invariant under data-center permutations — it bounds the dominant
+    #: state-space dimension of large meshes without breaking the lumping.
+    max_in_flight_vms: Optional[int] = None
+    #: Destination admission control: migrate into a data center only while
+    #: its hosting capacity (images bound to its PMs + pooled + inbound in
+    #: flight) has room.  Off by default — the paper's model migrates
+    #: unconditionally; see
+    #: :func:`repro.core.transmission.build_transmission_network`.
+    capacity_aware_migration: bool = False
 
     def __post_init__(self) -> None:
         if len(self.spec.datacenters) > 2 and self.migration_times is not None:
@@ -79,7 +105,31 @@ class CloudSystemModel:
                 f"deployments with {len(self.spec.datacenters)} data centers "
                 "derive per-pair times from locations and alpha"
             )
-        if self.spec.is_distributed and self.migration_times is None:
+        for label, value in (
+            ("uniform_transfer_hours", self.uniform_transfer_hours),
+            ("uniform_backup_hours", self.uniform_backup_hours),
+        ):
+            if value is not None and not value > 0.0:
+                raise ConfigurationError(f"{label} must be positive, got {value!r}")
+        if self.uniform_transfer_hours is not None and self.migration_times is not None:
+            raise ConfigurationError(
+                "uniform_transfer_hours and explicit migration_times are "
+                "mutually exclusive"
+            )
+        if self.uniform_backup_hours is not None and self.uniform_transfer_hours is None:
+            raise ConfigurationError(
+                "uniform_backup_hours needs uniform_transfer_hours"
+            )
+        if self.max_in_flight_vms is not None and self.max_in_flight_vms < 1:
+            raise ConfigurationError(
+                f"max_in_flight_vms must be at least 1, got "
+                f"{self.max_in_flight_vms!r}"
+            )
+        if (
+            self.spec.is_distributed
+            and self.migration_times is None
+            and self.uniform_transfer_hours is None
+        ):
             self._require_locations()
         self._hierarchical = HierarchicalParameters.from_components(
             self.parameters.components
@@ -128,6 +178,20 @@ class CloudSystemModel:
         every data center its own backup restoration time.
         """
         datacenters = self.spec.datacenters
+        if self.uniform_transfer_hours is not None:
+            indices = [dc.index for dc in datacenters]
+            direct_times = {
+                (indices[i - 1], indices[j - 1]): float(self.uniform_transfer_hours)
+                for i, j in topology_pairs(len(datacenters), self.topology)
+            }
+            if not self.spec.has_backup_server:
+                return direct_times, {}
+            backup = float(
+                self.uniform_backup_hours
+                if self.uniform_backup_hours is not None
+                else self.uniform_transfer_hours
+            )
+            return direct_times, {index: backup for index in indices}
         if len(datacenters) == 2:
             times = self.resolved_migration_times()
             first, second = datacenters
@@ -221,6 +285,8 @@ class CloudSystemModel:
                     topology=self.topology,
                     has_backup_server=self.spec.has_backup_server,
                     minimum_operational_pms=self.minimum_operational_pms,
+                    max_in_flight_vms=self.max_in_flight_vms,
+                    capacity_aware_migration=self.capacity_aware_migration,
                 )
             )
 
@@ -265,74 +331,334 @@ class CloudSystemModel:
         """Availability as a measure object (usable by analysis and simulation)."""
         return ProbabilityMeasure(name, self.availability_expression())
 
-    def symmetry_groups(self) -> list[list[list[int]]]:
-        """Per-data-center groups of exchangeable per-PM place indices.
+    # --- symmetry ----------------------------------------------------------
 
-        One group per data center with ≥ 2 machines; each group holds one
-        place-index profile per machine (OSPM up/down plus the four VM
-        places).  The groups fully determine the symmetry canonicalizer and
-        are plain nested lists, so they travel through pickle to worker
-        processes (see :func:`pm_symmetry_canonicalizer`).
+    def _machine_place_profile(
+        self, place_index: dict[str, int], pm_index: int
+    ) -> tuple[int, ...]:
+        return (
+            place_index[f"OSPM_{pm_index}_UP"],
+            place_index[f"OSPM_{pm_index}_DOWN"],
+            place_index[f"VM_UP_{pm_index}"],
+            place_index[f"VM_DOWN_{pm_index}"],
+            place_index[f"VM_RDY_{pm_index}"],
+            place_index[f"VM_STRTD_{pm_index}"],
+        )
+
+    @staticmethod
+    def _machine_rate_profile(pm_index: int) -> tuple[str, ...]:
+        return (
+            f"OSPM_{pm_index}_F",
+            f"OSPM_{pm_index}_R",
+            f"VM_F_{pm_index}",
+            f"VM_R_{pm_index}",
+            f"VM_STRT_{pm_index}",
+        )
+
+    def symmetry_spec(
+        self, dc_exchange: bool = True, structural: bool = False
+    ) -> Optional[SymmetrySpec]:
+        """The declarative exchangeability structure of this deployment.
+
+        Detects two symmetry levels and returns them as one picklable
+        :class:`~repro.symmetry.spec.SymmetrySpec` (or ``None`` when the
+        deployment has no exploitable symmetry):
+
+        * one flat orbit group per data center with ≥ 2 physical machines
+          (PMs of one DC are stochastically identical by construction);
+        * with ``dc_exchange``, one *paired* orbit group of exchangeable
+          whole data centers — identical machine pools, identical disaster /
+          network / backup-restoration rates, and a permutation-invariant
+          transfer topology (every ordered pair connected with equal
+          transfer rates, verified on the assembled net's actual timed
+          rates, so explicit overrides and uniform-time deployments are
+          judged by what they really parameterise).  Each DC block carries
+          its local places (``DC_d``/``NAS_NET_d`` up+down, the
+          ``FailedVMS_d`` pool), its PM place profiles and the
+          ``TRF``/``TBF`` transmission places keyed by the DC pair.  When
+          several exchangeability classes exist only the largest is lumped
+          (the paired canonical form is exact for one group; the others
+          keep their PM-level groups).
+
+        With ``structural=True`` rate equality is not required — the
+        returned spec describes the permutations under which the net
+        *structure* alone is invariant.  Such a spec must not drive lumping
+        (rates may break it) but powers the grid's symmetry-aware rate-digest
+        dedupe: cases differing only by a permutation of exchangeable DC
+        parameter blocks map to one canonical rate vector.
         """
         net = self.build()
         place_index = {name: i for i, name in enumerate(net.place_names)}
-        groups: list[list[list[int]]] = []
+        timed_rates = {
+            transition.name: float(transition.rate)
+            for transition in net.transitions
+            if not transition.immediate
+        }
+        marking_groups: list[OrbitGroup] = []
+        rate_groups: list[OrbitGroup] = []
         for datacenter in self.spec.datacenters:
             machines = self.spec.machines_of(datacenter.index)
             if len(machines) < 2:
                 continue
-            profiles = []
-            for machine in machines:
-                i = machine.index
-                profiles.append(
-                    [
-                        place_index[f"OSPM_{i}_UP"],
-                        place_index[f"OSPM_{i}_DOWN"],
-                        place_index[f"VM_UP_{i}"],
-                        place_index[f"VM_DOWN_{i}"],
-                        place_index[f"VM_RDY_{i}"],
-                        place_index[f"VM_STRTD_{i}"],
-                    ]
+            marking_groups.append(
+                OrbitGroup(
+                    profiles=tuple(
+                        self._machine_place_profile(place_index, machine.index)
+                        for machine in machines
+                    )
                 )
-            groups.append(profiles)
-        return groups
+            )
+            rate_groups.append(
+                OrbitGroup(
+                    profiles=tuple(
+                        self._machine_rate_profile(machine.index)
+                        for machine in machines
+                    )
+                )
+            )
+        kind = "pm"
+        if dc_exchange and self.spec.is_distributed:
+            members = self._exchangeable_datacenters(timed_rates, structural)
+            if len(members) >= 2:
+                dc_group, dc_rate_group = self._datacenter_orbit_group(
+                    members, place_index, timed_rates
+                )
+                marking_groups.append(dc_group)
+                rate_groups.append(dc_rate_group)
+                kind = "dc+pm"
+        if not marking_groups:
+            return None
+        return SymmetrySpec(
+            place_count=len(net.place_names),
+            marking_groups=tuple(marking_groups),
+            rate_groups=tuple(rate_groups),
+            kind=kind,
+        )
+
+    def _exchangeable_datacenters(
+        self, timed_rates: dict[str, float], structural: bool
+    ) -> list:
+        """The largest verified class of mutually exchangeable data centers."""
+        classes: dict[tuple, list] = {}
+        for datacenter in self.spec.datacenters:
+            key = (
+                datacenter.hot_physical_machines,
+                datacenter.warm_physical_machines,
+                datacenter.vms_per_machine,
+                datacenter.initial_vms_per_hot_machine,
+            )
+            classes.setdefault(key, []).append(datacenter)
+        verified = [
+            members
+            for members in classes.values()
+            if len(members) >= 2
+            and self._class_is_exchangeable(members, timed_rates, structural)
+        ]
+        if not verified:
+            return []
+        return max(verified, key=len)
+
+    def _class_is_exchangeable(
+        self, members: list, timed_rates: dict[str, float], structural: bool
+    ) -> bool:
+        """Verify a same-profile DC class against the assembled net.
+
+        Structural conditions (always): every ordered pair *within* the
+        class has a direct migration path (a ring of N ≥ 4 never qualifies),
+        and the paths to/from every fixed DC exist uniformly across the
+        class.  Rate conditions (skipped when ``structural``): equal
+        disaster / network rates, position-wise equal PM rates, one transfer
+        rate within the class, and per-fixed-DC equal transfer/backup rates
+        across the class.
+        """
+        indices = [dc.index for dc in members]
+        member_set = set(indices)
+        others = [
+            dc.index
+            for dc in self.spec.datacenters
+            if dc.index not in member_set
+        ]
+
+        def uniform(names: list[str]) -> bool:
+            """All present with one rate (or — structural — all present)."""
+            if any(name not in timed_rates for name in names):
+                return False
+            if structural:
+                return True
+            return len({timed_rates[name] for name in names}) == 1
+
+        def aligned_presence(names: list[str]) -> bool:
+            present = {name in timed_rates for name in names}
+            return len(present) == 1
+
+        within_direct = [
+            f"TRE_{a}{b}" for a in indices for b in indices if a != b
+        ]
+        if not uniform(within_direct):
+            return False
+        within_backup = [
+            f"TBE_{a}{b}" for a in indices for b in indices if a != b
+        ]
+        if self.spec.has_backup_server and not uniform(within_backup):
+            return False
+        for fixed in others:
+            for pattern in ("TRE_{a}%s" % fixed, "TRE_%s{a}" % fixed):
+                names = [pattern.format(a=a) for a in indices]
+                if not aligned_presence(names):
+                    return False
+                if names[0] in timed_rates and not uniform(names):
+                    return False
+            if self.spec.has_backup_server:
+                for pattern in ("TBE_{a}%s" % fixed, "TBE_%s{a}" % fixed):
+                    names = [pattern.format(a=a) for a in indices]
+                    if not aligned_presence(names):
+                        return False
+                    if names[0] in timed_rates and not uniform(names):
+                        return False
+        if structural:
+            return True
+        for suffix in ("F", "R"):
+            if not uniform([f"DC_{a}_{suffix}" for a in indices]):
+                return False
+            if not uniform([f"NAS_NET_{a}_{suffix}" for a in indices]):
+                return False
+        machine_lists = [self.spec.machines_of(a) for a in indices]
+        for position in range(len(machine_lists[0])):
+            profiles = [
+                self._machine_rate_profile(machines[position].index)
+                for machines in machine_lists
+            ]
+            for slot in range(len(profiles[0])):
+                if not uniform([profile[slot] for profile in profiles]):
+                    return False
+        return True
+
+    def _datacenter_orbit_group(
+        self,
+        members: list,
+        place_index: dict[str, int],
+        timed_rates: dict[str, float],
+    ) -> tuple[OrbitGroup, OrbitGroup]:
+        """The paired place/rate orbit groups of one exchangeable DC class."""
+        member_set = {dc.index for dc in members}
+        fixed = [
+            dc.index
+            for dc in self.spec.datacenters
+            if dc.index not in member_set
+        ]
+        place_profiles = []
+        rate_profiles = []
+        for datacenter in members:
+            d = datacenter.index
+            places = [
+                place_index[f"DC_{d}_UP"],
+                place_index[f"DC_{d}_DOWN"],
+                place_index[f"NAS_NET_{d}_UP"],
+                place_index[f"NAS_NET_{d}_DOWN"],
+                place_index[datacenter.failed_pool_place],
+            ]
+            rates = [f"DC_{d}_F", f"DC_{d}_R", f"NAS_NET_{d}_F", f"NAS_NET_{d}_R"]
+            for machine in self.spec.machines_of(d):
+                places.extend(self._machine_place_profile(place_index, machine.index))
+                rates.extend(self._machine_rate_profile(machine.index))
+            for f in fixed:
+                for name in (f"TRF_{d}{f}", f"TRF_{f}{d}", f"TBF_{d}{f}", f"TBF_{f}{d}"):
+                    if name in place_index:
+                        places.append(place_index[name])
+                for name in (f"TRE_{d}{f}", f"TRE_{f}{d}", f"TBE_{d}{f}", f"TBE_{f}{d}"):
+                    if name in timed_rates:
+                        rates.append(name)
+            place_profiles.append(tuple(places))
+            rate_profiles.append(tuple(rates))
+        b = len(members)
+        place_pairs = [[() for _ in range(b)] for _ in range(b)]
+        rate_pairs = [[() for _ in range(b)] for _ in range(b)]
+        for i, source in enumerate(members):
+            for j, target in enumerate(members):
+                if i == j:
+                    continue
+                pair_places = []
+                pair_rates = []
+                for prefix_place, prefix_rate in (("TRF", "TRE"), ("TBF", "TBE")):
+                    place_name = f"{prefix_place}_{source.index}{target.index}"
+                    rate_name = f"{prefix_rate}_{source.index}{target.index}"
+                    if place_name in place_index:
+                        pair_places.append(place_index[place_name])
+                    if rate_name in timed_rates:
+                        pair_rates.append(rate_name)
+                place_pairs[i][j] = tuple(pair_places)
+                rate_pairs[i][j] = tuple(pair_rates)
+        return (
+            OrbitGroup(
+                profiles=tuple(place_profiles),
+                pairs=tuple(tuple(row) for row in place_pairs),
+            ),
+            OrbitGroup(
+                profiles=tuple(rate_profiles),
+                pairs=tuple(tuple(row) for row in rate_pairs),
+            ),
+        )
+
+    def symmetry_groups(self) -> list[list[list[int]]]:
+        """Per-data-center groups of exchangeable per-PM place indices.
+
+        The legacy PM-only view, now a derivation of :meth:`symmetry_spec`:
+        one group per data center with ≥ 2 machines, each holding one
+        place-index profile per machine (OSPM up/down plus the four VM
+        places), as plain nested lists so they travel through pickle to
+        worker processes (see :func:`pm_symmetry_canonicalizer`).
+        """
+        spec = self.symmetry_spec(dc_exchange=False)
+        if spec is None:
+            return []
+        return [
+            [list(profile) for profile in group.profiles]
+            for group in spec.marking_groups
+        ]
 
     def symmetry_canonicalizer(self):
-        """Marking canonicalizer exploiting the exchangeability of PMs in a DC.
+        """Marking canonicalizer exploiting every detected exchangeability.
 
-        Physical machines of the same data center are stochastically
-        identical (same OS_PM parameters, same VM capacity), so the model is
-        invariant under permuting a PM's places together with its VM places.
-        The returned function maps a marking to the representative of its
-        orbit (per-PM state vectors sorted within each data center), which
-        lets the reachability generator build the exactly lumped — and much
-        smaller — CTMC.  All metrics exposed by this class (availability,
-        expected running VMs) are symmetric under those permutations and
-        therefore unaffected by the lumping.
+        Physical machines of one data center are stochastically identical,
+        and whole data centers may be too (see :meth:`symmetry_spec`); the
+        returned function maps a marking to the representative of its orbit
+        — per-PM state vectors sorted within each DC, then whole DC blocks
+        sorted by canonical key with the transmission places carried along —
+        which lets the reachability generator build the exactly lumped (and
+        up to ``|G|``-fold smaller) CTMC.  All metrics exposed by this class
+        (availability, expected running VMs) are symmetric under the group
+        and therefore unaffected by the lumping.
         """
-        groups = self.symmetry_groups()
-        if not groups:
+        spec = self.symmetry_spec()
+        if spec is None:
             return None
-        return pm_symmetry_canonicalizer(groups)
+        return build_canonicalizer(spec)
 
     def solve(
         self,
         method: str = "auto",
         max_states: int = 500_000,
-        symmetry_reduction: bool = False,
+        symmetry_reduction: Optional[bool] = None,
     ) -> SteadyStateSolution:
         """Generate the tangible state space and solve the underlying CTMC.
 
         Args:
             method: stationary solver (see :func:`repro.markov.solvers.steady_state`).
             max_states: tangible state-space limit.
-            symmetry_reduction: exploit the exchangeability of the PMs within
-                each data center to solve the exactly lumped CTMC instead of
-                the full one (recommended for the two-data-center case-study
-                configuration, whose full state space has ~1.3 × 10⁵ states).
+            symmetry_reduction: exploit the exchangeability of PMs within
+                each data center — and of whole identical data centers — to
+                solve the exactly lumped CTMC instead of the full one.
+                ``None`` (the default) resolves to the library-wide
+                :data:`repro.symmetry.DEFAULT_SYMMETRY_REDUCTION` (on), the
+                same default the sweep runner and the case-study grid use.
+                The lumping is exact, so every measure value is bit-for-bit
+                independent of this flag; pass ``False`` to inspect the
+                unlumped chain.
         """
         from repro.spn.reachability import generate_tangible_reachability_graph
 
+        if symmetry_reduction is None:
+            symmetry_reduction = DEFAULT_SYMMETRY_REDUCTION
         canonicalize = self.symmetry_canonicalizer() if symmetry_reduction else None
         graph = generate_tangible_reachability_graph(
             self.build(), max_states=max_states, canonicalize=canonicalize

@@ -214,6 +214,12 @@ class MultiDataCenterScenario:
             VMs out of a data center.
         has_backup_server: include the backup server and its restoration
             paths.
+        uniform_transfer_hours / uniform_backup_hours: bypass the geographic
+            transmission-time calculation with one mean transfer (backup)
+            time shared by every path — the idealised *homogeneous*
+            deployment whose data centers are fully exchangeable, which the
+            symmetry machinery lumps ~N!-fold
+            (see :meth:`repro.core.cloud_model.CloudSystemModel.symmetry_spec`).
     """
 
     locations: tuple[City, ...]
@@ -224,6 +230,10 @@ class MultiDataCenterScenario:
     topology: str = "mesh"
     minimum_operational_pms: int = 1
     has_backup_server: bool = True
+    uniform_transfer_hours: Optional[float] = None
+    uniform_backup_hours: Optional[float] = None
+    max_in_flight_vms: Optional[int] = None
+    capacity_aware_migration: bool = False
 
     def __post_init__(self) -> None:
         if len(self.locations) < 2:
@@ -253,6 +263,14 @@ class MultiDataCenterScenario:
             extras.append(f"l={self.minimum_operational_pms}")
         if not self.has_backup_server:
             extras.append("no-backup")
+        if self.uniform_transfer_hours is not None:
+            extras.append(f"transfer={_axis_value(self.uniform_transfer_hours)}h")
+        if self.uniform_backup_hours is not None:
+            extras.append(f"backup={_axis_value(self.uniform_backup_hours)}h")
+        if self.max_in_flight_vms is not None:
+            extras.append(f"in-flight<={self.max_in_flight_vms}")
+        if self.capacity_aware_migration:
+            extras.append("capacity-aware")
         return f"{cities} ({', '.join(extras)})"
 
     def build_model(
@@ -275,7 +293,37 @@ class MultiDataCenterScenario:
             alpha=self.alpha,
             topology=self.topology,
             minimum_operational_pms=self.minimum_operational_pms,
+            uniform_transfer_hours=self.uniform_transfer_hours,
+            uniform_backup_hours=self.uniform_backup_hours,
+            max_in_flight_vms=self.max_in_flight_vms,
+            capacity_aware_migration=self.capacity_aware_migration,
         )
+
+
+def homogeneous_mesh_scenario(
+    datacenters: int,
+    machines_per_datacenter: int = 2,
+    transfer_hours: float = 0.25,
+    backup_hours: Optional[float] = None,
+    location: City = RIO_DE_JANEIRO,
+    **kwargs,
+) -> MultiDataCenterScenario:
+    """A fully exchangeable N-data-center mesh (one site replicated N times).
+
+    Every data center carries the same machine pool and every migration path
+    the same uniform transfer time, so the deployment is invariant under all
+    ``N!`` permutations of its data centers — the configuration where
+    symmetry reduction pays the most (an N = 5 mesh only fits the state
+    limit lumped).
+    """
+    return MultiDataCenterScenario(
+        locations=(location,) * datacenters,
+        machines_per_datacenter=machines_per_datacenter,
+        topology="mesh",
+        uniform_transfer_hours=transfer_hours,
+        uniform_backup_hours=backup_hours,
+        **kwargs,
+    )
 
 
 def single_datacenter_baselines() -> list[SingleDataCenterScenario]:

@@ -24,10 +24,10 @@ TBI_21); we use the symmetric forms, as documented in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.core.datacenter import DataCenterSpec, PhysicalMachineSpec
-from repro.core.vm_behavior import failed_pool_place
+from repro.core.vm_behavior import failed_pool_place, hosted_vms_expression
 from repro.exceptions import ModelError
 from repro.spn import StochasticPetriNet
 
@@ -171,6 +171,8 @@ def build_transmission_network(
     topology: str = "mesh",
     has_backup_server: bool = True,
     minimum_operational_pms: int = 1,
+    max_in_flight_vms: Optional[int] = None,
+    capacity_aware_migration: bool = False,
 ) -> StochasticPetriNet:
     """Build the migration network of an N-data-center deployment (N ≥ 2).
 
@@ -195,6 +197,23 @@ def build_transmission_network(
             paper's layout.
         has_backup_server / minimum_operational_pms: as in
             :func:`build_transmission_component`.
+        max_in_flight_vms: WAN admission control — when set, every initiate
+            transition additionally requires fewer than this many VM images
+            in transit across *all* migration and restoration paths
+            combined.  The cap bounds the in-flight state space (its growth
+            in N dominates large meshes) and, being a sum over every
+            in-transfer place, is invariant under any permutation of the
+            data centers, so it composes with the symmetry lumping.
+        capacity_aware_migration: destination admission control — migrate
+            into data center ``j`` only while its hosting capacity has room
+            for one more image, counting images already bound to its PMs,
+            pooled locally and inbound in flight.  The paper's model happily
+            migrates into full data centers and lets images pile up in the
+            destination pool, which makes per-data-center image counts (and
+            the state space) grow with the *total* VM population; with
+            admission each data center invariantly holds at most its own
+            capacity.  The guard sums over all inbound paths uniformly, so
+            it too commutes with data-center permutations.
 
     For two data centers the emitted net is structurally identical (same
     places, transitions, guards and emission order) to
@@ -233,19 +252,57 @@ def build_transmission_network(
                     f"positive, got {backup_times[j]!r}"
                 )
 
+    if max_in_flight_vms is not None and max_in_flight_vms < 1:
+        raise ModelError(
+            f"max_in_flight_vms must be at least 1, got {max_in_flight_vms!r}"
+        )
+    in_flight_guard = None
+    if max_in_flight_vms is not None:
+        in_transfer_places = [transfer_place(i, j) for i, j in pairs]
+        if has_backup_server:
+            in_transfer_places.extend(
+                backup_transfer_place(i, j) for i, j in backup_pairs
+            )
+        total = " + ".join(f"#{name}" for name in in_transfer_places)
+        in_flight_guard = f"({total}) < {max_in_flight_vms}"
+    admission_guards: dict[int, str] = {}
+    if capacity_aware_migration:
+        for j in indices:
+            bound = [hosted_vms_expression(pm.index) for pm in machines[j]]
+            bound.append(f"#{failed_pool_place(j)}")
+            bound.extend(f"#{transfer_place(k, j)}" for k, t in pairs if t == j)
+            if has_backup_server:
+                bound.extend(
+                    f"#{backup_transfer_place(k, j)}" for k in indices if k != j
+                )
+            capacity = sum(pm.vm_capacity for pm in machines[j])
+            admission_guards[j] = f"({' + '.join(bound)}) < {capacity}"
+
     suffix = "".join(str(dc.index) for dc in datacenters)
     net = StochasticPetriNet(f"TRANSMISSION_{suffix}")
     for datacenter in datacenters:
         net.add_place(failed_pool_place(datacenter.index))
 
+    def extra_guard(j: int) -> Optional[str]:
+        parts = [
+            part
+            for part in (in_flight_guard, admission_guards.get(j))
+            if part is not None
+        ]
+        return " AND ".join(f"({part})" for part in parts) if parts else None
+
     for i, j in pairs:
         _add_direct_path(
             net, by_index[i], by_index[j], machines[i], machines[j],
             direct_times[(i, j)], minimum_operational_pms,
+            in_flight_guard=extra_guard(j),
         )
     if has_backup_server:
         for i, j in backup_pairs:
-            _add_backup_path(net, by_index[i], by_index[j], machines[j], backup_times[j])
+            _add_backup_path(
+                net, by_index[i], by_index[j], machines[j], backup_times[j],
+                in_flight_guard=extra_guard(j),
+            )
     return net
 
 
@@ -257,6 +314,7 @@ def _add_direct_path(
     target_machines: Sequence[PhysicalMachineSpec],
     mean_transfer_time: float,
     minimum_operational_pms: int,
+    in_flight_guard: Optional[str] = None,
 ) -> None:
     """Direct data-center-to-data-center migration (TRI_xy + TRE_xy)."""
     suffix = f"{source.index}{target.index}"
@@ -267,6 +325,8 @@ def _add_direct_path(
         f"AND ({destination_healthy_guard(target, target_machines)}) "
         f"AND (#DC_{source.index}_UP > 0) AND (#NAS_NET_{source.index}_UP > 0)"
     )
+    if in_flight_guard is not None:
+        guard = f"{guard} AND ({in_flight_guard})"
     net.add_immediate_transition(f"TRI_{suffix}", guard=guard)
     net.add_input_arc(failed_pool_place(source.index), f"TRI_{suffix}")
     net.add_output_arc(f"TRI_{suffix}", in_transfer)
@@ -281,6 +341,7 @@ def _add_backup_path(
     target: DataCenterSpec,
     target_machines: Sequence[PhysicalMachineSpec],
     mean_transfer_time: float,
+    in_flight_guard: Optional[str] = None,
 ) -> None:
     """Backup-server restoration of ``source``'s images into ``target``."""
     suffix = f"{source.index}{target.index}"
@@ -290,6 +351,8 @@ def _add_backup_path(
         f"#BKP_UP = 1 AND ({source_disaster_guard(source)}) "
         f"AND ({destination_healthy_guard(target, target_machines)})"
     )
+    if in_flight_guard is not None:
+        guard = f"{guard} AND ({in_flight_guard})"
     net.add_immediate_transition(f"TBI_{suffix}", guard=guard)
     net.add_input_arc(failed_pool_place(source.index), f"TBI_{suffix}")
     net.add_output_arc(f"TBI_{suffix}", in_transfer)

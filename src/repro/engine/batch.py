@@ -43,7 +43,7 @@ import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence, Union
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -426,6 +426,7 @@ class ScenarioBatchEngine:
         backend: str = "auto",
         dedupe: bool = False,
         presolved: Optional[Mapping[int, np.ndarray]] = None,
+        rate_key: Optional[Callable[[np.ndarray], bytes]] = None,
     ) -> list[ScenarioResult]:
         """Evaluate a whole batch over the selected backend.
 
@@ -457,6 +458,14 @@ class ScenarioBatchEngine:
         already-known stationary vectors (e.g. from an earlier batch over
         the same graph); those indices skip solving outright.  Both are
         reported in :attr:`last_run_dedupe`.
+
+        ``rate_key`` (used with ``dedupe``) replaces :func:`rate_digest`
+        as the per-scenario rate-vector digest — e.g. a symmetry-aware key
+        that canonicalizes exchangeable transition blocks before hashing,
+        so rate vectors that differ only by a block permutation dedupe to
+        one solve.  The caller owns its exactness: two vectors may share a
+        key only if they re-rate the graph into chains with identical
+        values for **every** measure of this batch.
         """
         specs = list(specs)
         validate_measures(measures)
@@ -501,6 +510,7 @@ class ScenarioBatchEngine:
                         backend=backend,
                         dedupe=dedupe,
                         presolved=sub_presolved or None,
+                        rate_key=rate_key,
                     )
                 )
                 if self.last_run_dedupe is not None:
@@ -531,7 +541,7 @@ class ScenarioBatchEngine:
                 )
             injected[int(index)] = vector
         duplicate_of = (
-            self._duplicate_map(specs, injected)
+            self._duplicate_map(specs, injected, rate_key)
             if dedupe and len(specs) > 1
             else {}
         )
@@ -584,17 +594,23 @@ class ScenarioBatchEngine:
         return results
 
     def _duplicate_map(
-        self, specs: Sequence[ScenarioSpec], injected: Mapping[int, np.ndarray]
+        self,
+        specs: Sequence[ScenarioSpec],
+        injected: Mapping[int, np.ndarray],
+        rate_key: Optional[Callable[[np.ndarray], bytes]] = None,
     ) -> dict[int, int]:
-        """Map each rate-identical later scenario to its first occurrence.
+        """Map each rate-equivalent later scenario to its first occurrence.
 
-        Injected indices are never remapped (their vectors are authoritative)
-        but do serve as representatives for later duplicates.
+        Equivalence is :func:`rate_digest` (bit-identical vectors) unless
+        the caller supplied a coarser ``rate_key``.  Injected indices are
+        never remapped (their vectors are authoritative) but do serve as
+        representatives for later duplicates.
         """
+        digest = rate_key if rate_key is not None else rate_digest
         first: dict[bytes, int] = {}
         duplicate_of: dict[int, int] = {}
         for index, row in enumerate(self.rate_matrix(specs)):
-            representative = first.setdefault(rate_digest(row), index)
+            representative = first.setdefault(digest(row), index)
             if representative != index and index not in injected:
                 duplicate_of[index] = representative
         return duplicate_of

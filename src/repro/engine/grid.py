@@ -64,6 +64,13 @@ from repro.spn.reachability import (
     generate_tangible_reachability_graph,
 )
 from repro.spn.rewards import Measure, validate_measures
+from repro.symmetry.canonicalize import rate_vector_key
+from repro.symmetry.spec import SymmetrySpec
+from repro.symmetry.validate import (
+    measure_is_symmetric,
+    validate_measure_symmetry,
+    validate_rate_symmetry,
+)
 
 #: Rows per streamed JSONL shard (see ``shard_directory``).
 DEFAULT_SHARD_SIZE = 256
@@ -114,6 +121,18 @@ class GridCase:
             frame and the streamed shards.
         canonicalizer: optional symmetry canonicalizer reference (see
             :class:`CanonicalizerRef`); part of the structure fingerprint.
+        rate_symmetry: optional *structural* :class:`~repro.symmetry.spec.
+            SymmetrySpec` declaring which timed-transition blocks of this
+            case's structure are exchangeable **up to a rate permutation**.
+            Unlike ``canonicalizer`` (which requires the case's own rates to
+            be symmetric), this spec only claims structural exchangeability:
+            the orchestrator uses it to give the batch engine's dedupe a
+            symmetry-aware rate digest, so cases of one group whose rate
+            vectors differ only by a permutation of exchangeable blocks
+            share one stationary solve.  It never changes the graph and is
+            only honoured when every measure of the group is invariant
+            under the spec's group (checked per run, silent fallback to the
+            bit-exact digest otherwise).
     """
 
     name: str
@@ -122,6 +141,7 @@ class GridCase:
     rates: Mapping[str, float] = field(default_factory=dict)
     metadata: Mapping[str, object] = field(default_factory=dict)
     canonicalizer: Optional[CanonicalizerRef] = None
+    rate_symmetry: Optional[SymmetrySpec] = None
 
     def full_rates(self) -> dict[str, float]:
         """The complete timed-rate assignment of this case."""
@@ -187,6 +207,16 @@ class GridGroupReport:
     before group B's ``generate_finished_at`` is overlap, not assertion.
     ``queue_wait_seconds`` is how long the group sat ready-to-solve before
     a solve slot picked it up (the work-stealing queue's latency).
+
+    The ``symmetry*`` fields are the group's **lumping provenance**: with a
+    canonicalizer built from a :class:`~repro.symmetry.spec.SymmetrySpec`,
+    ``symmetry`` names the lumping kind (``"pm"``, ``"dc+pm"``),
+    ``symmetry_group_order`` is the declared group's order ``|G|``, each of
+    the ``number_of_states`` tangible states is one orbit, and
+    ``states_before_estimate`` is the ``number_of_states × |G|`` upper
+    bound on the unlumped tangible count (exact only when every orbit is
+    free; boundary orbits — e.g. markings with identical machine blocks —
+    are smaller, so the true unlumped count is ≤ the estimate).
     """
 
     key: str
@@ -205,10 +235,28 @@ class GridGroupReport:
     generate_attempts: int = 1
     #: How many times the group's batch solve ran (1 on the happy path).
     solve_attempts: int = 1
+    #: Lumping provenance (``None``/1/``None`` when the group ran unlumped).
+    symmetry: Optional[str] = None
+    symmetry_group_order: int = 1
+    states_before_estimate: Optional[int] = None
 
     @property
     def cache_hit(self) -> bool:
         return self.graph_source == "cache"
+
+    @property
+    def lumped(self) -> bool:
+        """Whether this group's graph was built under a symmetry spec."""
+        return self.symmetry is not None
+
+    def lumping(self) -> dict:
+        """JSON-able lumping provenance (recorded by the benchmarks)."""
+        return {
+            "symmetry": self.symmetry,
+            "group_order": self.symmetry_group_order,
+            "orbits": self.number_of_states,
+            "states_before_estimate": self.states_before_estimate,
+        }
 
     def timeline(self) -> dict:
         """JSON-able per-group timeline (recorded by the benchmarks)."""
@@ -622,6 +670,7 @@ class ScenarioGridOrchestrator:
         # build per ref object so grouping is O(distinct structures).
         compiled_by_net: dict[int, tuple[CompiledNet, str]] = {}
         canonicalizer_by_ref: dict[int, object] = {}
+        measures_validated: set[tuple[int, str]] = set()
         for index, case in enumerate(cases):
             if index in skip:
                 continue
@@ -648,6 +697,25 @@ class ScenarioGridOrchestrator:
                     compiled, include_rates=False, include_name=False
                 )
                 compiled_by_net[id(case.net)] = (compiled, structure_key)
+            spec = getattr(canonicalize, "spec", None)
+            if isinstance(spec, SymmetrySpec):
+                # Fail fast, before any graph is generated: a lumped chain
+                # is exact only if the case's rates are constant on the
+                # declared orbits and every requested measure is invariant
+                # under the group.  (The measure probe is memoized per
+                # measure tuple × spec — rate-only grids reuse both.)
+                validate_rate_symmetry(
+                    case.full_rates(), spec, context=case.name
+                )
+                probe_key = (id(case.measures), spec.cache_id)
+                if probe_key not in measures_validated:
+                    validate_measure_symmetry(
+                        case.measures,
+                        spec,
+                        compiled.place_names,
+                        context=case.name,
+                    )
+                    measures_validated.add(probe_key)
             digest = self._group_digest(structure_key, canonical_id)
             key = digest[:16]
             group = groups.get(key)
@@ -1147,6 +1215,11 @@ class ScenarioGridOrchestrator:
             ScenarioSpec(name=case.name, rates=case.full_rates())
             for case in group_cases
         ]
+        rate_key = (
+            self._group_rate_key(group, group_cases, measures)
+            if self.dedupe
+            else None
+        )
         solve_started = time.perf_counter()
         solve_started_at = solve_started - started
         batch = engine.run(
@@ -1155,6 +1228,7 @@ class ScenarioGridOrchestrator:
             max_workers=max_workers,
             backend=self.backend,
             dedupe=self.dedupe,
+            rate_key=rate_key,
         )
         solve_seconds = time.perf_counter() - solve_started
         backend = engine.last_run_backend or "serial"
@@ -1183,6 +1257,12 @@ class ScenarioGridOrchestrator:
                     ),
                 )
             )
+        lumping_spec = getattr(group.canonicalize, "spec", None)
+        group_order = (
+            lumping_spec.group_order
+            if isinstance(lumping_spec, SymmetrySpec)
+            else 1
+        )
         report = GridGroupReport(
             key=group.key,
             cases=len(group.case_indices),
@@ -1199,8 +1279,73 @@ class ScenarioGridOrchestrator:
             deduped_cases=stats.deduped if stats is not None else 0,
             generate_attempts=max(1, group.generate_attempts),
             solve_attempts=max(1, group.solve_attempts),
+            symmetry=(
+                lumping_spec.kind
+                if isinstance(lumping_spec, SymmetrySpec)
+                else None
+            ),
+            symmetry_group_order=group_order,
+            states_before_estimate=(
+                group.graph.number_of_states * group_order
+                if isinstance(lumping_spec, SymmetrySpec)
+                else None
+            ),
         )
         return rows, report
+
+    def _group_rate_key(
+        self,
+        group: _Group,
+        group_cases: list[GridCase],
+        measures: Sequence[Measure],
+    ):
+        """Symmetry-aware rate digest for the group's dedupe, if safe.
+
+        Cases of one group that declare the same structural
+        :attr:`GridCase.rate_symmetry` spec get their rate vectors
+        canonicalized along the spec's exchangeable blocks before hashing,
+        so two cases differing only by a permutation of those blocks share
+        one stationary solve.  The permuted chain is the relabelled
+        original, so this is exact **only if** every measure evaluated for
+        the group is invariant under the spec's group — any non-invariant
+        (or unrecognised) measure, a spec mismatch between cases, or a spec
+        that does not fit the graph silently falls back to the bit-exact
+        :func:`~repro.engine.batch.rate_digest` (returns ``None``).
+        """
+        from repro.spn.rewards import (
+            ExpectedTokensMeasure,
+            ProbabilityMeasure,
+            ThroughputMeasure,
+        )
+
+        spec = group_cases[0].rate_symmetry
+        if spec is None or not spec.rate_groups:
+            return None
+        if any(case.rate_symmetry != spec for case in group_cases[1:]):
+            return None
+        if spec.place_count != len(group.compiled.place_names):
+            return None
+        orbit_transitions = {
+            name
+            for rate_group in spec.rate_groups
+            for name in rate_group.labels()
+        }
+        place_index = {
+            name: position
+            for position, name in enumerate(group.compiled.place_names)
+        }
+        for measure in measures:
+            if isinstance(measure, ThroughputMeasure):
+                if measure.transition in orbit_transitions:
+                    return None
+                continue
+            if not isinstance(
+                measure, (ProbabilityMeasure, ExpectedTokensMeasure)
+            ):
+                return None
+            if not measure_is_symmetric(measure.compiled(place_index), spec):
+                return None
+        return rate_vector_key(spec, group.graph.transition_names)
 
     def _solve_group_with_retry(
         self,

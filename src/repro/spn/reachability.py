@@ -22,6 +22,7 @@ from repro.exceptions import ModelError, StateSpaceError
 from repro.spn.enabling import CompiledNet
 from repro.spn.marking import MarkingView
 from repro.spn.model import StochasticPetriNet
+from repro.symmetry.validate import validate_canonicalizer
 
 #: Safety limit: exploring more tangible markings than this aborts generation.
 DEFAULT_MAX_TANGIBLE_MARKINGS = 500_000
@@ -852,14 +853,20 @@ def generate_tangible_reachability_graph(
             center), exploring only canonical representatives produces the
             exactly lumped CTMC, often several times smaller.  Measures
             evaluated on the lumped graph must themselves be symmetric under
-            the same permutations.
+            the same permutations.  The canonicalizer is validated against
+            the net up front (place count / permutation behaviour) — a stale
+            canonicalizer built for a different net raises
+            :class:`~repro.exceptions.ModelError` instead of silently
+            producing a wrong lumped graph.
         chunk_size: frontier markings expanded per vectorized wave.
 
     Raises:
         StateSpaceError: if the exploration exceeds ``max_states`` or the net
             contains immediate-transition cycles.
+        ModelError: if ``canonicalize`` does not fit the net.
     """
     compiled = net if isinstance(net, CompiledNet) else CompiledNet(net)
+    validate_canonicalizer(canonicalize, len(compiled.place_names), compiled.name)
     kernel = compiled.kernel()
     timed_ids = kernel.timed_indices
     n_timed = int(timed_ids.size)
@@ -1032,6 +1039,7 @@ def generate_tangible_reachability_graph_scalar(
     per-marking Python loops differ.
     """
     compiled = net if isinstance(net, CompiledNet) else CompiledNet(net)
+    validate_canonicalizer(canonicalize, len(compiled.place_names), compiled.name)
 
     marking_ids: dict[tuple[int, ...], int] = {}
     markings: list[tuple[int, ...]] = []

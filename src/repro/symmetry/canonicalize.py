@@ -1,0 +1,236 @@
+"""Canonicalizers derived from a :class:`~repro.symmetry.spec.SymmetrySpec`.
+
+:func:`build_canonicalizer` emits the marking canonicalizer consumed by
+:func:`repro.spn.reachability.generate_tangible_reachability_graph`: a
+scalar ``f(marking_tuple) -> marking_tuple`` carrying
+
+* ``f.batch`` — the vectorized companion honouring the
+  ``_MarkingInterner`` contract (``(N, P) -> (N, P)``, representatives
+  **identical** to the scalar path's on every row);
+* ``f.cache_id`` — the spec's stable identity (grouping / graph caching);
+* ``f.spec`` — the spec itself (validation, provenance);
+* ``f.group_order`` — ``|G|``, the declared group's order.
+
+Canonical form
+--------------
+
+Flat groups (PM exchange) sort their block value-tuples ascending — the
+classic exchangeable-machines representative.  The paired group (DC
+exchange) is canonicalized *after* the flat groups (its block keys read the
+already-sorted PM slots):
+
+1. every block's key — its profile values, pair slots excluded — is sorted
+   stably ascending;
+2. among all block permutations consistent with that key order (the
+   products of permutations within key-tie runs), the one producing the
+   lexicographically smallest full vector — pair slots *included* — wins.
+
+Step 2 is what makes the form constant on orbits (f(σ·m) = f(m) for every
+group element σ), not merely idempotent: a tie broken by block position
+alone would depend on the input labelling and silently build a **wrong**
+lumped chain, not a less-lumped one.  The batch path short-circuits the
+expensive enumeration: rows without key ties are unambiguous, and rows
+whose pair slots hold one constant value (the overwhelmingly common "no
+transfer in flight" states) are tie-invariant; only the rare ambiguous rows
+fall back to the scalar enumerator.
+
+:func:`rate_vector_key` reuses the same canonical form in *rate space*
+(blocks of timed-transition rates instead of marking slots) to give the
+grid's dedupe a symmetry-aware digest: rate vectors that differ only by a
+permutation of exchangeable data-center blocks map to one key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import permutations, product
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.symmetry.spec import OrbitGroup, SymmetrySpec
+
+
+def _sort_flat_group(values: list, group: OrbitGroup) -> None:
+    """Sort a flat group's block value-tuples ascending, in place."""
+    states = sorted(
+        tuple(values[index] for index in profile) for profile in group.profiles
+    )
+    for profile, state in zip(group.profiles, states):
+        for index, token in zip(profile, state):
+            values[index] = token
+
+
+def _paired_candidates(values: list, group: OrbitGroup) -> list[list[int]]:
+    """Block orders consistent with the stable key sort (tie-run products)."""
+    keys = [
+        tuple(values[index] for index in profile) for profile in group.profiles
+    ]
+    order = sorted(range(group.size), key=lambda block: (keys[block], block))
+    runs: list[list[int]] = []
+    for position, block in enumerate(order):
+        if position and keys[block] == keys[order[position - 1]]:
+            runs[-1].append(block)
+        else:
+            runs.append([block])
+    if all(len(run) == 1 for run in runs):
+        return [order]
+    return [
+        [block for run in combo for block in run]
+        for combo in product(*(permutations(run) for run in runs))
+    ]
+
+
+def _apply_paired_order(values: list, group: OrbitGroup, order: Sequence[int]) -> list:
+    """The vector with block ``k`` holding block ``order[k]``'s values."""
+    out = list(values)
+    for k, src in enumerate(order):
+        for dst, origin in zip(group.profiles[k], group.profiles[src]):
+            out[dst] = values[origin]
+        for l, src_l in enumerate(order):
+            for dst, origin in zip(group.pairs[k][l], group.pairs[src][src_l]):
+                out[dst] = values[origin]
+    return out
+
+
+def _canonicalize_paired(values: list, group: OrbitGroup) -> list:
+    candidates = _paired_candidates(values, group)
+    if len(candidates) == 1:
+        return _apply_paired_order(values, group, candidates[0])
+    return min(
+        (_apply_paired_order(values, group, order) for order in candidates),
+        key=tuple,
+    )
+
+
+def _scalar_canonicalizer(groups: Sequence[OrbitGroup]):
+    def canonicalize(marking):
+        values = list(marking)
+        for group in groups:
+            if group.paired:
+                values = _canonicalize_paired(values, group)
+            else:
+                _sort_flat_group(values, group)
+        return tuple(values)
+
+    return canonicalize
+
+
+def _flat_batch_sort(values: np.ndarray, profiles: np.ndarray) -> None:
+    """Vectorized flat-group sort (stable lexsort, same order as ``sorted``)."""
+    sub = values[:, profiles]  # (N, blocks, width)
+    keys = tuple(sub[:, :, column] for column in range(profiles.shape[1] - 1, -1, -1))
+    order = np.lexsort(keys)
+    values[:, profiles] = np.take_along_axis(sub, order[:, :, None], axis=1)
+
+
+def build_canonicalizer(spec: SymmetrySpec):
+    """The marking canonicalizer of ``spec`` (scalar + ``batch`` + identity).
+
+    Module-level and driven by a picklable spec, so
+    :class:`~repro.engine.grid.CanonicalizerRef` can name it as
+    ``"repro.symmetry.canonicalize:build_canonicalizer"`` with the spec as
+    the single argument and generation workers rebuild it faithfully.
+    """
+    groups = spec.marking_groups
+    scalar = _scalar_canonicalizer(groups)
+
+    flat_profiles = [
+        np.asarray(group.profiles, dtype=np.int64)
+        for group in groups
+        if not group.paired
+    ]
+    paired = next((group for group in groups if group.paired), None)
+    if paired is not None:
+        b = paired.size
+        member_profiles = np.asarray(paired.profiles, dtype=np.int64)
+        pair_width = len(paired.pairs[0][1]) if b >= 2 else 0
+        # Dense (b, b, W) pair-index matrix; the diagonal is a dummy (index
+        # 0) that is masked out of every gather/scatter below.
+        pair_matrix = np.zeros((b, b, pair_width), dtype=np.int64)
+        for i in range(b):
+            for j in range(b):
+                if i != j:
+                    pair_matrix[i, j] = paired.pairs[i][j]
+        off_diagonal = ~np.eye(b, dtype=bool)
+        pair_slots = pair_matrix[off_diagonal].reshape(-1)  # (E * W,)
+
+    def canonicalize_batch(block: np.ndarray) -> np.ndarray:
+        values = np.array(block, dtype=np.int64, copy=True)
+        for profiles in flat_profiles:
+            _flat_batch_sort(values, profiles)
+        if paired is None:
+            return values
+        sub = values[:, member_profiles]  # (N, b, L)
+        keys = tuple(
+            sub[:, :, column]
+            for column in range(member_profiles.shape[1] - 1, -1, -1)
+        )
+        order = np.lexsort(keys)  # (N, b), stable — matches the scalar sort
+        sorted_keys = np.take_along_axis(sub, order[:, :, None], axis=1)
+        ties = (sorted_keys[:, 1:, :] == sorted_keys[:, :-1, :]).all(axis=2).any(
+            axis=1
+        )
+        if pair_width:
+            pair_values = values[:, pair_slots]  # (N, E * W)
+            uniform = (pair_values == pair_values[:, :1]).all(axis=1)
+            ambiguous = ties & ~uniform
+            source = pair_matrix[order[:, :, None], order[:, None, :]]  # (N,b,b,W)
+            gathered = np.take_along_axis(
+                values, source.reshape(len(values), -1), axis=1
+            ).reshape(len(values), b, b, pair_width)
+            values[:, pair_slots] = gathered[:, off_diagonal].reshape(
+                len(values), -1
+            )
+        else:
+            ambiguous = np.zeros(len(values), dtype=bool)
+        values[:, member_profiles] = sorted_keys
+        if ambiguous.any():
+            # Rare rows where key ties meet non-uniform pair slots: the
+            # key sort alone is not orbit-constant there, so the exact
+            # scalar enumerator decides (from the *original* rows, so the
+            # two paths agree bit for bit).
+            original = np.asarray(block, dtype=np.int64)
+            for row in np.nonzero(ambiguous)[0]:
+                values[row] = scalar(
+                    tuple(int(token) for token in original[row])
+                )
+        return values
+
+    scalar.batch = canonicalize_batch
+    scalar.cache_id = spec.cache_id
+    scalar.spec = spec
+    scalar.group_order = spec.group_order
+    return scalar
+
+
+def rate_vector_key(
+    spec: SymmetrySpec, transition_names: Sequence[str]
+) -> Optional[Callable[[np.ndarray], bytes]]:
+    """Symmetry-aware digest of rate vectors aligned with ``transition_names``.
+
+    Canonicalizes a float64 rate vector along ``spec.rate_groups`` (blocks
+    sorted, pair rates carried along, ties resolved by the exact
+    enumerator) before hashing, so two rate assignments that differ only by
+    a permutation of exchangeable blocks share one digest — the hook behind
+    "grid cases differing only by a permutation of exchangeable DC
+    parameter blocks dedupe to one solve".  Answers ``None`` when the spec
+    names transitions absent from the vector (a mismatched graph must fall
+    back to the plain bit-exact digest, never misdedupe).
+    """
+    if not spec.rate_groups:
+        return None
+    index = {name: position for position, name in enumerate(transition_names)}
+    try:
+        groups = tuple(group.indexed(index) for group in spec.rate_groups)
+    except KeyError:
+        return None
+    scalar = _scalar_canonicalizer(groups)
+
+    def key(vector: np.ndarray) -> bytes:
+        canonical = scalar(tuple(np.asarray(vector, dtype=np.float64).tolist()))
+        return hashlib.sha256(
+            np.asarray(canonical, dtype=np.float64).tobytes()
+        ).digest()
+
+    return key

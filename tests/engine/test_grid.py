@@ -103,20 +103,33 @@ class TestCanonicalizerRef:
         model = distributed(machines=2).build_model(REDUCED)
         reference = model.symmetry_canonicalizer()
         rebuilt = CanonicalizerRef(
-            "repro.core.cloud_model:pm_symmetry_canonicalizer",
-            (model.symmetry_groups(),),
+            "repro.symmetry.canonicalize:build_canonicalizer",
+            (model.symmetry_spec(),),
         ).build()
         assert rebuilt.cache_id == reference.cache_id
         marking = tuple(range(len(model.build().place_names)))
         assert rebuilt(marking) == reference(marking)
+
+    def test_legacy_groups_factory_still_builds(self):
+        # Back-compat: the pre-spec factory keeps working (its own cache-id
+        # namespace, so legacy and spec-built graphs never collide).
+        model = distributed(machines=2).build_model(REDUCED)
+        legacy = CanonicalizerRef(
+            "repro.core.cloud_model:pm_symmetry_canonicalizer",
+            (model.symmetry_groups(),),
+        ).build()
+        reference = model.symmetry_canonicalizer()
+        assert legacy.cache_id.startswith("pm-symmetry:")
+        marking = tuple(range(len(model.build().place_names)))
+        assert legacy(marking) == reference(marking)
 
     def test_ref_survives_pickling(self):
         import pickle
 
         model = distributed(machines=2).build_model(REDUCED)
         ref = CanonicalizerRef(
-            "repro.core.cloud_model:pm_symmetry_canonicalizer",
-            (model.symmetry_groups(),),
+            "repro.symmetry.canonicalize:build_canonicalizer",
+            (model.symmetry_spec(),),
         )
         clone = pickle.loads(pickle.dumps(ref))
         assert clone.build().cache_id == ref.build().cache_id

@@ -1,0 +1,47 @@
+"""Shared fixtures of the symmetry-package tests.
+
+All reduced-size models: one VM per machine and ``k = 1`` keep the state
+spaces small enough that lumped *and* unlumped graphs generate in well
+under a second each.
+"""
+
+import pytest
+
+from repro.core.parameters import CaseStudyParameters
+from repro.core.scenarios import (
+    CITY_PAIRS,
+    DistributedScenario,
+    homogeneous_mesh_scenario,
+)
+
+#: Smallest useful case-study parameterisation (one VM, k = 1).
+TINY = CaseStudyParameters(required_running_vms=1, vms_per_physical_machine=1)
+
+
+@pytest.fixture(scope="session")
+def mesh2_model():
+    """Homogeneous 2-DC mesh, one machine per DC (kind ``dc+pm``... DC only)."""
+    return homogeneous_mesh_scenario(2, machines_per_datacenter=1).build_model(TINY)
+
+
+@pytest.fixture(scope="session")
+def mesh3_model():
+    """Homogeneous capacity-aware 3-DC mesh (small even unlumped)."""
+    return homogeneous_mesh_scenario(
+        3, machines_per_datacenter=1, capacity_aware_migration=True
+    ).build_model(TINY)
+
+
+@pytest.fixture(scope="session")
+def mesh2_pm_model():
+    """Homogeneous 2-DC mesh with two machines per DC (PM and DC groups)."""
+    return homogeneous_mesh_scenario(2, machines_per_datacenter=2).build_model(TINY)
+
+
+@pytest.fixture(scope="session")
+def city_pair_model():
+    """Heterogeneous city pair (Rio - Brasília): PM symmetry only."""
+    first, second = CITY_PAIRS[0]
+    return DistributedScenario(
+        first, second, machines_per_datacenter=2
+    ).build_model(TINY)

@@ -1,0 +1,129 @@
+"""SymmetrySpec construction, validation and identity."""
+
+import pickle
+
+import pytest
+
+from repro.symmetry import OrbitGroup, SymmetrySpec
+
+
+def flat(*profiles):
+    return OrbitGroup(profiles=tuple(tuple(p) for p in profiles))
+
+
+def paired2(p0, p1, pair01, pair10):
+    return OrbitGroup(
+        profiles=(tuple(p0), tuple(p1)),
+        pairs=(((), tuple(pair01)), (tuple(pair10), ())),
+    )
+
+
+class TestOrbitGroup:
+    def test_needs_two_blocks(self):
+        with pytest.raises(ValueError):
+            OrbitGroup(profiles=((0, 1),))
+
+    def test_profiles_must_align(self):
+        with pytest.raises(ValueError):
+            flat((0, 1), (2,))
+
+    def test_pair_matrix_shape_enforced(self):
+        with pytest.raises(ValueError):
+            OrbitGroup(profiles=((0,), (1,)), pairs=(((), (2,)),))
+
+    def test_diagonal_pairs_must_be_empty(self):
+        with pytest.raises(ValueError):
+            OrbitGroup(
+                profiles=((0,), (1,)),
+                pairs=(((9,), (2,)), ((3,), ())),
+            )
+
+    def test_size_and_labels(self):
+        group = paired2((0, 1), (2, 3), (4,), (5,))
+        assert group.size == 2
+        assert group.paired
+        assert sorted(group.labels()) == [0, 1, 2, 3, 4, 5]
+
+
+class TestSymmetrySpec:
+    def test_place_index_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="stale spec"):
+            SymmetrySpec(place_count=3, marking_groups=(flat((0,), (5,)),))
+
+    def test_string_labels_rejected_in_marking_groups(self):
+        with pytest.raises(ValueError):
+            SymmetrySpec(place_count=3, marking_groups=(flat(("a",), ("b",)),))
+
+    def test_int_labels_rejected_in_rate_groups(self):
+        with pytest.raises(ValueError):
+            SymmetrySpec(
+                place_count=3,
+                marking_groups=(flat((0,), (1,)),),
+                rate_groups=(flat((0,), (1,)),),
+            )
+
+    def test_two_paired_groups_rejected(self):
+        pg = paired2((0,), (1,), (2,), (3,))
+        pg2 = paired2((4,), (5,), (6,), (7,))
+        with pytest.raises(ValueError, match="one paired"):
+            SymmetrySpec(place_count=8, marking_groups=(pg, pg2))
+
+    def test_paired_group_must_come_last(self):
+        pg = paired2((0,), (1,), (2,), (3,))
+        with pytest.raises(ValueError, match="last"):
+            SymmetrySpec(place_count=8, marking_groups=(pg, flat((4,), (5,))))
+
+    def test_group_order_is_product_of_factorials(self):
+        spec = SymmetrySpec(
+            place_count=10,
+            marking_groups=(
+                flat((0,), (1,), (2,)),
+                paired2((3, 4), (5, 6), (7,), (8,)),
+            ),
+        )
+        assert spec.group_order == 6 * 2
+
+    def test_cache_id_is_stable_and_content_addressed(self):
+        build = lambda: SymmetrySpec(  # noqa: E731
+            place_count=4, marking_groups=(flat((0, 1), (2, 3)),)
+        )
+        assert build().cache_id == build().cache_id
+        assert build().cache_id.startswith("sym:pm:")
+        other = SymmetrySpec(place_count=4, marking_groups=(flat((0, 2), (1, 3)),))
+        assert other.cache_id != build().cache_id
+
+    def test_spec_pickles_and_compares_by_value(self):
+        spec = SymmetrySpec(
+            place_count=6,
+            marking_groups=(paired2((0, 1), (2, 3), (4,), (5,)),),
+            rate_groups=(flat(("T_1",), ("T_2",)),),
+            kind="dc+pm",
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.cache_id == spec.cache_id
+
+    def test_generator_permutations_are_permutations(self):
+        spec = SymmetrySpec(
+            place_count=7,
+            marking_groups=(
+                flat((0,), (1,)),
+                paired2((2, 3), (4, 5), (6,), (6,)),
+            ),
+        )
+        generators = list(spec.generator_permutations())
+        # one adjacent transposition per flat pair + one for the DC pair
+        assert len(generators) == 2
+        for g in generators:
+            assert sorted(g) == list(range(7))
+
+    def test_paired_generator_moves_pair_slots(self):
+        spec = SymmetrySpec(
+            place_count=6,
+            marking_groups=(paired2((0, 1), (2, 3), (4,), (5,)),),
+        )
+        (g,) = spec.generator_permutations()
+        marking = (10, 11, 20, 21, 7, 9)
+        permuted = tuple(marking[g[p]] for p in range(6))
+        # blocks swap, and the ordered pair slots (0,1)<->(1,0) swap too
+        assert permuted == (20, 21, 10, 11, 9, 7)
