@@ -35,7 +35,7 @@ from repro.core import CaseStudyParameters
 from repro.core.scenarios import CITY_PAIRS
 from repro.engine import TRGCache
 from repro.engine import faults
-from repro.engine.dispatch import effective_cpu_count
+from repro.engine.dispatch import effective_cpu_count, peak_rss_bytes
 from repro.engine.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.engine.grid import ScenarioGridOrchestrator
 from repro.engine.parallel import shutdown_shared_pool
@@ -263,6 +263,7 @@ def run(quick: bool = False) -> int:
 
     if not quick:
         output = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+        report["peak_rss_bytes"] = peak_rss_bytes()
         output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {output}")
 

@@ -38,7 +38,7 @@ from repro.casestudy.grid import CaseStudyGrid, scenario_case
 from repro.core import CaseStudyParameters
 from repro.core.scenarios import CITY_PAIRS, MultiDataCenterScenario
 from repro.engine import ScenarioBatchEngine, ScenarioSpec, TRGCache
-from repro.engine.dispatch import effective_cpu_count
+from repro.engine.dispatch import effective_cpu_count, peak_rss_bytes
 from repro.engine.grid import ScenarioGridOrchestrator
 from repro.network.geo import BRASILIA, RECIFE, RIO_DE_JANEIRO
 
@@ -250,6 +250,7 @@ def run(quick: bool = False) -> int:
                 f"(required {SPEEDUP_FLOOR}x on a {cores}-effective-core machine)"
             )
         output = Path(__file__).resolve().parent.parent / "BENCH_grid.json"
+        report["peak_rss_bytes"] = peak_rss_bytes()
         output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {output}")
 

@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 
 from repro.core.cloud_model import solve_steady_state
+from repro.engine.dispatch import peak_rss_bytes
 from repro.core.parameters import CaseStudyParameters
 from repro.core.scenarios import homogeneous_mesh_scenario
 from repro.core.vm_behavior import vm_up_place
@@ -179,7 +180,12 @@ def run(quick: bool) -> int:
     ]
 
     output = Path(__file__).resolve().parent.parent / "BENCH_lumping.json"
-    output.write_text(json.dumps({"results": results}, indent=2) + "\n")
+    output.write_text(
+        json.dumps(
+            {"results": results, "peak_rss_bytes": peak_rss_bytes()}, indent=2
+        )
+        + "\n"
+    )
     print(f"wrote {output}")
 
     by_n = {entry["datacenters"]: entry for entry in results}

@@ -38,7 +38,7 @@ from repro.casestudy.grid import CaseStudyGrid, scenario_case
 from repro.core import CaseStudyParameters
 from repro.core.scenarios import CITY_PAIRS, DistributedScenario
 from repro.engine import TRGCache
-from repro.engine.dispatch import effective_cpu_count
+from repro.engine.dispatch import effective_cpu_count, peak_rss_bytes
 from repro.engine.grid import GridCase, ScenarioGridOrchestrator
 from repro.engine.parallel import shutdown_shared_pool
 from repro.network.geo import RIO_DE_JANEIRO
@@ -268,6 +268,7 @@ def run(quick: bool = False) -> int:
 
     if not quick:
         output = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+        report["peak_rss_bytes"] = peak_rss_bytes()
         output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {output}")
 

@@ -27,6 +27,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.engine.dispatch import peak_rss_bytes
 from repro.service import AvailabilityService, ServiceConfig
 
 #: A dedupe answer never touches the journal; it must beat a durable
@@ -138,6 +139,7 @@ def run(quick: bool = False) -> int:
 
     if not quick:
         output = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+        report["peak_rss_bytes"] = peak_rss_bytes()
         output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {output}")
 

@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.casestudy import DistributedSweepRunner
 from repro.core import CaseStudyParameters
+from repro.engine.dispatch import peak_rss_bytes
 from repro.spn import (
     CompiledNet,
     generate_tangible_reachability_graph,
@@ -115,7 +116,12 @@ def run(quick: bool) -> int:
     ]
 
     output = Path(__file__).resolve().parent.parent / "BENCH_statespace.json"
-    output.write_text(json.dumps({"results": results}, indent=2) + "\n")
+    output.write_text(
+        json.dumps(
+            {"results": results, "peak_rss_bytes": peak_rss_bytes()}, indent=2
+        )
+        + "\n"
+    )
     print(f"wrote {output}")
 
     for result in results:

@@ -40,7 +40,7 @@ from repro.casestudy import DistributedSweepRunner
 from repro.casestudy.figure7 import figure7_grid
 from repro.core import CaseStudyParameters
 from repro.core.scenarios import CITY_PAIRS
-from repro.engine.dispatch import effective_cpu_count
+from repro.engine.dispatch import effective_cpu_count, peak_rss_bytes
 from repro.engine.parallel import leaked_segments, shared_memory_available
 
 #: Cross-backend agreement demanded of every availability value.
@@ -263,6 +263,7 @@ def run(quick: bool = False) -> int:
 
     if not quick:
         output = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+        report["peak_rss_bytes"] = peak_rss_bytes()
         output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {output}")
 

@@ -28,7 +28,7 @@ import numpy as np
 from repro.casestudy import DistributedSweepRunner
 from repro.casestudy.transient import mission_grid, vm_start_specs
 from repro.core import CaseStudyParameters
-from repro.engine.dispatch import effective_cpu_count
+from repro.engine.dispatch import effective_cpu_count, peak_rss_bytes
 from repro.engine.measures import RewardMatrix
 from repro.markov.transient import transient_distribution
 from repro.spn.ctmc_export import generator_matrix
@@ -139,6 +139,7 @@ def run(quick: bool = False) -> int:
 
     if not quick:
         output = Path(__file__).resolve().parent.parent / "BENCH_transient.json"
+        report["peak_rss_bytes"] = peak_rss_bytes()
         output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {output}")
 

@@ -241,6 +241,7 @@ def evaluate_grid(
     generation_workers: Optional[int] = None,
     pipeline: bool = True,
     dedupe: bool = True,
+    memory_budget: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
     resume: bool = False,
     cancel_event: Optional[threading.Event] = None,
@@ -287,6 +288,7 @@ def evaluate_grid(
         **shard_kwargs,
         pipeline=pipeline,
         dedupe=dedupe,
+        memory_budget=memory_budget,
         retry=retry,
         resume=resume,
         cancel_event=cancel_event,

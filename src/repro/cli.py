@@ -233,6 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--dir", default=None, metavar="PATH", help="cache directory override"
     )
+    cache.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="with clear: only delete entries not modified in the last "
+        "DAYS days (fractions allowed)",
+    )
 
     grid = commands.add_parser(
         "grid",
@@ -292,6 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="print live one-line pipeline progress to stderr",
+    )
+    grid.add_argument(
+        "--memory-budget", default=None, metavar="SIZE",
+        help="peak-memory budget for the per-group representation planner "
+        "(e.g. 512M, 8G; bare numbers are bytes); groups whose estimated "
+        "in-RAM footprint exceeds it run on the out-of-core chunked "
+        "backend, groups too large even for that are refused with a "
+        "sizing message; default: $REPRO_MEMORY_BUDGET, else half the "
+        "available RAM",
     )
     grid.add_argument(
         "--symmetry",
@@ -420,17 +434,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         cache = TRGCache(arguments.dir)
         if arguments.action == "clear":
-            removed = cache.clear()
-            print(f"removed {removed} cached reachability graph(s) from {cache.directory}")
+            removed = cache.clear(older_than_days=arguments.older_than)
+            scope = (
+                f" older than {arguments.older_than:g} day(s)"
+                if arguments.older_than is not None
+                else ""
+            )
+            print(
+                f"removed {removed} cached reachability graph(s){scope} "
+                f"from {cache.directory}"
+            )
             return 0
+        if arguments.older_than is not None:
+            _invalid("--older-than only applies to the clear action")
         entries = cache.entries()
         print(f"cache directory : {cache.directory}")
         print(f"entries         : {len(entries)}")
+        print(f"total on disk   : {cache.total_size_bytes() / 1024:.1f} KiB")
         for entry in entries:
             age_hours = (time.time() - entry.modified) / 3600.0
             print(
                 f"  {entry.key[:16]}…  {entry.size_bytes / 1024:8.1f} KiB  "
-                f"{age_hours:6.1f} h old"
+                f"{entry.representation:<7}  {age_hours:6.1f} h old"
             )
         return 0
 
@@ -560,6 +585,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             generate_deadline_seconds=arguments.generate_deadline,
             solve_deadline_seconds=arguments.solve_deadline,
         )
+        memory_budget = None
+        if arguments.memory_budget is not None:
+            from repro.engine.dispatch import parse_memory_size
+
+            try:
+                memory_budget = parse_memory_size(arguments.memory_budget)
+            except ValueError as error:
+                _invalid(f"--memory-budget: {error}")
 
         try:
             outcome = evaluate_grid(
@@ -575,6 +608,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 generation_workers=arguments.jobs,
                 pipeline=arguments.pipeline,
                 dedupe=arguments.dedupe,
+                memory_budget=memory_budget,
                 retry=retry,
                 resume=resume,
                 log_callback=progress if arguments.progress else None,

@@ -36,6 +36,7 @@ from repro.engine.grid import (
     load_checkpoint,
 )
 from repro.engine.dispatch import (
+    BackendPlan,
     CostObservations,
     DispatchDecision,
     PipelineBudget,
@@ -43,9 +44,18 @@ from repro.engine.dispatch import (
     choose_backend,
     effective_cpu_count,
     estimate_generation_cost,
+    memory_budget_bytes,
+    parse_memory_size,
+    peak_rss_bytes,
+    plan_representation,
     resolve_worker_count,
 )
-from repro.engine.krylov import KrylovConvergenceError, KrylovSettings, ReusableSolver
+from repro.engine.krylov import (
+    KrylovConvergenceError,
+    KrylovSettings,
+    MatrixFreeSolver,
+    ReusableSolver,
+)
 from repro.engine.measures import RewardMatrix, UnsupportedMeasure
 from repro.engine.parallel import (
     SharedMemoryUnavailable,
@@ -70,6 +80,7 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "TransientScenarioResult",
+    "BackendPlan",
     "CostObservations",
     "DedupeStats",
     "DispatchDecision",
@@ -77,6 +88,10 @@ __all__ = [
     "choose_backend",
     "effective_cpu_count",
     "estimate_generation_cost",
+    "memory_budget_bytes",
+    "parse_memory_size",
+    "peak_rss_bytes",
+    "plan_representation",
     "rate_digest",
     "resolve_worker_count",
     "shutdown_shared_pool",
@@ -93,6 +108,7 @@ __all__ = [
     "TaskWatchdog",
     "KrylovConvergenceError",
     "KrylovSettings",
+    "MatrixFreeSolver",
     "ReusableSolver",
     "RewardMatrix",
     "UnsupportedMeasure",

@@ -38,11 +38,13 @@ baselines, and of any sensitivity or capacity sweep):
 from __future__ import annotations
 
 import hashlib
+import tempfile
 import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -50,7 +52,7 @@ import numpy as np
 from repro.engine import dispatch
 from repro.engine.cache import TRGCache
 from repro.engine.dispatch import CostObservations, DispatchDecision
-from repro.engine.krylov import KrylovSettings, ReusableSolver
+from repro.engine.krylov import KrylovSettings, MatrixFreeSolver, ReusableSolver
 from repro.engine.measures import RewardMatrix, UnsupportedMeasure
 from repro.engine.parallel import (
     SharedMemoryUnavailable,
@@ -74,8 +76,13 @@ from repro.spn.reachability import (
     generate_tangible_reachability_graph,
 )
 from repro.spn.rewards import Measure, validate_measures
+from repro.statespace.chunked import ChunkedGraph, write_chunked_graph
 
-NetLike = Union[StochasticPetriNet, CompiledNet, TangibleReachabilityGraph]
+NetLike = Union[
+    StochasticPetriNet, CompiledNet, TangibleReachabilityGraph, ChunkedGraph
+]
+
+GraphLike = Union[TangibleReachabilityGraph, ChunkedGraph]
 
 #: Recognised values of the ``backend`` argument of :meth:`ScenarioBatchEngine.run`.
 BACKENDS = ("auto", "serial", "thread", "process")
@@ -198,10 +205,11 @@ class TransientScenarioResult:
 
 
 class _WorkerState(threading.local):
-    """Per-thread :class:`ReusableSolver` (filled system, ILU, warm start)."""
+    """Per-thread solver state (filled system / factors / warm start)."""
 
     def __init__(self) -> None:
         self.solver: Optional[ReusableSolver] = None
+        self.matrix_free: Optional[MatrixFreeSolver] = None
 
 
 class ScenarioBatchEngine:
@@ -238,6 +246,7 @@ class ScenarioBatchEngine:
         canonicalize=None,
         cache: Optional["TRGCache"] = None,
         canonicalize_id: Optional[str] = None,
+        representation: Optional[str] = None,
         gth_threshold: int = 200,
         direct_threshold: int = 20_000,
         ilu_drop_tolerance: float = 1e-6,
@@ -267,8 +276,20 @@ class ScenarioBatchEngine:
         #: How the shared graph was obtained: None until built, then
         #: "provided", "cache" or "generated".
         self.graph_source: Optional[str] = (
-            "provided" if isinstance(net, TangibleReachabilityGraph) else None
+            "provided"
+            if isinstance(net, (TangibleReachabilityGraph, ChunkedGraph))
+            else None
         )
+        #: State-space representation this engine solves against:
+        #: ``"in_ram"`` (default) or ``"chunked"`` (out-of-core CSR chunks
+        #: + matrix-free Krylov).  Inferred from a provided graph.
+        self.representation = representation or (
+            "chunked" if isinstance(net, ChunkedGraph) else "in_ram"
+        )
+        if self.representation not in ("in_ram", "chunked"):
+            raise ValueError(
+                f"unknown state-space representation {self.representation!r}"
+            )
         self.gth_threshold = gth_threshold
         self.krylov_settings = KrylovSettings(
             direct_threshold=direct_threshold,
@@ -292,9 +313,14 @@ class ScenarioBatchEngine:
         #: Calibrated cold/warm solve times reused across batches.
         self._cost_observations: Optional[CostObservations] = None
         self._net: Optional[NetLike] = net
-        self._graph: Optional[TangibleReachabilityGraph] = (
-            net if isinstance(net, TangibleReachabilityGraph) else None
+        self._graph: Optional[GraphLike] = (
+            net
+            if isinstance(net, (TangibleReachabilityGraph, ChunkedGraph))
+            else None
         )
+        #: Holds the TemporaryDirectory backing an uncached chunked graph
+        #: alive for the engine's lifetime.
+        self._chunk_scratch = None
         self._template: Optional[ConstrainedSystemTemplate] = None
         self._worker_state = _WorkerState()
         self._setup_lock = threading.Lock()
@@ -316,6 +342,9 @@ class ScenarioBatchEngine:
                         if isinstance(self._net, CompiledNet)
                         else CompiledNet(self._net)
                     )
+                    if self.representation == "chunked":
+                        self._graph = self._build_chunked(compiled)
+                        return self._graph
                     cache = self._usable_cache()
                     graph = None
                     if cache is not None:
@@ -347,6 +376,35 @@ class ScenarioBatchEngine:
                     self._graph = graph
         return self._graph
 
+    def _build_chunked(self, compiled: CompiledNet) -> ChunkedGraph:
+        """Load-or-generate the on-disk chunked graph (cache-aware)."""
+        cache = self._usable_cache()
+        if cache is not None:
+            graph = cache.load_chunked(
+                compiled, self.max_states, self.canonicalize_id
+            )
+            if graph is not None:
+                self.graph_source = "cache"
+                return graph
+            graph = cache.generate_chunked(
+                compiled,
+                self.max_states,
+                canonicalize=self.canonicalize,
+                canonicalize_id=self.canonicalize_id,
+            )
+            self.graph_source = "generated"
+            return graph
+        self._chunk_scratch = tempfile.TemporaryDirectory(prefix="repro-chunks-")
+        directory = Path(self._chunk_scratch.name) / "graph"
+        write_chunked_graph(
+            compiled,
+            directory,
+            max_states=self.max_states,
+            canonicalize=self.canonicalize,
+        )
+        self.graph_source = "generated"
+        return ChunkedGraph.open(directory, compiled)
+
     def _usable_cache(self) -> Optional["TRGCache"]:
         """The cache, unless an anonymous canonicalizer makes keying unsafe."""
         if self.cache is None:
@@ -359,6 +417,11 @@ class ScenarioBatchEngine:
         """Build (once) the symbolic constrained-balance-system structure."""
         if self._template is None:
             graph = self.graph()
+            if isinstance(graph, ChunkedGraph):
+                raise AnalysisError(
+                    "the chunked state-space backend is matrix-free and does "
+                    "not assemble a global constrained-system template"
+                )
             with self._setup_lock:
                 if self._template is None:
                     self._template = ConstrainedSystemTemplate(
@@ -740,6 +803,14 @@ class ScenarioBatchEngine:
     def _estimated_segment_bytes(self, scenarios: int) -> int:
         """Rough size of the shared segment a process dispatch would pack."""
         graph = self.graph()
+        if isinstance(graph, ChunkedGraph):
+            # Chunked sweeps ship only rates + outputs through the segment;
+            # the graph itself stays on disk and is opened by path.
+            return int(
+                8 * scenarios * max(1, graph.rate_vector.size)
+                + 8 * scenarios * self.number_of_states
+                + 32 * self.number_of_states
+            )
         coefficients = graph.edge_coefficient_matrix
         nnz = int(coefficients.nnz) if coefficients is not None else 0
         return int(
@@ -783,6 +854,13 @@ class ScenarioBatchEngine:
             self.last_run_backend = "serial"
             return []
         graph = self.graph()
+        if isinstance(graph, ChunkedGraph):
+            raise AnalysisError(
+                "transient batches need the in-RAM backend (the chunked "
+                "backend never assembles the global edge arrays the "
+                "uniformization kernel iterates over); rerun with "
+                "representation='in_ram' or a higher memory budget"
+            )
         if not graph.has_coefficients:
             raise AnalysisError(
                 "transient batches need a graph carrying per-transition "
@@ -946,9 +1024,10 @@ class ScenarioBatchEngine:
         self, rate_matrix: np.ndarray, workers: int
     ) -> tuple[np.ndarray, np.ndarray]:
         """Zero-copy multiprocess fan-out (see :mod:`repro.engine.parallel`)."""
+        graph = self.graph()
         scheduler = SweepScheduler(
-            self.graph(),
-            self.template(),
+            graph,
+            None if isinstance(graph, ChunkedGraph) else self.template(),
             self.krylov_settings,
             max_workers=workers,
             deadline_seconds=self.solve_deadline_seconds,
@@ -1028,10 +1107,23 @@ class ScenarioBatchEngine:
 
     # --- internal solver --------------------------------------------------
 
-    def _solve_vector(self, graph: TangibleReachabilityGraph) -> np.ndarray:
+    def _solve_vector(self, graph: GraphLike) -> np.ndarray:
         n = graph.number_of_states
         if n == 1:
             return np.array([1.0])
+        if isinstance(graph, ChunkedGraph):
+            if self.method != "auto":
+                raise AnalysisError(
+                    f"explicit solver method {self.method!r} needs the in-RAM "
+                    "backend; the chunked backend solves matrix-free only "
+                    "(method='auto')"
+                )
+            state = self._worker_state
+            if state.matrix_free is None:
+                state.matrix_free = MatrixFreeSolver(
+                    self.graph(), self.krylov_settings
+                )
+            return state.matrix_free.solve(graph.rate_vector)
         if self.method != "auto":
             return solvers.steady_state(generator_matrix(graph), method=self.method)
         if n <= self.gth_threshold:

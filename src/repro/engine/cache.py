@@ -31,12 +31,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
+import time
 import zipfile
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 from scipy import sparse
@@ -44,33 +46,17 @@ from scipy import sparse
 from repro.engine import faults
 from repro.spn.enabling import CompiledNet
 from repro.spn.reachability import TangibleReachabilityGraph
+from repro.statespace.chunked import (
+    ChunkedGraph,
+    CorruptChunkError,
+    MANIFEST_NAME,
+    write_chunked_graph,
+)
+from repro.statespace.integrity import DIGEST_ARRAY, payload_digest
 
 #: Bump when the stored array layout changes; part of every cache key.
 #: Version 2 added the mandatory ``payload_sha256`` integrity digest.
 CACHE_FORMAT_VERSION = 2
-
-#: Name of the embedded integrity-digest array (excluded from the digest).
-DIGEST_ARRAY = "payload_sha256"
-
-
-def payload_digest(arrays: dict) -> "np.ndarray":
-    """sha256 over the logical payload of one entry's array dict.
-
-    Hashes array names, dtypes, shapes and raw bytes (in name order), so any
-    single-bit corruption of the stored data — including a dtype or shape
-    rewrite that would survive the zip CRC — fails verification.  Returned
-    as a 32-byte ``uint8`` array so it can ride inside the ``.npz`` itself.
-    """
-    digest = hashlib.sha256()
-    for name in sorted(arrays):
-        if name == DIGEST_ARRAY:
-            continue
-        array = np.ascontiguousarray(arrays[name])
-        digest.update(name.encode())
-        digest.update(array.dtype.str.encode())
-        digest.update(repr(tuple(array.shape)).encode())
-        digest.update(array.tobytes())
-    return np.frombuffer(digest.digest(), dtype=np.uint8).copy()
 
 
 def default_cache_directory() -> Path:
@@ -149,14 +135,44 @@ def _truncate_entry(path: Path) -> None:
         pass
 
 
+def _truncate_chunk_entry(directory: Path) -> None:
+    """Chunked-entry analogue of :func:`_truncate_entry`.
+
+    Truncates the first chunk payload file of the entry directory, so the
+    injected ``corrupt_cache_read`` fault exercises the same per-chunk
+    digest verification that catches a real torn write.
+    """
+    for path in sorted(directory.glob("chunk-*.npy")):
+        _truncate_entry(path)
+        return
+
+
+def _tree_size_bytes(directory: Path) -> int:
+    """Total on-disk bytes of a chunked entry directory."""
+    total = 0
+    for path in directory.rglob("*"):
+        try:
+            if path.is_file():
+                total += path.stat().st_size
+        except OSError:  # pragma: no cover - concurrently removed file
+            pass
+    return total
+
+
 @dataclass(frozen=True)
 class CacheEntry:
-    """Metadata of one stored graph (for ``repro cache show``)."""
+    """Metadata of one stored graph (for ``repro cache show``).
+
+    ``size_bytes`` is the entry's total on-disk footprint: the ``.npz``
+    file size for in-RAM entries, the summed chunk/manifest file sizes for
+    chunked entry directories.
+    """
 
     path: Path
     key: str
     size_bytes: int
     modified: float
+    representation: str = "in_ram"
 
 
 class TRGCache:
@@ -167,6 +183,9 @@ class TRGCache:
 
     def _path(self, key: str) -> Path:
         return self.directory / f"trg-{key}.npz"
+
+    def _chunk_path(self, key: str) -> Path:
+        return self.directory / f"trg-{key}.chunks"
 
     # --- lookup -------------------------------------------------------------
 
@@ -205,6 +224,79 @@ class TRGCache:
             except OSError:  # pragma: no cover - unwritable cache directory
                 pass
             return None
+
+    def load_chunked(
+        self,
+        net: CompiledNet,
+        max_states: int,
+        canonicalize_id: Optional[str] = None,
+        key: Optional[str] = None,
+    ) -> Optional[ChunkedGraph]:
+        """The cached *chunked* graph for this configuration, or ``None``.
+
+        Chunked entries share the key space with ``.npz`` entries (same
+        :func:`cache_key`) but live in ``trg-<key>.chunks/`` directories.
+        Every chunk's payload digest is verified against the manifest; any
+        corrupt, missing or unreadable chunk — or a torn manifest — deletes
+        the **whole entry directory** and reports a miss, so the caller
+        regenerates exactly this entry and nothing else.
+        """
+        directory = self._chunk_path(
+            key or cache_key(net, max_states, canonicalize_id)
+        )
+        if not (directory / MANIFEST_NAME).exists():
+            return None
+        plan = faults.active()
+        if plan is not None and plan.fire(faults.CORRUPT_CACHE_READ, "cache.load"):
+            _truncate_chunk_entry(directory)
+        try:
+            graph = ChunkedGraph.open(directory, net)
+            graph.verify()
+            return graph
+        except (OSError, ValueError, KeyError, CorruptChunkError):
+            shutil.rmtree(directory, ignore_errors=True)
+            return None
+
+    def generate_chunked(
+        self,
+        net: CompiledNet,
+        max_states: int,
+        canonicalize: Optional[Callable] = None,
+        canonicalize_id: Optional[str] = None,
+        key: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+    ) -> ChunkedGraph:
+        """Generate ``net``'s graph straight into a chunked cache entry.
+
+        Unlike the in-RAM path (generate, then :meth:`store`), out-of-core
+        generation streams each completed wave to disk as it happens — there
+        is never a full graph object to persist after the fact.  The entry
+        is built in a temporary sibling directory and renamed into place, so
+        concurrent readers only ever see complete entries.
+        """
+        key = key or cache_key(net, max_states, canonicalize_id)
+        path = self._chunk_path(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        staging = Path(
+            tempfile.mkdtemp(dir=self.directory, prefix=f".trg-{key}.")
+        )
+        try:
+            kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+            write_chunked_graph(
+                net,
+                staging,
+                max_states=max_states,
+                canonicalize=canonicalize,
+                **kwargs,
+            )
+            if path.exists():
+                shutil.rmtree(path, ignore_errors=True)
+            os.replace(staging, path)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        compiled = net if isinstance(net, CompiledNet) else CompiledNet(net)
+        return ChunkedGraph.open(path, compiled)
 
     @staticmethod
     def _verify_digest(arrays: dict) -> None:
@@ -311,7 +403,7 @@ class TRGCache:
     # --- maintenance --------------------------------------------------------
 
     def entries(self) -> list[CacheEntry]:
-        """Stored graphs, newest first."""
+        """Stored graphs (``.npz`` files and chunked dirs), newest first."""
         if not self.directory.is_dir():
             return []
         found = []
@@ -325,14 +417,47 @@ class TRGCache:
                     modified=stat.st_mtime,
                 )
             )
+        for path in self.directory.glob("trg-*.chunks"):
+            if not path.is_dir():
+                continue
+            stat = path.stat()
+            found.append(
+                CacheEntry(
+                    path=path,
+                    key=path.name.removeprefix("trg-").removesuffix(".chunks"),
+                    size_bytes=_tree_size_bytes(path),
+                    modified=stat.st_mtime,
+                    representation="chunked",
+                )
+            )
         return sorted(found, key=lambda entry: entry.modified, reverse=True)
 
-    def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+    def total_size_bytes(self) -> int:
+        """Summed on-disk footprint of every entry."""
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def clear(self, older_than_days: Optional[float] = None) -> int:
+        """Delete entries; returns the number removed.
+
+        With ``older_than_days``, only entries whose modification time is at
+        least that many days old are removed — ``repro cache clear
+        --older-than 30`` prunes stale graphs without evicting the working
+        set.
+        """
         removed = 0
+        cutoff = (
+            time.time() - older_than_days * 86_400.0
+            if older_than_days is not None
+            else None
+        )
         for entry in self.entries():
+            if cutoff is not None and entry.modified > cutoff:
+                continue
             try:
-                entry.path.unlink()
+                if entry.representation == "chunked":
+                    shutil.rmtree(entry.path)
+                else:
+                    entry.path.unlink()
                 removed += 1
             except OSError:
                 pass

@@ -426,3 +426,227 @@ class PipelineBudget:
                 "generating": self._generating,
                 "solving": self._solving,
             }
+
+
+# --- memory-aware representation planning -----------------------------------
+
+#: Environment variable carrying the memory budget (e.g. ``512M``, ``2G``).
+MEMORY_BUDGET_ENVIRONMENT_VARIABLE = "REPRO_MEMORY_BUDGET"
+
+#: Fraction of the currently *available* system memory the planner may
+#: commit to one state space when no explicit budget is configured.
+DEFAULT_MEMORY_FRACTION = 0.5
+
+_SIZE_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": 1024,
+    "kb": 1024,
+    "kib": 1024,
+    "m": 1024**2,
+    "mb": 1024**2,
+    "mib": 1024**2,
+    "g": 1024**3,
+    "gb": 1024**3,
+    "gib": 1024**3,
+    "t": 1024**4,
+    "tb": 1024**4,
+    "tib": 1024**4,
+}
+
+
+def parse_memory_size(text) -> int:
+    """Parse ``"512M"`` / ``"2GiB"`` / ``"1048576"`` into bytes.
+
+    Accepts ints/floats (taken as bytes) and the usual binary suffixes,
+    case-insensitively.  Raises ``ValueError`` on garbage or non-positive
+    sizes so a typo'd ``--memory-budget`` fails loudly instead of silently
+    planning against zero bytes.
+    """
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        value = float(text)
+        suffix = ""
+    else:
+        cleaned = str(text).strip().lower().replace(" ", "")
+        digits = cleaned.rstrip("kmgtib")
+        suffix = cleaned[len(digits):]
+        if suffix not in _SIZE_SUFFIXES:
+            raise ValueError(f"unrecognised memory size {text!r}")
+        try:
+            value = float(digits)
+        except ValueError:
+            raise ValueError(f"unrecognised memory size {text!r}") from None
+        value *= _SIZE_SUFFIXES[suffix]
+    if value <= 0:
+        raise ValueError(f"memory budget must be positive, got {text!r}")
+    return int(value)
+
+
+def available_memory_bytes() -> Optional[int]:
+    """Bytes of memory currently available (``/proc/meminfo`` MemAvailable).
+
+    Returns ``None`` where the file is missing (non-Linux platforms) —
+    callers fall back to an unconstrained plan rather than guessing.
+    """
+    try:
+        with open("/proc/meminfo") as handle:
+            fields = {}
+            for line in handle:
+                name, _, rest = line.partition(":")
+                fields[name.strip()] = rest
+        for name in ("MemAvailable", "MemFree", "MemTotal"):
+            if name in fields:
+                return int(fields[name].split()[0]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover - no procfs
+        pass
+    return None  # pragma: no cover - no usable meminfo line
+
+
+def memory_budget_bytes(explicit=None) -> Optional[int]:
+    """Resolve the memory budget: explicit > environment > RAM fraction.
+
+    Precedence: an explicit value (``--memory-budget``), then the
+    :data:`MEMORY_BUDGET_ENVIRONMENT_VARIABLE` variable, then
+    :data:`DEFAULT_MEMORY_FRACTION` of the available system memory.
+    Returns ``None`` only when nothing is configured *and* the platform
+    exposes no memory information.
+    """
+    if explicit is not None:
+        return parse_memory_size(explicit)
+    configured = os.environ.get(MEMORY_BUDGET_ENVIRONMENT_VARIABLE)
+    if configured:
+        return parse_memory_size(configured)
+    available = available_memory_bytes()
+    if available is None:  # pragma: no cover - non-Linux platforms
+        return None
+    return int(available * DEFAULT_MEMORY_FRACTION)
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process and its waited-for children.
+
+    ``ru_maxrss`` is kibibytes on Linux.  Children are included so a parent
+    that farmed generation out to pool workers still reports the true
+    high-water mark of the run.
+    """
+    import resource
+
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return (usage + children) * 1024
+
+
+@dataclass(frozen=True)
+class BackendPlan:
+    """Outcome of one memory-aware representation choice.
+
+    ``representation`` is ``"in_ram"``, ``"chunked"`` or ``"refused"``
+    (the state space does not fit the budget under *any* representation;
+    the plan's reason carries the sizing so the caller can surface it).
+    """
+
+    representation: str
+    estimated_bytes: int
+    chunked_estimated_bytes: int
+    budget_bytes: Optional[int]
+    estimated_states: int
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "representation": self.representation,
+            "estimated_bytes": self.estimated_bytes,
+            "chunked_estimated_bytes": self.chunked_estimated_bytes,
+            "budget_bytes": self.budget_bytes,
+            "estimated_states": self.estimated_states,
+            "reason": self.reason,
+        }
+
+
+def estimate_tangible_states(net, max_states: int) -> int:
+    """Structural upper-bound proxy of the tangible state count.
+
+    A conservative multiset bound — distributing the initial tokens over
+    the places — capped at the caller's exploration limit.  Exact counts
+    need generation (or the symbolic sizer); the planner only needs a
+    figure that is large for nets that *can* blow up and small for nets
+    that provably cannot.
+    """
+    import math
+
+    tokens = int(sum(net.initial_marking))
+    places = max(1, len(net.initial_marking))
+    try:
+        bound = math.comb(tokens + places - 1, places - 1)
+    except (OverflowError, ValueError):  # pragma: no cover - astronomic nets
+        return int(max_states)
+    return int(min(int(max_states), bound))
+
+
+def plan_representation(
+    net,
+    max_states: int,
+    *,
+    budget_bytes=None,
+    expected_states: Optional[int] = None,
+    forced: Optional[str] = None,
+) -> BackendPlan:
+    """Route one state space to ``in_ram``, ``chunked`` or ``refused``.
+
+    Peak bytes are estimated from the structural proxies
+    (:func:`estimate_tangible_states` ×
+    :func:`repro.spn.kernel.estimate_state_bytes`) and compared against the
+    resolved budget (:func:`memory_budget_bytes`).  ``expected_states``
+    overrides the structural state-count proxy when the caller knows better
+    (a cached entry, a symbolic count).  ``forced`` bypasses the comparison
+    but still records the sizing in the plan.
+    """
+    from repro.spn.enabling import CompiledNet
+    from repro.spn.kernel import estimate_state_bytes
+
+    compiled = net if isinstance(net, CompiledNet) else CompiledNet(net)
+    states = (
+        int(expected_states)
+        if expected_states is not None
+        else estimate_tangible_states(compiled, max_states)
+    )
+    per_in_ram, per_chunked = estimate_state_bytes(compiled)
+    in_ram_bytes = states * per_in_ram
+    chunked_bytes = states * per_chunked
+    budget = memory_budget_bytes(budget_bytes)
+
+    def plan(representation: str, reason: str) -> BackendPlan:
+        return BackendPlan(
+            representation=representation,
+            estimated_bytes=in_ram_bytes,
+            chunked_estimated_bytes=chunked_bytes,
+            budget_bytes=budget,
+            estimated_states=states,
+            reason=reason,
+        )
+
+    if forced is not None:
+        return plan(forced, f"representation forced to {forced!r} by caller")
+    if budget is None:  # pragma: no cover - non-Linux platforms
+        return plan("in_ram", "no memory budget resolvable; defaulting to in-RAM")
+    if in_ram_bytes <= budget:
+        return plan(
+            "in_ram",
+            f"estimated {in_ram_bytes / 1e6:.1f} MB in-RAM for ~{states} "
+            f"states fits the {budget / 1e6:.1f} MB budget",
+        )
+    if chunked_bytes <= budget:
+        return plan(
+            "chunked",
+            f"estimated {in_ram_bytes / 1e6:.1f} MB in-RAM exceeds the "
+            f"{budget / 1e6:.1f} MB budget; chunked working set "
+            f"~{chunked_bytes / 1e6:.1f} MB fits",
+        )
+    return plan(
+        "refused",
+        f"~{states} states need an estimated {chunked_bytes / 1e6:.1f} MB "
+        f"even chunked, over the {budget / 1e6:.1f} MB budget; raise "
+        f"--memory-budget/{MEMORY_BUDGET_ENVIRONMENT_VARIABLE}, lower "
+        f"max_states, enable symmetry reduction, or size the space first "
+        f"with the symbolic counter",
+    )

@@ -416,7 +416,7 @@ class FailureRecord:
     every solvable result plus a machine-readable reason for the rest.
     """
 
-    stage: str  # "generate" | "solve"
+    stage: str  # "plan" | "generate" | "solve"
     group: str
     cases: tuple[str, ...]
     case_indices: tuple[int, ...]

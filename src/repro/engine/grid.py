@@ -55,6 +55,7 @@ from repro.engine import dispatch, faults
 from repro.engine.atomicio import fsync_file, replace_durably, write_text_durably
 from repro.engine.batch import ScenarioBatchEngine, ScenarioSpec
 from repro.engine.cache import TRGCache, structure_fingerprint
+from repro.engine.dispatch import BackendPlan, plan_representation
 from repro.engine.faults import FailureRecord, RetryPolicy
 from repro.engine.parallel import shared_pool
 from repro.spn.enabling import CompiledNet
@@ -239,6 +240,18 @@ class GridGroupReport:
     symmetry: Optional[str] = None
     symmetry_group_order: int = 1
     states_before_estimate: Optional[int] = None
+    #: State-space representation the memory planner routed this group to
+    #: (``"in_ram"`` or ``"chunked"``) and why.
+    representation: str = "in_ram"
+    planner_reason: Optional[str] = None
+    #: Planner inputs: estimated peak bytes of the chosen representation
+    #: and the budget it was compared against (``None`` = unbounded).
+    estimated_peak_bytes: Optional[int] = None
+    memory_budget_bytes: Optional[int] = None
+    #: Process-wide peak RSS (self + reaped children) sampled when the
+    #: group's solve finished — monotone within a process, so this is an
+    #: upper bound attributable to work up to and including this group.
+    peak_rss_bytes: Optional[int] = None
 
     @property
     def cache_hit(self) -> bool:
@@ -358,6 +371,12 @@ class _Group:
     #: Earliest ``perf_counter`` time a requeued generation may redispatch
     #: (exponential backoff between retries).
     not_before: float = 0.0
+    #: Memory-planner routing of this group (filled before generation).
+    plan: Optional[BackendPlan] = None
+
+    @property
+    def representation(self) -> str:
+        return self.plan.representation if self.plan is not None else "in_ram"
 
 
 def _generate_into_cache(
@@ -366,19 +385,27 @@ def _generate_into_cache(
     cache_directory: str,
     canonicalizer: Optional[CanonicalizerRef],
     cache_key: str,
+    representation: str = "in_ram",
 ) -> float:
     """Worker-side TRG generation; the cache entry is the transport back.
 
     Module-level (and argument-picklable) so the persistent process pool of
     :mod:`repro.engine.parallel` can run it; returns the generation seconds.
+    ``representation="chunked"`` streams the graph to an on-disk chunk entry
+    instead of materialising it (the worker's own footprint stays bounded).
     """
     started = time.perf_counter()
     compiled = CompiledNet(net)
     canonicalize = canonicalizer.build() if canonicalizer is not None else None
-    graph = generate_tangible_reachability_graph(
-        compiled, max_states=max_states, canonicalize=canonicalize
-    )
-    TRGCache(cache_directory).store(graph, max_states, key=cache_key)
+    if representation == "chunked":
+        TRGCache(cache_directory).generate_chunked(
+            compiled, max_states, canonicalize=canonicalize, key=cache_key
+        )
+    else:
+        graph = generate_tangible_reachability_graph(
+            compiled, max_states=max_states, canonicalize=canonicalize
+        )
+        TRGCache(cache_directory).store(graph, max_states, key=cache_key)
     return time.perf_counter() - started
 
 
@@ -540,6 +567,17 @@ class ScenarioGridOrchestrator:
             stay per-case).  Surfaced per group in
             :attr:`GridGroupReport.deduped_cases` and grid-wide in
             :attr:`GridOutcome.deduped_cases`.
+        memory_budget: peak-memory budget in bytes for the per-group
+            representation planner (:func:`~repro.engine.dispatch.
+            plan_representation`).  ``None`` resolves the default chain —
+            the ``REPRO_MEMORY_BUDGET`` environment variable, else half the
+            machine's available RAM.  Each structure group's estimated
+            in-RAM footprint is compared against the budget before any
+            generation: groups that fit run on the in-RAM backend, groups
+            that do not are routed to the out-of-core chunked backend
+            (on-disk CSR chunks + matrix-free Krylov), and groups too large
+            even for chunked are **refused** — quarantined with a sizing
+            message instead of thrashing the machine.
         retry: self-healing policy (:class:`~repro.engine.faults.
             RetryPolicy`): per-task retries with exponential backoff,
             per-kind deadlines, the pool restart budget.  A task still
@@ -576,6 +614,7 @@ class ScenarioGridOrchestrator:
         shard_size: int = DEFAULT_SHARD_SIZE,
         pipeline: bool = True,
         dedupe: bool = True,
+        memory_budget: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         resume: bool = False,
         cancel_event: Optional[threading.Event] = None,
@@ -593,6 +632,7 @@ class ScenarioGridOrchestrator:
         self.shard_size = shard_size
         self.pipeline = pipeline
         self.dedupe = dedupe
+        self.memory_budget = memory_budget
         self.retry = retry if retry is not None else RetryPolicy()
         self.resume = resume
         self.cancel_event = cancel_event
@@ -732,6 +772,66 @@ class ScenarioGridOrchestrator:
             group.case_indices.append(index)
         return groups
 
+    # --- memory planning ---------------------------------------------------
+
+    def _plan_groups(
+        self,
+        groups: dict[str, _Group],
+        cases: Sequence[GridCase],
+        failures: list[FailureRecord],
+    ) -> None:
+        """Route every group to a representation before anything generates.
+
+        Groups the planner refuses (too large even for the chunked backend
+        under the resolved budget) are quarantined into ``failures`` with
+        the planner's sizing message and removed from ``groups`` — a refusal
+        is a structured partial result, never an OOM kill mid-run.
+        """
+        budget = dispatch.memory_budget_bytes(self.memory_budget)
+        self._budget_bytes = budget
+        refused: list[str] = []
+        for key, group in groups.items():
+            group.plan = plan_representation(
+                group.compiled, self.max_states, budget_bytes=budget
+            )
+            if group.plan.representation == "refused":
+                refused.append(key)
+                failures.append(
+                    FailureRecord(
+                        stage="plan",
+                        group=group.key,
+                        cases=tuple(
+                            cases[index].name for index in group.case_indices
+                        ),
+                        case_indices=tuple(group.case_indices),
+                        attempts=1,
+                        error=group.plan.reason,
+                        error_type="MemoryBudgetExceeded",
+                        metadata=group.plan.as_dict(),
+                    )
+                )
+                self._log(
+                    f"[grid] group {group.key} refused by the memory "
+                    f"planner: {group.plan.reason}"
+                )
+            elif group.plan.representation == "chunked":
+                self._log(
+                    f"[grid] group {group.key} routed to the chunked "
+                    f"backend ({group.plan.reason})"
+                )
+        for key in refused:
+            del groups[key]
+
+    def _load_graph(self, group: _Group, transport: TRGCache):
+        """Representation-aware cache probe for one group's graph."""
+        if group.representation == "chunked":
+            return transport.load_chunked(
+                group.compiled, self.max_states, key=group.cache_key
+            )
+        return transport.load(
+            group.compiled, self.max_states, key=group.cache_key
+        )
+
     # --- generation -------------------------------------------------------
 
     def _generation_failure(
@@ -814,9 +914,7 @@ class ScenarioGridOrchestrator:
         misses: list[_Group] = []
         for group in groups.values():
             probe_started = time.perf_counter()
-            graph = transport.load(
-                group.compiled, self.max_states, key=group.cache_key
-            )
+            graph = self._load_graph(group, transport)
             if graph is not None:
                 group.graph = graph
                 group.graph_source = "cache"
@@ -870,6 +968,7 @@ class ScenarioGridOrchestrator:
                     directory,
                     group.representative.canonicalizer,
                     group.cache_key,
+                    group.representation,
                 )
         except (PicklingError, TypeError, AttributeError, OSError) as error:
             # A mid-loop failure (fork exhaustion, an unpicklable net) must
@@ -886,9 +985,7 @@ class ScenarioGridOrchestrator:
                     seconds = future.result()
                 except Exception:  # noqa: BLE001 - best-effort drain
                     continue
-                graph = transport.load(
-                    group.compiled, self.max_states, key=group.cache_key
-                )
+                graph = self._load_graph(group, transport)
                 if graph is not None:
                     group.graph = graph
                     group.graph_source = "generated:pool"
@@ -913,9 +1010,7 @@ class ScenarioGridOrchestrator:
                     stacklevel=4,
                 )
                 continue
-            graph = transport.load(
-                group.compiled, self.max_states, key=group.cache_key
-            )
+            graph = self._load_graph(group, transport)
             if graph is not None:
                 group.graph = graph
                 group.graph_source = "generated:pool"
@@ -930,6 +1025,19 @@ class ScenarioGridOrchestrator:
     ) -> None:
         started = time.perf_counter()
         faults.perturb("generate.inprocess")
+        if group.representation == "chunked":
+            # The chunk entry *is* the graph's storage, so it always lands
+            # in the transport directory (a scratch transport keeps it
+            # alive exactly as long as the run needs it).
+            group.graph = transport.generate_chunked(
+                group.compiled,
+                self.max_states,
+                canonicalize=group.canonicalize,
+                key=group.cache_key,
+            )
+            group.graph_source = "generated"
+            group.generate_seconds = time.perf_counter() - started
+            return
         graph = generate_tangible_reachability_graph(
             group.compiled,
             max_states=self.max_states,
@@ -1115,6 +1223,7 @@ class ScenarioGridOrchestrator:
             self._rotate_failures()
         failures: list[FailureRecord] = []
         self._interrupted = False
+        self._plan_groups(groups, cases, failures)
         rebuilds_before = shared_pool.rebuilds
         watchdog_kills = 0
         if self.pipeline and len(groups) > 1 and self._worker_budget() > 1:
@@ -1263,6 +1372,14 @@ class ScenarioGridOrchestrator:
             if isinstance(lumping_spec, SymmetrySpec)
             else 1
         )
+        plan = group.plan
+        estimated_peak = None
+        if plan is not None:
+            estimated_peak = (
+                plan.chunked_estimated_bytes
+                if plan.representation == "chunked"
+                else plan.estimated_bytes
+            )
         report = GridGroupReport(
             key=group.key,
             cases=len(group.case_indices),
@@ -1290,6 +1407,11 @@ class ScenarioGridOrchestrator:
                 if isinstance(lumping_spec, SymmetrySpec)
                 else None
             ),
+            representation=group.representation,
+            planner_reason=plan.reason if plan is not None else None,
+            estimated_peak_bytes=estimated_peak,
+            memory_budget_bytes=plan.budget_bytes if plan is not None else None,
+            peak_rss_bytes=dispatch.peak_rss_bytes(),
         )
         return rows, report
 
@@ -1488,9 +1610,7 @@ class ScenarioGridOrchestrator:
         pending: deque[_Group] = deque()
         for group in order:
             probe_started = time.perf_counter()
-            graph = transport.load(
-                group.compiled, self.max_states, key=group.cache_key
-            )
+            graph = self._load_graph(group, transport)
             if graph is not None:
                 group.graph = graph
                 group.graph_source = "cache"
@@ -1594,6 +1714,7 @@ class ScenarioGridOrchestrator:
                             directory,
                             group.representative.canonicalizer,
                             group.cache_key,
+                            group.representation,
                         )
                     except (PicklingError, TypeError, AttributeError, OSError) as error:
                         budget.release_generation()
@@ -1738,9 +1859,7 @@ class ScenarioGridOrchestrator:
                             done_groups += 1
                             progress()
                         continue
-                    graph = transport.load(
-                        group.compiled, self.max_states, key=group.cache_key
-                    )
+                    graph = self._load_graph(group, transport)
                     if graph is None:
                         # The worker reported success but the entry is not
                         # loadable (e.g. evicted) — regenerate in-process.

@@ -22,11 +22,13 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
+from scipy import sparse
 from scipy.sparse import linalg as sparse_linalg
 
 from repro.engine.system import ConstrainedSystemTemplate
 from repro.exceptions import AnalysisError
 from repro.markov import solvers
+from repro.statespace.chunked import ChunkedGraph
 
 
 class KrylovConvergenceError(AnalysisError):
@@ -221,3 +223,241 @@ class ReusableSolver:
             self.warm_start = None
             self.last_solve_used_fallback = True
             return solvers.steady_state(fallback_generator(), method="auto")
+
+
+#: Default superblock width of the matrix-free block-Jacobi preconditioner.
+#: Kept at/below ``KrylovSettings.direct_threshold`` so every block gets a
+#: *complete* LU — the same "complete LU is cheap at this size" reasoning the
+#: in-RAM solver applies globally, applied per block; it also bounds the
+#: factorisation memory independently of the total state count.
+DEFAULT_SUPERBLOCK_ROWS = 16_384
+
+
+class MatrixFreeSolver:
+    """Out-of-core steady-state solver over a :class:`ChunkedGraph`.
+
+    The constrained balance system ``A x = b`` (``A = Qᵀ`` with the last row
+    replaced by the normalisation constraint — exactly the system
+    :class:`~repro.engine.system.ConstrainedSystemTemplate` assembles) is
+    applied as a :class:`scipy.sparse.linalg.LinearOperator` that streams the
+    graph's chunk files per matvec, so the generator is never materialised.
+
+    Preconditioning is block-Jacobi over *superblocks* — runs of consecutive
+    chunks merged to roughly :data:`DEFAULT_SUPERBLOCK_ROWS` rows.  Because
+    chunks partition the states by source row, a superblock's in-block
+    entries come only from its own chunks (targets filtered to the block),
+    so the factor build streams the graph once.  Each block gets a complete
+    sparse LU (ILU beyond ``direct_threshold``; a diagonal fallback if a
+    block factorisation fails).  Like :class:`ReusableSolver`, factors are
+    reused across sweep points as stale-but-good preconditioners and only
+    rebuilt when a solve stalls; convergence escalates GMRES → BiCGStab →
+    iterative refinement (:func:`repro.markov.solvers.steady_state_matrix_free`)
+    before giving up with an honest :class:`KrylovConvergenceError`.
+    """
+
+    def __init__(
+        self,
+        graph: ChunkedGraph,
+        settings: KrylovSettings = KrylovSettings(),
+        *,
+        superblock_rows: int = DEFAULT_SUPERBLOCK_ROWS,
+        residual_target: float = 1e-14,
+    ) -> None:
+        self.graph = graph
+        self.settings = settings
+        self.superblock_rows = max(1, superblock_rows)
+        self.residual_target = residual_target
+        self.warm_start: Optional[np.ndarray] = None
+        self.preconditioner = None
+        self._factor_rates: Optional[np.ndarray] = None
+        n = graph.number_of_states
+        self.rhs = np.zeros(n)
+        if n:
+            self.rhs[n - 1] = 1.0
+
+    # --- operator ----------------------------------------------------------
+
+    def _operator(
+        self, rate_vector: np.ndarray, exit_rates: np.ndarray
+    ) -> sparse_linalg.LinearOperator:
+        graph = self.graph
+        n = graph.number_of_states
+
+        def matvec(x: np.ndarray) -> np.ndarray:
+            x = np.asarray(x, dtype=np.float64).ravel()
+            y = np.zeros(n)
+            for _, sources, targets, rates in graph.edge_chunks(rate_vector):
+                y += np.bincount(targets, weights=rates * x[sources], minlength=n)
+            y -= exit_rates * x
+            y[n - 1] = x.sum()  # the replaced normalisation row
+            return y
+
+        return sparse_linalg.LinearOperator((n, n), matvec=matvec)
+
+    # --- preconditioner -----------------------------------------------------
+
+    def _superblocks(self) -> list[tuple[int, int, list[int]]]:
+        """``(row_start, row_end, chunk_indices)`` runs of ≈superblock_rows."""
+        blocks: list[tuple[int, int, list[int]]] = []
+        members: list[int] = []
+        start = 0
+        for chunk in self.graph.chunks:
+            if not members:
+                start = chunk.row_start
+            members.append(chunk.index)
+            if chunk.row_end - start >= self.superblock_rows:
+                blocks.append((start, chunk.row_end, members))
+                members = []
+        if members:
+            blocks.append((start, self.graph.chunks[members[-1]].row_end, members))
+        return blocks
+
+    def _factorize(
+        self, rate_vector: np.ndarray, exit_rates: np.ndarray
+    ) -> sparse_linalg.LinearOperator:
+        graph = self.graph
+        settings = self.settings
+        n = graph.number_of_states
+        solvers_per_block: list[tuple[int, int, object, Optional[np.ndarray]]] = []
+        for row_start, row_end, members in self._superblocks():
+            width = row_end - row_start
+            rows: list[np.ndarray] = []
+            cols: list[np.ndarray] = []
+            vals: list[np.ndarray] = []
+            for index in members:
+                chunk = graph.chunks[index]
+                if chunk.edge_count == 0:
+                    continue
+                sources = graph.chunk_array(index, "edge_sources")
+                targets = graph.chunk_array(index, "edge_targets")
+                rates = np.asarray(
+                    graph.chunk_ecm(index).T.dot(rate_vector)
+                ).ravel()
+                inside = (targets >= row_start) & (targets < row_end)
+                rows.append(targets[inside] - row_start)
+                cols.append(sources[inside] - row_start)
+                vals.append(rates[inside])
+            diagonal = np.arange(width, dtype=np.int64)
+            rows.append(diagonal)
+            cols.append(diagonal)
+            vals.append(-exit_rates[row_start:row_end])
+            row_ids = np.concatenate(rows)
+            col_ids = np.concatenate(cols)
+            values = np.concatenate(vals)
+            if row_end == n:
+                # This block hosts the replaced normalisation row: drop its
+                # balance entries and overwrite with the in-block ones row.
+                keep = row_ids != width - 1
+                row_ids = np.concatenate(
+                    [row_ids[keep], np.full(width, width - 1, dtype=np.int64)]
+                )
+                col_ids = np.concatenate(
+                    [col_ids[keep], np.arange(width, dtype=np.int64)]
+                )
+                values = np.concatenate([values[keep], np.ones(width)])
+            block = sparse.coo_matrix(
+                (values, (row_ids, col_ids)), shape=(width, width)
+            ).tocsc()
+            factor = None
+            try:
+                if width <= settings.direct_threshold:
+                    factor = sparse_linalg.splu(block, permc_spec="MMD_AT_PLUS_A")
+                else:
+                    factor = sparse_linalg.spilu(
+                        block,
+                        drop_tol=settings.ilu_drop_tolerance,
+                        fill_factor=settings.ilu_fill_factor,
+                    )
+            except Exception:
+                factor = None
+            fallback = None
+            if factor is None:
+                # Singular / failed block: fall back to diagonal (Jacobi)
+                # scaling so the preconditioner stays well defined.
+                diagonal_values = block.diagonal()
+                diagonal_values = np.where(
+                    np.abs(diagonal_values) > 1e-300, diagonal_values, 1.0
+                )
+                fallback = 1.0 / diagonal_values
+            solvers_per_block.append((row_start, row_end, factor, fallback))
+
+        def apply(x: np.ndarray) -> np.ndarray:
+            x = np.asarray(x, dtype=np.float64).ravel()
+            y = np.empty_like(x)
+            for row_start, row_end, factor, fallback in solvers_per_block:
+                if factor is not None:
+                    y[row_start:row_end] = factor.solve(x[row_start:row_end])
+                else:
+                    y[row_start:row_end] = x[row_start:row_end] * fallback
+            return y
+
+        return sparse_linalg.LinearOperator((n, n), matvec=apply)
+
+    # --- solving ------------------------------------------------------------
+
+    def solve(
+        self,
+        rate_vector: Optional[np.ndarray] = None,
+        scenario_index: Optional[int] = None,
+    ) -> np.ndarray:
+        """Stationary vector for ``rate_vector`` (default: the graph's own).
+
+        Raises:
+            KrylovConvergenceError: when even the escalation ladder with
+                freshly built factors cannot push the residual below the
+                target — there is no denser representation to fall back to,
+                so the failure is surfaced instead of a degraded vector.
+        """
+        graph = self.graph
+        n = graph.number_of_states
+        if n == 0:
+            raise AnalysisError("cannot solve an empty state space")
+        if n == 1:
+            return np.array([1.0])
+        rates = (
+            np.asarray(rate_vector, dtype=np.float64)
+            if rate_vector is not None
+            else graph.rate_vector
+        )
+        exit_rates = graph.exit_rates(rates)
+        operator = self._operator(rates, exit_rates)
+        settings = self.settings
+        best_norm = float("nan")
+        for attempt in ("reuse", "rebuild"):
+            stale = self._factor_rates is None or not np.array_equal(
+                self._factor_rates, rates
+            )
+            if self.preconditioner is None or (attempt == "rebuild" and stale):
+                self.preconditioner = self._factorize(rates, exit_rates)
+                self._factor_rates = rates.copy()
+            elif attempt == "rebuild":
+                break  # factors already match these rates; nothing to rebuild
+            x0 = None
+            if self.warm_start is not None and self.warm_start.shape == (n,):
+                x0 = self.warm_start
+            solution, best_norm = solvers.steady_state_matrix_free(
+                operator,
+                self.rhs,
+                preconditioner=self.preconditioner,
+                x0=x0,
+                rtol=settings.gmres_tolerance,
+                restart=max(settings.gmres_restart, 100),
+                residual_target=self.residual_target,
+            )
+            if best_norm <= self.residual_target:
+                probabilities = solvers.normalize_distribution(solution)
+                self.warm_start = probabilities
+                return probabilities
+        where = (
+            f"scenario {scenario_index}"
+            if scenario_index is not None
+            else "a scenario"
+        )
+        raise KrylovConvergenceError(
+            f"matrix-free Krylov ladder (GMRES, BiCGStab, refinement) did not "
+            f"reach the residual target {self.residual_target:.1e} on {where} "
+            f"(final residual norm {best_norm:.3e})",
+            scenario_index=scenario_index,
+            residual_norm=best_norm,
+            iterations=settings.gmres_max_iterations,
+        )

@@ -85,14 +85,22 @@ class RewardMatrix:
                 scales.append(None)
             elif isinstance(measure, ThroughputMeasure):
                 index = graph.transition_index.get(measure.transition)
-                if index is None or graph.state_coefficient_matrix is None:
+                degree_hook = getattr(graph, "throughput_degree_column", None)
+                if index is None or (
+                    graph.state_coefficient_matrix is None and degree_hook is None
+                ):
                     raise UnsupportedMeasure(
                         f"throughput measure {measure.name!r} needs per-state "
                         f"coefficient data for transition {measure.transition!r}"
                     )
-                row = graph.state_coefficient_matrix.getrow(index)
-                column = np.zeros(graph.number_of_states)
-                column[row.indices] = row.data
+                if graph.state_coefficient_matrix is not None:
+                    row = graph.state_coefficient_matrix.getrow(index)
+                    column = np.zeros(graph.number_of_states)
+                    column[row.indices] = row.data
+                else:
+                    # Chunked backends stream the degree column instead of
+                    # holding a global coefficient matrix.
+                    column = np.asarray(degree_hook(index), dtype=np.float64)
                 columns.append(column)
                 scales.append(int(index))
             else:

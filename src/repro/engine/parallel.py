@@ -54,9 +54,10 @@ import numpy as np
 from scipy import sparse
 
 from repro.engine import faults
-from repro.engine.krylov import KrylovSettings, ReusableSolver
+from repro.engine.krylov import KrylovSettings, MatrixFreeSolver, ReusableSolver
 from repro.engine.system import ConstrainedSystemTemplate
 from repro.spn.reachability import TangibleReachabilityGraph
+from repro.statespace.chunked import ChunkedGraph
 
 try:  # pragma: no cover - exercised indirectly via availability checks
     from multiprocessing import get_context, shared_memory
@@ -171,7 +172,7 @@ class SweepPlan:
     def __init__(
         self,
         graph: TangibleReachabilityGraph,
-        template: ConstrainedSystemTemplate,
+        template: Optional[ConstrainedSystemTemplate],
         rate_matrix: np.ndarray,
     ) -> None:
         if shared_memory is None:
@@ -181,22 +182,32 @@ class SweepPlan:
         rate_matrix = np.ascontiguousarray(rate_matrix, dtype=np.float64)
         scenarios = rate_matrix.shape[0]
         n = graph.number_of_states
-        coefficients = graph.edge_coefficient_matrix.tocsr()
-        template_arrays = template.shared_arrays()
-
-        inputs: dict[str, np.ndarray] = {
-            "edge_sources": np.ascontiguousarray(graph.edge_sources),
-            "edge_targets": np.ascontiguousarray(graph.edge_targets),
-            "coeff_data": np.ascontiguousarray(coefficients.data, dtype=np.float64),
-            "coeff_indices": np.ascontiguousarray(coefficients.indices),
-            "coeff_indptr": np.ascontiguousarray(coefficients.indptr),
-            "tpl_edge_sources": np.ascontiguousarray(template_arrays["edge_sources"]),
-            "tpl_edge_mask": np.ascontiguousarray(template_arrays["edge_mask"]),
-            "tpl_positions": np.ascontiguousarray(template_arrays["positions"]),
-            "tpl_csc_indices": np.ascontiguousarray(template_arrays["csc_indices"]),
-            "tpl_csc_indptr": np.ascontiguousarray(template_arrays["csc_indptr"]),
-            "rates": rate_matrix,
-        }
+        chunked = isinstance(graph, ChunkedGraph)
+        if chunked:
+            # Out-of-core groups ship no graph arrays at all: the chunk
+            # manifest on disk *is* the shared structure (workers open it
+            # read-only), so the segment holds only the per-scenario rates
+            # and the output blocks.
+            self.chunk_directory: Optional[str] = str(graph.directory)
+            inputs: dict[str, np.ndarray] = {"rates": rate_matrix}
+            coefficients = None
+        else:
+            self.chunk_directory = None
+            coefficients = graph.edge_coefficient_matrix.tocsr()
+            template_arrays = template.shared_arrays()
+            inputs = {
+                "edge_sources": np.ascontiguousarray(graph.edge_sources),
+                "edge_targets": np.ascontiguousarray(graph.edge_targets),
+                "coeff_data": np.ascontiguousarray(coefficients.data, dtype=np.float64),
+                "coeff_indices": np.ascontiguousarray(coefficients.indices),
+                "coeff_indptr": np.ascontiguousarray(coefficients.indptr),
+                "tpl_edge_sources": np.ascontiguousarray(template_arrays["edge_sources"]),
+                "tpl_edge_mask": np.ascontiguousarray(template_arrays["edge_mask"]),
+                "tpl_positions": np.ascontiguousarray(template_arrays["positions"]),
+                "tpl_csc_indices": np.ascontiguousarray(template_arrays["csc_indices"]),
+                "tpl_csc_indptr": np.ascontiguousarray(template_arrays["csc_indptr"]),
+                "rates": rate_matrix,
+            }
         outputs: dict[str, tuple[tuple[int, ...], np.dtype]] = {
             "solutions": ((scenarios, n), np.dtype(np.float64)),
             "times": ((scenarios,), np.dtype(np.float64)),
@@ -224,7 +235,9 @@ class SweepPlan:
                 f"could not create a {offset}-byte shared-memory segment: {error}"
             ) from error
         self._specs = specs
-        self.coefficient_shape = tuple(coefficients.shape)
+        self.coefficient_shape = (
+            tuple(coefficients.shape) if coefficients is not None else None
+        )
         self.number_of_states = n
         self.scenarios = scenarios
         try:
@@ -262,6 +275,7 @@ class SweepPlan:
             "specs": self._specs,
             "coefficient_shape": self.coefficient_shape,
             "number_of_states": self.number_of_states,
+            "chunk_directory": self.chunk_directory,
         }
 
     def destroy(self) -> None:
@@ -340,12 +354,25 @@ class _WorkerContext:
             if name not in ("solutions", "times", "status"):
                 view.flags.writeable = False
             arrays[name] = view
-        self.edge_sources = arrays["edge_sources"]
-        self.edge_targets = arrays["edge_targets"]
         self.rates = arrays["rates"]
         self.solutions = arrays["solutions"]
         self.times = arrays["times"]
         self.status = arrays["status"]
+        self._arrays = arrays
+        chunk_directory = manifest.get("chunk_directory")
+        if chunk_directory is not None:
+            # Out-of-core batch: the structure lives in the chunk files, not
+            # the segment; every worker streams the same read-only manifest.
+            self.edge_sources = self.edge_targets = None
+            self.coefficients_T = None
+            self.solver = None
+            self.matrix_free: Optional[MatrixFreeSolver] = MatrixFreeSolver(
+                ChunkedGraph.open(chunk_directory), settings
+            )
+            return
+        self.matrix_free = None
+        self.edge_sources = arrays["edge_sources"]
+        self.edge_targets = arrays["edge_targets"]
         # C.T as a CSC matrix, built once: edge_rates(θ) = Cᵀ · rate_vector(θ).
         self.coefficients_T = sparse.csr_matrix(
             (arrays["coeff_data"], arrays["coeff_indices"], arrays["coeff_indptr"]),
@@ -361,7 +388,6 @@ class _WorkerContext:
             },
             self.n,
         )
-        self._arrays = arrays
         self.solver = ReusableSolver(template, settings)
 
     def close(self) -> None:
@@ -372,6 +398,7 @@ class _WorkerContext:
         the parent, so this close releases the last mapping).
         """
         self.solver = None
+        self.matrix_free = None
         self.coefficients_T = None
         self.edge_sources = self.edge_targets = self.rates = None
         self.solutions = self.times = self.status = None
@@ -401,6 +428,15 @@ class _WorkerContext:
         ).tocsr()
 
     def run_chunk(self, indices: Sequence[int]) -> None:
+        if self.matrix_free is not None:
+            for index in indices:
+                started = perf_counter()
+                self.solutions[index, :] = self.matrix_free.solve(
+                    self.rates[index], scenario_index=index
+                )
+                self.times[index] = perf_counter() - started
+                self.status[index] = STATUS_SOLVED
+            return
         for index in indices:
             started = perf_counter()
             edge_rates = np.asarray(
@@ -831,7 +867,7 @@ class SweepScheduler:
     def __init__(
         self,
         graph: TangibleReachabilityGraph,
-        template: ConstrainedSystemTemplate,
+        template: Optional[ConstrainedSystemTemplate],
         settings: KrylovSettings,
         max_workers: int,
         reuse_pool: bool = True,
@@ -841,6 +877,10 @@ class SweepScheduler:
             raise ValueError(
                 "the process scheduler needs a graph with per-transition "
                 "coefficient matrices"
+            )
+        if template is None and not isinstance(graph, ChunkedGraph):
+            raise ValueError(
+                "only chunked graphs may be scheduled without a system template"
             )
         if not shared_memory_available():
             raise SharedMemoryUnavailable(

@@ -33,6 +33,31 @@ class StateSpaceError(AnalysisError):
     """
 
 
+class StateSpaceLimitError(StateSpaceError):
+    """The exploration hit its ``max_states`` ceiling.
+
+    Carries enough context for callers (and error messages) to size the
+    model honestly: how far the exploration got, and — when the wave growth
+    supports an extrapolation — roughly how large the full state space would
+    be.  ``projected_states`` is ``None`` when no reliable projection exists.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        max_states: int | None = None,
+        states_explored: int | None = None,
+        waves_explored: int | None = None,
+        projected_states: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.max_states = max_states
+        self.states_explored = states_explored
+        self.waves_explored = waves_explored
+        self.projected_states = projected_states
+
+
 class SimulationError(ReproError):
     """A discrete-event simulation run could not be carried out."""
 

@@ -144,6 +144,103 @@ def constrained_balance_system(
     return transposed.tocsc(), rhs
 
 
+def steady_state_matrix_free(
+    operator,
+    rhs: np.ndarray,
+    *,
+    preconditioner=None,
+    x0: np.ndarray | None = None,
+    rtol: float = 1e-13,
+    restart: int = 100,
+    max_restart_cycles: int = 30,
+    bicgstab_iterations: int = 2000,
+    residual_target: float = 1e-12,
+    refinement_rounds: int = 5,
+) -> tuple[np.ndarray, float]:
+    """Solve ``A x = rhs`` given only ``A``'s action (no assembled matrix).
+
+    The numeric core of the out-of-core solve path: ``operator`` is a
+    :class:`scipy.sparse.linalg.LinearOperator` whose matvec streams the
+    constrained balance system chunk by chunk, so the full generator is
+    never materialised.  Escalation ladder:
+
+    1. restarted GMRES (optionally preconditioned, warm-started);
+    2. BiCGStab from the best iterate if GMRES stalls;
+    3. iterative refinement — solve the residual equation ``A δ = r`` and
+       correct — until ``‖rhs − A x‖₂ ≤ residual_target`` or the residual
+       stops improving.
+
+    Returns the best iterate found and its true (recomputed) residual
+    2-norm; the *caller* decides whether that residual is good enough —
+    this function only raises on non-finite breakdowns.
+    """
+    rhs = np.asarray(rhs, dtype=np.float64)
+
+    def true_residual(x: np.ndarray) -> float:
+        return float(np.linalg.norm(operator.matvec(x) - rhs))
+
+    best: np.ndarray | None = None
+    best_norm = np.inf
+
+    def consider(candidate) -> None:
+        nonlocal best, best_norm
+        if candidate is None:
+            return
+        candidate = np.asarray(candidate, dtype=np.float64).ravel()
+        if not np.all(np.isfinite(candidate)):
+            return
+        norm = true_residual(candidate)
+        if norm < best_norm:
+            best, best_norm = candidate, norm
+
+    if x0 is not None:
+        consider(x0)
+    solution, _ = sparse_linalg.gmres(
+        operator,
+        rhs,
+        M=preconditioner,
+        x0=x0,
+        rtol=rtol,
+        atol=0.0,
+        restart=restart,
+        maxiter=max_restart_cycles,
+    )
+    consider(solution)
+    if best_norm > residual_target:
+        solution, _ = sparse_linalg.bicgstab(
+            operator,
+            rhs,
+            M=preconditioner,
+            x0=best,
+            rtol=rtol,
+            atol=0.0,
+            maxiter=bicgstab_iterations,
+        )
+        consider(solution)
+    for _ in range(refinement_rounds):
+        if best is None or best_norm <= residual_target:
+            break
+        residual = rhs - operator.matvec(best)
+        correction, _ = sparse_linalg.gmres(
+            operator,
+            residual,
+            M=preconditioner,
+            rtol=1e-8,
+            atol=0.0,
+            restart=restart,
+            maxiter=max(1, max_restart_cycles // 3),
+        )
+        previous = best_norm
+        consider(best + np.asarray(correction).ravel())
+        if best_norm >= previous * 0.5:
+            break  # refinement has stopped paying for its matvecs
+    if best is None:
+        raise AnalysisError(
+            "matrix-free Krylov solve produced no finite iterate"
+        )
+    return best, best_norm
+
+
 def _steady_state_gmres_ilu(
     matrix: sparse.csr_matrix,
     tolerance: float,

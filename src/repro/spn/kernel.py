@@ -235,3 +235,45 @@ class IncidenceKernel:
             return np.zeros(0, dtype=np.int64)
         top = self.immediate_priorities[enabled].max()
         return np.nonzero(enabled & (self.immediate_priorities == top))[0]
+
+
+# --- memory-footprint estimation --------------------------------------------
+
+#: CPython overhead of interning one marking: the bytes key object, the dict
+#: slot, and the marking tuple of small ints (measured ~120 B on 64-bit
+#: builds, amortised over dict resizing).
+_INTERNER_OVERHEAD_BYTES = 120
+
+#: Bytes one marking component costs across the interner structures (int64
+#: array row + tuple slot + bytes-key payload).
+_PER_PLACE_BYTES = 32
+
+#: Bytes one stored edge costs in the in-RAM representation: source + target
+#: int64, rate float64, ECM entry (data + index), SCM share and indptr
+#: amortisation.
+_PER_EDGE_BYTES = 80
+
+
+def estimate_state_bytes(net: "CompiledNet") -> tuple[int, int]:
+    """Estimated peak bytes *per tangible state* for each representation.
+
+    Returns ``(in_ram, chunked)``.  The in-RAM figure covers the marking
+    interner plus the accumulated edge arrays and coefficient matrices,
+    assuming roughly one stored edge per (state, timed transition) pair —
+    the density this model family exhibits once vanishing markings are
+    absorbed.  The chunked figure keeps the interner (states must still be
+    deduplicated in RAM during generation) and a handful of dense
+    state-length solver vectors, but no accumulated edge structures.
+
+    These are *planning* numbers for :func:`repro.engine.dispatch.plan_representation`
+    — deliberately coarse, only good enough to separate fits-in-budget from
+    doesn't by integer factors.
+    """
+    places = max(1, len(net.place_names))
+    timed = max(1, len(net.timed_transitions))
+    interner = _INTERNER_OVERHEAD_BYTES + _PER_PLACE_BYTES * places
+    in_ram = interner + timed * _PER_EDGE_BYTES
+    # Chunked: interner + ~8 dense float64 state vectors (solution, warm
+    # start, exit rates, Krylov work arrays) resident during the solve.
+    chunked = interner + 8 * 8
+    return in_ram, chunked

@@ -13,12 +13,12 @@ race (priority first, then relative weights).
 from __future__ import annotations
 
 from collections import deque
-from typing import Mapping, Optional, Sequence
+from typing import Iterator, Mapping, NamedTuple, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
 
-from repro.exceptions import ModelError, StateSpaceError
+from repro.exceptions import ModelError, StateSpaceError, StateSpaceLimitError
 from repro.spn.enabling import CompiledNet
 from repro.spn.marking import MarkingView
 from repro.spn.model import StochasticPetriNet
@@ -497,9 +497,11 @@ class _MarkingInterner:
             return state_id
         state_id = len(self.markings)
         if state_id >= self.max_states:
-            raise StateSpaceError(
+            raise StateSpaceLimitError(
                 f"net {self.net_name!r}: tangible state space exceeds the limit "
-                f"of {self.max_states} markings"
+                f"of {self.max_states} markings",
+                max_states=self.max_states,
+                states_explored=len(self.markings),
             )
         self.ids[key] = state_id
         self.markings.append(tuple(row.tolist()))
@@ -821,6 +823,306 @@ class _BatchSuccessorResolver:
             memo[key] = tuple(zip(indices[start:end], data[start:end]))
 
 
+class WaveBlock(NamedTuple):
+    """One finalized BFS wave of the exploration (see :class:`WaveExploration`).
+
+    Blocks partition the state space by source rows: the rows
+    ``[row_start, row_end)`` of block ``k`` pick up exactly where block
+    ``k-1`` stopped, and — because every state is expanded in exactly one
+    wave — all edges with a source in that range live in that block.  Edges
+    are deduplicated and sorted by ``(source, target)`` *within* the block,
+    which (with disjoint, increasing source ranges) makes the concatenation
+    of the per-block edge lists identical to a globally sorted edge list.
+    """
+
+    row_start: int
+    row_end: int
+    #: ``(W, P)`` int64 marking rows of the wave's source states.
+    markings: np.ndarray
+    #: Aggregated tangible edges of the wave, absolute state ids.
+    edge_sources: np.ndarray
+    edge_targets: np.ndarray
+    edge_rates: np.ndarray
+    #: ``(T, E_w)`` CSR slice of the edge coefficient matrix.
+    edge_coefficient_block: sparse.csr_matrix
+    #: ``(T, W)`` CSR slice of the state coefficient matrix; columns are
+    #: wave-relative (``absolute_state - row_start``).
+    state_coefficient_block: sparse.csr_matrix
+
+
+class WaveExploration:
+    """Shared chunked-wave BFS core behind every state-space representation.
+
+    Owns the setup that both graph frontends need — compiled net, incidence
+    kernel, marking interner, vanishing-chain resolver, resolved initial
+    distribution — and exposes the exploration as a stream of finalized
+    :class:`WaveBlock` objects.  The in-RAM frontend
+    (:func:`generate_tangible_reachability_graph`) concatenates the blocks
+    into one :class:`TangibleReachabilityGraph`; the disk-backed frontend
+    (:mod:`repro.statespace.chunked`) writes each block to its own chunk
+    file and never holds more than one wave in memory.
+
+    Per-wave finalization is exact, not approximate: deduplication keys,
+    coefficient placement and rate accumulation order are arranged so that
+    concatenating the per-wave results is *bitwise* identical to the
+    single-pass global construction (duplicate edge contributions are always
+    wave-internal, and block-local sort order extends the global
+    ``(source, target)`` order).
+    """
+
+    def __init__(
+        self,
+        net: StochasticPetriNet | CompiledNet,
+        max_states: int = DEFAULT_MAX_TANGIBLE_MARKINGS,
+        canonicalize=None,
+        chunk_size: int = DEFAULT_EXPLORATION_CHUNK,
+    ) -> None:
+        self.compiled = net if isinstance(net, CompiledNet) else CompiledNet(net)
+        validate_canonicalizer(
+            canonicalize, len(self.compiled.place_names), self.compiled.name
+        )
+        self.max_states = max_states
+        self.chunk_size = max(1, chunk_size)
+        self.kernel = self.compiled.kernel()
+        self.timed_ids = self.kernel.timed_indices
+        self.n_timed = int(self.timed_ids.size)
+        self.nominal_rates = self.kernel.timed_rates
+        self.transition_names = tuple(
+            t.name for t in self.compiled.timed_transitions
+        )
+        self.interner = _MarkingInterner(self.compiled.name, max_states, canonicalize)
+        self.resolver = _BatchSuccessorResolver(self.kernel, self.interner)
+        self.initial_distribution: dict[int, float] = {}
+        for tangible_marking, probability in resolve_vanishing(
+            self.compiled, self.compiled.initial_marking
+        ).items():
+            target_id = self.interner.intern_tuple(tangible_marking)
+            self.initial_distribution[target_id] = (
+                self.initial_distribution.get(target_id, 0.0) + probability
+            )
+
+    @property
+    def markings(self) -> list[tuple[int, ...]]:
+        return self.interner.markings
+
+    def blocks(self) -> Iterator[WaveBlock]:
+        """Stream the exploration as finalized per-wave blocks.
+
+        Every wave yields exactly one block (edge arrays may be empty), so
+        the blocks' ``[row_start, row_end)`` ranges partition the final
+        state space.  A ``max_states`` overflow is re-raised enriched with
+        how far the exploration got and a wave-growth projection of the
+        total state-space size.
+        """
+        kernel = self.kernel
+        interner = self.interner
+        resolver = self.resolver
+        markings = interner.markings
+        timed_ids = self.timed_ids
+        n_timed = self.n_timed
+        nominal_rates = self.nominal_rates
+        infinite_server = kernel.timed_infinite_server
+        infinite_ids = timed_ids[infinite_server]
+        empty_edges = (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+        )
+
+        wave_totals: list[int] = []
+        head = 0
+        try:
+            while head < len(markings):
+                wave_end = min(head + self.chunk_size, len(markings))
+                wave_ids = np.arange(head, wave_end, dtype=np.int64)
+                wave = np.asarray(markings[head:wave_end], dtype=np.int64)
+                row_start, head = head, wave_end
+                if n_timed == 0:
+                    wave_totals.append(len(markings))
+                    yield WaveBlock(
+                        row_start,
+                        wave_end,
+                        wave,
+                        *empty_edges,
+                        sparse.csr_matrix((n_timed, 0), dtype=np.float64),
+                        sparse.csr_matrix(
+                            (n_timed, wave_end - row_start), dtype=np.float64
+                        ),
+                    )
+                    continue
+
+                enabled = kernel.enabled(wave, timed_ids)
+                pair_rate_matrix = enabled * nominal_rates[None, :]
+                degree_matrix = None
+                if infinite_ids.size:
+                    # Degrees only matter for infinite-server transitions;
+                    # computing them for those columns alone keeps the 3-D
+                    # floor-divide small.
+                    degree_matrix = np.ones((len(wave), n_timed), dtype=np.float64)
+                    degree_matrix[:, infinite_server] = kernel.enabling_degrees(
+                        wave, infinite_ids
+                    )
+                    pair_rate_matrix = pair_rate_matrix * degree_matrix
+                firing_mask = enabled & (pair_rate_matrix > 0.0)
+                rows, columns = np.nonzero(firing_mask)  # state-major order
+                if rows.size == 0:
+                    wave_totals.append(len(markings))
+                    yield WaveBlock(
+                        row_start,
+                        wave_end,
+                        wave,
+                        *empty_edges,
+                        sparse.csr_matrix((n_timed, 0), dtype=np.float64),
+                        sparse.csr_matrix(
+                            (n_timed, wave_end - row_start), dtype=np.float64
+                        ),
+                    )
+                    continue
+
+                successors = wave[rows] + kernel.delta[timed_ids[columns]]
+                if kernel.firing_can_go_negative and (successors < 0).any():
+                    raise ModelError(
+                        f"net {self.compiled.name!r}: firing a transition with "
+                        "duplicate input arcs would make a place marking negative"
+                    )
+                pair_rates = pair_rate_matrix[rows, columns]
+                if degree_matrix is None:
+                    pair_degrees = np.ones(rows.size, dtype=np.float64)
+                else:
+                    pair_degrees = degree_matrix[rows, columns]
+                pair_sources = wave_ids[rows]
+
+                state_coefficient_block = sparse.coo_matrix(
+                    (pair_degrees, (columns, pair_sources - row_start)),
+                    shape=(n_timed, wave_end - row_start),
+                ).tocsr()
+
+                # Dedupe the wave's successors in C (a sort over fixed-size
+                # byte records), resolve each distinct successor once, then
+                # expand the resolved distributions back over all pairs with
+                # ragged gathers.
+                _, first_rows, inverse = np.unique(
+                    _record_view(_compact_records(successors)),
+                    return_index=True,
+                    return_inverse=True,
+                )
+                unique_successors = successors[first_rows]
+                unique_keys = _marking_block_keys(unique_successors)
+                resolver.resolve_wave(unique_successors, unique_keys)
+                cache = resolver.cache
+                distributions = [cache[key] for key in unique_keys]
+                counts = np.fromiter(
+                    (len(d) for d in distributions),
+                    dtype=np.int64,
+                    count=len(distributions),
+                )
+                offsets = np.cumsum(counts) - counts
+                flat_targets = np.fromiter(
+                    (target for d in distributions for target, _ in d),
+                    dtype=np.int64,
+                )
+                flat_probabilities = np.fromiter(
+                    (probability for d in distributions for _, probability in d),
+                    dtype=np.float64,
+                )
+                lengths = counts[inverse]
+                total = int(lengths.sum())
+                out_offsets = np.cumsum(lengths) - lengths
+                gather = np.arange(total, dtype=np.int64) + np.repeat(
+                    offsets[inverse] - out_offsets, lengths
+                )
+                targets = flat_targets[gather]
+                probabilities = flat_probabilities[gather]
+                sources = np.repeat(pair_sources, lengths)
+                keep = targets != sources  # self-loops contribute nothing
+                kept_sources = sources[keep]
+                kept_targets = targets[keep]
+                kept_rows = np.repeat(columns, lengths)[keep]
+                kept_rates = (np.repeat(pair_rates, lengths) * probabilities)[keep]
+                kept_coefficients = (
+                    np.repeat(pair_degrees, lengths) * probabilities
+                )[keep]
+
+                # Finalize the wave: dedupe/sort its edges exactly as the
+                # global pass would.  Every target is interned by now, so
+                # ``stride`` bounds them and the block-local key sorts in
+                # global (source, target) order; duplicate contributions to
+                # one edge are always wave-internal (wave-locality), so the
+                # per-wave bincount accumulates the same addends in the same
+                # order as a global bincount would.
+                stride = len(markings)
+                edge_keys = (kept_sources - row_start) * stride + kept_targets
+                unique_edge_keys, edge_index = np.unique(
+                    edge_keys, return_inverse=True
+                )
+                block_sources = unique_edge_keys // stride + row_start
+                block_targets = unique_edge_keys % stride
+                block_rates = np.bincount(
+                    edge_index, weights=kept_rates, minlength=unique_edge_keys.size
+                )
+                edge_coefficient_block = sparse.coo_matrix(
+                    (kept_coefficients, (kept_rows, edge_index)),
+                    shape=(n_timed, unique_edge_keys.size),
+                ).tocsr()
+                wave_totals.append(len(markings))
+                yield WaveBlock(
+                    row_start,
+                    wave_end,
+                    wave,
+                    block_sources,
+                    block_targets,
+                    block_rates,
+                    edge_coefficient_block,
+                    state_coefficient_block,
+                )
+        except StateSpaceLimitError as error:
+            raise _enriched_limit_error(
+                error, self.compiled.name, wave_totals, len(markings)
+            ) from None
+
+
+def _enriched_limit_error(
+    error: StateSpaceLimitError,
+    net_name: str,
+    wave_totals: list[int],
+    states_explored: int,
+) -> StateSpaceLimitError:
+    """Rebuild a ``max_states`` overflow with exploration context.
+
+    Projects the total state-space size by extrapolating the per-wave
+    discovery counts geometrically (BFS levels of these nets grow roughly
+    geometrically until saturation); the projection is omitted when the
+    recent growth is flat or shrinking, where a geometric tail sum would be
+    meaningless.
+    """
+    waves_explored = len(wave_totals) + 1
+    projected = None
+    if len(wave_totals) >= 3:
+        added = np.diff(np.asarray(wave_totals[-4:], dtype=np.float64))
+        if added.size >= 2 and (added > 0).all():
+            growth = float(np.exp(np.mean(np.log(added[1:] / added[:-1]))))
+            if growth > 1.05:
+                projected = int(states_explored + added[-1] * growth / (growth - 1.0))
+    projection_clause = (
+        f"; wave growth projects roughly {projected} tangible markings in total"
+        if projected is not None
+        else ""
+    )
+    return StateSpaceLimitError(
+        f"net {net_name!r}: tangible state space exceeds the limit of "
+        f"{error.max_states} markings after exploring {states_explored} states "
+        f"across {waves_explored} BFS waves{projection_clause}. Options: raise "
+        "max_states, enable symmetry_reduction, route the model to the "
+        "disk-backed chunked backend (repro.statespace.chunked / "
+        "--memory-budget), or size it first with the symbolic counter "
+        "(repro.statespace.symbolic).",
+        max_states=error.max_states,
+        states_explored=states_explored,
+        waves_explored=waves_explored,
+        projected_states=projected,
+    )
+
+
 def generate_tangible_reachability_graph(
     net: StochasticPetriNet | CompiledNet,
     max_states: int = DEFAULT_MAX_TANGIBLE_MARKINGS,
@@ -841,6 +1143,10 @@ def generate_tangible_reachability_graph(
     equivalent to the one built by the retained scalar reference
     (:func:`generate_tangible_reachability_graph_scalar`): same markings,
     edges and coefficients, possibly under a different state numbering.
+
+    This is the in-RAM frontend over :class:`WaveExploration`; the
+    disk-backed frontend in :mod:`repro.statespace.chunked` consumes the
+    same wave stream without accumulating it.
 
     Args:
         net: the net to explore (a declarative net is compiled first).
@@ -865,161 +1171,45 @@ def generate_tangible_reachability_graph(
             contains immediate-transition cycles.
         ModelError: if ``canonicalize`` does not fit the net.
     """
-    compiled = net if isinstance(net, CompiledNet) else CompiledNet(net)
-    validate_canonicalizer(canonicalize, len(compiled.place_names), compiled.name)
-    kernel = compiled.kernel()
-    timed_ids = kernel.timed_indices
-    n_timed = int(timed_ids.size)
-    nominal_rates = kernel.timed_rates
-    infinite_server = kernel.timed_infinite_server
-    infinite_ids = timed_ids[infinite_server]
+    exploration = WaveExploration(net, max_states, canonicalize, chunk_size)
+    n_timed = exploration.n_timed
 
-    interner = _MarkingInterner(compiled.name, max_states, canonicalize)
-    markings = interner.markings
-    resolver = _BatchSuccessorResolver(kernel, interner)
+    edge_source_blocks: list[np.ndarray] = []
+    edge_target_blocks: list[np.ndarray] = []
+    edge_rate_blocks: list[np.ndarray] = []
+    edge_coefficient_blocks: list[sparse.csr_matrix] = []
+    state_coefficient_blocks: list[sparse.csr_matrix] = []
+    for block in exploration.blocks():
+        edge_source_blocks.append(block.edge_sources)
+        edge_target_blocks.append(block.edge_targets)
+        edge_rate_blocks.append(block.edge_rates)
+        edge_coefficient_blocks.append(block.edge_coefficient_block)
+        state_coefficient_blocks.append(block.state_coefficient_block)
 
-    initial_distribution: dict[int, float] = {}
-    for tangible_marking, probability in resolve_vanishing(
-        compiled, compiled.initial_marking
-    ).items():
-        target_id = interner.intern_tuple(tangible_marking)
-        initial_distribution[target_id] = (
-            initial_distribution.get(target_id, 0.0) + probability
-        )
-
-    # Per-wave array chunks, concatenated once at the end.
-    edge_source_chunks: list[np.ndarray] = []
-    edge_target_chunks: list[np.ndarray] = []
-    edge_row_chunks: list[np.ndarray] = []
-    edge_rate_chunks: list[np.ndarray] = []
-    edge_coefficient_chunks: list[np.ndarray] = []
-    state_row_chunks: list[np.ndarray] = []
-    state_column_chunks: list[np.ndarray] = []
-    state_coefficient_chunks: list[np.ndarray] = []
-
-    head = 0
-    while head < len(markings):
-        wave_end = min(head + max(1, chunk_size), len(markings))
-        wave_ids = np.arange(head, wave_end, dtype=np.int64)
-        wave = np.asarray(markings[head:wave_end], dtype=np.int64)
-        head = wave_end
-        if n_timed == 0:
-            continue
-
-        enabled = kernel.enabled(wave, timed_ids)
-        pair_rate_matrix = enabled * nominal_rates[None, :]
-        degree_matrix = None
-        if infinite_ids.size:
-            # Degrees only matter for infinite-server transitions; computing
-            # them for those columns alone keeps the 3-D floor-divide small.
-            degree_matrix = np.ones((len(wave), n_timed), dtype=np.float64)
-            degree_matrix[:, infinite_server] = kernel.enabling_degrees(
-                wave, infinite_ids
-            )
-            pair_rate_matrix = pair_rate_matrix * degree_matrix
-        firing_mask = enabled & (pair_rate_matrix > 0.0)
-        rows, columns = np.nonzero(firing_mask)  # row-major: state-major order
-        if rows.size == 0:
-            continue
-
-        successors = wave[rows] + kernel.delta[timed_ids[columns]]
-        if kernel.firing_can_go_negative and (successors < 0).any():
-            raise ModelError(
-                f"net {compiled.name!r}: firing a transition with duplicate "
-                "input arcs would make a place marking negative"
-            )
-        pair_rates = pair_rate_matrix[rows, columns]
-        if degree_matrix is None:
-            pair_degrees = np.ones(rows.size, dtype=np.float64)
-        else:
-            pair_degrees = degree_matrix[rows, columns]
-        pair_sources = wave_ids[rows]
-
-        state_row_chunks.append(columns)
-        state_column_chunks.append(pair_sources)
-        state_coefficient_chunks.append(pair_degrees)
-
-        # Dedupe the wave's successors in C (a sort over fixed-size byte
-        # records), resolve each distinct successor once, then expand the
-        # resolved distributions back over all pairs with ragged gathers.
-        _, first_rows, inverse = np.unique(
-            _record_view(_compact_records(successors)),
-            return_index=True,
-            return_inverse=True,
-        )
-        unique_successors = successors[first_rows]
-        unique_keys = _marking_block_keys(unique_successors)
-        resolver.resolve_wave(unique_successors, unique_keys)
-        cache = resolver.cache
-        distributions = [cache[key] for key in unique_keys]
-        counts = np.fromiter(
-            (len(d) for d in distributions), dtype=np.int64, count=len(distributions)
-        )
-        offsets = np.cumsum(counts) - counts
-        flat_targets = np.fromiter(
-            (target for d in distributions for target, _ in d), dtype=np.int64
-        )
-        flat_probabilities = np.fromiter(
-            (probability for d in distributions for _, probability in d),
-            dtype=np.float64,
-        )
-        lengths = counts[inverse]
-        total = int(lengths.sum())
-        out_offsets = np.cumsum(lengths) - lengths
-        gather = np.arange(total, dtype=np.int64) + np.repeat(
-            offsets[inverse] - out_offsets, lengths
-        )
-        targets = flat_targets[gather]
-        probabilities = flat_probabilities[gather]
-        sources = np.repeat(pair_sources, lengths)
-        keep = targets != sources  # self-loops contribute nothing to the CTMC
-        edge_source_chunks.append(sources[keep])
-        edge_target_chunks.append(targets[keep])
-        edge_row_chunks.append(np.repeat(columns, lengths)[keep])
-        edge_rate_chunks.append((np.repeat(pair_rates, lengths) * probabilities)[keep])
-        edge_coefficient_chunks.append(
-            (np.repeat(pair_degrees, lengths) * probabilities)[keep]
-        )
-
+    markings = exploration.markings
     number_of_states = len(markings)
-    raw_sources = _concat(edge_source_chunks, np.int64)
-    raw_targets = _concat(edge_target_chunks, np.int64)
-    edge_keys = raw_sources * number_of_states + raw_targets
-    unique_edge_keys, edge_index = np.unique(edge_keys, return_inverse=True)
-    edge_sources = unique_edge_keys // number_of_states
-    edge_targets = unique_edge_keys % number_of_states
-    edge_rates = np.bincount(
-        edge_index,
-        weights=_concat(edge_rate_chunks, np.float64),
-        minlength=unique_edge_keys.size,
-    )
-    edge_coefficient_matrix = sparse.coo_matrix(
-        (
-            _concat(edge_coefficient_chunks, np.float64),
-            (_concat(edge_row_chunks, np.int64), edge_index),
-        ),
-        shape=(n_timed, unique_edge_keys.size),
-    ).tocsr()
-    state_coefficient_matrix = sparse.coo_matrix(
-        (
-            _concat(state_coefficient_chunks, np.float64),
-            (
-                _concat(state_row_chunks, np.int64),
-                _concat(state_column_chunks, np.int64),
-            ),
-        ),
-        shape=(n_timed, number_of_states),
-    ).tocsr()
+    if edge_coefficient_blocks:
+        edge_coefficient_matrix = sparse.hstack(
+            edge_coefficient_blocks, format="csr"
+        )
+        state_coefficient_matrix = sparse.hstack(
+            state_coefficient_blocks, format="csr"
+        )
+    else:  # pragma: no cover - a net always has at least one tangible state
+        edge_coefficient_matrix = sparse.csr_matrix((n_timed, 0), dtype=np.float64)
+        state_coefficient_matrix = sparse.csr_matrix(
+            (n_timed, number_of_states), dtype=np.float64
+        )
 
     return TangibleReachabilityGraph(
-        net=compiled,
+        net=exploration.compiled,
         markings=markings,
-        initial_distribution=initial_distribution,
-        edge_sources=edge_sources,
-        edge_targets=edge_targets,
-        edge_rates=edge_rates,
-        transition_names=tuple(t.name for t in compiled.timed_transitions),
-        rate_vector=nominal_rates.copy(),
+        initial_distribution=exploration.initial_distribution,
+        edge_sources=_concat(edge_source_blocks, np.int64),
+        edge_targets=_concat(edge_target_blocks, np.int64),
+        edge_rates=_concat(edge_rate_blocks, np.float64),
+        transition_names=exploration.transition_names,
+        rate_vector=exploration.nominal_rates.copy(),
         edge_coefficient_matrix=edge_coefficient_matrix,
         state_coefficient_matrix=state_coefficient_matrix,
     )

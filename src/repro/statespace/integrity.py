@@ -1,0 +1,42 @@
+"""Content digests shared by every persisted state-space representation.
+
+Both the single-file ``.npz`` cache entries (:mod:`repro.engine.cache`) and
+the multi-file chunked entries (:mod:`repro.statespace.chunked`) carry a
+sha256 digest over their logical array payload, recomputed and verified on
+load.  The digest lives here — below both layers — so the chunked writer
+does not need to import the engine package.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Name of the embedded integrity-digest array (excluded from the digest).
+DIGEST_ARRAY = "payload_sha256"
+
+
+def payload_digest(arrays: dict) -> np.ndarray:
+    """sha256 over the logical payload of one entry's array dict.
+
+    Hashes array names, dtypes, shapes and raw bytes (in name order), so any
+    single-bit corruption of the stored data — including a dtype or shape
+    rewrite that would survive a zip CRC — fails verification.  Returned
+    as a 32-byte ``uint8`` array so it can ride inside an ``.npz`` itself.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == DIGEST_ARRAY:
+            continue
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(array.dtype.str.encode())
+        digest.update(repr(tuple(array.shape)).encode())
+        digest.update(array.tobytes())
+    return np.frombuffer(digest.digest(), dtype=np.uint8).copy()
+
+
+def payload_digest_hex(arrays: dict) -> str:
+    """Hex form of :func:`payload_digest` (for JSON manifests)."""
+    return bytes(payload_digest(arrays)).hex()

@@ -1,0 +1,243 @@
+"""Optional BDD-based reachable-set sizing (no explicit generation).
+
+The Petri-net escape hatch for state spaces too large to enumerate: encode
+markings as boolean vectors, transitions as BDD relations, and compute the
+reachable set as a fixed point of symbolic image steps.  The *count* of
+reachable markings then comes out of the BDD's model counter without any
+marking ever being materialised — which is exactly what the memory planner
+wants to know before committing to explicit generation.
+
+This backend is **sizing only** and **optional**: it needs the ``dd``
+package, which this project does not depend on.  :func:`symbolic_available`
+reports whether it can run; every entry point raises
+:class:`SymbolicUnavailable` with an honest explanation otherwise (the
+planner and CLI surface that message instead of pretending a count exists).
+
+Caveats (also surfaced in the README):
+
+* The count covers **all** reachable markings — tangible *and* vanishing —
+  so it is an upper bound on the tangible CTMC size the explicit backends
+  report.
+* Each place is binary-encoded up to a token bound.  The default bound
+  (total initial tokens) is safe for conservative nets; if any transition
+  could push a place past its bound from a reachable marking, the result is
+  flagged ``saturated`` and the count is a lower bound instead.
+* Guarded transitions are not expressible as pure token-interval relations;
+  nets with guards are refused rather than sized wrongly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+from repro.exceptions import AnalysisError
+from repro.spn.enabling import CompiledNet
+from repro.spn.model import StochasticPetriNet
+
+try:  # pragma: no cover - exercised only where ``dd`` is installed
+    from dd import autoref as _dd_autoref
+except ImportError:  # pragma: no cover - the common case in this project
+    _dd_autoref = None
+
+
+class SymbolicUnavailable(AnalysisError):
+    """The symbolic sizing backend cannot run (missing ``dd`` or unsupported net)."""
+
+
+def symbolic_available() -> bool:
+    """Whether the optional ``dd`` package is importable."""
+    return _dd_autoref is not None
+
+
+def unavailable_reason() -> Optional[str]:
+    """Human-readable reason the sizer cannot run, or ``None`` if it can."""
+    if _dd_autoref is None:
+        return (
+            "symbolic sizing needs the optional 'dd' package (pip install dd); "
+            "it is not installed in this environment"
+        )
+    return None
+
+
+@dataclass(frozen=True)
+class SymbolicSizing:
+    """Result of one symbolic reachability count.
+
+    ``reachable_markings`` counts every reachable marking (tangible and
+    vanishing) within the per-place token bounds; ``saturated`` flags that
+    some reachable marking could fire past a bound, making the count a lower
+    bound of the unbounded reachable set.
+    """
+
+    reachable_markings: int
+    iterations: int
+    place_bounds: tuple[int, ...]
+    saturated: bool
+
+    @property
+    def exact(self) -> bool:
+        return not self.saturated
+
+
+def _resolve_bounds(
+    compiled: CompiledNet, place_bound: Union[int, Mapping[str, int], None]
+) -> list[int]:
+    if isinstance(place_bound, int):
+        return [max(1, place_bound)] * len(compiled.place_names)
+    default = max(1, sum(compiled.initial_marking))
+    bounds = [default] * len(compiled.place_names)
+    if place_bound is not None:
+        for name, bound in place_bound.items():
+            bounds[compiled.place_index[name]] = max(1, int(bound))
+    for index, tokens in enumerate(compiled.initial_marking):
+        bounds[index] = max(bounds[index], tokens)
+    return bounds
+
+
+def count_reachable_markings(
+    net: StochasticPetriNet | CompiledNet,
+    place_bound: Union[int, Mapping[str, int], None] = None,
+    max_iterations: int = 100_000,
+) -> SymbolicSizing:
+    """Count the reachable markings of ``net`` symbolically.
+
+    Args:
+        net: the net to size (a declarative net is compiled first).
+        place_bound: per-place token capacity used for the binary encoding —
+            one int for all places, a ``{place_name: bound}`` mapping, or
+            ``None`` for the conservative default (total initial tokens).
+        max_iterations: fixed-point iteration cap (one iteration per BFS
+            level of the reachability graph).
+
+    Raises:
+        SymbolicUnavailable: when ``dd`` is missing or the net carries
+            guards (not expressible as token-interval relations).
+    """
+    reason = unavailable_reason()
+    if reason is not None:
+        raise SymbolicUnavailable(reason)
+    compiled = net if isinstance(net, CompiledNet) else CompiledNet(net)
+    if any(t.guard is not None for t in compiled.transitions):
+        raise SymbolicUnavailable(
+            f"net {compiled.name!r} carries guard expressions; the symbolic "
+            "sizer only supports plain input/output/inhibitor arcs"
+        )
+
+    bounds = _resolve_bounds(compiled, place_bound)
+    n_places = len(compiled.place_names)
+    bits = [max(1, int(bound).bit_length()) for bound in bounds]
+
+    bdd = _dd_autoref.BDD()
+    current_vars: list[list[str]] = []
+    next_vars: list[list[str]] = []
+    for place in range(n_places):
+        cur = [f"x{place}_{bit}" for bit in range(bits[place])]
+        nxt = [f"y{place}_{bit}" for bit in range(bits[place])]
+        # Interleaved declaration order keeps related bits adjacent, which
+        # is the standard variable-order heuristic for transition relations.
+        for cur_bit, nxt_bit in zip(cur, nxt):
+            bdd.declare(cur_bit)
+            bdd.declare(nxt_bit)
+        current_vars.append(cur)
+        next_vars.append(nxt)
+
+    def equals(variables: list[str], value: int):
+        cube = bdd.true
+        for bit, name in enumerate(variables):
+            literal = bdd.var(name)
+            if not (value >> bit) & 1:
+                literal = ~literal
+            cube &= literal
+        return cube
+
+    def value_set(place: int, values) -> object:
+        union = bdd.false
+        for value in values:
+            union |= equals(current_vars[place], value)
+        return union
+
+    rename = {
+        nxt: cur
+        for place in range(n_places)
+        for nxt, cur in zip(next_vars[place], current_vars[place])
+    }
+    all_current = [name for group in current_vars for name in group]
+
+    # Per-transition relation T(x, y) = enabled(x) ∧ Π_p (y_p = x_p + δ_p),
+    # built by explicit enumeration of the (small) per-place token ranges.
+    relations = []
+    overflow_any = bdd.false
+    for transition in compiled.transitions:
+        delta = [0] * n_places
+        lower = [0] * n_places
+        for place, multiplicity in transition.inputs:
+            delta[place] -= multiplicity
+            lower[place] = max(lower[place], multiplicity)
+        for place, multiplicity in transition.outputs:
+            delta[place] += multiplicity
+        enabled = bdd.true
+        for place, multiplicity in transition.inhibitors:
+            enabled &= value_set(
+                place, range(0, min(multiplicity, bounds[place] + 1))
+            )
+        for place in range(n_places):
+            if lower[place] > 0:
+                enabled &= value_set(place, range(lower[place], bounds[place] + 1))
+        relation = enabled
+        for place in range(n_places):
+            moves = bdd.false
+            for value in range(0, bounds[place] + 1):
+                successor = value + delta[place]
+                if 0 <= successor <= bounds[place]:
+                    moves |= equals(current_vars[place], value) & equals(
+                        next_vars[place], successor
+                    )
+            relation &= moves
+        relations.append(relation)
+        # Enabled firings whose output would exceed a bound: if any reachable
+        # marking admits one, the count is a lower bound (flagged honestly).
+        for place in range(n_places):
+            if delta[place] > 0:
+                high = range(
+                    max(0, bounds[place] - delta[place] + 1), bounds[place] + 1
+                )
+                overflow_any |= enabled & value_set(place, high)
+
+    for place, tokens in enumerate(compiled.initial_marking):
+        if tokens > bounds[place]:  # pragma: no cover - bounds include initial
+            raise SymbolicUnavailable(
+                f"initial marking of place {compiled.place_names[place]!r} "
+                f"exceeds its token bound {bounds[place]}"
+            )
+    reachable = bdd.true
+    for place, tokens in enumerate(compiled.initial_marking):
+        reachable &= equals(current_vars[place], tokens)
+
+    iterations = 0
+    frontier = reachable
+    while frontier != bdd.false:
+        iterations += 1
+        if iterations > max_iterations:
+            raise AnalysisError(
+                f"symbolic reachability did not reach a fixed point within "
+                f"{max_iterations} iterations"
+            )
+        image = bdd.false
+        for relation in relations:
+            step = bdd.exist(all_current, frontier & relation)
+            image |= bdd.let(rename, step)
+        frontier = image & ~reachable
+        reachable |= frontier
+
+    saturated = (reachable & overflow_any) != bdd.false
+    # Count satisfying assignments over the *current* variables only; each
+    # reachable marking is exactly one assignment (the encoding is injective
+    # within the bounds).
+    count = int(bdd.count(reachable, nvars=len(all_current)))
+    return SymbolicSizing(
+        reachable_markings=count,
+        iterations=iterations,
+        place_bounds=tuple(bounds),
+        saturated=bool(saturated),
+    )
